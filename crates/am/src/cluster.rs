@@ -1,0 +1,542 @@
+//! The emulated cluster: P endpoints, their NICs, and the wire.
+//!
+//! Timing model (paper Figure 2):
+//!
+//! * **Send**: the host processor is busy for `o_send + Δo` writing the
+//!   message into the NIC (charged by [`crate::AmPort`]); the NIC injects it
+//!   at `max(deposit, tx_free)` and then stalls its transmit context —
+//!   `g + Δg` for a short message; for each ≤4KB bulk fragment,
+//!   `max(g, (G+ΔG)·bytes) + Δg`.
+//! * **Transit**: the message arrives `L + ΔL` after injection of its last
+//!   fragment (the `ΔL` is the paper's receive-side delay queue: it defers
+//!   the presence bit without perturbing `o` or `g`).
+//! * **Receive**: the destination NIC makes at most one message visible per
+//!   `g + Δg` (its receive context is independent of the transmit context —
+//!   the LANai's dual hardware contexts), after which the message waits in
+//!   the receive queue until the destination *processor* polls it, paying
+//!   `o_recv + Δo` per message.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::{Rc, Weak};
+
+use nowlab_sim::{Notify, Sim, SimTime};
+
+use crate::message::{Dir, HandlerId, Msg, Payload, ProcId, ReplyData, ReqId};
+use crate::params::NetConfig;
+use crate::stats::{CommStats, ProcCounters};
+
+/// Context passed to an Active Message handler.
+///
+/// Handlers run synchronously on the destination processor (in zero
+/// simulated time beyond the `o_recv` already charged) and must not block;
+/// their only way to communicate is the [`ReplyData`] they return.
+pub struct HandlerCtx<'a> {
+    /// The destination processor's mutable user state (set via
+    /// [`AmCluster::set_state`]).
+    pub state: &'a mut dyn Any,
+    /// The incoming request.
+    pub msg: &'a Msg,
+    /// Virtual time at which the handler runs.
+    pub now: SimTime,
+}
+
+impl fmt::Debug for HandlerCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HandlerCtx")
+            .field("msg", &self.msg)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+/// An Active Message handler: runs at the destination, returns the reply.
+pub type Handler = Box<dyn Fn(HandlerCtx<'_>) -> ReplyData>;
+
+pub(crate) struct ReplySlot {
+    pub filled: Cell<bool>,
+    pub args: Cell<[u64; 4]>,
+    pub payload: RefCell<Payload>,
+}
+
+pub(crate) struct Endpoint {
+    /// Messages visible to the processor, awaiting its poll.
+    pub rx: RefCell<std::collections::VecDeque<Msg>>,
+    /// Woken on every delivery into `rx`.
+    pub rx_notify: Notify,
+    /// Remaining flow-control credits (requests in flight = window - credits).
+    pub credits: Cell<u32>,
+    /// Reply slots for requests whose issuer is waiting.
+    pub pending_replies: RefCell<HashMap<ReqId, Rc<ReplySlot>>>,
+    /// Outstanding posted (non-waited) requests, drained by acks.
+    pub pending_posts: Cell<u64>,
+    /// Next request id.
+    pub next_req: Cell<ReqId>,
+    /// NIC transmit context: time at which it can inject again.
+    pub nic_tx_free: Cell<SimTime>,
+    /// NIC receive context: time at which it can make another message
+    /// visible.
+    pub nic_rx_free: Cell<SimTime>,
+    /// Per-processor application state, visible to handlers.
+    pub user_state: RefCell<Option<Box<dyn Any>>>,
+    /// Instrumentation.
+    pub counters: RefCell<ProcCounters>,
+    /// True while the owning process is inside a communication wait
+    /// (time-breakdown accounting).
+    pub in_wait: Cell<bool>,
+}
+
+impl Endpoint {
+    fn new(p: usize, window: u32) -> Self {
+        Endpoint {
+            rx: RefCell::new(std::collections::VecDeque::new()),
+            rx_notify: Notify::new(),
+            credits: Cell::new(window),
+            pending_replies: RefCell::new(HashMap::new()),
+            pending_posts: Cell::new(0),
+            next_req: Cell::new(0),
+            nic_tx_free: Cell::new(SimTime::ZERO),
+            nic_rx_free: Cell::new(SimTime::ZERO),
+            user_state: RefCell::new(None),
+            counters: RefCell::new(ProcCounters::new(p)),
+            in_wait: Cell::new(false),
+        }
+    }
+}
+
+pub(crate) struct ClusterInner {
+    pub sim: Sim,
+    pub cfg: NetConfig,
+    pub procs: Vec<Endpoint>,
+    pub handlers: RefCell<Vec<Handler>>,
+    pub stats_epoch: Cell<SimTime>,
+    pub frozen_stats: RefCell<Option<CommStats>>,
+}
+
+/// An emulated cluster of `P` processors joined by a LogGP network with a
+/// GAM-style Active Message layer.
+///
+/// Cheap to clone (reference-counted handle). Spawn one simulated process
+/// per processor, give each an [`crate::AmPort`] via [`AmCluster::port`],
+/// and drive the [`Sim`].
+///
+/// # Examples
+///
+/// A remote increment via a user handler:
+///
+/// ```
+/// use nowlab_sim::Sim;
+/// use nowlab_am::{AmCluster, NetConfig, Mark, Payload, ReplyData};
+///
+/// let sim = Sim::new();
+/// let cluster = AmCluster::new(sim.clone(), NetConfig::berkeley_now(), 2);
+/// cluster.set_state(1, Box::new(0u64));
+/// let inc = cluster.register_handler(|ctx| {
+///     let counter = ctx.state.downcast_mut::<u64>().unwrap();
+///     *counter += ctx.msg.args[0];
+///     ReplyData::word(*counter)
+/// });
+///
+/// // Receives are polled: the destination must be servicing the network.
+/// let server = cluster.port(1);
+/// sim.spawn(async move { server.wait_until(|| false).await });
+///
+/// let port = cluster.port(0);
+/// let h = sim.spawn(async move {
+///     let (args, _) = port.request(1, inc, [5, 0, 0, 0], Payload::None, Mark::Rmw).await;
+///     args[0]
+/// });
+/// sim.run();
+/// assert_eq!(h.try_take(), Some(5));
+/// ```
+#[derive(Clone)]
+pub struct AmCluster {
+    pub(crate) inner: Rc<ClusterInner>,
+}
+
+impl fmt::Debug for AmCluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AmCluster")
+            .field("procs", &self.inner.procs.len())
+            .field("cfg", &self.inner.cfg)
+            .finish()
+    }
+}
+
+impl AmCluster {
+    /// Creates a cluster of `p` processors over the given network
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero.
+    pub fn new(sim: Sim, cfg: NetConfig, p: usize) -> Self {
+        assert!(p > 0, "cluster needs at least one processor");
+        let procs = (0..p).map(|_| Endpoint::new(p, cfg.window)).collect();
+        AmCluster {
+            inner: Rc::new(ClusterInner {
+                sim,
+                cfg,
+                procs,
+                handlers: RefCell::new(Vec::new()),
+                stats_epoch: Cell::new(SimTime::ZERO),
+                frozen_stats: RefCell::new(None),
+            }),
+        }
+    }
+
+    /// Number of processors.
+    pub fn num_procs(&self) -> usize {
+        self.inner.procs.len()
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> NetConfig {
+        self.inner.cfg
+    }
+
+    /// The simulation this cluster runs in.
+    pub fn sim(&self) -> &Sim {
+        &self.inner.sim
+    }
+
+    /// Registers a handler on all processors; returns its id.
+    pub fn register_handler<F>(&self, f: F) -> HandlerId
+    where
+        F: Fn(HandlerCtx<'_>) -> ReplyData + 'static,
+    {
+        let mut handlers = self.inner.handlers.borrow_mut();
+        handlers.push(Box::new(f));
+        handlers.len() - 1
+    }
+
+    /// Installs per-processor application state (visible to handlers via
+    /// [`HandlerCtx::state`] and to the process via
+    /// [`crate::AmPort::with_state`]).
+    pub fn set_state(&self, proc: ProcId, state: Box<dyn Any>) {
+        *self.inner.procs[proc].user_state.borrow_mut() = Some(state);
+    }
+
+    /// A communication port bound to processor `proc`.
+    pub fn port(&self, proc: ProcId) -> crate::AmPort {
+        assert!(proc < self.num_procs(), "no such processor {proc}");
+        crate::AmPort::new(Rc::clone(&self.inner), proc)
+    }
+
+    /// Snapshot of the communication counters since the last
+    /// [`AmCluster::reset_stats`] — or the frozen snapshot, if
+    /// [`AmCluster::freeze_stats`] was called.
+    pub fn stats(&self) -> CommStats {
+        if let Some(frozen) = self.inner.frozen_stats.borrow().as_ref() {
+            return frozen.clone();
+        }
+        self.live_stats()
+    }
+
+    /// Freezes the measured region: subsequent traffic (e.g. result
+    /// verification) is excluded from [`AmCluster::stats`].
+    pub fn freeze_stats(&self) {
+        *self.inner.frozen_stats.borrow_mut() = Some(self.live_stats());
+    }
+
+    fn live_stats(&self) -> CommStats {
+        CommStats {
+            per_proc: self
+                .inner
+                .procs
+                .iter()
+                .map(|e| e.counters.borrow().clone())
+                .collect(),
+            elapsed: self.inner.sim.now().since(self.inner.stats_epoch.get()),
+        }
+    }
+
+    /// Wakes every processor blocked in a network wait so it re-checks its
+    /// condition. Used by SPMD runtimes for conditions that change without
+    /// a message arriving (e.g. "all processors have finished").
+    pub fn poke_all(&self) {
+        for ep in &self.inner.procs {
+            ep.rx_notify.notify_all();
+        }
+    }
+
+    /// Zeroes all counters and restarts the stats clock (used to exclude
+    /// input-generation phases from the measured region). Also discards
+    /// any frozen snapshot.
+    pub fn reset_stats(&self) {
+        let p = self.num_procs();
+        for e in &self.inner.procs {
+            *e.counters.borrow_mut() = ProcCounters::new(p);
+        }
+        self.inner.stats_epoch.set(self.inner.sim.now());
+        *self.inner.frozen_stats.borrow_mut() = None;
+    }
+}
+
+impl ClusterInner {
+    /// Hands a message to the source NIC at the current instant; computes
+    /// injection and transit times and schedules delivery.
+    pub(crate) fn inject(self: &Rc<Self>, msg: Msg) {
+        let cfg = &self.cfg;
+        let now = self.sim.now();
+        let src = &self.procs[msg.src];
+
+        // Instrumentation: every injected message is a "send".
+        {
+            let mut c = src.counters.borrow_mut();
+            c.sends += 1;
+            c.per_dst[msg.dst] += 1;
+            if msg.dir == Dir::Reply {
+                c.replies_sent += 1;
+            }
+            if msg.mark.is_read() {
+                c.sends_read += 1;
+            }
+            if msg.is_bulk() {
+                c.sends_bulk += 1;
+                c.bytes_bulk += u64::from(msg.payload.wire_bytes());
+            } else {
+                c.bytes_short += u64::from(cfg.short_wire_bytes);
+            }
+        }
+
+        // Transmit-context occupancy.
+        let start = now.max(src.nic_tx_free.get());
+        let payload_bytes = msg.payload.wire_bytes();
+        let (wire_done, tx_free) = if payload_bytes == 0 {
+            // Short message: injected instantaneously at `start`; the tx
+            // loop then stalls for the (possibly inflated) gap.
+            (start, start + cfg.eff_gap())
+        } else {
+            // Bulk: fragments of up to `frag_bytes`; each occupies the DMA
+            // engine for (G+ΔG)·size (at least the base per-message gap),
+            // then the added-gap knob stalls the loop.
+            let mut t = start;
+            let mut remaining = payload_bytes;
+            let mut last_done = start;
+            while remaining > 0 {
+                let frag = remaining.min(cfg.frag_bytes);
+                remaining -= frag;
+                let dma = cfg.eff_gap_per_byte() * u64::from(frag);
+                let busy = dma.max(self.cfg.machine.gap);
+                last_done = t + busy;
+                t = last_done + cfg.knobs.d_g;
+            }
+            (last_done, t)
+        };
+        src.nic_tx_free.set(tx_free);
+
+        // Transit. With the delay queue the added latency is applied here
+        // (equivalent to deferring the presence bit at the receiver); with
+        // the naive slow-receive-path mode only the base latency is, and
+        // the receive context pays ΔL per message instead.
+        let arrival = match cfg.latency_mode {
+            crate::LatencyMode::DelayQueue => wire_done + cfg.eff_latency(),
+            crate::LatencyMode::SlowRxPath => wire_done + cfg.machine.latency,
+        };
+        let weak = Rc::downgrade(self);
+        self.sim
+            .schedule(arrival, move |sim| Self::deliver(&weak, sim, msg));
+    }
+
+    /// Delivery at the destination NIC, serialized at one message per
+    /// effective gap by the receive context.
+    fn deliver(weak: &Weak<Self>, sim: &Sim, msg: Msg) {
+        let Some(inner) = weak.upgrade() else { return };
+        let dst = &inner.procs[msg.dst];
+        let now = sim.now();
+        let free = dst.nic_rx_free.get();
+        if free > now {
+            let weak = weak.clone();
+            sim.schedule(free, move |sim| Self::deliver(&weak, sim, msg));
+            return;
+        }
+        match inner.cfg.latency_mode {
+            crate::LatencyMode::DelayQueue => {
+                dst.nic_rx_free.set(now + inner.cfg.eff_gap());
+                dst.rx.borrow_mut().push_back(msg);
+                dst.rx_notify.notify_all();
+            }
+            crate::LatencyMode::SlowRxPath => {
+                // The receive context spends ΔL handling this message
+                // before it becomes visible — inflating the effective gap.
+                let d_lat = inner.cfg.knobs.d_lat;
+                let visible = now + d_lat;
+                dst.nic_rx_free.set(visible + inner.cfg.eff_gap());
+                let weak2 = weak.clone();
+                sim.schedule(visible, move |_| {
+                    if let Some(inner) = weak2.upgrade() {
+                        let dst = &inner.procs[msg.dst];
+                        dst.rx.borrow_mut().push_back(msg);
+                        dst.rx_notify.notify_all();
+                    }
+                });
+            }
+        }
+    }
+
+    /// Runs the registered handler for `msg` on its destination processor.
+    pub(crate) fn run_handler(&self, msg: &Msg) -> ReplyData {
+        let handlers = self.handlers.borrow();
+        let handler = handlers
+            .get(msg.handler)
+            .unwrap_or_else(|| panic!("no handler {} registered", msg.handler));
+        let ep = &self.procs[msg.dst];
+        let mut guard = ep.user_state.borrow_mut();
+        let mut unit = ();
+        let state: &mut dyn Any = match guard.as_mut() {
+            Some(b) => b.as_mut(),
+            None => &mut unit,
+        };
+        handler(HandlerCtx {
+            state,
+            msg,
+            now: self.sim.now(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Mark;
+    use nowlab_sim::SimDelta;
+
+    fn short_msg(src: ProcId, dst: ProcId) -> Msg {
+        Msg {
+            src,
+            dst,
+            dir: Dir::Request,
+            req: 0,
+            handler: 0,
+            args: [0; 4],
+            payload: Payload::None,
+            mark: Mark::Write,
+        }
+    }
+
+    #[test]
+    fn short_message_arrives_after_latency() {
+        let sim = Sim::new();
+        let cluster = AmCluster::new(sim.clone(), NetConfig::berkeley_now(), 2);
+        cluster.register_handler(|_| ReplyData::ack());
+        cluster.inner.inject(short_msg(0, 1));
+        sim.run();
+        let ep = &cluster.inner.procs[1];
+        assert_eq!(ep.rx.borrow().len(), 1);
+        // Delivered exactly at L = 5 µs.
+        assert_eq!(sim.now(), SimTime::ZERO + SimDelta::from_micros(5.0));
+    }
+
+    #[test]
+    fn sender_nic_enforces_gap() {
+        let sim = Sim::new();
+        let cluster = AmCluster::new(sim.clone(), NetConfig::berkeley_now(), 2);
+        cluster.register_handler(|_| ReplyData::ack());
+        // Two messages injected back to back at t=0.
+        cluster.inner.inject(short_msg(0, 1));
+        cluster.inner.inject(short_msg(0, 1));
+        sim.run();
+        // Second injection waits one gap: arrival = g + L = 10.8 µs.
+        assert_eq!(
+            sim.now(),
+            SimTime::ZERO + SimDelta::from_micros(5.8) + SimDelta::from_micros(5.0)
+        );
+    }
+
+    #[test]
+    fn receiver_nic_serializes_distinct_senders() {
+        let sim = Sim::new();
+        let cluster = AmCluster::new(sim.clone(), NetConfig::berkeley_now(), 3);
+        cluster.register_handler(|_| ReplyData::ack());
+        // Both senders inject at t=0; both would arrive at L=5 µs.
+        cluster.inner.inject(short_msg(0, 2));
+        cluster.inner.inject(short_msg(1, 2));
+        sim.run();
+        // Second delivery is pushed to 5 + g = 10.8 µs.
+        assert_eq!(
+            sim.now(),
+            SimTime::ZERO + SimDelta::from_micros(10.8)
+        );
+        assert_eq!(cluster.inner.procs[2].rx.borrow().len(), 2);
+    }
+
+    #[test]
+    fn added_latency_delays_arrival_only() {
+        let sim = Sim::new();
+        let cfg = NetConfig::berkeley_now()
+            .with_knobs(crate::Knobs::with_latency(SimDelta::from_micros(100.0)));
+        let cluster = AmCluster::new(sim.clone(), cfg, 2);
+        cluster.register_handler(|_| ReplyData::ack());
+        cluster.inner.inject(short_msg(0, 1));
+        sim.run();
+        assert_eq!(sim.now(), SimTime::ZERO + SimDelta::from_micros(105.0));
+        // Sender NIC freed long before arrival: gap unaffected.
+        assert_eq!(
+            cluster.inner.procs[0].nic_tx_free.get(),
+            SimTime::ZERO + SimDelta::from_micros(5.8)
+        );
+    }
+
+    #[test]
+    fn bulk_transfer_time_tracks_big_g() {
+        let sim = Sim::new();
+        let cluster = AmCluster::new(sim.clone(), NetConfig::berkeley_now(), 2);
+        cluster.register_handler(|_| ReplyData::ack());
+        let mut msg = short_msg(0, 1);
+        msg.payload = Payload::Synthetic(8192); // two 4KB fragments
+        msg.mark = Mark::Bulk;
+        cluster.inner.inject(msg);
+        sim.run();
+        // DMA time = 8192 B at the (ns-quantized) per-byte gap, plus L.
+        let per_byte = NetConfig::berkeley_now().eff_gap_per_byte();
+        let expect = SimTime::ZERO + per_byte * 8192 + SimDelta::from_micros(5.0);
+        assert_eq!(sim.now(), expect);
+        // And it is within 2% of the ideal 38 MB/s figure.
+        let ideal_us = 8192.0 * (1000.0 / 38.0) / 1000.0 + 5.0;
+        assert!((sim.now().as_micros_f64() - ideal_us).abs() / ideal_us < 0.02);
+    }
+
+    #[test]
+    fn stats_count_sends_and_bytes() {
+        let sim = Sim::new();
+        let cluster = AmCluster::new(sim.clone(), NetConfig::berkeley_now(), 2);
+        cluster.register_handler(|_| ReplyData::ack());
+        cluster.inner.inject(short_msg(0, 1));
+        let mut bulk = short_msg(0, 1);
+        bulk.payload = Payload::Synthetic(100);
+        bulk.mark = Mark::Bulk;
+        cluster.inner.inject(bulk);
+        sim.run();
+        let stats = cluster.stats();
+        let c0 = &stats.per_proc[0];
+        assert_eq!(c0.sends, 2);
+        assert_eq!(c0.sends_bulk, 1);
+        assert_eq!(c0.bytes_short, 28);
+        assert_eq!(c0.bytes_bulk, 100);
+        assert_eq!(c0.per_dst, vec![0, 2]);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let sim = Sim::new();
+        let cluster = AmCluster::new(sim.clone(), NetConfig::berkeley_now(), 2);
+        cluster.register_handler(|_| ReplyData::ack());
+        cluster.inner.inject(short_msg(0, 1));
+        sim.run();
+        cluster.reset_stats();
+        let stats = cluster.stats();
+        assert_eq!(stats.total_sends(), 0);
+        assert_eq!(stats.elapsed, SimDelta::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such processor")]
+    fn port_bounds_checked() {
+        let sim = Sim::new();
+        let cluster = AmCluster::new(sim, NetConfig::berkeley_now(), 2);
+        let _ = cluster.port(2);
+    }
+}

@@ -1,0 +1,497 @@
+//! The processor side of the Active Message layer.
+//!
+//! An [`AmPort`] is held by the simulated process of one processor. All its
+//! operations follow GAM's *polling* discipline: entering the communication
+//! layer (to send, to wait, or to poll explicitly) first drains any
+//! messages the NIC has made visible, charging `o_recv + Δo` for each and
+//! running its handler (whose reply costs `o_send + Δo` like any send).
+//! While a process computes, messages accumulate unserviced — exactly the
+//! coupling that makes applications overhead-sensitive in the paper.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use nowlab_sim::{SimDelta, SimTime};
+
+use crate::cluster::{ClusterInner, ReplySlot};
+use crate::message::{Dir, HandlerId, Mark, Msg, Payload, ProcId, ReqId};
+use crate::params::NetConfig;
+
+/// A processor's handle onto the Active Message layer.
+///
+/// Obtained from [`crate::AmCluster::port`]; see the crate docs for a full
+/// walk-through.
+pub struct AmPort {
+    inner: Rc<ClusterInner>,
+    proc: ProcId,
+}
+
+impl fmt::Debug for AmPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AmPort").field("proc", &self.proc).finish()
+    }
+}
+
+impl AmPort {
+    pub(crate) fn new(inner: Rc<ClusterInner>, proc: ProcId) -> Self {
+        AmPort { inner, proc }
+    }
+
+    /// This port's processor id.
+    pub fn proc_id(&self) -> ProcId {
+        self.proc
+    }
+
+    /// Number of processors in the cluster.
+    pub fn num_procs(&self) -> usize {
+        self.inner.procs.len()
+    }
+
+    /// The cluster's network configuration.
+    pub fn config(&self) -> NetConfig {
+        self.inner.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.sim.now()
+    }
+
+    /// Spends `d` of processor time computing (the network is *not*
+    /// serviced meanwhile).
+    pub async fn compute(&self, d: SimDelta) {
+        self.inner.sim.delay(d).await;
+        self.inner.procs[self.proc].counters.borrow_mut().compute_time += d;
+    }
+
+    /// Runs `f` on this processor's user state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no state of type `T` was installed via
+    /// [`crate::AmCluster::set_state`].
+    pub fn with_state<T: 'static, R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let ep = &self.inner.procs[self.proc];
+        let mut guard = ep.user_state.borrow_mut();
+        let any = guard
+            .as_mut()
+            .unwrap_or_else(|| panic!("proc {}: no user state installed", self.proc));
+        let state = any
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("proc {}: user state has a different type", self.proc));
+        f(state)
+    }
+
+    /// Records one completed barrier (instrumentation for Table 4).
+    pub fn note_barrier(&self) {
+        self.inner.procs[self.proc].counters.borrow_mut().barriers += 1;
+    }
+
+    /// Drains every message currently visible at this processor, charging
+    /// receive overhead and running handlers (replies charged as sends).
+    pub async fn poll(&self) {
+        loop {
+            let msg = self.inner.procs[self.proc].rx.borrow_mut().pop_front();
+            match msg {
+                Some(m) => self.process_incoming(m).await,
+                None => return,
+            }
+        }
+    }
+
+    /// Services at most `max` visible messages (the bounded poll GAM's
+    /// send path performs — an unbounded drain would let a steady inbound
+    /// stream starve the sender and serialize pipelines).
+    async fn poll_n(&self, max: usize) {
+        for _ in 0..max {
+            let msg = self.inner.procs[self.proc].rx.borrow_mut().pop_front();
+            match msg {
+                Some(m) => self.process_incoming(m).await,
+                None => return,
+            }
+        }
+    }
+
+    async fn process_incoming(&self, msg: Msg) {
+        let cfg = &self.inner.cfg;
+        let o_recv = cfg.eff_o_recv();
+        self.inner.sim.delay(o_recv).await;
+        {
+            let ep = &self.inner.procs[self.proc];
+            let mut c = ep.counters.borrow_mut();
+            c.recvs += 1;
+            c.o_time += o_recv;
+            if ep.in_wait.get() {
+                c.o_time_in_wait += o_recv;
+            }
+        }
+        match msg.dir {
+            Dir::Reply => {
+                let ep = &self.inner.procs[self.proc];
+                ep.credits.set(ep.credits.get() + 1);
+                let slot = ep.pending_replies.borrow_mut().remove(&msg.req);
+                match slot {
+                    Some(slot) => {
+                        slot.args.set(msg.args);
+                        *slot.payload.borrow_mut() = msg.payload;
+                        slot.filled.set(true);
+                    }
+                    None => {
+                        debug_assert!(ep.pending_posts.get() > 0, "stray ack");
+                        ep.pending_posts.set(ep.pending_posts.get().saturating_sub(1));
+                    }
+                }
+                // State changed; wake this endpoint's own waiters (the
+                // notify is shared by everything that waits on rx-driven
+                // conditions).
+                ep.rx_notify.notify_all();
+            }
+            Dir::Request => {
+                let reply = self.inner.run_handler(&msg);
+                let o_send = cfg.eff_o_send();
+                self.inner.sim.delay(o_send).await;
+                {
+                    let ep = &self.inner.procs[self.proc];
+                    let mut c = ep.counters.borrow_mut();
+                    c.o_time += o_send;
+                    if ep.in_wait.get() {
+                        c.o_time_in_wait += o_send;
+                    }
+                }
+                self.inner.inject(Msg {
+                    src: self.proc,
+                    dst: msg.src,
+                    dir: Dir::Reply,
+                    req: msg.req,
+                    handler: 0,
+                    args: reply.args,
+                    payload: reply.payload,
+                    mark: msg.mark,
+                });
+            }
+        }
+    }
+
+    /// Services the network until `cond()` holds.
+    ///
+    /// All blocking conditions in this layer (reply arrival, credit
+    /// availability, quiescence, barrier release) are satisfied by incoming
+    /// messages. The condition is re-checked after **every** serviced
+    /// message — a steady inbound stream must not starve the waiter, or
+    /// pipelines through intermediate processors serialize.
+    pub async fn wait_until(&self, cond: impl Fn() -> bool) {
+        let ep_flag = || &self.inner.procs[self.proc];
+        let was_waiting = ep_flag().in_wait.replace(true);
+        let t_enter = self.inner.sim.now();
+        loop {
+            if cond() {
+                break;
+            }
+            let msg = self.inner.procs[self.proc].rx.borrow_mut().pop_front();
+            match msg {
+                Some(m) => self.process_incoming(m).await,
+                None => {
+                    let ep = &self.inner.procs[self.proc];
+                    ep.rx_notify.notified().await;
+                }
+            }
+        }
+        let ep = ep_flag();
+        ep.in_wait.set(was_waiting);
+        if !was_waiting {
+            ep.counters.borrow_mut().blocked_time += self.inner.sim.now().since(t_enter);
+        }
+    }
+
+    /// Services the network until virtual time `deadline` — the processor
+    /// is *idle* (e.g. waiting on a disk), so incoming messages are handled
+    /// as they arrive, and the wait overlaps their overhead.
+    pub async fn idle_until(&self, deadline: SimTime) {
+        let was_waiting = self.inner.procs[self.proc].in_wait.replace(true);
+        let t_enter = self.inner.sim.now();
+        loop {
+            if self.inner.sim.now() >= deadline {
+                break;
+            }
+            let msg = self.inner.procs[self.proc].rx.borrow_mut().pop_front();
+            match msg {
+                Some(m) => self.process_incoming(m).await,
+                None => {
+                    let ep = &self.inner.procs[self.proc];
+                    let _ = nowlab_sim::race(
+                        ep.rx_notify.notified(),
+                        self.inner.sim.sleep_until(deadline),
+                    )
+                    .await;
+                }
+            }
+        }
+        let ep = &self.inner.procs[self.proc];
+        ep.in_wait.set(was_waiting);
+        if !was_waiting {
+            ep.counters.borrow_mut().blocked_time += self.inner.sim.now().since(t_enter);
+        }
+    }
+
+    async fn acquire_credit(&self) {
+        let ep = || &self.inner.procs[self.proc];
+        self.wait_until(|| ep().credits.get() > 0).await;
+        let e = ep();
+        e.credits.set(e.credits.get() - 1);
+    }
+
+    async fn charge_send(&self) {
+        let o_send = self.inner.cfg.eff_o_send();
+        self.inner.sim.delay(o_send).await;
+        self.inner.procs[self.proc].counters.borrow_mut().o_time += o_send;
+    }
+
+    fn next_req(&self) -> ReqId {
+        let ep = &self.inner.procs[self.proc];
+        let id = ep.next_req.get();
+        ep.next_req.set(id + 1);
+        id
+    }
+
+    /// Sends a request and waits for its reply, servicing the network
+    /// meanwhile. Returns the reply's argument words and payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range.
+    pub async fn request(
+        &self,
+        dst: ProcId,
+        handler: HandlerId,
+        args: [u64; 4],
+        payload: Payload,
+        mark: Mark,
+    ) -> ([u64; 4], Payload) {
+        assert!(dst < self.num_procs(), "no such processor {dst}");
+        self.poll_n(4).await;
+        self.acquire_credit().await;
+        let req = self.next_req();
+        let slot = Rc::new(ReplySlot {
+            filled: std::cell::Cell::new(false),
+            args: std::cell::Cell::new([0; 4]),
+            payload: RefCell::new(Payload::None),
+        });
+        self.inner.procs[self.proc]
+            .pending_replies
+            .borrow_mut()
+            .insert(req, Rc::clone(&slot));
+        self.charge_send().await;
+        self.inner.inject(Msg {
+            src: self.proc,
+            dst,
+            dir: Dir::Request,
+            req,
+            handler,
+            args,
+            payload,
+            mark,
+        });
+        self.wait_until(|| slot.filled.get()).await;
+        let payload = std::mem::take(&mut *slot.payload.borrow_mut());
+        (slot.args.get(), payload)
+    }
+
+    /// Sends a request *without* waiting for its acknowledgement (a
+    /// pipelined store / one-way active message). The ack is accounted
+    /// against [`AmPort::quiesce`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range.
+    pub async fn post(
+        &self,
+        dst: ProcId,
+        handler: HandlerId,
+        args: [u64; 4],
+        payload: Payload,
+        mark: Mark,
+    ) {
+        assert!(dst < self.num_procs(), "no such processor {dst}");
+        self.poll_n(4).await;
+        self.acquire_credit().await;
+        let req = self.next_req();
+        let ep = &self.inner.procs[self.proc];
+        ep.pending_posts.set(ep.pending_posts.get() + 1);
+        self.charge_send().await;
+        self.inner.inject(Msg {
+            src: self.proc,
+            dst,
+            dir: Dir::Request,
+            req,
+            handler,
+            args,
+            payload,
+            mark,
+        });
+    }
+
+    /// Waits until every [`AmPort::post`] issued by this processor has been
+    /// acknowledged (Split-C's `sync()`).
+    pub async fn quiesce(&self) {
+        let ep = || &self.inner.procs[self.proc];
+        self.wait_until(|| ep().pending_posts.get() == 0).await;
+    }
+
+    /// Outstanding unacknowledged posts (diagnostic).
+    pub fn pending_posts(&self) -> u64 {
+        self.inner.procs[self.proc].pending_posts.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::AmCluster;
+    use crate::message::ReplyData;
+    use nowlab_sim::Sim;
+
+    fn two_proc() -> (Sim, AmCluster, HandlerId) {
+        let sim = Sim::new();
+        let cluster = AmCluster::new(sim.clone(), NetConfig::berkeley_now(), 2);
+        cluster.set_state(0, Box::new(Vec::<u64>::new()));
+        cluster.set_state(1, Box::new(Vec::<u64>::new()));
+        let h = cluster.register_handler(|ctx| {
+            let v = ctx.state.downcast_mut::<Vec<u64>>().unwrap();
+            v.push(ctx.msg.args[0]);
+            ReplyData::word(v.len() as u64)
+        });
+        (sim, cluster, h)
+    }
+
+    #[test]
+    fn request_round_trip_time_matches_loggp() {
+        let (sim, cluster, h) = two_proc();
+        let port0 = cluster.port(0);
+        let port1 = cluster.port(1);
+        // Processor 1 must be polling to serve the request.
+        sim.spawn(async move {
+            port1.wait_until(|| false).await;
+        });
+        let done = sim.spawn(async move {
+            let (args, _) = port0.request(1, h, [42, 0, 0, 0], Payload::None, Mark::Read).await;
+            (args[0], port0.now())
+        });
+        sim.run();
+        let (count, t) = done.try_take().unwrap();
+        assert_eq!(count, 1);
+        // RTT = 2L + 2(o_send + o_recv) = 10 + 2*5.8 = 21.6 µs
+        // (paper §2: request-response takes 2L + 4o with o the mean).
+        assert!(
+            (t.as_micros_f64() - 21.6).abs() < 0.01,
+            "RTT was {} µs",
+            t.as_micros_f64()
+        );
+    }
+
+    #[test]
+    fn posts_pipeline_and_quiesce_waits_for_acks() {
+        let (sim, cluster, h) = two_proc();
+        let port0 = cluster.port(0);
+        let port1 = cluster.port(1);
+        sim.spawn(async move { port1.wait_until(|| false).await });
+        let done = sim.spawn(async move {
+            for i in 0..4 {
+                port0.post(1, h, [i, 0, 0, 0], Payload::None, Mark::Write).await;
+            }
+            let after_posts = port0.now();
+            port0.quiesce().await;
+            (after_posts, port0.now(), port0.pending_posts())
+        });
+        sim.run();
+        let (after_posts, after_sync, pending) = done.try_take().unwrap();
+        assert_eq!(pending, 0);
+        // Posting 4 messages costs ~4·o_send of processor time — far less
+        // than 4 round trips.
+        assert!(after_posts.as_micros_f64() < 4.0 * 5.8);
+        assert!(after_sync > after_posts);
+        // All four args were delivered in order.
+        let delivered = cluster.port(1).with_state(|v: &mut Vec<u64>| v.clone());
+        assert_eq!(delivered, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn window_limits_outstanding_requests() {
+        let (sim, cluster, h) = two_proc();
+        let cfgw = cluster.config().window as u64;
+        let port0 = cluster.port(0);
+        let port1 = cluster.port(1);
+        sim.spawn(async move { port1.wait_until(|| false).await });
+        let probe = sim.spawn(async move {
+            let mut max_outstanding = 0u64;
+            for i in 0..(cfgw * 3) {
+                port0.post(1, h, [i, 0, 0, 0], Payload::None, Mark::Write).await;
+                max_outstanding = max_outstanding.max(port0.pending_posts());
+            }
+            port0.quiesce().await;
+            max_outstanding
+        });
+        sim.run();
+        let max_outstanding = probe.try_take().unwrap();
+        assert!(
+            max_outstanding <= cfgw,
+            "outstanding {max_outstanding} exceeded window {cfgw}"
+        );
+    }
+
+    #[test]
+    fn handlers_run_while_blocked_in_a_request() {
+        // Processor 0 blocks reading from 1; processor 2's writes to 0 are
+        // still served (GAM services the network while waiting).
+        let sim = Sim::new();
+        let cluster = AmCluster::new(sim.clone(), NetConfig::berkeley_now(), 3);
+        for p in 0..3 {
+            cluster.set_state(p, Box::new(Vec::<u64>::new()));
+        }
+        let h = cluster.register_handler(|ctx| {
+            let v = ctx.state.downcast_mut::<Vec<u64>>().unwrap();
+            v.push(ctx.msg.args[0]);
+            ReplyData::word(0)
+        });
+        let p0 = cluster.port(0);
+        let p1 = cluster.port(1);
+        let p2 = cluster.port(2);
+        sim.spawn(async move { p1.wait_until(|| false).await });
+        sim.spawn(async move {
+            // Slow responder: p0 will be blocked for a while.
+            p0.request(1, h, [0, 0, 0, 0], Payload::None, Mark::Read).await;
+            p0.wait_until(|| false).await;
+        });
+        let writer = sim.spawn(async move {
+            for i in 0..5 {
+                p2.post(0, h, [i + 100, 0, 0, 0], Payload::None, Mark::Write).await;
+            }
+            p2.quiesce().await;
+            true
+        });
+        sim.run();
+        assert_eq!(writer.try_take(), Some(true));
+        let seen = cluster.port(0).with_state(|v: &mut Vec<u64>| v.clone());
+        assert_eq!(seen, vec![100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn added_overhead_charges_both_sides() {
+        let sim = Sim::new();
+        let d_o = SimDelta::from_micros(50.0);
+        let cfg = NetConfig::berkeley_now().with_knobs(crate::Knobs::with_overhead(d_o));
+        let cluster = AmCluster::new(sim.clone(), cfg, 2);
+        let h = cluster.register_handler(|_| ReplyData::ack());
+        let p0 = cluster.port(0);
+        let p1 = cluster.port(1);
+        sim.spawn(async move { p1.wait_until(|| false).await });
+        let done = sim.spawn(async move {
+            p0.request(1, h, [0; 4], Payload::None, Mark::Read).await;
+            p0.now()
+        });
+        sim.run();
+        let rtt = done.try_take().unwrap().as_micros_f64();
+        // RTT = 2L + 2(o_send+Δ + o_recv+Δ) = 10 + 2(51.8 + 54.0) = 221.6.
+        assert!((rtt - 221.6).abs() < 0.01, "rtt={rtt}");
+    }
+}

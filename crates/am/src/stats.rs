@@ -1,0 +1,319 @@
+//! Communication instrumentation.
+//!
+//! The paper instruments its communication layer to record, per processor,
+//! message counts, the sender→receiver traffic matrix (Figure 4), bulk and
+//! read percentages, and bandwidths (Table 4). This module is the equivalent
+//! hook: every injected message updates a [`ProcCounters`]; a
+//! [`CommStats`] snapshot aggregates them into the paper's summary columns.
+
+use nowlab_sim::SimDelta;
+
+/// Per-processor communication counters, updated by the transport.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProcCounters {
+    /// Messages sent (requests *and* replies, as in the paper's `m`).
+    pub sends: u64,
+    /// Messages received and drained.
+    pub recvs: u64,
+    /// Sent messages that used the bulk-transfer mechanism.
+    pub sends_bulk: u64,
+    /// Sent messages that are read requests or read replies.
+    pub sends_read: u64,
+    /// Sent messages that are replies (subset of `sends`).
+    pub replies_sent: u64,
+    /// Wire bytes of short messages sent.
+    pub bytes_short: u64,
+    /// Payload bytes of bulk messages sent.
+    pub bytes_bulk: u64,
+    /// Messages sent to each destination (the Figure 4 matrix row).
+    pub per_dst: Vec<u64>,
+    /// Barriers this processor completed.
+    pub barriers: u64,
+    /// Processor time spent in send/receive overhead.
+    pub o_time: SimDelta,
+    /// Processor time spent in explicit computation.
+    pub compute_time: SimDelta,
+    /// Time spent blocked in communication waits (includes the overhead of
+    /// messages serviced while waiting; see `o_time_in_wait`).
+    pub blocked_time: SimDelta,
+    /// The portion of `o_time` charged while inside a wait (so
+    /// `blocked_time - o_time_in_wait` is pure network/stall wait).
+    pub o_time_in_wait: SimDelta,
+}
+
+impl ProcCounters {
+    /// Creates counters for a cluster of `p` processors.
+    pub fn new(p: usize) -> Self {
+        ProcCounters {
+            per_dst: vec![0; p],
+            ..Self::default()
+        }
+    }
+}
+
+/// Immutable snapshot of a finished run's communication behavior.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, Default)]
+pub struct CommStats {
+    /// Per-processor counters (index = processor id).
+    pub per_proc: Vec<ProcCounters>,
+    /// Virtual run time the counters cover.
+    pub elapsed: SimDelta,
+}
+
+impl CommStats {
+    /// Number of processors covered.
+    pub fn procs(&self) -> usize {
+        self.per_proc.len()
+    }
+
+    /// Average messages sent per processor.
+    pub fn avg_msgs_per_proc(&self) -> f64 {
+        if self.per_proc.is_empty() {
+            return 0.0;
+        }
+        self.total_sends() as f64 / self.per_proc.len() as f64
+    }
+
+    /// Maximum messages sent by any processor (the paper's imbalance
+    /// indicator and the `m` of its analytic models).
+    pub fn max_msgs_per_proc(&self) -> u64 {
+        self.per_proc.iter().map(|c| c.sends).max().unwrap_or(0)
+    }
+
+    /// Total messages sent by all processors.
+    pub fn total_sends(&self) -> u64 {
+        self.per_proc.iter().map(|c| c.sends).sum()
+    }
+
+    /// Communication balance: max messages per processor ÷ average (1.0 is
+    /// perfectly balanced).
+    pub fn balance(&self) -> f64 {
+        let avg = self.avg_msgs_per_proc();
+        if avg == 0.0 {
+            1.0
+        } else {
+            self.max_msgs_per_proc() as f64 / avg
+        }
+    }
+
+    /// Message frequency: average messages per processor per millisecond.
+    pub fn msgs_per_proc_per_ms(&self) -> f64 {
+        let ms = self.elapsed.as_millis_f64();
+        if ms == 0.0 {
+            0.0
+        } else {
+            self.avg_msgs_per_proc() / ms
+        }
+    }
+
+    /// Average interval between message sends, in microseconds.
+    pub fn msg_interval_us(&self) -> f64 {
+        let avg = self.avg_msgs_per_proc();
+        if avg == 0.0 {
+            f64::INFINITY
+        } else {
+            self.elapsed.as_micros_f64() / avg
+        }
+    }
+
+    /// Average interval between barriers, in milliseconds (∞ if no
+    /// barriers).
+    pub fn barrier_interval_ms(&self) -> f64 {
+        let barriers = self
+            .per_proc
+            .iter()
+            .map(|c| c.barriers)
+            .max()
+            .unwrap_or(0);
+        if barriers == 0 {
+            f64::INFINITY
+        } else {
+            self.elapsed.as_millis_f64() / barriers as f64
+        }
+    }
+
+    /// Percentage of sent messages using the bulk mechanism.
+    pub fn pct_bulk(&self) -> f64 {
+        let total = self.total_sends();
+        if total == 0 {
+            return 0.0;
+        }
+        let bulk: u64 = self.per_proc.iter().map(|c| c.sends_bulk).sum();
+        100.0 * bulk as f64 / total as f64
+    }
+
+    /// Percentage of sent messages that are read requests or replies.
+    pub fn pct_reads(&self) -> f64 {
+        let total = self.total_sends();
+        if total == 0 {
+            return 0.0;
+        }
+        let reads: u64 = self.per_proc.iter().map(|c| c.sends_read).sum();
+        100.0 * reads as f64 / total as f64
+    }
+
+    /// Average per-processor bulk bandwidth in KB/s (bytes through the
+    /// communication layer, as in Table 4).
+    pub fn bulk_kb_per_s(&self) -> f64 {
+        self.kb_per_s(self.per_proc.iter().map(|c| c.bytes_bulk).sum())
+    }
+
+    /// Average per-processor short-message bandwidth in KB/s.
+    pub fn small_kb_per_s(&self) -> f64 {
+        self.kb_per_s(self.per_proc.iter().map(|c| c.bytes_short).sum())
+    }
+
+    fn kb_per_s(&self, total_bytes: u64) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 || self.per_proc.is_empty() {
+            return 0.0;
+        }
+        total_bytes as f64 / 1_000.0 / secs / self.per_proc.len() as f64
+    }
+
+    /// Average time-breakdown fractions across processors:
+    /// `(compute, overhead, pure_wait, other)`, each in [0, 1] of the
+    /// elapsed measured time. "Other" is the residual (local memory ops,
+    /// scheduling slack); overhead charged while waiting counts as
+    /// overhead, not wait.
+    pub fn time_breakdown(&self) -> (f64, f64, f64, f64) {
+        let elapsed = self.elapsed.as_secs_f64();
+        if elapsed == 0.0 || self.per_proc.is_empty() {
+            return (0.0, 0.0, 0.0, 1.0);
+        }
+        let p = self.per_proc.len() as f64;
+        let compute: f64 = self
+            .per_proc
+            .iter()
+            .map(|c| c.compute_time.as_secs_f64())
+            .sum::<f64>()
+            / p
+            / elapsed;
+        let overhead: f64 = self
+            .per_proc
+            .iter()
+            .map(|c| c.o_time.as_secs_f64())
+            .sum::<f64>()
+            / p
+            / elapsed;
+        let pure_wait: f64 = self
+            .per_proc
+            .iter()
+            .map(|c| {
+                (c.blocked_time.saturating_sub(c.o_time_in_wait)).as_secs_f64()
+            })
+            .sum::<f64>()
+            / p
+            / elapsed;
+        let other = (1.0 - compute - overhead - pure_wait).max(0.0);
+        (compute, overhead, pure_wait, other)
+    }
+
+    /// The sender→receiver message-count matrix (Figure 4): entry `[i][j]`
+    /// is the number of messages processor `i` sent to processor `j`.
+    pub fn balance_matrix(&self) -> Vec<Vec<u64>> {
+        self.per_proc.iter().map(|c| c.per_dst.clone()).collect()
+    }
+
+    /// Largest single source→destination message count (Figure 4's black
+    /// level).
+    pub fn matrix_max(&self) -> u64 {
+        self.per_proc
+            .iter()
+            .flat_map(|c| c.per_dst.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Renders the Figure 4 communication-balance matrix as ASCII art, one
+/// character per (sender, receiver) cell, scaled from `' '` (zero) to `'@'`
+/// (the matrix maximum).
+pub fn render_balance_matrix(stats: &CommStats) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let max = stats.matrix_max();
+    let mut out = String::new();
+    for row in stats.balance_matrix() {
+        for v in row {
+            let idx = if max == 0 {
+                0
+            } else {
+                ((v as f64 / max as f64) * (SHADES.len() - 1) as f64).round() as usize
+            };
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CommStats {
+        let mut a = ProcCounters::new(2);
+        a.sends = 100;
+        a.sends_bulk = 25;
+        a.sends_read = 50;
+        a.bytes_short = 2_800;
+        a.bytes_bulk = 10_000;
+        a.per_dst = vec![0, 100];
+        a.barriers = 4;
+        let mut b = ProcCounters::new(2);
+        b.sends = 300;
+        b.per_dst = vec![300, 0];
+        b.barriers = 4;
+        CommStats {
+            per_proc: vec![a, b],
+            elapsed: SimDelta::from_millis(2.0),
+        }
+    }
+
+    #[test]
+    fn aggregates_match_hand_computation() {
+        let s = sample();
+        assert_eq!(s.total_sends(), 400);
+        assert_eq!(s.avg_msgs_per_proc(), 200.0);
+        assert_eq!(s.max_msgs_per_proc(), 300);
+        assert!((s.balance() - 1.5).abs() < 1e-12);
+        assert!((s.msgs_per_proc_per_ms() - 100.0).abs() < 1e-12);
+        assert!((s.msg_interval_us() - 10.0).abs() < 1e-12);
+        assert!((s.barrier_interval_ms() - 0.5).abs() < 1e-12);
+        assert!((s.pct_bulk() - 6.25).abs() < 1e-12);
+        assert!((s.pct_reads() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidths_are_per_processor_averages() {
+        let s = sample();
+        // 10_000 bulk bytes over 2ms across 2 procs = 2_500 KB/s.
+        assert!((s.bulk_kb_per_s() - 2_500.0).abs() < 1e-9);
+        assert!((s.small_kb_per_s() - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = CommStats::default();
+        assert_eq!(s.avg_msgs_per_proc(), 0.0);
+        assert_eq!(s.balance(), 1.0);
+        assert_eq!(s.pct_bulk(), 0.0);
+        assert!(s.barrier_interval_ms().is_infinite());
+        assert!(s.msg_interval_us().is_infinite());
+        assert_eq!(s.matrix_max(), 0);
+    }
+
+    #[test]
+    fn matrix_render_shape() {
+        let s = sample();
+        let art = render_balance_matrix(&s);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 2);
+        // Hottest cell renders as '@', zero as ' '.
+        assert_eq!(&art[0..1], " ");
+        assert!(lines[1].starts_with('@'));
+    }
+}

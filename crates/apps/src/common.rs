@@ -1,0 +1,187 @@
+//! Shared machinery for the benchmark suite: the measured-region protocol,
+//! deterministic workload RNG, partitioning helpers, and fixed-point
+//! arithmetic.
+
+use std::future::Future;
+
+use nowlab_core::{RunOutcome, RunSpec};
+use nowlab_splitc::{Ctx, SplitC, SpmdConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Builds the Split-C machine for `spec`, lets `setup` register custom
+/// handlers, runs `body` on every processor, and packages the result.
+///
+/// `body` returns this processor's contribution to the run's correctness
+/// checksum; contributions are combined commutatively (wrapping add) so the
+/// check is independent of completion order.
+pub fn execute<S, F, Fut>(spec: &RunSpec, setup: S, body: F) -> RunOutcome
+where
+    S: FnOnce(&SplitC),
+    F: Fn(Ctx) -> Fut,
+    Fut: Future<Output = u64> + 'static,
+{
+    let mut cfg = SpmdConfig::new(spec.procs).with_net(spec.net);
+    if let Some(e) = spec.event_limit {
+        cfg = cfg.with_event_limit(e);
+    }
+    if let Some(t) = spec.time_limit {
+        cfg = cfg.with_time_limit(t);
+    }
+    let sc = SplitC::new(&cfg);
+    setup(&sc);
+    let outcome = sc.run(body);
+    let check = outcome
+        .outputs
+        .iter()
+        .fold(0u64, |acc, o| acc.wrapping_add(o.unwrap_or(0)));
+    RunOutcome {
+        runtime: outcome.stats.elapsed,
+        stats: outcome.stats,
+        completed: outcome.completed,
+        check,
+    }
+}
+
+/// Marks the start of the measured region: input generation and setup
+/// before this call are excluded from runtime and message statistics.
+///
+/// Call from **every** processor (it contains barriers).
+pub async fn start_measured_region(ctx: &Ctx) {
+    ctx.barrier().await;
+    if ctx.me() == 0 {
+        ctx.reset_measurement();
+    }
+    ctx.barrier().await;
+}
+
+/// Marks the end of the measured region: runtime and message statistics
+/// are frozen so result verification afterwards is not counted.
+///
+/// Call from **every** processor.
+pub async fn end_measured_region(ctx: &Ctx) {
+    ctx.barrier().await;
+    if ctx.me() == 0 {
+        ctx.freeze_measurement();
+    }
+}
+
+/// Deterministic per-processor workload RNG: a function of the run seed,
+/// the processor id, and a stream tag (so different phases draw
+/// independent, reproducible streams).
+pub fn proc_rng(seed: u64, proc: usize, stream: u64) -> SmallRng {
+    SmallRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (proc as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+            ^ stream.wrapping_mul(0x8CB9_2BA7_2F3D_8DD7),
+    )
+}
+
+/// The contiguous block of `n` items owned by processor `i` of `p`
+/// (balanced block partition).
+pub fn block_range(n: usize, p: usize, i: usize) -> std::ops::Range<usize> {
+    let base = n / p;
+    let extra = n % p;
+    let start = i * base + i.min(extra);
+    let len = base + usize::from(i < extra);
+    start..start + len
+}
+
+/// The owner of item `idx` under [`block_range`] partitioning.
+pub fn block_owner(n: usize, p: usize, idx: usize) -> usize {
+    debug_assert!(idx < n);
+    let base = n / p;
+    let extra = n % p;
+    let boundary = extra * (base + 1);
+    if idx < boundary {
+        idx / (base + 1)
+    } else {
+        extra + (idx - boundary) / base
+    }
+}
+
+/// 64-bit splittable hash (used for state ownership, edge coin flips, …).
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^= x >> 33;
+    x
+}
+
+/// Fixed-point scale: 1.0 == `FX_ONE`. Fixed point keeps physics
+/// accumulations associative, so checksums are identical across LogGP
+/// settings regardless of message arrival order.
+pub const FX_ONE: i64 = 1 << 20;
+
+/// Converts a float to fixed point.
+pub fn to_fx(v: f64) -> i64 {
+    (v * FX_ONE as f64).round() as i64
+}
+
+/// Converts fixed point back to a float.
+pub fn from_fx(v: i64) -> f64 {
+    v as f64 / FX_ONE as f64
+}
+
+/// Reinterprets a fixed-point value as a region word.
+pub fn fx_to_word(v: i64) -> u64 {
+    v as u64
+}
+
+/// Reinterprets a region word as a fixed-point value.
+pub fn word_to_fx(w: u64) -> i64 {
+    w as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn block_partition_is_exact_and_balanced() {
+        for (n, p) in [(10, 3), (32, 32), (100, 7), (5, 8), (0, 4)] {
+            let mut covered = 0;
+            for i in 0..p {
+                let r = block_range(n, p, i);
+                covered += r.len();
+                for idx in r {
+                    assert_eq!(block_owner(n, p, idx), i, "n={n} p={p} idx={idx}");
+                }
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_independent_and_reproducible() {
+        let mut a1 = proc_rng(7, 3, 0);
+        let mut a2 = proc_rng(7, 3, 0);
+        let mut b = proc_rng(7, 3, 1);
+        let mut c = proc_rng(7, 4, 0);
+        let x1 = a1.next_u64();
+        assert_eq!(x1, a2.next_u64());
+        assert_ne!(x1, b.next_u64());
+        assert_ne!(x1, c.next_u64());
+    }
+
+    #[test]
+    fn fixed_point_round_trip() {
+        for v in [-2.5, 0.0, 0.25, 123.456] {
+            assert!((from_fx(to_fx(v)) - v).abs() < 1e-5);
+        }
+        let fx = to_fx(-1.5);
+        assert_eq!(word_to_fx(fx_to_word(fx)), fx);
+    }
+
+    #[test]
+    fn mix64_spreads_bits() {
+        // Adjacent inputs land far apart and never collide in a small set.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix64(i)));
+        }
+    }
+}

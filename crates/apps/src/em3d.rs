@@ -1,0 +1,597 @@
+//! EM3D — electromagnetic wave propagation on an irregular bipartite graph
+//! (paper §4.1, Table 3 rows 2–3).
+//!
+//! The graph alternates E-field and H-field nodes; each time step updates
+//! every E node from its H neighbors and vice versa. Two complementary
+//! versions expose the read/write axis of the study:
+//!
+//! * **write-based** — owners *push* values needed remotely into ghost
+//!   slots on consumer processors (one pipelined write per *boundary node*
+//!   per consumer, deduplicated), then a barrier; the classic
+//!   bulk-synchronous pattern.
+//! * **read-based** — consumers *pull* every remote neighbor value with a
+//!   blocking read per edge (no deduplication): the paper's worst-case
+//!   latency application, and the only one its simple latency model fits.
+//!
+//! Node values are 64-bit words updated with wrapping-integer mixing, so
+//! the final checksum is exactly reproducible (and verified against a
+//! sequential reference in the tests).
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
+use nowlab_sim::SimDelta;
+use nowlab_splitc::{Ctx, GlobalPtr};
+
+use crate::common::{
+    block_owner, block_range, end_measured_region, execute, mix64, start_measured_region,
+};
+
+/// Per-edge compute cost of the field update.
+const C_UPDATE: SimDelta = SimDelta::from_nanos(120);
+
+/// Parameters of the EM3D kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct Em3dParams {
+    /// Total nodes (half E, half H).
+    pub nodes: usize,
+    /// Out-degree of every node.
+    pub degree: usize,
+    /// Percentage (0-100) of edges whose target is remote.
+    pub pct_remote: u32,
+    /// Time steps.
+    pub steps: usize,
+}
+
+impl Em3dParams {
+    /// Default benchmark size (paper: 80K nodes, degree 20, 40% remote,
+    /// 100 steps; scaled per DESIGN.md).
+    pub fn benchmark() -> Self {
+        Em3dParams {
+            nodes: 8_192,
+            degree: 6,
+            pct_remote: 40,
+            steps: 8,
+        }
+    }
+
+    /// A reduced size for tests.
+    pub fn small() -> Self {
+        Em3dParams {
+            nodes: 512,
+            degree: 4,
+            pct_remote: 40,
+            steps: 3,
+        }
+    }
+
+    /// Scales node count by `f`.
+    pub fn scaled(mut self, f: f64) -> Self {
+        self.nodes = ((self.nodes as f64 * f) as usize).max(256);
+        self
+    }
+}
+
+/// The deterministic edge function: edge `j` of node `g` (within its side's
+/// node space of `half` nodes, `p` processors) targets this node of the
+/// opposite side.
+///
+/// Remote targets land on a neighboring processor (the paper's Figure 4b/4c
+/// locality swath).
+fn edge_target(seed: u64, g: usize, j: usize, half: usize, p: usize, pct_remote: u32) -> usize {
+    let h = mix64(seed ^ ((g as u64) << 20) ^ j as u64);
+    let my_proc = block_owner(half, p, g);
+    let remote = (h % 100) < pct_remote as u64 && p > 1;
+    let target_proc = if remote {
+        // ±1 neighbor, wrapping.
+        if (h >> 8) & 1 == 0 {
+            (my_proc + 1) % p
+        } else {
+            (my_proc + p - 1) % p
+        }
+    } else {
+        my_proc
+    };
+    let block = block_range(half, p, target_proc);
+    block.start + (mix64(h) as usize % block.len())
+}
+
+/// The wrapping-integer "field" update: deterministic and associative
+/// enough that any arrival order yields the same result.
+fn update_value(old: u64, neighbor_sum: u64) -> u64 {
+    old ^ neighbor_sum.rotate_left(1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Sequential reference implementation (tests compare checksums).
+pub fn sequential_checksum(params: &Em3dParams, seed: u64, p: usize) -> u64 {
+    let half = params.nodes / 2;
+    let mut e: Vec<u64> = (0..half).map(|g| mix64(seed ^ g as u64)).collect();
+    let mut h: Vec<u64> = (0..half).map(|g| mix64(seed ^ (g as u64 + half as u64))).collect();
+    for _ in 0..params.steps {
+        let new_e: Vec<u64> = (0..half)
+            .map(|g| {
+                let sum = (0..params.degree)
+                    .map(|j| h[edge_target(seed, g, j, half, p, params.pct_remote)])
+                    .fold(0u64, u64::wrapping_add);
+                update_value(e[g], sum)
+            })
+            .collect();
+        e = new_e;
+        let new_h: Vec<u64> = (0..half)
+            .map(|g| {
+                let sum = (0..params.degree)
+                    .map(|j| e[edge_target(seed, g, j + params.degree, half, p, params.pct_remote)])
+                    .fold(0u64, u64::wrapping_add);
+                update_value(h[g], sum)
+            })
+            .collect();
+        h = new_h;
+    }
+    e.iter()
+        .chain(h.iter())
+        .fold(0u64, |a, &v| a.wrapping_add(v))
+}
+
+async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) -> u64 {
+    let p = ctx.procs();
+    let me = ctx.me();
+    let half = params.nodes / 2;
+    let my_block = block_range(half, p, me);
+    let n_local = my_block.len();
+    let deg = params.degree;
+
+    // Regions: current values of my E and H nodes, plus ghost slots for
+    // the write-based version.
+    let e_vals = ctx.alloc_region(n_local.max(1));
+    let h_vals = ctx.alloc_region(n_local.max(1));
+
+    // Edge lists of my nodes. Edge j of E node g targets an H node; edge
+    // j+degree of H node g targets an E node (disjoint hash streams).
+    let my_e_edges: Vec<Vec<usize>> = my_block
+        .clone()
+        .map(|g| {
+            (0..deg)
+                .map(|j| edge_target(seed, g, j, half, p, params.pct_remote))
+                .collect()
+        })
+        .collect();
+    let my_h_edges: Vec<Vec<usize>> = my_block
+        .clone()
+        .map(|g| {
+            (0..deg)
+                .map(|j| edge_target(seed, g, j + deg, half, p, params.pct_remote))
+                .collect()
+        })
+        .collect();
+
+    // Boundary sets for the write-based version. As the edge function is
+    // shared knowledge, producer and consumer independently compute the
+    // same sorted boundary list, so ghost slot indices agree without
+    // negotiation. `incoming[q]` = sorted remote node ids (owned by q)
+    // that *my* nodes reference; `outgoing[c]` = sorted node ids of mine
+    // that processor c references.
+    #[allow(unused_assignments)]
+    let mut ghost_e = 0;
+    #[allow(unused_assignments)]
+    let mut ghost_h = 0;
+    let (e_ghost_region, h_ghost_region, in_h, in_e, out_h, out_e) = {
+        // Remote H nodes my E edges read.
+        let mut in_h: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for edges in &my_e_edges {
+            for &t in edges {
+                let owner = block_owner(half, p, t);
+                if owner != me {
+                    in_h.entry(owner).or_default().push(t);
+                }
+            }
+        }
+        let mut in_e: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for edges in &my_h_edges {
+            for &t in edges {
+                let owner = block_owner(half, p, t);
+                if owner != me {
+                    in_e.entry(owner).or_default().push(t);
+                }
+            }
+        }
+        for v in in_h.values_mut().chain(in_e.values_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+        // Which of my H nodes does consumer c reference? Recompute c's E
+        // edges (hash-deterministic) and filter to my block.
+        let mut out_h: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut out_e: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        if p > 1 {
+            for c in [(me + 1) % p, (me + p - 1) % p] {
+                if c == me {
+                    continue;
+                }
+                let mut hs = Vec::new();
+                let mut es = Vec::new();
+                for g in block_range(half, p, c) {
+                    for j in 0..deg {
+                        let t = edge_target(seed, g, j, half, p, params.pct_remote);
+                        if block_owner(half, p, t) == me {
+                            hs.push(t);
+                        }
+                        let t = edge_target(seed, g, j + deg, half, p, params.pct_remote);
+                        if block_owner(half, p, t) == me {
+                            es.push(t);
+                        }
+                    }
+                }
+                hs.sort_unstable();
+                hs.dedup();
+                es.sort_unstable();
+                es.dedup();
+                if !hs.is_empty() {
+                    out_h.insert(c, hs);
+                }
+                if !es.is_empty() {
+                    out_e.insert(c, es);
+                }
+            }
+        }
+        ghost_h = in_h.values().map(Vec::len).sum::<usize>();
+        ghost_e = in_e.values().map(Vec::len).sum::<usize>();
+        let hg = ctx.alloc_region(ghost_h.max(1));
+        let eg = ctx.alloc_region(ghost_e.max(1));
+        (eg, hg, in_h, in_e, out_h, out_e)
+    };
+    let _ = (ghost_e, ghost_h);
+
+    // Ghost index maps: node id -> slot in my ghost region (sorted order,
+    // concatenated per source processor in ascending processor order).
+    let ghost_index = |sets: &BTreeMap<usize, Vec<usize>>| -> BTreeMap<usize, usize> {
+        let mut map = BTreeMap::new();
+        let mut next = 0;
+        for ids in sets.values() {
+            for &id in ids {
+                map.insert(id, next);
+                next += 1;
+            }
+        }
+        map
+    };
+    let h_ghost_idx = ghost_index(&in_h);
+    let e_ghost_idx = ghost_index(&in_e);
+    // The producer needs the consumer's slot numbering: recompute the
+    // consumer's full incoming map the same way.
+    let consumer_slot = |consumer: usize, node: usize, for_h: bool| -> usize {
+        let mut next = 0;
+        let consumer_block = block_range(half, p, consumer);
+        // Rebuild consumer's incoming sets in ascending source-proc order.
+        let mut sets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for g in consumer_block {
+            for j in 0..deg {
+                let jj = if for_h { j } else { j + deg };
+                let t = edge_target(seed, g, jj, half, p, params.pct_remote);
+                let owner = block_owner(half, p, t);
+                if owner != consumer {
+                    sets.entry(owner).or_default().push(t);
+                }
+            }
+        }
+        for v in sets.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        for ids in sets.values() {
+            for &id in ids {
+                if id == node {
+                    return next;
+                }
+                next += 1;
+            }
+        }
+        panic!("node {node} not in consumer {consumer}'s ghost set");
+    };
+    // Precompute producer-side push plans: (consumer, my local node index,
+    // consumer ghost slot).
+    let mut push_h: Vec<(usize, usize, usize)> = Vec::new();
+    for (&c, ids) in &out_h {
+        for &id in ids {
+            push_h.push((c, id - my_block.start, consumer_slot(c, id, true)));
+        }
+    }
+    let mut push_e: Vec<(usize, usize, usize)> = Vec::new();
+    for (&c, ids) in &out_e {
+        for &id in ids {
+            push_e.push((c, id - my_block.start, consumer_slot(c, id, false)));
+        }
+    }
+
+    // Initial values.
+    ctx.with_mem(|m| {
+        for (i, g) in my_block.clone().enumerate() {
+            m.store(e_vals, i, mix64(seed ^ g as u64));
+            m.store(h_vals, i, mix64(seed ^ (g as u64 + half as u64)));
+        }
+    });
+
+    start_measured_region(&ctx).await;
+
+    for _step in 0..params.steps {
+        // ---- Half-step 1: update E from H.
+        if read_based {
+            em3d_update_read(
+                &ctx, &my_e_edges, e_vals, h_vals, half, p, my_block.start,
+            )
+            .await;
+        } else {
+            // Producers push current H values into consumers' ghost slots.
+            for &(c, local, slot) in &push_h {
+                let v = ctx.load_local(h_vals, local);
+                ctx.write(GlobalPtr::new(c, h_ghost_region, slot), v).await;
+            }
+            ctx.sync().await;
+            ctx.barrier().await;
+            em3d_update_write(
+                &ctx, &my_e_edges, e_vals, h_vals, h_ghost_region, &h_ghost_idx, half, p,
+                my_block.start,
+            )
+            .await;
+        }
+        ctx.barrier().await;
+
+        // ---- Half-step 2: update H from E.
+        if read_based {
+            em3d_update_read(
+                &ctx, &my_h_edges, h_vals, e_vals, half, p, my_block.start,
+            )
+            .await;
+        } else {
+            for &(c, local, slot) in &push_e {
+                let v = ctx.load_local(e_vals, local);
+                ctx.write(GlobalPtr::new(c, e_ghost_region, slot), v).await;
+            }
+            ctx.sync().await;
+            ctx.barrier().await;
+            em3d_update_write(
+                &ctx, &my_h_edges, h_vals, e_vals, e_ghost_region, &e_ghost_idx, half, p,
+                my_block.start,
+            )
+            .await;
+        }
+        ctx.barrier().await;
+    }
+
+    end_measured_region(&ctx).await;
+
+    let local_sum = ctx.with_mem(|m| {
+        let mut s = 0u64;
+        for i in 0..n_local {
+            s = s.wrapping_add(m.load(e_vals, i)).wrapping_add(m.load(h_vals, i));
+        }
+        s
+    });
+    ctx.barrier().await;
+    local_sum
+}
+
+/// Read-based half-step: pull every remote neighbor value with a blocking
+/// read, then update.
+async fn em3d_update_read(
+    ctx: &Ctx,
+    edges: &[Vec<usize>],
+    dst_region: usize,
+    src_region: usize,
+    half: usize,
+    p: usize,
+    block_start: usize,
+) {
+    let me = ctx.me();
+    let mut new_vals = Vec::with_capacity(edges.len());
+    for (i, node_edges) in edges.iter().enumerate() {
+        let mut sum = 0u64;
+        for &t in node_edges {
+            let owner = block_owner(half, p, t);
+            let local_off = t - block_range(half, p, owner).start;
+            let v = if owner == me {
+                ctx.load_local(src_region, local_off)
+            } else {
+                ctx.read(GlobalPtr::new(owner, src_region, local_off)).await
+            };
+            sum = sum.wrapping_add(v);
+        }
+        ctx.compute(C_UPDATE * node_edges.len() as u64).await;
+        new_vals.push(update_value(ctx.load_local(dst_region, i), sum));
+    }
+    let _ = block_start;
+    ctx.with_mem(|m| {
+        for (i, v) in new_vals.into_iter().enumerate() {
+            m.store(dst_region, i, v);
+        }
+    });
+}
+
+/// Write-based half-step: all remote values are already in the ghost
+/// region; purely local update.
+#[allow(clippy::too_many_arguments)]
+async fn em3d_update_write(
+    ctx: &Ctx,
+    edges: &[Vec<usize>],
+    dst_region: usize,
+    src_region: usize,
+    ghost_region: usize,
+    ghost_idx: &BTreeMap<usize, usize>,
+    half: usize,
+    p: usize,
+    _block_start: usize,
+) {
+    let me = ctx.me();
+    let mut new_vals = Vec::with_capacity(edges.len());
+    for (i, node_edges) in edges.iter().enumerate() {
+        let mut sum = 0u64;
+        for &t in node_edges {
+            let owner = block_owner(half, p, t);
+            let v = if owner == me {
+                ctx.load_local(src_region, t - block_range(half, p, me).start)
+            } else {
+                ctx.load_local(ghost_region, ghost_idx[&t])
+            };
+            sum = sum.wrapping_add(v);
+        }
+        ctx.compute(C_UPDATE * node_edges.len() as u64).await;
+        new_vals.push(update_value(ctx.load_local(dst_region, i), sum));
+    }
+    ctx.with_mem(|m| {
+        for (i, v) in new_vals.into_iter().enumerate() {
+            m.store(dst_region, i, v);
+        }
+    });
+}
+
+/// EM3D, write-based variant.
+#[derive(Clone, Debug)]
+pub struct Em3dWrite {
+    params: Em3dParams,
+}
+
+impl Em3dWrite {
+    /// Creates the app with the given parameters.
+    pub fn new(params: Em3dParams) -> Self {
+        Em3dWrite { params }
+    }
+}
+
+impl SweepableApp for Em3dWrite {
+    fn name(&self) -> &str {
+        "EM3D(write)"
+    }
+
+    fn run(&self, spec: &RunSpec) -> RunOutcome {
+        let params = self.params;
+        let seed = spec.seed;
+        execute(spec, |_| {}, move |ctx| em3d_body(ctx, params, seed, false))
+    }
+}
+
+/// EM3D, read-based variant.
+#[derive(Clone, Debug)]
+pub struct Em3dRead {
+    params: Em3dParams,
+}
+
+impl Em3dRead {
+    /// Creates the app with the given parameters.
+    pub fn new(params: Em3dParams) -> Self {
+        Em3dRead { params }
+    }
+}
+
+impl SweepableApp for Em3dRead {
+    fn name(&self) -> &str {
+        "EM3D(read)"
+    }
+
+    fn run(&self, spec: &RunSpec) -> RunOutcome {
+        let params = self.params;
+        let seed = spec.seed;
+        execute(spec, |_| {}, move |ctx| em3d_body(ctx, params, seed, true))
+    }
+}
+
+/// Keeps `Rc` available for app parameter sharing in callers.
+#[allow(dead_code)]
+type _Marker = Rc<()>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_targets_stay_in_range_and_local_or_adjacent() {
+        let half = 4096;
+        for p in [1usize, 3, 8, 32] {
+            for g in (0..half).step_by(97) {
+                for j in 0..6 {
+                    let t = edge_target(11, g, j, half, p, 40);
+                    assert!(t < half, "target out of range");
+                    let src = crate::common::block_owner(half, p, g);
+                    let dst = crate::common::block_owner(half, p, t);
+                    let adjacent = dst == src
+                        || dst == (src + 1) % p
+                        || dst == (src + p - 1) % p;
+                    assert!(adjacent, "edge crosses more than one block: {src}->{dst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_full_remote_fractions_are_honored() {
+        let half = 2048;
+        let p = 8;
+        // 0%: all targets local.
+        for g in (0..half).step_by(61) {
+            let t = edge_target(5, g, 0, half, p, 0);
+            assert_eq!(
+                crate::common::block_owner(half, p, t),
+                crate::common::block_owner(half, p, g)
+            );
+        }
+        // 100%: all targets remote (for p > 1).
+        let mut any_remote = 0;
+        for g in (0..half).step_by(61) {
+            let t = edge_target(5, g, 0, half, p, 100);
+            if crate::common::block_owner(half, p, t) != crate::common::block_owner(half, p, g) {
+                any_remote += 1;
+            }
+        }
+        assert_eq!(any_remote, (0..half).step_by(61).count());
+    }
+
+    #[test]
+    fn both_variants_match_the_sequential_reference() {
+        let params = Em3dParams::small();
+        let p = 4;
+        let expect = sequential_checksum(&params, 9, p);
+        let w = Em3dWrite::new(params).run(&RunSpec::new(p).with_seed(9));
+        let r = Em3dRead::new(params).run(&RunSpec::new(p).with_seed(9));
+        assert!(w.completed && r.completed);
+        assert_eq!(w.check, expect, "write variant checksum");
+        assert_eq!(r.check, expect, "read variant checksum");
+    }
+
+    #[test]
+    fn read_variant_is_read_dominated_and_write_variant_is_not() {
+        let params = Em3dParams::small();
+        let w = Em3dWrite::new(params).run(&RunSpec::new(4));
+        let r = Em3dRead::new(params).run(&RunSpec::new(4));
+        assert!(r.stats.pct_reads() > 80.0, "read: {}", r.stats.pct_reads());
+        assert!(w.stats.pct_reads() < 5.0, "write: {}", w.stats.pct_reads());
+        // The read version sends more messages (no boundary deduplication).
+        assert!(r.stats.total_sends() > w.stats.total_sends());
+    }
+
+    #[test]
+    fn read_variant_is_latency_sensitive_write_variant_is_not() {
+        use nowlab_core::{Axis, NetConfig};
+        let params = Em3dParams::small();
+        let knobs = Axis::Latency
+            .knobs_for(&NetConfig::berkeley_now().machine, 55.0)
+            .unwrap();
+        let slow = NetConfig::berkeley_now().with_knobs(knobs);
+        let w0 = Em3dWrite::new(params).run(&RunSpec::new(4));
+        let w1 = Em3dWrite::new(params).run(&RunSpec::new(4).with_net(slow));
+        let r0 = Em3dRead::new(params).run(&RunSpec::new(4));
+        let r1 = Em3dRead::new(params).run(&RunSpec::new(4).with_net(slow));
+        let w_slow = w1.runtime.as_secs_f64() / w0.runtime.as_secs_f64();
+        let r_slow = r1.runtime.as_secs_f64() / r0.runtime.as_secs_f64();
+        assert!(
+            r_slow > 2.0 * w_slow,
+            "read ({r_slow}) must be far more latency-sensitive than write ({w_slow})"
+        );
+    }
+
+    #[test]
+    fn single_processor_runs_without_communication() {
+        let params = Em3dParams::small();
+        let out = Em3dWrite::new(params).run(&RunSpec::new(1));
+        assert!(out.completed);
+        assert_eq!(out.check, sequential_checksum(&params, 1, 1));
+    }
+}

@@ -1,0 +1,98 @@
+//! Radb — the bulk-message radix sort (paper §4.1, last row of Table 3).
+//!
+//! Identical to [`crate::radix`] except for the distribution phase: "after
+//! the global histogram phase, all keys are sent to their destination
+//! processor in one bulk message". Communication drops from one short
+//! message per key to one bulk message per destination, making Radb nearly
+//! insensitive to overhead and gap but (mildly) sensitive to bulk
+//! bandwidth — exactly the contrast the paper draws.
+
+use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
+
+use crate::common::execute;
+use crate::radix::{radix_body, RadixParams};
+
+/// The bulk radix sort application.
+#[derive(Clone, Debug)]
+pub struct Radb {
+    params: RadixParams,
+}
+
+impl Radb {
+    /// Creates the app with the given parameters.
+    pub fn new(params: RadixParams) -> Self {
+        Radb { params }
+    }
+}
+
+impl SweepableApp for Radb {
+    fn name(&self) -> &str {
+        "Radb"
+    }
+
+    fn run(&self, spec: &RunSpec) -> RunOutcome {
+        let params = self.params;
+        let seed = spec.seed;
+        execute(spec, |_| {}, move |ctx| radix_body(ctx, params, seed, true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_correctly_and_uses_bulk() {
+        // Large enough that key payload outweighs the fixed histogram
+        // chatter.
+        let app = Radb::new(RadixParams {
+            total_keys: 16 * 1024,
+            key_bits: 16,
+            digit_bits: 8,
+        });
+        let out = app.run(&RunSpec::new(4));
+        assert!(out.completed);
+        // The keys move as bulk payload: bulk bytes dwarf short-message
+        // bytes even though the histogram chain sends many short messages.
+        assert!(
+            out.stats.bulk_kb_per_s() > out.stats.small_kb_per_s(),
+            "bulk {} KB/s vs small {} KB/s",
+            out.stats.bulk_kb_per_s(),
+            out.stats.small_kb_per_s()
+        );
+    }
+
+    #[test]
+    fn radb_sends_far_fewer_messages_than_radix() {
+        let params = RadixParams::small();
+        let radb = Radb::new(params).run(&RunSpec::new(4));
+        let radix = crate::radix::Radix::new(params).run(&RunSpec::new(4));
+        assert!(radb.completed && radix.completed);
+        assert!(
+            radix.stats.total_sends() > 4 * radb.stats.total_sends(),
+            "radix {} vs radb {}",
+            radix.stats.total_sends(),
+            radb.stats.total_sends()
+        );
+        // Both sorts produce the same keys.
+        assert_eq!(radb.check, radix.check);
+    }
+
+    #[test]
+    fn radb_is_faster_than_radix_at_high_overhead() {
+        use nowlab_core::{Axis, NetConfig};
+        let params = RadixParams::small();
+        let knobs = Axis::Overhead
+            .knobs_for(&NetConfig::berkeley_now().machine, 53.0)
+            .unwrap();
+        let spec = RunSpec::new(4).with_net(NetConfig::berkeley_now().with_knobs(knobs));
+        let radb = Radb::new(params).run(&spec);
+        let radix = crate::radix::Radix::new(params).run(&spec);
+        assert!(
+            radb.runtime < radix.runtime / 2,
+            "radb {} vs radix {}",
+            radb.runtime,
+            radix.runtime
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! Radix sort (paper §4.1, Table 3 row 1).
+//!
+//! Sorts a large collection of keys spread over the processors. Each pass:
+//! (1) local per-digit histogram, (2) global histogram via the pipelined
+//! cyclic shift (see [`crate::histogram`]) whose serial chain causes the
+//! paper's *serialization effect*, (3) distribution — every key is sent to
+//! its globally ranked position with an individual short remote write.
+//! Frequent, write-based, balanced communication: the paper's most
+//! overhead- and gap-sensitive application.
+
+use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
+use nowlab_sim::SimDelta;
+use nowlab_splitc::GlobalPtr;
+use rand::Rng;
+
+use crate::common::{
+    block_owner, block_range, end_measured_region, execute, proc_rng, start_measured_region,
+};
+use crate::histogram::global_histogram;
+
+/// Per-key cost of histogramming (digit extraction + counter bump).
+const C_HIST: SimDelta = SimDelta::from_nanos(40);
+/// Per-key cost of computing the destination address in the distribution.
+const C_DIST: SimDelta = SimDelta::from_nanos(80);
+
+/// Parameters of the radix sort.
+#[derive(Clone, Copy, Debug)]
+pub struct RadixParams {
+    /// Total keys across all processors.
+    pub total_keys: usize,
+    /// Significant bits per key.
+    pub key_bits: u32,
+    /// Bits sorted per pass.
+    pub digit_bits: u32,
+}
+
+impl RadixParams {
+    /// Default benchmark size (the paper used 16M 32-bit keys; we scale to
+    /// simulator-friendly 128K 16-bit keys — see DESIGN.md §4/§6).
+    pub fn benchmark() -> Self {
+        RadixParams {
+            total_keys: 128 * 1024,
+            key_bits: 16,
+            digit_bits: 8,
+        }
+    }
+
+    /// A reduced size for tests.
+    pub fn small() -> Self {
+        RadixParams {
+            total_keys: 4 * 1024,
+            key_bits: 16,
+            digit_bits: 8,
+        }
+    }
+
+    /// Scales the key count by `f` (≥ 1/64 of the benchmark is kept).
+    pub fn scaled(mut self, f: f64) -> Self {
+        self.total_keys = ((self.total_keys as f64 * f) as usize).max(2_048);
+        self
+    }
+
+    /// Number of passes (`key_bits / digit_bits`).
+    pub fn passes(&self) -> u32 {
+        self.key_bits.div_ceil(self.digit_bits)
+    }
+
+    /// Buckets per pass.
+    pub fn buckets(&self) -> usize {
+        1 << self.digit_bits
+    }
+}
+
+/// The radix sort application.
+#[derive(Clone, Debug)]
+pub struct Radix {
+    params: RadixParams,
+}
+
+impl Radix {
+    /// Creates the app with the given parameters.
+    pub fn new(params: RadixParams) -> Self {
+        Radix { params }
+    }
+}
+
+impl SweepableApp for Radix {
+    fn name(&self) -> &str {
+        "Radix"
+    }
+
+    fn run(&self, spec: &RunSpec) -> RunOutcome {
+        let params = self.params;
+        let seed = spec.seed;
+        execute(spec, |_| {}, move |ctx| radix_body(ctx, params, seed, false))
+    }
+}
+
+/// Shared body for Radix and Radb (`bulk` selects the distribution
+/// mechanism).
+pub(crate) async fn radix_body(
+    ctx: nowlab_splitc::Ctx,
+    params: RadixParams,
+    seed: u64,
+    bulk: bool,
+) -> u64 {
+    let p = ctx.procs();
+    let me = ctx.me();
+    let n = params.total_keys;
+    let buckets = params.buckets();
+    let my_block = block_range(n, p, me);
+    let n_local = my_block.len();
+
+    let recv = ctx.alloc_region(n_local.max(1));
+    let chain_mb = ctx.alloc_mailbox();
+    ctx.barrier().await;
+
+    // Input generation (outside the measured region, like loading a file).
+    let mask = (1u64 << params.key_bits) - 1;
+    let mut rng = proc_rng(seed, me, 0);
+    let mut keys: Vec<u64> = (0..n_local).map(|_| rng.gen::<u64>() & mask).collect();
+    let input_sum: u64 = keys.iter().fold(0u64, |a, &k| a.wrapping_add(k));
+    let global_input_sum = ctx.allreduce_sum(input_sum).await;
+
+    start_measured_region(&ctx).await;
+
+    for pass in 0..params.passes() {
+        let shift = pass * params.digit_bits;
+        let digit = |k: u64| ((k >> shift) as usize) & (buckets - 1);
+
+        // Phase 1: local histogram.
+        ctx.compute(C_HIST * n_local as u64).await;
+        let mut counts = vec![0u64; buckets];
+        for &k in &keys {
+            counts[digit(k)] += 1;
+        }
+
+        // Phase 2: global histogram (pipelined cyclic shift).
+        let hist = global_histogram(&ctx, chain_mb, &counts, bulk).await;
+
+        // Phase 3: distribution to globally ranked positions.
+        let mut rank = vec![0u64; buckets];
+        if bulk {
+            // Radb: group keys per destination processor, one bulk message
+            // per destination.
+            let mut per_dest: Vec<Vec<(usize, u64)>> = vec![Vec::new(); p];
+            ctx.compute(C_DIST * n_local as u64).await;
+            for &k in &keys {
+                let b = digit(k);
+                let pos = (hist.offsets[b] + hist.my_prefix[b] + rank[b]) as usize;
+                rank[b] += 1;
+                let owner = block_owner(n, p, pos);
+                let local_off = pos - block_range(n, p, owner).start;
+                per_dest[owner].push((local_off, k));
+            }
+            for (dest, items) in per_dest.into_iter().enumerate() {
+                if items.is_empty() {
+                    continue;
+                }
+                if dest == me {
+                    ctx.with_mem(|m| {
+                        let region = m.region_mut(recv);
+                        for &(off, k) in &items {
+                            region[off] = k;
+                        }
+                    });
+                    continue;
+                }
+                // Destination offsets within a block are dense per bucket
+                // but not contiguous overall; ship (offset, key) pairs and
+                // scatter with a custom-packed bulk put: encode offset in
+                // the high bits (key_bits ≤ 32 guaranteed).
+                let packed: Vec<u64> = items
+                    .iter()
+                    .map(|&(off, k)| ((off as u64) << 32) | k)
+                    .collect();
+                ctx.bulk_put_scatter(dest, recv, packed).await;
+            }
+            ctx.sync().await;
+        } else {
+            // Radix: one short remote write per key.
+            for &k in &keys {
+                let b = digit(k);
+                let pos = (hist.offsets[b] + hist.my_prefix[b] + rank[b]) as usize;
+                rank[b] += 1;
+                let owner = block_owner(n, p, pos);
+                let local_off = pos - block_range(n, p, owner).start;
+                ctx.compute(C_DIST).await;
+                ctx.write(GlobalPtr::new(owner, recv, local_off), k).await;
+            }
+            ctx.sync().await;
+        }
+        ctx.barrier().await;
+        keys = ctx.with_mem(|m| m.region(recv)[..n_local].to_vec());
+    }
+
+    end_measured_region(&ctx).await;
+
+    // ---- Verification (outside the measured region).
+    let sorted_locally = keys.windows(2).all(|w| w[0] <= w[1]);
+    let mut boundary_ok = true;
+    if me > 0 && n_local > 0 {
+        let prev_block = block_range(n, p, me - 1);
+        if !prev_block.is_empty() {
+            let prev_last = ctx
+                .read(GlobalPtr::new(me - 1, recv, prev_block.len() - 1))
+                .await;
+            boundary_ok = prev_last <= keys[0];
+        }
+    }
+    let ok = sorted_locally && boundary_ok;
+    let all_ok = ctx.allreduce_sum(ok as u64).await == p as u64;
+    let local_sum = keys.iter().fold(0u64, |a, &k| a.wrapping_add(k));
+    let final_sum = ctx.allreduce_sum(local_sum).await;
+    assert!(all_ok, "radix: output not globally sorted");
+    assert_eq!(final_sum, global_input_sum, "radix: keys lost or duplicated");
+    // Per-proc contribution; the harness sums them. Identical across LogGP
+    // settings by construction.
+    local_sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nowlab_core::SweepableApp;
+
+    #[test]
+    fn sorts_correctly_on_4_procs() {
+        let app = Radix::new(RadixParams::small());
+        let out = app.run(&RunSpec::new(4));
+        assert!(out.completed);
+        assert!(out.stats.total_sends() > 0);
+    }
+
+    #[test]
+    fn check_is_invariant_across_knobs() {
+        use nowlab_core::{Axis, NetConfig};
+        let app = Radix::new(RadixParams {
+            total_keys: 2_048,
+            key_bits: 16,
+            digit_bits: 8,
+        });
+        let base = app.run(&RunSpec::new(4));
+        let knobs = Axis::Overhead
+            .knobs_for(&NetConfig::berkeley_now().machine, 23.0)
+            .unwrap();
+        let slowed = app.run(
+            &RunSpec::new(4).with_net(NetConfig::berkeley_now().with_knobs(knobs)),
+        );
+        assert_eq!(base.check, slowed.check);
+        assert!(slowed.runtime > base.runtime);
+    }
+
+    #[test]
+    fn four_bit_digits_need_four_passes_and_still_sort() {
+        let app = Radix::new(RadixParams {
+            total_keys: 2_048,
+            key_bits: 16,
+            digit_bits: 4,
+        });
+        assert_eq!(app.params.passes(), 4);
+        assert_eq!(app.params.buckets(), 16);
+        let out = app.run(&RunSpec::new(4));
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn single_proc_degenerates_to_local_sort() {
+        let app = Radix::new(RadixParams {
+            total_keys: 1_024,
+            key_bits: 16,
+            digit_bits: 8,
+        });
+        let out = app.run(&RunSpec::new(1));
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn communication_is_write_based_and_balanced() {
+        let app = Radix::new(RadixParams::small());
+        let out = app.run(&RunSpec::new(8));
+        assert!(out.stats.pct_reads() < 1.0, "radix is write based");
+        assert!(out.stats.pct_bulk() < 1.0, "radix uses short messages");
+        assert!(out.stats.balance() < 1.3, "radix is balanced");
+    }
+}

@@ -1,0 +1,76 @@
+//! Ablation — application-level knobs that set communication frequency.
+//!
+//! The paper's first-order law is that overhead sensitivity is predicted
+//! by message frequency (§5.1). Here we turn the two workload dials that
+//! control frequency directly and watch sensitivity follow:
+//!
+//! * EM3D's remote-edge fraction (the paper ran 40%): more remote edges →
+//!   more messages per step → steeper overhead response;
+//! * P-Ray's software-cache capacity (the paper: "the frequency of such
+//!   operations is a function of the scene complexity and the software
+//!   caching algorithm"): a smaller cache → more misses → more reads.
+
+use nowlab_apps::em3d::{Em3dParams, Em3dWrite};
+use nowlab_apps::pray::{Pray, PrayParams};
+use nowlab_core::report::{fmt_f, Table};
+use nowlab_core::{Axis, NetConfig, RunSpec, SweepableApp};
+
+fn slowdown_at(app: &dyn SweepableApp, o_us: f64) -> (f64, f64, f64) {
+    let base = app.run(&RunSpec::new(32));
+    assert!(base.completed, "{} baseline", app.name());
+    let knobs = Axis::Overhead
+        .knobs_for(&NetConfig::berkeley_now().machine, o_us)
+        .unwrap();
+    let slow = app.run(&RunSpec::new(32).with_net(NetConfig::berkeley_now().with_knobs(knobs)));
+    assert!(slow.completed);
+    (
+        base.stats.msg_interval_us(),
+        base.stats.avg_msgs_per_proc(),
+        slow.runtime.as_secs_f64() / base.runtime.as_secs_f64(),
+    )
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Ablation: EM3D(write) remote-edge fraction vs overhead sensitivity (o=53us)",
+        &["% remote", "interval us", "msg/proc", "slowdown @o=53"],
+    );
+    for pct in [0u32, 10, 20, 40, 60, 80] {
+        let mut p = Em3dParams::benchmark();
+        p.pct_remote = pct;
+        let app = Em3dWrite::new(p);
+        let (interval, msgs, slowdown) = slowdown_at(&app, 53.0);
+        t.push_row([
+            pct.to_string(),
+            fmt_f(interval, 1),
+            fmt_f(msgs, 0),
+            fmt_f(slowdown, 2),
+        ]);
+    }
+    println!("{t}");
+
+    let mut t = Table::new(
+        "Ablation: P-Ray cache capacity vs read traffic and overhead sensitivity (o=53us)",
+        &["cache", "interval us", "msg/proc", "slowdown @o=53"],
+    );
+    for cap in [8usize, 24, 48, 96, 192, 512] {
+        let mut p = PrayParams::benchmark();
+        p.cache_capacity = cap;
+        let app = Pray::new(p);
+        let (interval, msgs, slowdown) = slowdown_at(&app, 53.0);
+        t.push_row([
+            cap.to_string(),
+            fmt_f(interval, 1),
+            fmt_f(msgs, 0),
+            fmt_f(slowdown, 2),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "expected: P-Ray's sensitivity tracks its miss traffic\n\
+         monotonically (~9x at an 8-entry cache down to ~1.5x once the\n\
+         scene fits). EM3D jumps from its barrier-only floor at 0% remote\n\
+         to the message-bound plateau by 10% — the paper's\n\
+         frequency-predicts-sensitivity law inside single applications."
+    );
+}

@@ -1,0 +1,80 @@
+//! Criterion benchmarks of the simulator engine itself (wall-clock
+//! performance, not virtual time): event throughput, message round trips,
+//! and barrier cost. These bound how large an experiment the apparatus
+//! can drive.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nowlab_am::{AmCluster, Mark, NetConfig, Payload, ReplyData};
+use nowlab_sim::{Sim, SimDelta, SimTime};
+use nowlab_splitc::{run_spmd, SpmdConfig};
+
+fn bench_timer_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    const N: u64 = 10_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("timer_events_10k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..N {
+                sim.schedule(SimTime::from_nanos(i), |_| {});
+            }
+            let report = sim.run();
+            assert_eq!(report.events_fired, N);
+        })
+    });
+    g.finish();
+}
+
+fn bench_round_trips(c: &mut Criterion) {
+    let mut g = c.benchmark_group("am");
+    const N: usize = 1_000;
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("request_reply_1k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let cluster = AmCluster::new(sim.clone(), NetConfig::berkeley_now(), 2);
+            let h = cluster.register_handler(|_| ReplyData::ack());
+            let server = cluster.port(1);
+            sim.spawn(async move { server.wait_until(|| false).await });
+            let port = cluster.port(0);
+            let done = sim.spawn(async move {
+                for _ in 0..N {
+                    port.request(1, h, [0; 4], Payload::None, Mark::Read).await;
+                }
+                true
+            });
+            sim.run();
+            assert_eq!(done.try_take(), Some(true));
+        })
+    });
+    g.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("splitc");
+    g.bench_function("barrier_32procs_x10", |b| {
+        b.iter(|| {
+            let outcome = run_spmd(&SpmdConfig::new(32), |ctx| async move {
+                for _ in 0..10 {
+                    ctx.barrier().await;
+                }
+                ctx.now()
+            });
+            assert!(outcome.completed);
+        })
+    });
+    g.bench_function("compute_heavy_8procs", |b| {
+        b.iter(|| {
+            let outcome = run_spmd(&SpmdConfig::new(8), |ctx| async move {
+                for _ in 0..500 {
+                    ctx.compute(SimDelta::from_micros(1.0)).await;
+                }
+            });
+            assert!(outcome.completed);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_timer_events, bench_round_trips, bench_barrier);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 3 — the LogP signature: average initiation interval (µs/message)
+//! as a function of burst size, one curve per fixed computational delay Δ.
+//!
+//! The paper's example signature is taken with the gap knob set so the
+//! desired `g` is 14 µs; we print the same configuration plus the
+//! baseline. The send overhead is the short-burst plateau, the gap the
+//! long-burst plateau at Δ=0, and `o_send + o_recv + Δ` the plateau for
+//! large Δ.
+
+use nowlab_core::calib::signature;
+use nowlab_core::report::{fmt_f, Table};
+use nowlab_core::{Knobs, NetConfig, SimDelta};
+
+fn print_signature(title: &str, cfg: NetConfig) {
+    let bursts = [1usize, 2, 4, 8, 16, 32, 64];
+    let deltas = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0];
+    let sig = signature(cfg, &bursts, &deltas);
+    let headers: Vec<String> = std::iter::once("delta\\burst".to_string())
+        .chain(bursts.iter().map(|b| b.to_string()))
+        .collect();
+    let mut t = Table::new(
+        title,
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for &d in &deltas {
+        let mut row = vec![format!("{d:.0}us")];
+        for &m in &bursts {
+            let point = sig
+                .points
+                .iter()
+                .find(|p| p.burst == m && (p.delta_us - d).abs() < 1e-9)
+                .expect("grid point");
+            row.push(fmt_f(point.interval_us, 2));
+        }
+        t.push_row(row);
+    }
+    println!("{t}");
+}
+
+fn main() {
+    print_signature(
+        "Figure 3: LogP signature, baseline NOW (us/message)",
+        NetConfig::berkeley_now(),
+    );
+    // The paper's plotted calibration: desired g = 14 us (Δg = 8.2).
+    let g14 = NetConfig::berkeley_now()
+        .with_knobs(Knobs::with_gap(SimDelta::from_micros(8.2)));
+    print_signature(
+        "Figure 3: LogP signature, desired g = 14us (us/message)",
+        g14,
+    );
+    println!(
+        "read-off: o_send = burst-1 interval; g = bottom-right plateau;\n\
+         o_recv = (large-delta plateau) - delta - o_send.\n\
+         Paper's g=14 signature showed o_send=1.8, o_recv=4, g=12.8."
+    );
+}

@@ -1,0 +1,28 @@
+//! Figure 5 — sensitivity to overhead on 16 (panel a) and 32 (panel b)
+//! nodes: application slowdown vs overhead in µs, fixed input size.
+//!
+//! Reproduction targets: the frequent communicators (Radix, EM3D both
+//! variants, Sample) are the most sensitive; every app slows roughly
+//! linearly; Barnes livelocks (N/A) beyond small added overhead; Radix is
+//! markedly *more* sensitive on 32 nodes than 16 (the serialization
+//! effect, §5.1).
+
+use nowlab_bench::{print_slowdown_table, sweep_suite};
+use nowlab_core::Axis;
+
+fn main() {
+    let values = Axis::Overhead.paper_values();
+    for procs in [16usize, 32] {
+        let sweeps = sweep_suite(procs, Axis::Overhead, &values);
+        print_slowdown_table(
+            &format!("Figure 5{}: slowdown vs overhead (us), {procs} nodes",
+                if procs == 16 { 'a' } else { 'b' }),
+            &sweeps,
+            &values,
+        );
+    }
+    println!(
+        "paper: at o=103us the 32-node suite slows 2x-57x; Barnes does not\n\
+         complete beyond o=7us on 32 nodes (livelock)."
+    );
+}

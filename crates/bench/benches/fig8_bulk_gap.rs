@@ -1,0 +1,26 @@
+//! Figure 8 — sensitivity to bulk Gap on 32 nodes: slowdown vs maximum
+//! available bulk bandwidth (MB/s), swept downward from the 38 MB/s
+//! baseline to 1 MB/s.
+//!
+//! Reproduction targets: weak sensitivity overall (the paper sees no more
+//! than ~3x even at 1 MB/s); nothing reacts until bandwidth falls below
+//! ~15 MB/s; NOW-sort stays flat until the network drops below a single
+//! disk's 5.5 MB/s and only then bends (it is disk-limited).
+
+use nowlab_bench::{print_slowdown_table, sweep_suite};
+use nowlab_core::Axis;
+
+fn main() {
+    let values = Axis::BulkBandwidth.paper_values();
+    let sweeps = sweep_suite(32, Axis::BulkBandwidth, &values);
+    print_slowdown_table(
+        "Figure 8: slowdown vs bulk bandwidth (MB/s), 32 nodes",
+        &sweeps,
+        &values,
+    );
+    println!(
+        "paper: bulk users (Radb, NOW-sort, Murphi, P-Ray, Barnes) react\n\
+         below ~15 MB/s; short-message apps are flat; NOW-sort's knee is at\n\
+         the 5.5 MB/s disk rate."
+    );
+}

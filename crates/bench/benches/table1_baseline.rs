@@ -1,0 +1,37 @@
+//! Table 1 — baseline LogGP parameters of the Berkeley NOW, with the
+//! Intel Paragon and Meiko CS-2 for comparison, each *measured* by the
+//! §3.3 microbenchmarks on the corresponding machine model.
+
+use nowlab_core::calib::{calibrate, calibrate_bulk};
+use nowlab_core::report::Table;
+use nowlab_core::NetConfig;
+
+fn main() {
+    let machines = [
+        ("Berkeley NOW", nowlab_am::LoggpParams::berkeley_now()),
+        ("Intel Paragon", nowlab_am::LoggpParams::intel_paragon()),
+        ("Meiko CS-2", nowlab_am::LoggpParams::meiko_cs2()),
+    ];
+    let paper: [(f64, f64, f64, f64); 3] = [
+        (2.9, 5.8, 5.0, 38.0),
+        (1.8, 7.6, 6.5, 141.0),
+        (1.7, 13.6, 7.5, 47.0),
+    ];
+    let mut t = Table::new(
+        "Table 1: Baseline LogGP parameters (measured / paper)",
+        &["platform", "o (us)", "g (us)", "L (us)", "MB/s (1/G)"],
+    );
+    for ((name, m), (po, pg, pl, pb)) in machines.iter().zip(paper) {
+        let cfg = NetConfig::berkeley_now().with_machine(*m);
+        let c = calibrate(cfg);
+        let bw = calibrate_bulk(cfg);
+        t.push_row([
+            name.to_string(),
+            format!("{:.1} / {po:.1}", c.o_mean_us()),
+            format!("{:.1} / {pg:.1}", c.gap_us),
+            format!("{:.1} / {pl:.1}", c.latency_us),
+            format!("{bw:.0} / {pb:.0}"),
+        ]);
+    }
+    println!("{t}");
+}

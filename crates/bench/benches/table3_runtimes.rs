@@ -1,0 +1,27 @@
+//! Table 3 — the application suite and its baseline runtimes on 16 and 32
+//! nodes (virtual seconds on the scaled inputs; the paper's absolute
+//! seconds used ~100-1000x larger inputs, see DESIGN.md §6).
+
+use nowlab_bench::{spec, suite};
+use nowlab_core::report::{fmt_time, Table};
+
+fn main() {
+    let mut t = Table::new(
+        "Table 3: Applications and baseline run times (scaled inputs)",
+        &["program", "16-node time", "32-node time", "speedup 16->32", "check"],
+    );
+    for app in suite() {
+        let o16 = app.run(&spec(16));
+        let o32 = app.run(&spec(32));
+        assert!(o16.completed && o32.completed, "{} baseline failed", app.name());
+        t.push_row([
+            app.name().to_string(),
+            fmt_time(o16.runtime),
+            fmt_time(o32.runtime),
+            format!("{:.2}x", o16.runtime.as_secs_f64() / o32.runtime.as_secs_f64()),
+            format!("{:016x}", o32.check),
+        ]);
+    }
+    println!("{t}");
+    println!("paper: most applications are well parallelized from 16 to 32 nodes.");
+}

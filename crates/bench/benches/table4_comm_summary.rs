@@ -1,0 +1,59 @@
+//! Table 4 — communication summary of the suite on 32 processors:
+//! per-processor message counts, frequency, interval, barrier interval,
+//! bulk and read percentages, and bandwidths through the communication
+//! layer.
+
+use nowlab_bench::{paper, spec, suite};
+use nowlab_core::report::{fmt_f, fmt_or_na, Table};
+
+fn main() {
+    let mut t = Table::new(
+        "Table 4: Communication summary, 32 processors (scaled inputs)",
+        &[
+            "program",
+            "avg msg/proc",
+            "max msg/proc",
+            "msg/proc/ms",
+            "interval us",
+            "paper interval",
+            "barrier ms",
+            "% bulk",
+            "% reads",
+            "bulk KB/s",
+            "small KB/s",
+        ],
+    );
+    for app in suite() {
+        let out = app.run(&spec(32));
+        assert!(out.completed, "{} failed", app.name());
+        let s = &out.stats;
+        let paper_interval = paper::MSG_INTERVAL_US
+            .iter()
+            .find(|(n, _)| *n == app.name())
+            .map(|&(_, v)| v);
+        let barrier = s.barrier_interval_ms();
+        t.push_row([
+            app.name().to_string(),
+            fmt_f(s.avg_msgs_per_proc(), 0),
+            format!("{}", s.max_msgs_per_proc()),
+            fmt_f(s.msgs_per_proc_per_ms(), 2),
+            fmt_f(s.msg_interval_us(), 1),
+            fmt_or_na(paper_interval, 1),
+            if barrier.is_finite() {
+                fmt_f(barrier, 1)
+            } else {
+                "-".into()
+            },
+            fmt_f(s.pct_bulk(), 2),
+            fmt_f(s.pct_reads(), 2),
+            fmt_f(s.bulk_kb_per_s(), 1),
+            fmt_f(s.small_kb_per_s(), 1),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "reproduction targets: two-orders-of-magnitude frequency spread;\n\
+         Radix/EM3D(w)/EM3D(r)/Sample the frequent four; EM3D(read), P-Ray,\n\
+         Connect read-dominated; Barnes/P-Ray/Murphi/NOW-sort/Radb bulk users."
+    );
+}

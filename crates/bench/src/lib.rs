@@ -1,0 +1,149 @@
+//! Shared machinery for the experiment regenerators.
+//!
+//! Each bench target in `benches/` reproduces one exhibit of the paper
+//! (see DESIGN.md §5 for the index). This library holds the drivers they
+//! share: suite-wide sweeps, the paper's reference numbers for
+//! side-by-side printing, and environment-variable scaling.
+
+use nowlab_apps::{suite_scaled, SuiteScale};
+use nowlab_core::report::{fmt_f, sparkline, Table};
+use nowlab_core::{sweep, Axis, AxisSweep, RunSpec, SweepableApp};
+
+/// Event budget per run: generously above any completing run at benchmark
+/// scale, so only genuine livelock (Barnes at high overhead) trips it.
+pub const EVENT_LIMIT: u64 = 150_000_000;
+
+/// Suite scale selected by the `NOWLAB_SCALE` environment variable
+/// (`test` for quick runs, anything else = benchmark scale).
+pub fn env_scale() -> SuiteScale {
+    match std::env::var("NOWLAB_SCALE").as_deref() {
+        Ok("test") => SuiteScale::Test,
+        _ => SuiteScale::Benchmark,
+    }
+}
+
+/// The whole suite at the environment-selected scale.
+pub fn suite() -> Vec<Box<dyn SweepableApp>> {
+    suite_scaled(env_scale())
+}
+
+/// A standard run spec for experiments.
+pub fn spec(procs: usize) -> RunSpec {
+    RunSpec::new(procs).with_event_limit(EVENT_LIMIT)
+}
+
+/// Sweeps every suite application along one axis and returns the results.
+pub fn sweep_suite(procs: usize, axis: Axis, values: &[f64]) -> Vec<AxisSweep> {
+    suite()
+        .iter()
+        .map(|app| sweep(app.as_ref(), &spec(procs), axis, values))
+        .collect()
+}
+
+/// Saves a table as CSV under `NOWLAB_CSV_DIR` (no-op when the variable is
+/// unset). File name: `<slug>.csv`.
+pub fn save_csv(slug: &str, table: &Table) {
+    let Ok(dir) = std::env::var("NOWLAB_CSV_DIR") else {
+        return;
+    };
+    let dir = std::path::Path::new(&dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("NOWLAB_CSV_DIR: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{slug}.csv"));
+    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+        eprintln!("NOWLAB_CSV_DIR: cannot write {}: {e}", path.display());
+    } else {
+        println!("(csv saved to {})", path.display());
+    }
+}
+
+/// Prints a figure-style slowdown table: one row per app, one column per
+/// swept value; incomplete points (livelock) print as N/A. Also saves CSV
+/// when `NOWLAB_CSV_DIR` is set.
+pub fn print_slowdown_table(title: &str, sweeps: &[AxisSweep], values: &[f64]) {
+    let headers: Vec<String> = std::iter::once("app".to_string())
+        .chain(values.iter().map(|v| format!("{v}")))
+        .chain(std::iter::once("shape".to_string()))
+        .collect();
+    let mut t = Table::new(title, &headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for s in sweeps {
+        let mut row = vec![s.app.clone()];
+        for p in &s.points {
+            row.push(if p.completed {
+                fmt_f(p.slowdown, 2)
+            } else {
+                "N/A".to_string()
+            });
+        }
+        // Sweeps may skip values below the machine baseline.
+        while row.len() + 1 < headers.len() {
+            row.push("-".to_string());
+        }
+        let series: Vec<f64> = s
+            .points
+            .iter()
+            .map(|p| if p.completed { p.slowdown } else { f64::NAN })
+            .collect();
+        row.push(sparkline(&series));
+        t.push_row(row);
+    }
+    println!("{t}");
+    let slug: String = title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    save_csv(slug.trim_matches('_'), &t);
+}
+
+/// Paper reference values for side-by-side comparison in EXPERIMENTS.md.
+pub mod paper {
+    /// Table 4, "Msg. Interval (µs)" column, in suite order.
+    pub const MSG_INTERVAL_US: [(&str, f64); 10] = [
+        ("Radix", 6.1),
+        ("EM3D(write)", 8.0),
+        ("EM3D(read)", 13.8),
+        ("Sample", 13.0),
+        ("Barnes", 52.8),
+        ("P-Ray", 156.2),
+        ("Murphi", 212.6),
+        ("Connect", 183.5),
+        ("NOW-sort", 817.4),
+        ("Radb", 852.7),
+    ];
+
+    /// Approximate 32-node slowdowns at o ≈ 103 µs read off Figure 5b /
+    /// Table 5 (N/A entries omitted).
+    pub const SLOWDOWN_AT_O100: [(&str, f64); 9] = [
+        ("Radix", 57.0),
+        ("EM3D(write)", 27.0),
+        ("EM3D(read)", 22.4),
+        ("Sample", 20.6),
+        ("P-Ray", 6.4),
+        ("Murphi", 3.1),
+        ("Connect", 2.2),
+        ("NOW-sort", 1.25),
+        ("Radb", 1.66),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_parses() {
+        // Default is benchmark scale.
+        assert_eq!(env_scale(), SuiteScale::Benchmark);
+    }
+
+    #[test]
+    fn suite_sweep_smoke() {
+        std::env::set_var("NOWLAB_SCALE", "test");
+        let apps = suite_scaled(SuiteScale::Test);
+        let s = sweep(apps[0].as_ref(), &spec(4), Axis::Overhead, &[2.9, 13.0]);
+        assert_eq!(s.points.len(), 2);
+        std::env::remove_var("NOWLAB_SCALE");
+    }
+}

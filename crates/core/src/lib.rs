@@ -1,0 +1,47 @@
+//! # nowlab-core — the ISCA'97 sensitivity apparatus
+//!
+//! This crate is the reproduction's heart: the methodology of Martin,
+//! Vahdat, Culler & Anderson, *"Effects of Communication Latency, Overhead,
+//! and Bandwidth in a Cluster Architecture"* (ISCA 1997), as a library.
+//!
+//! * [`calib`] — the §3.3 microbenchmarks: LogP signatures (Figure 3),
+//!   parameter calibration (Table 2), bulk-bandwidth calibration.
+//! * [`models`] — the §5 analytic predictors (`r + 2mΔo`, burst/uniform gap
+//!   models, read-latency model) and least-squares linearity checks.
+//! * [`mod@sweep`] — the sensitivity-sweep driver behind Figures 5–8: run an
+//!   application while one LogGP knob is dialed from the NOW baseline to
+//!   LAN-like values.
+//! * [`report`] — paper-style table and CSV rendering.
+//!
+//! Machine presets ([`nowlab_am::LoggpParams::berkeley_now`],
+//! [`nowlab_am::LoggpParams::intel_paragon`],
+//! [`nowlab_am::LoggpParams::meiko_cs2`]) live in `nowlab-am` and are
+//! re-exported here.
+//!
+//! # Examples
+//!
+//! Calibrating the baseline apparatus recovers Table 1:
+//!
+//! ```
+//! use nowlab_core::calib::calibrate;
+//! use nowlab_core::NetConfig;
+//!
+//! let c = calibrate(NetConfig::berkeley_now());
+//! assert!((c.o_mean_us() - 2.9).abs() < 0.1);
+//! assert!((c.gap_us - 5.8).abs() < 0.1);
+//! assert!((c.latency_us - 5.0).abs() < 0.1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod models;
+pub mod report;
+pub mod sweep;
+
+pub use nowlab_am::{
+    mb_per_s_from_per_byte, per_byte_from_mb_per_s, CommStats, Knobs, LoggpParams, NetConfig,
+};
+pub use nowlab_sim::{SimDelta, SimTime};
+pub use models::SensitivityModel;
+pub use sweep::{sweep, Axis, AxisSweep, RunOutcome, RunSpec, SweepPoint, SweepableApp};

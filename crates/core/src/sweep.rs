@@ -1,0 +1,374 @@
+//! The sensitivity-sweep driver (paper §5).
+//!
+//! A sweep runs one application repeatedly while one LogGP parameter is
+//! dialed from its baseline to a LAN-like value, recording runtime and
+//! slowdown at each point — the data behind Figures 5–8 and Tables 5–6.
+
+use std::fmt;
+
+use nowlab_am::{CommStats, Knobs, LoggpParams, NetConfig};
+use nowlab_sim::SimDelta;
+
+use crate::models::{fit_linear, LinFit};
+
+/// Everything an application needs to execute one measured run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunSpec {
+    /// Number of processors.
+    pub procs: usize,
+    /// Network configuration (baseline machine + knobs).
+    pub net: NetConfig,
+    /// Livelock guard: abort after this many simulator events.
+    pub event_limit: Option<u64>,
+    /// Abort after this much virtual time.
+    pub time_limit: Option<SimDelta>,
+    /// Seed for the application's workload generator.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A run of `procs` processors on the Berkeley NOW baseline, seed 1.
+    pub fn new(procs: usize) -> Self {
+        RunSpec {
+            procs,
+            net: NetConfig::berkeley_now(),
+            event_limit: None,
+            time_limit: None,
+            seed: 1,
+        }
+    }
+
+    /// Replaces the network configuration.
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Sets the livelock event budget.
+    pub fn with_event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = Some(limit);
+        self
+    }
+
+    /// Sets the workload seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The result of one measured application run.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Virtual runtime of the measured region.
+    pub runtime: SimDelta,
+    /// Communication statistics of the measured region.
+    pub stats: CommStats,
+    /// False if the run hit a limit (the paper's "N/A" entries).
+    pub completed: bool,
+    /// Application-defined correctness checksum (same inputs ⇒ same value,
+    /// independent of LogGP parameters).
+    pub check: u64,
+}
+
+/// An application that can be run under the sweep driver.
+pub trait SweepableApp {
+    /// Short name (paper's program column).
+    fn name(&self) -> &str;
+    /// Executes one run under `spec`.
+    fn run(&self, spec: &RunSpec) -> RunOutcome;
+}
+
+/// Which LogGP parameter a sweep varies.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Per-message overhead `o` (µs).
+    Overhead,
+    /// Per-message gap `g` (µs).
+    Gap,
+    /// Latency `L` (µs).
+    Latency,
+    /// Bulk bandwidth `1/G` (MB/s) — swept *downward*.
+    BulkBandwidth,
+}
+
+impl Axis {
+    /// Human-readable axis label with unit.
+    pub fn label(self) -> &'static str {
+        match self {
+            Axis::Overhead => "overhead (us)",
+            Axis::Gap => "gap (us)",
+            Axis::Latency => "latency (us)",
+            Axis::BulkBandwidth => "bulk bandwidth (MB/s)",
+        }
+    }
+
+    /// The sweep values used in the paper's figures for this axis
+    /// (desired *absolute* parameter values, baseline first).
+    pub fn paper_values(self) -> Vec<f64> {
+        match self {
+            Axis::Overhead => vec![2.9, 3.9, 4.9, 6.9, 7.9, 13.0, 23.0, 53.0, 103.0],
+            Axis::Gap => vec![5.8, 8.0, 10.0, 15.0, 30.0, 55.0, 80.0, 105.0],
+            Axis::Latency => vec![5.0, 7.5, 10.0, 15.0, 30.0, 55.0, 80.0, 105.0],
+            Axis::BulkBandwidth => vec![38.0, 30.0, 25.0, 20.0, 15.0, 10.0, 5.5, 5.0, 2.0, 1.0],
+        }
+    }
+
+    /// Converts a desired absolute value into knobs on `base`.
+    ///
+    /// Returns `None` if the desired value is more aggressive than the
+    /// baseline (the apparatus can only slow the machine down).
+    pub fn knobs_for(self, base: &LoggpParams, desired: f64) -> Option<Knobs> {
+        let delta_us = |base_us: f64| {
+            let d = desired - base_us;
+            // Tolerate tiny negative deltas from decimal rounding.
+            if d < -1e-9 {
+                None
+            } else {
+                Some(SimDelta::from_micros(d.max(0.0)))
+            }
+        };
+        match self {
+            Axis::Overhead => Some(Knobs::with_overhead(delta_us(
+                base.o_mean().as_micros_f64(),
+            )?)),
+            Axis::Gap => Some(Knobs::with_gap(delta_us(base.gap.as_micros_f64())?)),
+            Axis::Latency => Some(Knobs::with_latency(delta_us(
+                base.latency.as_micros_f64(),
+            )?)),
+            Axis::BulkBandwidth => Knobs::with_bulk_bandwidth(base, desired),
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One point of a sensitivity sweep.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Desired absolute parameter value (µs, or MB/s for bulk bandwidth).
+    pub desired: f64,
+    /// Measured runtime.
+    pub runtime: SimDelta,
+    /// Runtime ÷ baseline runtime.
+    pub slowdown: f64,
+    /// False if the run hit its limit (reported as N/A).
+    pub completed: bool,
+    /// Max messages per processor at this point.
+    pub max_msgs: u64,
+}
+
+/// A full sweep of one application along one axis.
+#[derive(Clone, Debug)]
+pub struct AxisSweep {
+    /// Application name.
+    pub app: String,
+    /// Swept parameter.
+    pub axis: Axis,
+    /// Processor count.
+    pub procs: usize,
+    /// The baseline run (first sweep value).
+    pub baseline: RunOutcome,
+    /// Measured points, baseline included.
+    pub points: Vec<SweepPoint>,
+}
+
+impl AxisSweep {
+    /// Slowdowns of all completed points, paired with their desired values.
+    pub fn completed_series(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for p in &self.points {
+            if p.completed {
+                xs.push(p.desired);
+                ys.push(p.slowdown);
+            }
+        }
+        (xs, ys)
+    }
+
+    /// Linear fit of slowdown vs desired value over completed points
+    /// (§5.5: "applications display a linear dependence to both overhead
+    /// and gap").
+    ///
+    /// Returns `None` when fewer than two points completed.
+    pub fn linearity(&self) -> Option<LinFit> {
+        let (xs, ys) = self.completed_series();
+        if xs.len() < 2 {
+            return None;
+        }
+        Some(fit_linear(&xs, &ys))
+    }
+
+    /// The largest completed slowdown.
+    pub fn max_slowdown(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.completed)
+            .map(|p| p.slowdown)
+            .fold(1.0, f64::max)
+    }
+}
+
+/// Sweeps `app` along `axis` through `desired` absolute parameter values.
+///
+/// The first value should be the baseline (it defines slowdown = 1). Values
+/// more aggressive than the baseline are skipped.
+///
+/// # Panics
+///
+/// Panics if the baseline run does not complete — sensitivity is undefined
+/// without a baseline.
+pub fn sweep(
+    app: &dyn SweepableApp,
+    template: &RunSpec,
+    axis: Axis,
+    desired: &[f64],
+) -> AxisSweep {
+    assert!(!desired.is_empty(), "sweep needs at least one value");
+    let base_machine = template.net.machine;
+    let mut points = Vec::with_capacity(desired.len());
+    let mut baseline: Option<RunOutcome> = None;
+    for &value in desired {
+        let Some(knobs) = axis.knobs_for(&base_machine, value) else {
+            continue;
+        };
+        let spec = template.with_net(template.net.with_knobs(knobs));
+        let outcome = app.run(&spec);
+        if baseline.is_none() {
+            assert!(
+                outcome.completed,
+                "{}: baseline run did not complete",
+                app.name()
+            );
+            baseline = Some(outcome.clone());
+        }
+        let base_rt = baseline.as_ref().unwrap().runtime.as_secs_f64();
+        points.push(SweepPoint {
+            desired: value,
+            runtime: outcome.runtime,
+            slowdown: if base_rt > 0.0 {
+                outcome.runtime.as_secs_f64() / base_rt
+            } else {
+                1.0
+            },
+            completed: outcome.completed,
+            max_msgs: outcome.stats.max_msgs_per_proc(),
+        });
+    }
+    AxisSweep {
+        app: app.name().to_string(),
+        axis,
+        procs: template.procs,
+        baseline: baseline.expect("no sweep point at or below baseline"),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic "application" with a closed-form LogGP response, used to
+    /// test the driver without the real benchmark suite.
+    struct FakeApp {
+        msgs: u64,
+    }
+
+    impl SweepableApp for FakeApp {
+        fn name(&self) -> &str {
+            "fake"
+        }
+        fn run(&self, spec: &RunSpec) -> RunOutcome {
+            // Runtime = 1ms + 2·m·Δo + m·Δg.
+            let rt = SimDelta::from_millis(1.0)
+                + 2 * self.msgs * spec.net.knobs.d_o
+                + self.msgs * spec.net.knobs.d_g;
+            let mut stats = CommStats {
+                per_proc: vec![nowlab_am::ProcCounters::new(spec.procs)],
+                elapsed: rt,
+            };
+            stats.per_proc[0].sends = self.msgs;
+            RunOutcome {
+                runtime: rt,
+                stats,
+                completed: true,
+                check: 42,
+            }
+        }
+    }
+
+    #[test]
+    fn axis_values_start_at_baseline() {
+        let base = LoggpParams::berkeley_now();
+        for axis in [Axis::Overhead, Axis::Gap, Axis::Latency, Axis::BulkBandwidth] {
+            let first = axis.paper_values()[0];
+            let knobs = axis.knobs_for(&base, first).unwrap();
+            assert_eq!(knobs, Knobs::baseline(), "axis {axis} first value");
+        }
+    }
+
+    #[test]
+    fn knob_conversion_matches_desired() {
+        let base = LoggpParams::berkeley_now();
+        let k = Axis::Overhead.knobs_for(&base, 103.0).unwrap();
+        assert!((k.d_o.as_micros_f64() - 100.1).abs() < 1e-9);
+        let k = Axis::Gap.knobs_for(&base, 105.0).unwrap();
+        assert!((k.d_g.as_micros_f64() - 99.2).abs() < 1e-9);
+        let k = Axis::Latency.knobs_for(&base, 30.0).unwrap();
+        assert!((k.d_lat.as_micros_f64() - 25.0).abs() < 1e-9);
+        assert!(Axis::Latency.knobs_for(&base, 1.0).is_none());
+    }
+
+    #[test]
+    fn sweep_computes_slowdowns_and_linearity() {
+        let app = FakeApp { msgs: 1000 };
+        let template = RunSpec::new(4);
+        let result = sweep(&app, &template, Axis::Overhead, &Axis::Overhead.paper_values());
+        assert_eq!(result.points.len(), 9);
+        assert!((result.points[0].slowdown - 1.0).abs() < 1e-12);
+        // At o=103 (Δo=100.1): rt = 1ms + 2·1000·100.1µs = 201.2ms ⇒ 201.2x.
+        let last = result.points.last().unwrap();
+        assert!((last.slowdown - 201.2).abs() < 0.01, "{}", last.slowdown);
+        let fit = result.linearity().unwrap();
+        assert!(fit.r2 > 0.999999, "exact linear app must fit: {}", fit.r2);
+        assert!((result.max_slowdown() - last.slowdown).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_axis_uses_burst_cost_in_fake_app() {
+        let app = FakeApp { msgs: 1000 };
+        let template = RunSpec::new(4);
+        let result = sweep(&app, &template, Axis::Gap, &Axis::Gap.paper_values());
+        // At g=105 (Δg=99.2): rt = 1ms + 1000·99.2µs = 100.2ms.
+        let last = result.points.last().unwrap();
+        assert!((last.runtime.as_millis_f64() - 100.2).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline run did not complete")]
+    fn incomplete_baseline_panics() {
+        struct Dud;
+        impl SweepableApp for Dud {
+            fn name(&self) -> &str {
+                "dud"
+            }
+            fn run(&self, _spec: &RunSpec) -> RunOutcome {
+                RunOutcome {
+                    runtime: SimDelta::ZERO,
+                    stats: CommStats::default(),
+                    completed: false,
+                    check: 0,
+                }
+            }
+        }
+        let _ = sweep(&Dud, &RunSpec::new(2), Axis::Overhead, &[2.9, 10.0]);
+    }
+}

@@ -1,0 +1,707 @@
+//! The discrete-event simulation kernel and its async task executor.
+//!
+//! A [`Sim`] owns a virtual clock, a time-ordered event queue, and a set of
+//! cooperatively scheduled async tasks. Tasks model the simulated processors:
+//! they run in zero virtual time between `await` points and advance the clock
+//! only by awaiting [`Sim::delay`] / [`Sim::sleep_until`] or by blocking on
+//! synchronization primitives ([`crate::Notify`], [`crate::Semaphore`]).
+//!
+//! The executor is strictly single-threaded and deterministic: ties in the
+//! event queue are broken by insertion sequence number, and the ready queue is
+//! FIFO, so the same program produces the same virtual-time trace on every
+//! run.
+//!
+//! # Examples
+//!
+//! ```
+//! use nowlab_sim::{Sim, SimDelta};
+//!
+//! let sim = Sim::new();
+//! let handle = sim.spawn({
+//!     let sim = sim.clone();
+//!     async move {
+//!         sim.delay(SimDelta::from_micros(5.0)).await;
+//!         sim.now()
+//!     }
+//! });
+//! sim.run();
+//! assert_eq!(handle.try_take().unwrap().as_nanos(), 5_000);
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::{SimDelta, SimTime};
+
+type TaskId = usize;
+type BoxedTask = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Why [`Sim::run`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// No runnable tasks and no pending events remain.
+    Idle,
+    /// The configured event-count budget was exhausted (see
+    /// [`Sim::set_event_limit`]). Used to detect livelock.
+    EventLimit,
+    /// The next event lies beyond the configured virtual-time horizon (see
+    /// [`Sim::set_time_limit`]).
+    TimeLimit,
+}
+
+/// Summary of one [`Sim::run`] invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// Virtual time when the run stopped.
+    pub final_time: SimTime,
+    /// Total events fired (timer expirations and scheduled callbacks).
+    pub events_fired: u64,
+    /// Total task polls performed.
+    pub polls: u64,
+    /// Number of spawned tasks that have not completed.
+    pub unfinished_tasks: usize,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+}
+
+enum TimerAction {
+    Wake(Waker),
+    Call(Box<dyn FnOnce(&Sim)>),
+}
+
+struct TimerEntry {
+    time: SimTime,
+    seq: u64,
+    action: TimerAction,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct Inner {
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    tasks: Vec<Option<BoxedTask>>,
+    live_tasks: usize,
+    seq: u64,
+    event_limit: Option<u64>,
+    time_limit: Option<SimTime>,
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<Mutex<VecDeque<TaskId>>>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready
+            .lock()
+            .expect("sim ready queue poisoned")
+            .push_back(self.id);
+    }
+}
+
+/// Handle to a deterministic discrete-event simulation.
+///
+/// `Sim` is a cheap reference-counted handle; clone it freely into tasks.
+/// See the crate documentation for an overview and example.
+#[derive(Clone)]
+pub struct Sim {
+    now: Rc<Cell<SimTime>>,
+    inner: Rc<RefCell<Inner>>,
+    ready: Arc<Mutex<VecDeque<TaskId>>>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim").field("now", &self.now.get()).finish()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulation with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Sim {
+            now: Rc::new(Cell::new(SimTime::ZERO)),
+            inner: Rc::new(RefCell::new(Inner {
+                timers: BinaryHeap::new(),
+                tasks: Vec::new(),
+                live_tasks: 0,
+                seq: 0,
+                event_limit: None,
+                time_limit: None,
+            })),
+            ready: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now.get()
+    }
+
+    /// Caps the total number of events a subsequent [`Sim::run`] may fire.
+    ///
+    /// Used to bail out of livelocked programs (the paper's Barnes at high
+    /// overhead never completes; we stop and report
+    /// [`StopReason::EventLimit`]).
+    pub fn set_event_limit(&self, limit: Option<u64>) {
+        self.inner.borrow_mut().event_limit = limit;
+    }
+
+    /// Caps virtual time: [`Sim::run`] stops before firing any event later
+    /// than `limit`.
+    pub fn set_time_limit(&self, limit: Option<SimTime>) {
+        self.inner.borrow_mut().time_limit = limit;
+    }
+
+    /// Spawns an async task; it will first be polled by [`Sim::run`].
+    ///
+    /// Returns a [`JoinHandle`] from which the task's output can be awaited
+    /// (inside the simulation) or taken (after `run`).
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waiters: Vec::new(),
+        }));
+        let state2 = Rc::clone(&state);
+        let wrapped = async move {
+            let out = fut.await;
+            let mut st = state2.borrow_mut();
+            st.result = Some(out);
+            for w in st.waiters.drain(..) {
+                w.wake();
+            }
+        };
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            let id = inner.tasks.len();
+            inner.tasks.push(Some(Box::pin(wrapped)));
+            inner.live_tasks += 1;
+            id
+        };
+        self.ready
+            .lock()
+            .expect("sim ready queue poisoned")
+            .push_back(id);
+        JoinHandle { state }
+    }
+
+    /// Schedules `f` to run at virtual time `at` (clamped to now if in the
+    /// past). Callbacks run in zero virtual time and receive the `Sim` handle.
+    pub fn schedule<F>(&self, at: SimTime, f: F)
+    where
+        F: FnOnce(&Sim) + 'static,
+    {
+        let at = at.max(self.now());
+        let mut inner = self.inner.borrow_mut();
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.timers.push(Reverse(TimerEntry {
+            time: at,
+            seq,
+            action: TimerAction::Call(Box::new(f)),
+        }));
+    }
+
+    /// Schedules `f` to run `after` from now.
+    pub fn schedule_in<F>(&self, after: SimDelta, f: F)
+    where
+        F: FnOnce(&Sim) + 'static,
+    {
+        self.schedule(self.now() + after, f);
+    }
+
+    /// Future that completes at virtual time `deadline` (immediately if the
+    /// deadline has passed).
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline,
+            registered: false,
+        }
+    }
+
+    /// Future that completes after `delta` of virtual time.
+    pub fn delay(&self, delta: SimDelta) -> Sleep {
+        self.sleep_until(self.now() + delta)
+    }
+
+    fn register_timer_wake(&self, deadline: SimTime, waker: Waker) {
+        let mut inner = self.inner.borrow_mut();
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.timers.push(Reverse(TimerEntry {
+            time: deadline,
+            seq,
+            action: TimerAction::Wake(waker),
+        }));
+    }
+
+    fn poll_task(&self, id: TaskId) -> u64 {
+        let task = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.tasks.get_mut(id) {
+                Some(slot) => slot.take(),
+                None => None,
+            }
+        };
+        let Some(mut task) = task else { return 0 };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.ready),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match task.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.inner.borrow_mut().live_tasks -= 1;
+            }
+            Poll::Pending => {
+                self.inner.borrow_mut().tasks[id] = Some(task);
+            }
+        }
+        1
+    }
+
+    /// Runs the simulation until no work remains or a limit is hit.
+    ///
+    /// Determinism: ready tasks are polled FIFO; simultaneous timers fire in
+    /// registration order.
+    pub fn run(&self) -> RunReport {
+        let mut events: u64 = 0;
+        let mut polls: u64 = 0;
+        let stop_reason = loop {
+            // Drain all ready tasks at the current instant.
+            loop {
+                let next = self
+                    .ready
+                    .lock()
+                    .expect("sim ready queue poisoned")
+                    .pop_front();
+                match next {
+                    Some(id) => polls += self.poll_task(id),
+                    None => break,
+                }
+            }
+            // Advance virtual time to the next event.
+            let (event_limit, time_limit) = {
+                let inner = self.inner.borrow();
+                (inner.event_limit, inner.time_limit)
+            };
+            if let Some(limit) = event_limit {
+                if events >= limit {
+                    break StopReason::EventLimit;
+                }
+            }
+            let entry = {
+                let mut inner = self.inner.borrow_mut();
+                match inner.timers.peek() {
+                    Some(Reverse(e)) => {
+                        if let Some(tl) = time_limit {
+                            if e.time > tl {
+                                break StopReason::TimeLimit;
+                            }
+                        }
+                        inner.timers.pop().map(|Reverse(e)| e)
+                    }
+                    None => None,
+                }
+            };
+            match entry {
+                Some(e) => {
+                    debug_assert!(e.time >= self.now.get(), "event queue went backwards");
+                    self.now.set(e.time);
+                    events += 1;
+                    match e.action {
+                        TimerAction::Wake(w) => w.wake(),
+                        TimerAction::Call(f) => f(self),
+                    }
+                }
+                None => break StopReason::Idle,
+            }
+        };
+        RunReport {
+            final_time: self.now(),
+            events_fired: events,
+            polls,
+            unfinished_tasks: self.inner.borrow().live_tasks,
+            stop_reason,
+        }
+    }
+}
+
+/// Future returned by [`Sim::sleep_until`] and [`Sim::delay`].
+#[derive(Debug)]
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            let deadline = self.deadline;
+            self.sim.register_timer_wake(deadline, cx.waker().clone());
+            self.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waiters: Vec<Waker>,
+}
+
+/// Handle to a spawned task's output.
+///
+/// Await it inside the simulation, or call [`JoinHandle::try_take`] after
+/// [`Sim::run`] returns.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let done = self.state.borrow().result.is_some();
+        f.debug_struct("JoinHandle").field("finished", &done).finish()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Takes the task's output if it has completed.
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+
+    /// True if the task has completed (and its output not yet taken).
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        match st.result.take() {
+            Some(v) => Poll::Ready(v),
+            None => {
+                st.waiters.push(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Races two futures: completes when either completes, returning which one
+/// won (ties go to `a`). The loser is dropped.
+pub async fn race<A, B>(a: A, b: B) -> Either<A::Output, B::Output>
+where
+    A: Future,
+    B: Future,
+{
+    Race {
+        a: Box::pin(a),
+        b: Box::pin(b),
+    }
+    .await
+}
+
+/// Result of [`race`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The first future finished first.
+    A(A),
+    /// The second future finished first.
+    B(B),
+}
+
+struct Race<A, B> {
+    a: Pin<Box<A>>,
+    b: Pin<Box<B>>,
+}
+
+impl<A: Future, B: Future> Future for Race<A, B> {
+    type Output = Either<A::Output, B::Output>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Poll::Ready(v) = self.a.as_mut().poll(cx) {
+            return Poll::Ready(Either::A(v));
+        }
+        if let Poll::Ready(v) = self.b.as_mut().poll(cx) {
+            return Poll::Ready(Either::B(v));
+        }
+        Poll::Pending
+    }
+}
+
+/// Future that yields once, letting other ready tasks run at the same instant.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug, Default)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_advances_clock() {
+        let sim = Sim::new();
+        let h = sim.spawn({
+            let sim = sim.clone();
+            async move {
+                sim.delay(SimDelta::from_micros_int(7)).await;
+                sim.now()
+            }
+        });
+        let report = sim.run();
+        assert_eq!(h.try_take().unwrap(), SimTime::from_nanos(7_000));
+        assert_eq!(report.stop_reason, StopReason::Idle);
+        assert_eq!(report.unfinished_tasks, 0);
+    }
+
+    #[test]
+    fn simultaneous_timers_fire_in_registration_order() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5u32 {
+            let log = Rc::clone(&log);
+            sim.schedule(SimTime::from_nanos(100), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_interleave_by_time_not_spawn_order() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        let l1 = Rc::clone(&log);
+        let s1 = sim.clone();
+        sim.spawn(async move {
+            s1.delay(SimDelta::from_nanos(20)).await;
+            l1.borrow_mut().push("late");
+        });
+        let l2 = Rc::clone(&log);
+        let s2 = sim.clone();
+        sim.spawn(async move {
+            s2.delay(SimDelta::from_nanos(10)).await;
+            l2.borrow_mut().push("early");
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["early", "late"]);
+    }
+
+    #[test]
+    fn join_handle_awaitable_within_sim() {
+        let sim = Sim::new();
+        let inner = sim.spawn({
+            let sim = sim.clone();
+            async move {
+                sim.delay(SimDelta::from_nanos(42)).await;
+                7u32
+            }
+        });
+        let outer = sim.spawn(async move { inner.await * 2 });
+        sim.run();
+        assert_eq!(outer.try_take(), Some(14));
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        let sim = Sim::new();
+        let fired = Rc::new(Cell::new(false));
+        let f2 = Rc::clone(&fired);
+        sim.schedule_in(SimDelta::from_nanos(10), move |sim| {
+            let f3 = Rc::clone(&f2);
+            // Schedule "in the past" relative to the new now.
+            sim.schedule(SimTime::ZERO, move |sim| {
+                assert_eq!(sim.now(), SimTime::from_nanos(10));
+                f3.set(true);
+            });
+        });
+        sim.run();
+        assert!(fired.get());
+    }
+
+    #[test]
+    fn event_limit_stops_livelock() {
+        let sim = Sim::new();
+        sim.set_event_limit(Some(100));
+        let s = sim.clone();
+        sim.spawn(async move {
+            loop {
+                s.delay(SimDelta::from_nanos(1)).await;
+            }
+        });
+        let report = sim.run();
+        assert_eq!(report.stop_reason, StopReason::EventLimit);
+        assert_eq!(report.unfinished_tasks, 1);
+    }
+
+    #[test]
+    fn time_limit_stops_before_horizon() {
+        let sim = Sim::new();
+        sim.set_time_limit(Some(SimTime::from_nanos(50)));
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.delay(SimDelta::from_nanos(200)).await;
+        });
+        let report = sim.run();
+        assert_eq!(report.stop_reason, StopReason::TimeLimit);
+        assert!(report.final_time <= SimTime::from_nanos(50));
+        assert!(!h.is_finished());
+    }
+
+    #[test]
+    fn yield_now_interleaves_same_instant() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3u32 {
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                for round in 0..2u32 {
+                    log.borrow_mut().push(i * 10 + round);
+                    yield_now().await;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 10, 20, 1, 11, 21]);
+    }
+
+    #[test]
+    fn run_report_counts_events() {
+        let sim = Sim::new();
+        for i in 0..4 {
+            sim.schedule(SimTime::from_nanos(i), |_| {});
+        }
+        let report = sim.run();
+        assert_eq!(report.events_fired, 4);
+        assert_eq!(report.final_time, SimTime::from_nanos(3));
+    }
+
+    #[test]
+    fn race_returns_first_winner() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            let first = race(s.delay(SimDelta::from_nanos(10)), s.delay(SimDelta::from_nanos(20))).await;
+            let second = race(s.delay(SimDelta::from_nanos(30)), s.delay(SimDelta::from_nanos(5))).await;
+            (first, second)
+        });
+        sim.run();
+        let (first, second) = h.try_take().unwrap();
+        assert_eq!(first, Either::A(()));
+        assert_eq!(second, Either::B(()));
+    }
+
+    #[test]
+    fn race_ties_go_to_a() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            race(s.delay(SimDelta::from_nanos(7)), s.delay(SimDelta::from_nanos(7))).await
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), Either::A(()));
+    }
+
+    #[test]
+    fn race_returns_values() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            match race(
+                async {
+                    s.delay(SimDelta::from_nanos(1)).await;
+                    "fast"
+                },
+                async { "never-timed" },
+            )
+            .await
+            {
+                // The second future is ready immediately, so B wins even
+                // though A was listed first: A is only preferred on ties
+                // of *readiness at the same poll*.
+                Either::A(v) => v,
+                Either::B(v) => v,
+            }
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), "never-timed");
+    }
+
+    #[test]
+    fn zero_delay_completes_immediately() {
+        let sim = Sim::new();
+        let h = sim.spawn({
+            let sim = sim.clone();
+            async move {
+                sim.delay(SimDelta::ZERO).await;
+                sim.now()
+            }
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(SimTime::ZERO));
+    }
+}

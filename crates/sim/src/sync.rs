@@ -1,0 +1,274 @@
+//! Task synchronization primitives for the single-threaded simulation.
+//!
+//! These are virtual-time-free: waiting on them consumes no simulated time by
+//! itself (time only advances through [`crate::Sim::delay`] or other timed
+//! futures). They exist to express *ordering* between simulated processes.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
+
+/// An epoch-based notification primitive (a condition variable for tasks).
+///
+/// Typical use is a condition loop:
+///
+/// ```
+/// use std::rc::Rc;
+/// use std::cell::Cell;
+/// use nowlab_sim::{Sim, Notify};
+///
+/// let sim = Sim::new();
+/// let flag = Rc::new(Cell::new(false));
+/// let notify = Rc::new(Notify::new());
+///
+/// let (f, n) = (Rc::clone(&flag), Rc::clone(&notify));
+/// let waiter = sim.spawn(async move {
+///     while !f.get() {
+///         n.notified().await;
+///     }
+///     true
+/// });
+///
+/// let (f, n) = (flag, notify);
+/// sim.spawn(async move {
+///     f.set(true);
+///     n.notify_all();
+/// });
+///
+/// sim.run();
+/// assert_eq!(waiter.try_take(), Some(true));
+/// ```
+///
+/// Wakeups may be spurious from the waiter's perspective (every `notify_all`
+/// wakes every waiter), so always re-check the condition.
+#[derive(Default)]
+pub struct Notify {
+    epoch: Cell<u64>,
+    waiters: RefCell<Vec<Waker>>,
+}
+
+impl fmt::Debug for Notify {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Notify")
+            .field("epoch", &self.epoch.get())
+            .field("waiters", &self.waiters.borrow().len())
+            .finish()
+    }
+}
+
+impl Notify {
+    /// Creates a notifier with no waiters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wakes every task currently waiting in [`Notify::notified`].
+    pub fn notify_all(&self) {
+        self.epoch.set(self.epoch.get() + 1);
+        for w in self.waiters.borrow_mut().drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Future that completes at the next [`Notify::notify_all`] issued after
+    /// this call.
+    pub fn notified(&self) -> Notified<'_> {
+        Notified {
+            notify: self,
+            start_epoch: self.epoch.get(),
+        }
+    }
+
+    /// Number of notifications issued so far (diagnostic).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+#[derive(Debug)]
+pub struct Notified<'a> {
+    notify: &'a Notify,
+    start_epoch: u64,
+}
+
+impl Future for Notified<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.notify.epoch.get() > self.start_epoch {
+            Poll::Ready(())
+        } else {
+            self.notify.waiters.borrow_mut().push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// A counting semaphore for simulated tasks.
+///
+/// Used, e.g., to model bounded queues. Fair in the sense that all waiters are
+/// woken on release and re-race deterministically (FIFO ready queue).
+///
+/// # Examples
+///
+/// ```
+/// use std::rc::Rc;
+/// use nowlab_sim::{Sim, Semaphore};
+///
+/// let sim = Sim::new();
+/// let sem = Rc::new(Semaphore::new(1));
+/// let s2 = Rc::clone(&sem);
+/// let h = sim.spawn(async move {
+///     s2.acquire().await;
+///     s2.release();
+///     true
+/// });
+/// sim.run();
+/// assert_eq!(h.try_take(), Some(true));
+/// ```
+#[derive(Debug, Default)]
+pub struct Semaphore {
+    permits: Cell<usize>,
+    notify: Notify,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: Cell::new(permits),
+            notify: Notify::new(),
+        }
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> usize {
+        self.permits.get()
+    }
+
+    /// Acquires one permit, waiting (in zero virtual time) until available.
+    pub async fn acquire(&self) {
+        loop {
+            let p = self.permits.get();
+            if p > 0 {
+                self.permits.set(p - 1);
+                return;
+            }
+            self.notify.notified().await;
+        }
+    }
+
+    /// Acquires a permit if one is available right now.
+    pub fn try_acquire(&self) -> bool {
+        let p = self.permits.get();
+        if p > 0 {
+            self.permits.set(p - 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns one permit and wakes waiters.
+    pub fn release(&self) {
+        self.permits.set(self.permits.get() + 1);
+        self.notify.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimDelta};
+    use std::rc::Rc;
+
+    #[test]
+    fn notify_wakes_waiter() {
+        let sim = Sim::new();
+        let n = Rc::new(Notify::new());
+        let n2 = Rc::clone(&n);
+        let s2 = sim.clone();
+        let waiter = sim.spawn(async move {
+            n2.notified().await;
+            s2.now()
+        });
+        let s3 = sim.clone();
+        sim.spawn(async move {
+            s3.delay(SimDelta::from_nanos(30)).await;
+            n.notify_all();
+        });
+        sim.run();
+        assert_eq!(waiter.try_take().unwrap().as_nanos(), 30);
+    }
+
+    #[test]
+    fn notify_before_wait_is_not_lost_in_condition_loop() {
+        // A notified() created *after* the notify fires must not complete
+        // until the next notify; condition loops handle this by re-checking
+        // state first.
+        let n = Notify::new();
+        n.notify_all();
+        assert_eq!(n.epoch(), 1);
+        // Future created now requires epoch > 1.
+        let sim = Sim::new();
+        let n = Rc::new(n);
+        let n2 = Rc::clone(&n);
+        let h = sim.spawn(async move {
+            n2.notified().await;
+            true
+        });
+        sim.run();
+        assert!(!h.is_finished(), "stale notify must not complete new waiter");
+    }
+
+    #[test]
+    fn semaphore_serializes_critical_sections() {
+        let sim = Sim::new();
+        let sem = Rc::new(Semaphore::new(1));
+        let log: Rc<std::cell::RefCell<Vec<(u32, &'static str)>>> =
+            Rc::new(std::cell::RefCell::new(Vec::new()));
+        for i in 0..3u32 {
+            let sem = Rc::clone(&sem);
+            let log = Rc::clone(&log);
+            let s = sim.clone();
+            sim.spawn(async move {
+                sem.acquire().await;
+                log.borrow_mut().push((i, "in"));
+                s.delay(SimDelta::from_nanos(10)).await;
+                log.borrow_mut().push((i, "out"));
+                sem.release();
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        assert_eq!(log.len(), 6);
+        // Sections never interleave: every "in" is followed by its own "out".
+        for pair in log.chunks(2) {
+            assert_eq!(pair[0].0, pair[1].0);
+            assert_eq!(pair[0].1, "in");
+            assert_eq!(pair[1].1, "out");
+        }
+    }
+
+    #[test]
+    fn try_acquire_fails_when_empty() {
+        let sem = Semaphore::new(1);
+        assert!(sem.try_acquire());
+        assert!(!sem.try_acquire());
+        sem.release();
+        assert!(sem.try_acquire());
+    }
+
+    #[test]
+    fn semaphore_available_tracks_permits() {
+        let sem = Semaphore::new(3);
+        assert_eq!(sem.available(), 3);
+        assert!(sem.try_acquire());
+        assert_eq!(sem.available(), 2);
+        sem.release();
+        assert_eq!(sem.available(), 3);
+    }
+}

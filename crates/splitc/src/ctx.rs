@@ -1,0 +1,561 @@
+//! The per-processor Split-C context: the API applications program against.
+
+use std::fmt;
+
+use nowlab_am::{AmCluster, AmPort, HandlerId, Mark, NetConfig, Payload};
+use nowlab_sim::{SimDelta, SimTime};
+
+use crate::layer::Prims;
+use crate::memory::{GlobalPtr, MailMsg, MailboxId, Memory, RegionId};
+
+/// A processor's view of the Split-C global address space.
+///
+/// Handed to the SPMD body by [`crate::SplitC::run`]. Remote operations are
+/// Active Messages with LogGP costs; operations on the local processor are
+/// free (as direct loads/stores are next to the cost of a message).
+pub struct Ctx {
+    cluster: AmCluster,
+    port: AmPort,
+    prims: Prims,
+}
+
+impl fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ctx").field("proc", &self.me()).finish()
+    }
+}
+
+impl Ctx {
+    pub(crate) fn new(cluster: AmCluster, port: AmPort, prims: Prims) -> Self {
+        Ctx {
+            cluster,
+            port,
+            prims,
+        }
+    }
+
+    /// This processor's id (0-based).
+    pub fn me(&self) -> usize {
+        self.port.proc_id()
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.port.num_procs()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.port.now()
+    }
+
+    /// The network configuration of this run.
+    pub fn net_config(&self) -> NetConfig {
+        self.port.config()
+    }
+
+    /// Low-level access to the Active Message port.
+    pub fn port(&self) -> &AmPort {
+        &self.port
+    }
+
+    /// Spends `d` of local compute time (the network is not serviced).
+    pub async fn compute(&self, d: SimDelta) {
+        self.port.compute(d).await;
+    }
+
+    /// Services the network once (drains pending messages).
+    pub async fn poll(&self) {
+        self.port.poll().await;
+    }
+
+    /// Services the network until `cond()` holds.
+    pub async fn wait_until(&self, cond: impl Fn() -> bool) {
+        self.port.wait_until(cond).await;
+    }
+
+    /// Idles until virtual time `deadline` while servicing the network —
+    /// models waiting on an overlapped device (disk DMA) rather than
+    /// computing (compare [`Ctx::compute`], which does *not* poll).
+    pub async fn idle_until(&self, deadline: SimTime) {
+        self.port.idle_until(deadline).await;
+    }
+
+    /// Restarts the measured region: zeroes all communication counters and
+    /// the stats clock. Call from **one** processor, between barriers.
+    pub fn reset_measurement(&self) {
+        self.cluster.reset_stats();
+    }
+
+    /// Ends the measured region: freezes runtime and message statistics so
+    /// later traffic (result verification) is not counted. Call from
+    /// **one** processor, after a barrier.
+    pub fn freeze_measurement(&self) {
+        self.cluster.freeze_stats();
+    }
+
+    // ------------------------------------------------------------------
+    // Local memory
+    // ------------------------------------------------------------------
+
+    /// Runs `f` on this processor's [`Memory`].
+    pub fn with_mem<R>(&self, f: impl FnOnce(&mut Memory) -> R) -> R {
+        self.port.with_state(f)
+    }
+
+    /// Allocates a region of `words` locally. SPMD programs allocate in the
+    /// same order everywhere, so the id is symmetric.
+    pub fn alloc_region(&self, words: usize) -> RegionId {
+        self.with_mem(|m| m.alloc_region(words))
+    }
+
+    /// Allocates a mailbox locally (symmetric by convention, like regions).
+    pub fn alloc_mailbox(&self) -> MailboxId {
+        self.with_mem(|m| m.alloc_mailbox())
+    }
+
+    /// Reads a word of local memory.
+    pub fn load_local(&self, region: RegionId, offset: usize) -> u64 {
+        self.with_mem(|m| m.load(region, offset))
+    }
+
+    /// Writes a word of local memory.
+    pub fn store_local(&self, region: RegionId, offset: usize, value: u64) {
+        self.with_mem(|m| m.store(region, offset, value));
+    }
+
+    /// Installs this processor's application extension state.
+    pub fn set_ext<T: 'static>(&self, ext: T) {
+        self.with_mem(|m| m.ext = Some(Box::new(ext)));
+    }
+
+    /// Runs `f` on the application extension state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no extension of type `T` is installed.
+    pub fn with_ext<T: 'static, R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.with_mem(|m| f(m.ext_mut::<T>()))
+    }
+
+    // ------------------------------------------------------------------
+    // Global address space operations
+    // ------------------------------------------------------------------
+
+    /// Blocking read of one word (request/response round trip for remote
+    /// targets).
+    pub async fn read(&self, gp: GlobalPtr) -> u64 {
+        if gp.proc == self.me() {
+            return self.load_local(gp.region, gp.offset);
+        }
+        let (args, _) = self
+            .port
+            .request(
+                gp.proc,
+                self.prims.read,
+                [gp.region as u64, gp.offset as u64, 0, 0],
+                Payload::None,
+                Mark::Read,
+            )
+            .await;
+        args[0]
+    }
+
+    /// Pipelined write of one word: returns once the message is injected;
+    /// completion is observed by [`Ctx::sync`].
+    pub async fn write(&self, gp: GlobalPtr, value: u64) {
+        if gp.proc == self.me() {
+            self.store_local(gp.region, gp.offset, value);
+            return;
+        }
+        self.port
+            .post(
+                gp.proc,
+                self.prims.write,
+                [gp.region as u64, gp.offset as u64, value, 0],
+                Payload::None,
+                Mark::Write,
+            )
+            .await;
+    }
+
+    /// Atomic fetch-and-add at the owner; returns the previous value.
+    pub async fn fetch_add(&self, gp: GlobalPtr, delta: u64) -> u64 {
+        if gp.proc == self.me() {
+            return self.with_mem(|m| m.fetch_add(gp.region, gp.offset, delta));
+        }
+        let (args, _) = self
+            .port
+            .request(
+                gp.proc,
+                self.prims.fadd,
+                [gp.region as u64, gp.offset as u64, delta, 0],
+                Payload::None,
+                Mark::Rmw,
+            )
+            .await;
+        args[0]
+    }
+
+    /// Atomic compare-and-swap at the owner; returns the previous value.
+    pub async fn compare_swap(&self, gp: GlobalPtr, expected: u64, new: u64) -> u64 {
+        if gp.proc == self.me() {
+            return self.with_mem(|m| m.compare_swap(gp.region, gp.offset, expected, new));
+        }
+        let (args, _) = self
+            .port
+            .request(
+                gp.proc,
+                self.prims.cswap,
+                [gp.region as u64, gp.offset as u64, expected, new],
+                Payload::None,
+                Mark::Rmw,
+            )
+            .await;
+        args[0]
+    }
+
+    /// Bulk store of `words` at `gp` (one bulk message, pipelined; see
+    /// [`Ctx::sync`]).
+    pub async fn bulk_put(&self, gp: GlobalPtr, words: Vec<u64>) {
+        if gp.proc == self.me() {
+            self.with_mem(|m| {
+                let dst = m.region_mut(gp.region);
+                dst[gp.offset..gp.offset + words.len()].copy_from_slice(&words);
+            });
+            return;
+        }
+        self.port
+            .post(
+                gp.proc,
+                self.prims.bulk_put,
+                [gp.region as u64, gp.offset as u64, words.len() as u64, 0],
+                Payload::from_words(words),
+                Mark::Bulk,
+            )
+            .await;
+    }
+
+    /// Bulk *scatter* store: each word of `packed` encodes
+    /// `(offset << 32) | value` and deposits `value` (≤ 32 bits) at
+    /// `region[offset]` on `dst` — one bulk message carrying many
+    /// non-contiguous stores (the bulk radix sort's distribution).
+    pub async fn bulk_put_scatter(&self, dst: usize, region: RegionId, packed: Vec<u64>) {
+        if dst == self.me() {
+            self.with_mem(|m| {
+                let r = m.region_mut(region);
+                for &w in &packed {
+                    r[(w >> 32) as usize] = w & 0xFFFF_FFFF;
+                }
+            });
+            return;
+        }
+        self.port
+            .post(
+                dst,
+                self.prims.bulk_scatter,
+                [region as u64, packed.len() as u64, 0, 0],
+                Payload::from_words(packed),
+                Mark::Bulk,
+            )
+            .await;
+    }
+
+    /// Bulk store of a synthetic payload: occupies the wire for `bytes` but
+    /// deposits nothing (streaming workloads).
+    pub async fn bulk_put_synthetic(&self, dst: usize, bytes: u32) {
+        if dst == self.me() {
+            return;
+        }
+        self.port
+            .post(
+                dst,
+                self.prims.bulk_put,
+                [0, 0, 0, 0],
+                Payload::Synthetic(bytes),
+                Mark::Bulk,
+            )
+            .await;
+    }
+
+    /// Blocking bulk fetch of `words` starting at `gp`.
+    pub async fn bulk_get(&self, gp: GlobalPtr, words: usize) -> Vec<u64> {
+        if gp.proc == self.me() {
+            return self
+                .with_mem(|m| m.region(gp.region)[gp.offset..gp.offset + words].to_vec());
+        }
+        let (_, payload) = self
+            .port
+            .request(
+                gp.proc,
+                self.prims.bulk_get,
+                [gp.region as u64, gp.offset as u64, words as u64, 0],
+                Payload::None,
+                Mark::Read,
+            )
+            .await;
+        payload
+            .as_words()
+            .expect("bulk_get reply missing payload")
+            .to_vec()
+    }
+
+    /// Waits until every pipelined write/post issued by this processor has
+    /// been acknowledged (Split-C `sync()`).
+    pub async fn sync(&self) {
+        self.port.quiesce().await;
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization
+    // ------------------------------------------------------------------
+
+    /// Dissemination barrier over all processors (`⌈log₂P⌉` rounds of one
+    /// message each).
+    pub async fn barrier(&self) {
+        let p = self.procs();
+        let me = self.me();
+        let generation = self.with_mem(|m| {
+            m.barrier_gen += 1;
+            m.barrier_gen
+        });
+        if p > 1 {
+            let rounds = crate::memory::barrier_rounds(p);
+            for r in 0..rounds {
+                let partner = (me + (1 << r)) % p;
+                self.port
+                    .post(
+                        partner,
+                        self.prims.barrier,
+                        [r as u64, 0, 0, 0],
+                        Payload::None,
+                        Mark::Barrier,
+                    )
+                    .await;
+                self.port
+                    .wait_until(|| self.with_mem(|m| m.barrier_arrived[r]) >= generation)
+                    .await;
+            }
+        }
+        self.port.note_barrier();
+    }
+
+    /// Global sum reduction: every processor contributes `value`, everyone
+    /// receives the total.
+    pub async fn allreduce_sum(&self, value: u64) -> u64 {
+        let p = self.procs();
+        if p == 1 {
+            return value;
+        }
+        let me = self.me();
+        if me == 0 {
+            // Root contributes locally and gathers the rest.
+            self.with_mem(|m| {
+                m.reduce_acc = m.reduce_acc.wrapping_add(value);
+                m.reduce_count += 1;
+            });
+            self.port
+                .wait_until(|| self.with_mem(|m| m.reduce_count) >= p as u64)
+                .await;
+            let total = self.with_mem(|m| {
+                let t = m.reduce_acc;
+                m.reduce_acc = 0;
+                m.reduce_count = 0;
+                m.reduce_result = t;
+                m.reduce_result_gen += 1;
+                t
+            });
+            for q in 1..p {
+                self.port
+                    .post(
+                        q,
+                        self.prims.reduce_result,
+                        [total, 0, 0, 0],
+                        Payload::None,
+                        Mark::Barrier,
+                    )
+                    .await;
+            }
+            total
+        } else {
+            let gen0 = self.with_mem(|m| m.reduce_result_gen);
+            self.port
+                .post(
+                    0,
+                    self.prims.reduce_contrib,
+                    [value, 0, 0, 0],
+                    Payload::None,
+                    Mark::Barrier,
+                )
+                .await;
+            self.port
+                .wait_until(|| self.with_mem(|m| m.reduce_result_gen) > gen0)
+                .await;
+            self.with_mem(|m| m.reduce_result)
+        }
+    }
+
+    /// Binomial-tree broadcast: `root`'s `words` reach every processor in
+    /// `⌈log₂P⌉` rounds of bulk messages. A collective — every processor
+    /// must call it, and every processor receives the broadcast data.
+    ///
+    /// Non-root callers' `words` argument is ignored (pass `Vec::new()`).
+    /// Consecutive broadcasts must be separated by a [`Ctx::barrier`] (the
+    /// scratch slot holds one payload).
+    pub async fn broadcast_words(&self, root: usize, words: Vec<u64>) -> Vec<u64> {
+        let p = self.procs();
+        let me = self.me();
+        if p == 1 {
+            return words;
+        }
+        let rank = (me + p - root) % p; // position in the broadcast tree
+        let data = if rank == 0 {
+            self.with_mem(|m| {
+                m.bcast_data = words.clone();
+                m.bcast_gen += 1;
+            });
+            words
+        } else {
+            let gen0 = self.with_mem(|m| m.bcast_gen);
+            self.port.wait_until(|| self.with_mem(|m| m.bcast_gen) > gen0).await;
+            self.with_mem(|m| m.bcast_data.clone())
+        };
+        // Forward to binomial children: rank + 2^k for every k with
+        // 2^k > rank.
+        let mut step = 1usize;
+        while step <= rank {
+            step <<= 1;
+        }
+        while rank + step < p {
+            let child = (root + rank + step) % p;
+            self.port
+                .post(
+                    child,
+                    self.prims.bcast,
+                    [data.len() as u64, 0, 0, 0],
+                    Payload::from_words(data.clone()),
+                    Mark::Bulk,
+                )
+                .await;
+            step <<= 1;
+        }
+        data
+    }
+
+    // ------------------------------------------------------------------
+    // Locks (Barnes-style blocking locks with retry)
+    // ------------------------------------------------------------------
+
+    /// Acquires a spin lock at `gp` (word must be 0 when free) with a
+    /// fixed 1 µs retry backoff. Returns the number of attempts — the
+    /// paper's Barnes instrumentation counts failed acquisitions to
+    /// diagnose livelock, and under contention this naive spin exhibits
+    /// exactly that retry explosion.
+    pub async fn lock(&self, gp: GlobalPtr) -> u64 {
+        self.lock_with_backoff(gp, SimDelta::from_micros(1.0), SimDelta::from_micros(1.0))
+            .await
+    }
+
+    /// Acquires a spin lock with exponential backoff: the retry delay
+    /// starts at `initial` and doubles up to `max` (set `max == initial`
+    /// for the naive fixed-backoff spin). Returns the number of attempts.
+    pub async fn lock_with_backoff(
+        &self,
+        gp: GlobalPtr,
+        initial: SimDelta,
+        max: SimDelta,
+    ) -> u64 {
+        let mut attempts = 0u64;
+        let mut backoff = initial;
+        loop {
+            attempts += 1;
+            let old = self.compare_swap(gp, 0, 1).await;
+            if old == 0 {
+                return attempts;
+            }
+            // Back off while *polling*: a spinning processor still
+            // services the network (GAM discipline). The backoff is
+            // jittered deterministically per (processor, attempt):
+            // identical spinners otherwise phase-lock into a convoy — a
+            // limit cycle in which the holder's own messages queue behind
+            // the same retries forever (deterministic simulation has none
+            // of the clock skew that breaks such convoys in hardware).
+            let jitter = {
+                let mut h = (self.me() as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(attempts.wrapping_mul(0xD1B5_4A32_D192_ED03));
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                h ^= h >> 29;
+                SimDelta::from_nanos(h % backoff.as_nanos().max(1))
+            };
+            self.idle_until(self.now() + backoff + jitter).await;
+            backoff = (backoff * 2).min(max);
+        }
+    }
+
+    /// Releases a lock taken by [`Ctx::lock`].
+    pub async fn unlock(&self, gp: GlobalPtr) {
+        self.write(gp, 0).await;
+    }
+
+    // ------------------------------------------------------------------
+    // User active messages and mailboxes
+    // ------------------------------------------------------------------
+
+    /// One-way user active message delivering `(args, payload)` into
+    /// mailbox `mb` at `dst` (acknowledged at the transport level).
+    pub async fn send_mail(&self, dst: usize, mb: MailboxId, args: [u64; 3], payload: Payload) {
+        if dst == self.me() {
+            let me = self.me();
+            self.with_mem(|m| {
+                m.push_mail(
+                    mb,
+                    MailMsg {
+                        src: me,
+                        args,
+                        payload,
+                    },
+                )
+            });
+            return;
+        }
+        self.port
+            .post(
+                dst,
+                self.prims.enqueue,
+                [mb as u64, args[0], args[1], args[2]],
+                payload,
+                Mark::User,
+            )
+            .await;
+    }
+
+    /// Pops the oldest message from a local mailbox.
+    pub fn try_recv_mail(&self, mb: MailboxId) -> Option<MailMsg> {
+        self.with_mem(|m| m.pop_mail(mb))
+    }
+
+    /// Number of messages waiting in a local mailbox.
+    pub fn mail_len(&self, mb: MailboxId) -> usize {
+        self.with_mem(|m| m.mail_len(mb))
+    }
+
+    /// Calls a user-registered handler at `dst` and waits for its reply.
+    pub async fn am_request(
+        &self,
+        dst: usize,
+        handler: HandlerId,
+        args: [u64; 4],
+        payload: Payload,
+    ) -> ([u64; 4], Payload) {
+        self.port
+            .request(dst, handler, args, payload, Mark::User)
+            .await
+    }
+
+    /// Posts a one-way user active message to a registered handler.
+    pub async fn am_post(&self, dst: usize, handler: HandlerId, args: [u64; 4], payload: Payload) {
+        self.port.post(dst, handler, args, payload, Mark::User).await;
+    }
+}

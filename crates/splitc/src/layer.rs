@@ -1,0 +1,360 @@
+//! The Split-C layer: primitive handlers, SPMD configuration, and the
+//! runner.
+//!
+//! [`SplitC`] builds a cluster whose processors each hold a
+//! [`Memory`](crate::Memory), registers the primitive Active-Message
+//! handlers (read, write, fetch-add, compare-swap, bulk put/get, barrier,
+//! mailbox enqueue, reduction), and runs one SPMD body per processor.
+
+use std::future::Future;
+
+use nowlab_am::{AmCluster, CommStats, HandlerId, Msg, NetConfig, Payload, ReplyData};
+use nowlab_sim::{RunReport, Sim, SimDelta, SimTime, StopReason};
+
+use crate::ctx::Ctx;
+use crate::memory::{MailMsg, Memory};
+
+/// Handler ids of the Split-C primitives, registered once per cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct Prims {
+    pub(crate) read: HandlerId,
+    pub(crate) write: HandlerId,
+    pub(crate) fadd: HandlerId,
+    pub(crate) cswap: HandlerId,
+    pub(crate) bulk_put: HandlerId,
+    pub(crate) bulk_scatter: HandlerId,
+    pub(crate) bulk_get: HandlerId,
+    pub(crate) barrier: HandlerId,
+    pub(crate) enqueue: HandlerId,
+    pub(crate) reduce_contrib: HandlerId,
+    pub(crate) reduce_result: HandlerId,
+    pub(crate) bcast: HandlerId,
+}
+
+/// Configuration of one SPMD run.
+#[derive(Clone, Copy, Debug)]
+pub struct SpmdConfig {
+    /// Number of processors.
+    pub procs: usize,
+    /// Network configuration (machine baseline + knobs).
+    pub net: NetConfig,
+    /// Abort the run after this many simulation events (livelock guard).
+    pub event_limit: Option<u64>,
+    /// Abort the run at this virtual time.
+    pub time_limit: Option<SimDelta>,
+}
+
+impl SpmdConfig {
+    /// A run of `procs` processors on the Berkeley NOW baseline.
+    pub fn new(procs: usize) -> Self {
+        SpmdConfig {
+            procs,
+            net: NetConfig::berkeley_now(),
+            event_limit: None,
+            time_limit: None,
+        }
+    }
+
+    /// Replaces the network configuration.
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Sets the livelock event budget.
+    pub fn with_event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = Some(limit);
+        self
+    }
+
+    /// Sets the virtual-time budget.
+    pub fn with_time_limit(mut self, limit: SimDelta) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+}
+
+/// Result of one SPMD run.
+#[derive(Debug)]
+pub struct SpmdOutcome<T> {
+    /// Per-processor outputs (`None` if that processor did not finish —
+    /// only possible when a limit aborted the run).
+    pub outputs: Vec<Option<T>>,
+    /// Virtual time of the measured region (since the last stats reset, or
+    /// the whole run).
+    pub elapsed: SimDelta,
+    /// Communication statistics of the measured region.
+    pub stats: CommStats,
+    /// True if every processor ran to completion.
+    pub completed: bool,
+    /// The kernel's run report (events, polls, stop reason).
+    pub report: RunReport,
+}
+
+impl<T> SpmdOutcome<T> {
+    /// Unwraps all outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run did not complete.
+    pub fn expect_outputs(self) -> Vec<T> {
+        assert!(
+            self.completed,
+            "SPMD run did not complete (stop reason {:?})",
+            self.report.stop_reason
+        );
+        self.outputs.into_iter().map(Option::unwrap).collect()
+    }
+}
+
+/// A configured Split-C machine, ready to run one SPMD program.
+///
+/// # Examples
+///
+/// ```
+/// use nowlab_splitc::{SplitC, SpmdConfig};
+///
+/// let sc = SplitC::new(&SpmdConfig::new(4));
+/// let outcome = sc.run(|ctx| async move {
+///     // Everyone allocates the same region, then proc 0's copy is
+///     // incremented by everyone.
+///     let r = ctx.alloc_region(1);
+///     ctx.barrier().await;
+///     ctx.fetch_add(nowlab_splitc::GlobalPtr::new(0, r, 0), 1).await;
+///     ctx.barrier().await;
+///     ctx.read(nowlab_splitc::GlobalPtr::new(0, r, 0)).await
+/// });
+/// let counts = outcome.expect_outputs();
+/// assert!(counts.iter().all(|&c| c == 4));
+/// ```
+#[derive(Debug)]
+pub struct SplitC {
+    sim: Sim,
+    cluster: AmCluster,
+    prims: Prims,
+    cfg: SpmdConfig,
+}
+
+impl SplitC {
+    /// Builds a cluster per `cfg` with the primitive handlers registered
+    /// and a fresh [`Memory`] on every processor.
+    pub fn new(cfg: &SpmdConfig) -> Self {
+        let sim = Sim::new();
+        let cluster = AmCluster::new(sim.clone(), cfg.net, cfg.procs);
+        for p in 0..cfg.procs {
+            cluster.set_state(p, Box::new(Memory::new(cfg.procs)));
+        }
+        let prims = register_prims(&cluster);
+        SplitC {
+            sim,
+            cluster,
+            prims,
+            cfg: *cfg,
+        }
+    }
+
+    /// The underlying simulation.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The underlying cluster (for low-level instrumentation).
+    pub fn cluster(&self) -> &AmCluster {
+        &self.cluster
+    }
+
+    /// Registers an application-defined handler operating on the
+    /// destination processor's [`Memory`].
+    pub fn register_handler<F>(&self, f: F) -> HandlerId
+    where
+        F: Fn(&mut Memory, &Msg) -> ReplyData + 'static,
+    {
+        self.cluster.register_handler(move |hctx| {
+            let mem = hctx
+                .state
+                .downcast_mut::<Memory>()
+                .expect("Split-C processor state missing");
+            f(mem, hctx.msg)
+        })
+    }
+
+    /// Runs `body` on every processor and drives the simulation to
+    /// completion (or to a configured limit).
+    pub fn run<T, F, Fut>(&self, body: F) -> SpmdOutcome<T>
+    where
+        T: 'static,
+        F: Fn(Ctx) -> Fut,
+        Fut: Future<Output = T> + 'static,
+    {
+        let p = self.cfg.procs;
+        // Processors that finish their body keep servicing the network
+        // until everyone is done — a read must be servable even if its
+        // target already returned (the SPMD runtime's exit protocol).
+        let done = std::rc::Rc::new(std::cell::Cell::new(0usize));
+        let handles: Vec<_> = (0..p)
+            .map(|i| {
+                let ctx = Ctx::new(self.cluster.clone(), self.cluster.port(i), self.prims);
+                let fut = body(ctx);
+                let done = std::rc::Rc::clone(&done);
+                let cluster = self.cluster.clone();
+                let epilogue_port = self.cluster.port(i);
+                self.sim.spawn(async move {
+                    let out = fut.await;
+                    done.set(done.get() + 1);
+                    cluster.poke_all();
+                    epilogue_port.wait_until(|| done.get() == p).await;
+                    out
+                })
+            })
+            .collect();
+        self.sim.set_event_limit(self.cfg.event_limit);
+        self.sim
+            .set_time_limit(self.cfg.time_limit.map(|d| SimTime::ZERO + d));
+        let report = self.sim.run();
+        let outputs: Vec<Option<T>> = handles.iter().map(|h| h.try_take()).collect();
+        let completed = outputs.iter().all(Option::is_some);
+        debug_assert!(
+            completed || report.stop_reason != StopReason::Idle,
+            "SPMD program deadlocked: {} of {} processors stuck at {}",
+            report.unfinished_tasks,
+            p,
+            report.final_time
+        );
+        SpmdOutcome {
+            outputs,
+            elapsed: self.cluster.stats().elapsed,
+            stats: self.cluster.stats(),
+            completed,
+            report,
+        }
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run_spmd<T, F, Fut>(cfg: &SpmdConfig, body: F) -> SpmdOutcome<T>
+where
+    T: 'static,
+    F: Fn(Ctx) -> Fut,
+    Fut: Future<Output = T> + 'static,
+{
+    SplitC::new(cfg).run(body)
+}
+
+fn register_prims(cluster: &AmCluster) -> Prims {
+    fn mem_of(state: &mut dyn std::any::Any) -> &mut Memory {
+        state
+            .downcast_mut::<Memory>()
+            .expect("Split-C processor state missing")
+    }
+
+    let read = cluster.register_handler(move |c| {
+        let m = c
+            .state
+            .downcast_mut::<Memory>()
+            .expect("Split-C processor state missing");
+        let [r, off, ..] = c.msg.args;
+        ReplyData::word(m.load(r as usize, off as usize))
+    });
+    let write = cluster.register_handler(move |c| {
+        let m = mem_of(c.state);
+        let [r, off, val, _] = c.msg.args;
+        m.store(r as usize, off as usize, val);
+        ReplyData::ack()
+    });
+    let fadd = cluster.register_handler(move |c| {
+        let m = mem_of(c.state);
+        let [r, off, delta, _] = c.msg.args;
+        ReplyData::word(m.fetch_add(r as usize, off as usize, delta))
+    });
+    let cswap = cluster.register_handler(move |c| {
+        let m = mem_of(c.state);
+        let [r, off, expected, new] = c.msg.args;
+        ReplyData::word(m.compare_swap(r as usize, off as usize, expected, new))
+    });
+    let bulk_put = cluster.register_handler(move |c| {
+        let m = mem_of(c.state);
+        let [r, off, ..] = c.msg.args;
+        if let Some(words) = c.msg.payload.as_words() {
+            let dst = m.region_mut(r as usize);
+            let off = off as usize;
+            dst[off..off + words.len()].copy_from_slice(words);
+        }
+        // Synthetic payloads occupy the wire but deposit nothing.
+        ReplyData::ack()
+    });
+    let bulk_scatter = cluster.register_handler(move |c| {
+        let m = mem_of(c.state);
+        let r = c.msg.args[0] as usize;
+        if let Some(words) = c.msg.payload.as_words() {
+            let dst = m.region_mut(r);
+            for &w in words {
+                dst[(w >> 32) as usize] = w & 0xFFFF_FFFF;
+            }
+        }
+        ReplyData::ack()
+    });
+    let bulk_get = cluster.register_handler(move |c| {
+        let m = mem_of(c.state);
+        let [r, off, len, _] = c.msg.args;
+        let off = off as usize;
+        let words = m.region(r as usize)[off..off + len as usize].to_vec();
+        ReplyData::bulk([len, 0, 0, 0], Payload::from_words(words))
+    });
+    let barrier = cluster.register_handler(move |c| {
+        let m = mem_of(c.state);
+        let round = c.msg.args[0] as usize;
+        m.barrier_arrived[round] += 1;
+        ReplyData::ack()
+    });
+    let enqueue = cluster.register_handler(move |c| {
+        let m = mem_of(c.state);
+        let [mb, a, b, d] = c.msg.args;
+        m.push_mail(
+            mb as usize,
+            MailMsg {
+                src: c.msg.src,
+                args: [a, b, d],
+                payload: c.msg.payload.clone(),
+            },
+        );
+        ReplyData::ack()
+    });
+    let reduce_contrib = cluster.register_handler(move |c| {
+        let m = mem_of(c.state);
+        m.reduce_acc = m.reduce_acc.wrapping_add(c.msg.args[0]);
+        m.reduce_count += 1;
+        ReplyData::ack()
+    });
+    let reduce_result = cluster.register_handler(move |c| {
+        let m = mem_of(c.state);
+        m.reduce_result = c.msg.args[0];
+        m.reduce_result_gen += 1;
+        ReplyData::ack()
+    });
+    let bcast = cluster.register_handler(move |c| {
+        let m = mem_of(c.state);
+        m.bcast_data = c
+            .msg
+            .payload
+            .as_words()
+            .expect("broadcast payload missing")
+            .to_vec();
+        m.bcast_gen += 1;
+        ReplyData::ack()
+    });
+
+    Prims {
+        read,
+        write,
+        fadd,
+        cswap,
+        bulk_put,
+        bulk_scatter,
+        bulk_get,
+        barrier,
+        enqueue,
+        reduce_contrib,
+        reduce_result,
+        bcast,
+    }
+}

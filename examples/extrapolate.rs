@@ -1,0 +1,75 @@
+//! Extrapolation: use the compound LogGP sensitivity model to predict what
+//! communication improvements would buy — the paper's §7 conclusion that
+//! "the investment may be better directed toward improving the
+//! communication system" than toward faster processors.
+//!
+//! Run with: `cargo run --release --example extrapolate`
+
+use nowlab::apps::em3d::{Em3dParams, Em3dWrite};
+use nowlab::apps::radix::{Radix, RadixParams};
+use nowlab::core::report::{fmt_f, Table};
+use nowlab::core::SensitivityModel;
+use nowlab::sim::SimDelta;
+use nowlab::{Knobs, NetConfig, RunSpec, SweepableApp};
+
+fn main() {
+    let apps: Vec<Box<dyn SweepableApp>> = vec![
+        Box::new(Radix::new(RadixParams::small().scaled(4.0))),
+        Box::new(Em3dWrite::new(Em3dParams::small().scaled(2.0))),
+    ];
+    let spec = RunSpec::new(8);
+
+    let mut t = Table::new(
+        "what communication improvements would buy (model extrapolation)",
+        &[
+            "app",
+            "baseline",
+            "halve o (pred)",
+            "zero o (pred)",
+            "LAN o (pred)",
+            "LAN o (measured)",
+        ],
+    );
+    for app in &apps {
+        let baseline = app.run(&spec);
+        assert!(baseline.completed);
+        let model = SensitivityModel::from_baseline(&baseline);
+
+        // Backward: hypothetical designs more aggressive than the NOW.
+        let half_o = model
+            .extrapolate_overhead_reduction(SimDelta::from_micros(1.45))
+            .expect("overhead share exceeds half");
+        let zero_o = model
+            .extrapolate_overhead_reduction(SimDelta::from_micros(2.9))
+            .expect("overhead share exceeds all");
+
+        // Forward: validate against an actual slowed-down run.
+        let lan = Knobs::with_overhead(SimDelta::from_micros(100.0));
+        let pred_lan = model.predict(&lan);
+        let meas_lan = app.run(&spec.with_net(NetConfig::berkeley_now().with_knobs(lan)));
+        assert!(meas_lan.completed);
+
+        t.push_row([
+            app.name().to_string(),
+            format!("{:.2}ms", baseline.runtime.as_millis_f64()),
+            format!("{:.2}ms", half_o.as_millis_f64()),
+            format!("{:.2}ms", zero_o.as_millis_f64()),
+            format!("{:.2}ms", pred_lan.as_millis_f64()),
+            format!(
+                "{:.2}ms ({}x)",
+                meas_lan.runtime.as_millis_f64(),
+                fmt_f(
+                    meas_lan.runtime.as_secs_f64() / baseline.runtime.as_secs_f64(),
+                    1
+                )
+            ),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Reading: even for the NOW's aggressive 2.9us overhead, the model\n\
+         attributes a measurable share of runtime to o — and the forward\n\
+         prediction against a measured LAN-overhead run shows how much (and\n\
+         for which programs) the linear model can be trusted."
+    );
+}

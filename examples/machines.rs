@@ -1,0 +1,70 @@
+//! Machine comparison: run applications on the Table 1 machines — the
+//! Berkeley NOW, the Intel Paragon, the Meiko CS-2 — and on a mid-90s
+//! TCP/IP LAN, using each machine's measured LogGP parameters.
+//!
+//! Run with: `cargo run --release --example machines`
+
+use nowlab::apps::radix::{Radix, RadixParams};
+use nowlab::apps::sample::{Sample, SampleParams};
+use nowlab::core::calib::calibrate;
+use nowlab::core::report::{fmt_time, Table};
+use nowlab::core::{RunSpec, SweepableApp};
+use nowlab::{LoggpParams, NetConfig};
+
+fn main() {
+    let machines: Vec<(&str, LoggpParams)> = vec![
+        ("Berkeley NOW", LoggpParams::berkeley_now()),
+        ("Intel Paragon", LoggpParams::intel_paragon()),
+        ("Meiko CS-2", LoggpParams::meiko_cs2()),
+        ("TCP/IP LAN", LoggpParams::lan_tcp()),
+    ];
+
+    // Calibrate each machine first (Table 1).
+    let mut cal = Table::new(
+        "machine LogGP characteristics (calibrated in-simulator)",
+        &["machine", "o (us)", "g (us)", "L (us)", "MB/s"],
+    );
+    for (name, m) in &machines {
+        let cfg = NetConfig::berkeley_now().with_machine(*m);
+        let c = calibrate(cfg);
+        cal.push_row([
+            name.to_string(),
+            format!("{:.1}", c.o_mean_us()),
+            format!("{:.1}", c.gap_us),
+            format!("{:.1}", c.latency_us),
+            format!("{:.0}", m.bulk_mb_per_s()),
+        ]);
+    }
+    println!("{cal}");
+
+    // Run two sorts on each.
+    let apps: Vec<Box<dyn SweepableApp>> = vec![
+        Box::new(Radix::new(RadixParams::small().scaled(4.0))),
+        Box::new(Sample::new(SampleParams::small().scaled(4.0))),
+    ];
+    let mut t = Table::new(
+        "application runtime by machine (8 processors, reduced inputs)",
+        &["app", "NOW", "Paragon", "Meiko", "LAN", "LAN/NOW"],
+    );
+    for app in &apps {
+        let mut row = vec![app.name().to_string()];
+        let mut times = Vec::new();
+        for (_, m) in &machines {
+            let spec = RunSpec::new(8).with_net(NetConfig::berkeley_now().with_machine(*m));
+            let out = app.run(&spec);
+            assert!(out.completed, "{} failed", app.name());
+            times.push(out.runtime);
+            row.push(fmt_time(out.runtime));
+        }
+        row.push(format!(
+            "{:.1}x",
+            times[3].as_secs_f64() / times[0].as_secs_f64()
+        ));
+        t.push_row(row);
+    }
+    println!("{t}");
+    println!(
+        "The LAN column is the point of the paper: same processors, same\n\
+         program — only the communication layer differs."
+    );
+}

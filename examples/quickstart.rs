@@ -1,0 +1,74 @@
+//! Quickstart: build a tunable LogGP cluster, run a Split-C program on it,
+//! then slow the network down and watch the program feel it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nowlab::core::calib::{calibrate, round_trip_us};
+use nowlab::splitc::{run_spmd, GlobalPtr, SpmdConfig};
+use nowlab::sim::SimDelta;
+use nowlab::{Knobs, NetConfig};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The baseline machine: the Berkeley NOW of Table 1.
+    // ------------------------------------------------------------------
+    let now = NetConfig::berkeley_now();
+    println!("Berkeley NOW baseline: {now}");
+    let cal = calibrate(now);
+    println!(
+        "calibrated: o={:.1}us (send {:.1} / recv {:.1})  g={:.1}us  L={:.1}us  RTT={:.1}us\n",
+        cal.o_mean_us(),
+        cal.o_send_us,
+        cal.o_recv_us,
+        cal.gap_us,
+        cal.latency_us,
+        round_trip_us(now)
+    );
+
+    // ------------------------------------------------------------------
+    // 2. A Split-C program: scatter results with *pipelined* writes (the
+    //    paper's write-based application class), then synchronize.
+    // ------------------------------------------------------------------
+    let run_scatter = |net: NetConfig| {
+        let outcome = run_spmd(&SpmdConfig::new(8).with_net(net), |ctx| async move {
+            let table = ctx.alloc_region(8 * 200);
+            ctx.barrier().await;
+            // Each processor produces 200 results and writes each to a
+            // hashed home processor without waiting for acknowledgements.
+            for i in 0..200u64 {
+                ctx.compute(SimDelta::from_micros(2.0)).await;
+                let owner = ((i * 31 + ctx.me() as u64 * 7) % ctx.procs() as u64) as usize;
+                let slot = ctx.me() * 200 + (i as usize % 200);
+                ctx.write(GlobalPtr::new(owner, table, slot), i).await;
+            }
+            ctx.sync().await; // Split-C sync(): all stores acknowledged
+            ctx.barrier().await;
+            ctx.load_local(table, ctx.me())
+        });
+        assert!(outcome.completed);
+        (outcome.elapsed, outcome.stats.total_sends())
+    };
+
+    let (t_base, msgs) = run_scatter(now);
+    println!("scatter on the NOW:         {t_base}  ({msgs} messages)");
+
+    // ------------------------------------------------------------------
+    // 3. Dial the knobs: +100us overhead makes it a mid-90s LAN stack.
+    // ------------------------------------------------------------------
+    let lan = now.with_knobs(Knobs::with_overhead(SimDelta::from_micros(100.0)));
+    let (t_lan, _) = run_scatter(lan);
+    println!("scatter with LAN overhead:  {t_lan}");
+    println!(
+        "slowdown: {:.1}x  <- this gap is what the paper quantifies",
+        t_lan.as_secs_f64() / t_base.as_secs_f64()
+    );
+
+    // Latency, by contrast, barely matters: pipelined writes do not wait
+    // for the network (paper §5.3).
+    let high_lat = now.with_knobs(Knobs::with_latency(SimDelta::from_micros(100.0)));
+    let (t_lat, _) = run_scatter(high_lat);
+    println!(
+        "with +100us latency instead: {t_lat}  ({:.2}x)",
+        t_lat.as_secs_f64() / t_base.as_secs_f64()
+    );
+}

@@ -1,0 +1,48 @@
+//! Sensitivity sweep: reproduce the shape of the paper's Figures 5-7 on a
+//! few applications at reduced scale, printing slowdown per knob setting.
+//!
+//! Run with: `cargo run --release --example sensitivity`
+
+use nowlab::apps::em3d::{Em3dParams, Em3dRead, Em3dWrite};
+use nowlab::apps::radix::{Radix, RadixParams};
+use nowlab::core::report::{fmt_f, Table};
+use nowlab::core::{sweep, Axis, RunSpec, SweepableApp};
+
+fn main() {
+    let apps: Vec<Box<dyn SweepableApp>> = vec![
+        Box::new(Radix::new(RadixParams::small().scaled(4.0))),
+        Box::new(Em3dWrite::new(Em3dParams::small().scaled(2.0))),
+        Box::new(Em3dRead::new(Em3dParams::small().scaled(2.0))),
+    ];
+    let template = RunSpec::new(8);
+
+    for axis in [Axis::Overhead, Axis::Gap, Axis::Latency] {
+        let values = axis.paper_values();
+        let mut table = Table::new(
+            format!("slowdown vs {axis} (8 processors, reduced inputs)"),
+            &std::iter::once("app".to_string())
+                .chain(values.iter().map(|v| format!("{v}")))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>(),
+        );
+        for app in &apps {
+            let result = sweep(app.as_ref(), &template, axis, &values);
+            let mut row = vec![result.app.clone()];
+            for p in &result.points {
+                row.push(if p.completed {
+                    fmt_f(p.slowdown, 2)
+                } else {
+                    "N/A".to_string()
+                });
+            }
+            table.push_row(row);
+        }
+        println!("{table}");
+        println!(
+            "(read-based EM3D should dominate the latency sweep; every app\n\
+             should feel overhead; only chatty apps should feel gap)\n"
+        );
+    }
+}

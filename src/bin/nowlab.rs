@@ -1,0 +1,278 @@
+//! `nowlab` — command-line front end to the LogGP laboratory.
+//!
+//! ```text
+//! nowlab list
+//! nowlab calibrate [--o US] [--g US] [--l US] [--mbps MB] [--window N]
+//! nowlab run   --app NAME [--procs N] [--seed S] [--scale test|benchmark]
+//!              [--o US] [--g US] [--l US] [--mbps MB]
+//! nowlab sweep --app NAME --axis overhead|gap|latency|bulk [--procs N]
+//! nowlab suite [--procs N] [--scale test|benchmark]
+//! ```
+//!
+//! Knob flags give *desired absolute* parameter values (like the paper's
+//! tables); omitted knobs stay at the Berkeley NOW baseline.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use nowlab::apps::{suite_scaled, SuiteScale};
+use nowlab::core::calib::{calibrate, calibrate_bulk};
+use nowlab::core::report::{fmt_f, fmt_time, Table};
+use nowlab::core::{sweep, Axis, Knobs, NetConfig, RunSpec, SweepableApp};
+
+const USAGE: &str = "usage:
+  nowlab list
+  nowlab calibrate [--o US] [--g US] [--l US] [--mbps MB] [--window N]
+  nowlab run   --app NAME [--procs N] [--seed S] [--scale test|benchmark]
+               [--o US] [--g US] [--l US] [--mbps MB]
+  nowlab sweep --app NAME --axis overhead|gap|latency|bulk [--procs N]
+               [--scale test|benchmark]
+  nowlab suite [--procs N] [--scale test|benchmark]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "list" => cmd_list(),
+        "calibrate" => cmd_calibrate(&flags),
+        "run" => cmd_run(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "suite" => cmd_suite(&flags),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_flags(rest: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{flag}`"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn parse_or<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+    }
+}
+
+fn scale_of(flags: &HashMap<String, String>) -> Result<SuiteScale, String> {
+    match flags.get("scale").map(String::as_str) {
+        None | Some("benchmark") => Ok(SuiteScale::Benchmark),
+        Some("test") => Ok(SuiteScale::Test),
+        Some(other) => Err(format!("--scale: `{other}` (want test|benchmark)")),
+    }
+}
+
+/// Builds a network config from desired absolute knob values.
+fn net_of(flags: &HashMap<String, String>) -> Result<NetConfig, String> {
+    let mut cfg = NetConfig::berkeley_now();
+    if let Some(w) = flags.get("window") {
+        let w: u32 = w.parse().map_err(|_| "--window: not a number".to_string())?;
+        cfg = cfg.with_window(w);
+    }
+    let mut knobs = Knobs::baseline();
+    let apply = |axis: Axis, flag: &str, knobs: &mut Knobs| -> Result<(), String> {
+        if let Some(v) = flags.get(flag) {
+            let v: f64 = v
+                .parse()
+                .map_err(|_| format!("--{flag}: cannot parse `{v}`"))?;
+            let k = axis.knobs_for(&NetConfig::berkeley_now().machine, v).ok_or(
+                format!("--{flag} {v}: below the Berkeley NOW baseline (the apparatus only slows down)"),
+            )?;
+            match axis {
+                Axis::Overhead => knobs.d_o = k.d_o,
+                Axis::Gap => knobs.d_g = k.d_g,
+                Axis::Latency => knobs.d_lat = k.d_lat,
+                Axis::BulkBandwidth => knobs.d_gap_per_byte = k.d_gap_per_byte,
+            }
+        }
+        Ok(())
+    };
+    apply(Axis::Overhead, "o", &mut knobs)?;
+    apply(Axis::Gap, "g", &mut knobs)?;
+    apply(Axis::Latency, "l", &mut knobs)?;
+    apply(Axis::BulkBandwidth, "mbps", &mut knobs)?;
+    Ok(cfg.with_knobs(knobs))
+}
+
+fn find_app(scale: SuiteScale, name: &str) -> Result<Box<dyn SweepableApp>, String> {
+    // Normalize to lowercase alphanumerics: "NOW-sort" == "nowsort",
+    // "EM3D(write)" == "em3dwrite".
+    let norm = |s: &str| -> String {
+        s.chars()
+            .filter(char::is_ascii_alphanumeric)
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    };
+    let wanted = norm(name);
+    for app in suite_scaled(scale) {
+        if norm(app.name()) == wanted {
+            return Ok(app);
+        }
+    }
+    Err(format!(
+        "unknown app `{name}` (try `nowlab list`; names like radix, em3dwrite, nowsort)"
+    ))
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("applications (paper Table 3):");
+    for app in suite_scaled(SuiteScale::Benchmark) {
+        println!("  {}", app.name());
+    }
+    println!("\naxes: overhead, gap, latency, bulk");
+    Ok(())
+}
+
+fn cmd_calibrate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let cfg = net_of(flags)?;
+    println!("configuration: {cfg}");
+    let c = calibrate(cfg);
+    let bw = calibrate_bulk(cfg);
+    let mut t = Table::new(
+        "calibration (LogP signature microbenchmarks)",
+        &["o (us)", "o_send", "o_recv", "g (us)", "L (us)", "bulk MB/s"],
+    );
+    t.push_row([
+        fmt_f(c.o_mean_us(), 2),
+        fmt_f(c.o_send_us, 2),
+        fmt_f(c.o_recv_us, 2),
+        fmt_f(c.gap_us, 2),
+        fmt_f(c.latency_us, 2),
+        fmt_f(bw, 1),
+    ]);
+    println!("{t}");
+    Ok(())
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = flags.get("app").ok_or("run needs --app")?;
+    let app = find_app(scale_of(flags)?, name)?;
+    let spec = RunSpec::new(parse_or(flags, "procs", 32usize)?)
+        .with_net(net_of(flags)?)
+        .with_seed(parse_or(flags, "seed", 1u64)?)
+        .with_event_limit(300_000_000);
+    let out = app.run(&spec);
+    let mut t = Table::new(
+        format!("{} on {} processors", app.name(), spec.procs),
+        &[
+            "runtime",
+            "completed",
+            "msg/proc",
+            "interval us",
+            "% bulk",
+            "% reads",
+            "balance",
+            "check",
+        ],
+    );
+    t.push_row([
+        fmt_time(out.runtime),
+        out.completed.to_string(),
+        fmt_f(out.stats.avg_msgs_per_proc(), 0),
+        fmt_f(out.stats.msg_interval_us(), 1),
+        fmt_f(out.stats.pct_bulk(), 1),
+        fmt_f(out.stats.pct_reads(), 1),
+        fmt_f(out.stats.balance(), 2),
+        format!("{:016x}", out.check),
+    ]);
+    println!("{t}");
+    Ok(())
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = flags.get("app").ok_or("sweep needs --app")?;
+    let app = find_app(scale_of(flags)?, name)?;
+    let axis = match flags
+        .get("axis")
+        .ok_or("sweep needs --axis")?
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "overhead" | "o" => Axis::Overhead,
+        "gap" | "g" => Axis::Gap,
+        "latency" | "l" => Axis::Latency,
+        "bulk" | "bandwidth" | "mbps" => Axis::BulkBandwidth,
+        other => return Err(format!("--axis: `{other}`")),
+    };
+    let spec = RunSpec::new(parse_or(flags, "procs", 32usize)?).with_event_limit(300_000_000);
+    let values = axis.paper_values();
+    let result = sweep(app.as_ref(), &spec, axis, &values);
+    let mut t = Table::new(
+        format!("{}: slowdown vs {axis} ({} procs)", result.app, spec.procs),
+        &[axis.label(), "runtime", "slowdown"],
+    );
+    for p in &result.points {
+        t.push_row([
+            fmt_f(p.desired, 1),
+            fmt_time(p.runtime),
+            if p.completed {
+                fmt_f(p.slowdown, 2)
+            } else {
+                "N/A".into()
+            },
+        ]);
+    }
+    println!("{t}");
+    if let Some(fit) = result.linearity() {
+        println!(
+            "linear fit: slowdown ≈ {:.4}·x + {:.2}   (R² = {:.4})",
+            fit.slope, fit.intercept, fit.r2
+        );
+    }
+    Ok(())
+}
+
+fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
+    let scale = scale_of(flags)?;
+    let procs = parse_or(flags, "procs", 32usize)?;
+    let mut t = Table::new(
+        format!("benchmark suite on {procs} processors"),
+        &["program", "runtime", "msg/proc", "interval us", "% bulk", "% reads"],
+    );
+    for app in suite_scaled(scale) {
+        let out = app.run(&RunSpec::new(procs).with_event_limit(300_000_000));
+        t.push_row([
+            app.name().to_string(),
+            fmt_time(out.runtime),
+            fmt_f(out.stats.avg_msgs_per_proc(), 0),
+            fmt_f(out.stats.msg_interval_us(), 1),
+            fmt_f(out.stats.pct_bulk(), 1),
+            fmt_f(out.stats.pct_reads(), 1),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Smoke tests of the `nowlab` CLI binary.
+
+use std::process::Command;
+
+fn nowlab(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_nowlab"))
+        .args(args)
+        .output()
+        .expect("run nowlab binary");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn list_names_all_ten_programs() {
+    let (ok, text) = nowlab(&["list"]);
+    assert!(ok);
+    for name in [
+        "Radix", "EM3D(write)", "EM3D(read)", "Sample", "Barnes", "P-Ray", "Murphi", "Connect",
+        "NOW-sort", "Radb",
+    ] {
+        assert!(text.contains(name), "missing {name} in: {text}");
+    }
+}
+
+#[test]
+fn calibrate_reports_baseline() {
+    let (ok, text) = nowlab(&["calibrate"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("2.90"), "o mean missing: {text}");
+    assert!(text.contains("5.80"), "gap missing: {text}");
+}
+
+#[test]
+fn run_executes_an_app_at_test_scale() {
+    let (ok, text) = nowlab(&[
+        "run", "--app", "radix", "--procs", "4", "--scale", "test",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("Radix on 4 processors"), "{text}");
+    assert!(text.contains("true"), "must complete: {text}");
+}
+
+#[test]
+fn sweep_prints_a_linear_fit() {
+    let (ok, text) = nowlab(&[
+        "sweep", "--app", "nowsort", "--axis", "bulk", "--procs", "4", "--scale", "test",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("slowdown vs bulk bandwidth"), "{text}");
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let (ok, text) = nowlab(&["frobnicate"]);
+    assert!(!ok);
+    assert!(text.contains("usage:"), "{text}");
+
+    let (ok, text) = nowlab(&["run"]);
+    assert!(!ok);
+    assert!(text.contains("needs --app"), "{text}");
+
+    let (ok, text) = nowlab(&["run", "--app", "nonexistent", "--scale", "test"]);
+    assert!(!ok);
+    assert!(text.contains("unknown app"), "{text}");
+
+    // Knobs cannot go below the baseline.
+    let (ok, text) = nowlab(&[
+        "run", "--app", "radix", "--scale", "test", "--o", "1.0",
+    ]);
+    assert!(!ok);
+    assert!(text.contains("below the Berkeley NOW baseline"), "{text}");
+}

@@ -1,0 +1,188 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! apparatus.
+
+use nowlab::core::calib::{burst_interval_us, calibrate, round_trip_us};
+use nowlab::core::models::fit_linear;
+use nowlab::sim::{Sim, SimDelta, SimTime};
+use nowlab::{Knobs, NetConfig};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The event queue fires timers in non-decreasing time order,
+    /// breaking ties by registration order.
+    #[test]
+    fn timers_fire_in_order(delays in prop::collection::vec(0u64..10_000, 1..100)) {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &d) in delays.iter().enumerate() {
+            let log = Rc::clone(&log);
+            sim.schedule(SimTime::from_nanos(d), move |sim| {
+                log.borrow_mut().push((sim.now().as_nanos(), i));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        prop_assert_eq!(log.len(), delays.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie not broken by registration order");
+            }
+        }
+    }
+
+    /// More overhead can never make a message burst complete sooner.
+    #[test]
+    fn burst_time_is_monotone_in_overhead(
+        o1 in 0.0f64..50.0,
+        extra in 0.1f64..50.0,
+        m in 1usize..40,
+    ) {
+        let cfg = |d_o: f64| NetConfig::berkeley_now()
+            .with_knobs(Knobs::with_overhead(SimDelta::from_micros(d_o)));
+        let t1 = burst_interval_us(cfg(o1), m, SimDelta::ZERO);
+        let t2 = burst_interval_us(cfg(o1 + extra), m, SimDelta::ZERO);
+        prop_assert!(t2 >= t1 - 1e-9, "overhead {o1}+{extra}: {t2} < {t1}");
+    }
+
+    /// More gap can never make a burst faster; latency can never make a
+    /// round trip faster.
+    #[test]
+    fn network_knobs_are_monotone(
+        d in 0.0f64..80.0,
+        extra in 0.1f64..40.0,
+    ) {
+        let gap_cfg = |g: f64| NetConfig::berkeley_now()
+            .with_knobs(Knobs::with_gap(SimDelta::from_micros(g)));
+        let b1 = burst_interval_us(gap_cfg(d), 64, SimDelta::ZERO);
+        let b2 = burst_interval_us(gap_cfg(d + extra), 64, SimDelta::ZERO);
+        prop_assert!(b2 >= b1 - 1e-9);
+
+        let lat_cfg = |l: f64| NetConfig::berkeley_now()
+            .with_knobs(Knobs::with_latency(SimDelta::from_micros(l)));
+        let r1 = round_trip_us(lat_cfg(d));
+        let r2 = round_trip_us(lat_cfg(d + extra));
+        prop_assert!(r2 >= r1 - 1e-9);
+    }
+
+    /// The §3.3 microbenchmarks recover whatever overhead and latency are
+    /// dialed in, and the knobs stay independent (Table 2's property),
+    /// across arbitrary knob vectors.
+    #[test]
+    fn calibration_recovers_random_knobs(
+        d_o in 0.0f64..40.0,
+        d_lat in 0.0f64..40.0,
+    ) {
+        let knobs = Knobs {
+            d_o: SimDelta::from_micros(d_o),
+            d_lat: SimDelta::from_micros(d_lat),
+            ..Knobs::baseline()
+        };
+        let c = calibrate(NetConfig::berkeley_now().with_knobs(knobs));
+        prop_assert!((c.o_mean_us() - (2.9 + d_o)).abs() < 0.2,
+            "o: wanted {} got {}", 2.9 + d_o, c.o_mean_us());
+        prop_assert!((c.latency_us - (5.0 + d_lat)).abs() < 0.5,
+            "L: wanted {} got {}", 5.0 + d_lat, c.latency_us);
+    }
+
+    /// Least squares recovers exact affine data regardless of scale.
+    #[test]
+    fn fit_recovers_affine(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        n in 3usize..30,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x).collect();
+        let f = fit_linear(&xs, &ys);
+        prop_assert!((f.slope - slope).abs() < 1e-6);
+        prop_assert!((f.intercept - intercept).abs() < 1e-6);
+        prop_assert!(f.r2 > 1.0 - 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Radix sort sorts arbitrary key sets at arbitrary (small) processor
+    /// counts — the app asserts global sortedness and key conservation
+    /// internally.
+    #[test]
+    fn radix_sorts_random_workloads(
+        seed in 0u64..1_000,
+        procs in 1usize..6,
+        keys_pow in 9u32..12,
+    ) {
+        use nowlab::apps::radix::{Radix, RadixParams};
+        use nowlab::{RunSpec, SweepableApp};
+        let app = Radix::new(RadixParams {
+            total_keys: 1 << keys_pow,
+            key_bits: 16,
+            digit_bits: 8,
+        });
+        let out = app.run(&RunSpec::new(procs).with_seed(seed));
+        prop_assert!(out.completed);
+    }
+
+    /// The parallel Murphi exploration finds exactly the sequential state
+    /// space for arbitrary processor counts.
+    #[test]
+    fn murphi_state_count_is_stable(procs in 1usize..6) {
+        use nowlab::apps::murphi::{sequential_explore, Murphi, MurphiParams};
+        use nowlab::{RunSpec, SweepableApp};
+        let params = MurphiParams { caches: 3 };
+        let (count, hash_sum) = sequential_explore(&params);
+        let out = Murphi::new(params).run(&RunSpec::new(procs));
+        prop_assert!(out.completed);
+        prop_assert_eq!(out.check, hash_sum.wrapping_add(count));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The dissemination barrier really synchronizes: under arbitrary
+    /// per-processor delays, no processor leaves barrier k before every
+    /// processor has entered it.
+    #[test]
+    fn barrier_synchronizes_under_random_stagger(
+        procs in 2usize..9,
+        delays in prop::collection::vec(0u64..500, 8),
+        rounds in 1usize..4,
+    ) {
+        use nowlab::splitc::{run_spmd, SpmdConfig};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let entered: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(vec![0; rounds]));
+        let violations: Rc<RefCell<u32>> = Rc::new(RefCell::new(0));
+        let delays = std::rc::Rc::new(delays);
+        let (e2, v2, d2) = (Rc::clone(&entered), Rc::clone(&violations), Rc::clone(&delays));
+        let outcome = run_spmd(&SpmdConfig::new(procs), move |ctx| {
+            let entered = Rc::clone(&e2);
+            let violations = Rc::clone(&v2);
+            let delays = Rc::clone(&d2);
+            async move {
+                // NB: don't borrow inside the `for` head — scrutinee
+                // temporaries live for the whole loop.
+                let rounds_n = entered.borrow().len();
+                for k in 0..rounds_n {
+                    let d = delays[(ctx.me() + k) % delays.len()];
+                    ctx.compute(SimDelta::from_micros(d as f64)).await;
+                    entered.borrow_mut()[k] += 1;
+                    ctx.barrier().await;
+                    // Everyone must have entered round k by now.
+                    if entered.borrow()[k] != ctx.procs() {
+                        *violations.borrow_mut() += 1;
+                    }
+                }
+            }
+        });
+        prop_assert!(outcome.completed);
+        prop_assert_eq!(*violations.borrow(), 0, "barrier leaked");
+    }
+}
