@@ -18,13 +18,13 @@
 
 use std::any::Any;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::rc::{Rc, Weak};
 
 use nowlab_sim::{Notify, Sim, SimTime};
 
-use crate::message::{Dir, HandlerId, Msg, Payload, ProcId, ReplyData, ReqId};
+use crate::message::{Dir, HandlerId, Mark, Msg, Payload, ProcId, ReplyData, ReqId};
 use crate::params::NetConfig;
 use crate::stats::{CommStats, ProcCounters};
 
@@ -61,6 +61,46 @@ pub(crate) struct ReplySlot {
     pub payload: RefCell<Payload>,
 }
 
+/// An unacknowledged request held for possible retransmission (reliability
+/// protocol only).
+pub(crate) struct TxEntry {
+    /// The original message, re-injected verbatim on timeout (its `ack`
+    /// field is refreshed per attempt).
+    pub msg: Msg,
+    /// Transmission attempts so far (1 = original send only).
+    pub attempts: u32,
+}
+
+/// What a responder keeps to re-answer a duplicate request without
+/// re-running its handler.
+#[derive(Clone)]
+pub(crate) struct CachedReply {
+    pub args: [u64; 4],
+    pub payload: Payload,
+    pub mark: Mark,
+}
+
+/// Receiver-side duplicate-suppression state for one incoming link
+/// (reliability protocol only). Garbage-collected by the cumulative ack
+/// watermark piggybacked on every message from that source.
+#[derive(Default)]
+pub(crate) struct RxLink {
+    /// Every request id below this completed at the sender: anything
+    /// arriving below it is a stale duplicate, and no state is retained
+    /// for it.
+    pub acked_below: ReqId,
+    /// Request ids (≥ `acked_below`) whose handler has already run.
+    pub seen: BTreeSet<ReqId>,
+    /// Replies already sent for `seen` requests, kept until acked.
+    pub reply_cache: HashMap<ReqId, CachedReply>,
+    /// Next in-order sequence number expected on this link ([`Msg::seq`]).
+    pub next_seq: u64,
+    /// Requests that arrived ahead of a lost predecessor, keyed by
+    /// sequence number and held until the gap closes. Bounded by the
+    /// sender's flow-control window.
+    pub reorder: BTreeMap<u64, Msg>,
+}
+
 pub(crate) struct Endpoint {
     /// Messages visible to the processor, awaiting its poll.
     pub rx: RefCell<std::collections::VecDeque<Msg>>,
@@ -86,6 +126,16 @@ pub(crate) struct Endpoint {
     /// True while the owning process is inside a communication wait
     /// (time-breakdown accounting).
     pub in_wait: Cell<bool>,
+    /// Monotone per-source counter keying the stateless fault decisions
+    /// (one tick per injection attempt; see [`crate::FaultPlan`]).
+    pub fault_nonce: Cell<u64>,
+    /// Reliability protocol: unacknowledged requests per destination.
+    pub rel_tx: RefCell<Vec<BTreeMap<ReqId, TxEntry>>>,
+    /// Reliability protocol: duplicate-suppression state per source.
+    pub rel_rx: RefCell<Vec<RxLink>>,
+    /// Reliability protocol: next per-link request sequence number, per
+    /// destination ([`Msg::seq`]).
+    pub tx_seq: RefCell<Vec<u64>>,
 }
 
 impl Endpoint {
@@ -102,6 +152,10 @@ impl Endpoint {
             user_state: RefCell::new(None),
             counters: RefCell::new(ProcCounters::new(p)),
             in_wait: Cell::new(false),
+            fault_nonce: Cell::new(0),
+            rel_tx: RefCell::new((0..p).map(|_| BTreeMap::new()).collect()),
+            rel_rx: RefCell::new((0..p).map(|_| RxLink::default()).collect()),
+            tx_seq: RefCell::new(vec![0; p]),
         }
     }
 }
@@ -253,6 +307,41 @@ impl AmCluster {
         }
     }
 
+    /// One line per processor describing live transport state — credits,
+    /// outstanding posts/requests, retransmit queues, receive-queue depth.
+    /// A diagnostic for stuck runs: a processor deadlocked in the
+    /// communication layer shows up here as missing credits or a
+    /// never-draining retransmit queue.
+    pub fn transport_diagnostic(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (p, ep) in self.inner.procs.iter().enumerate() {
+            let tx: Vec<String> = ep
+                .rel_tx
+                .borrow()
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| !m.is_empty())
+                .map(|(d, m)| format!("->{d}:{:?}", m.keys().collect::<Vec<_>>()))
+                .collect();
+            let mut awaiting: Vec<ReqId> = ep.pending_replies.borrow().keys().copied().collect();
+            awaiting.sort_unstable();
+            let held: usize = ep.rel_rx.borrow().iter().map(|l| l.reorder.len()).sum();
+            let _ = writeln!(
+                out,
+                "proc {p}: credits={} posts={} awaiting={awaiting:?} rx={} \
+                 next_req={} in_wait={} held_ooo={held} rel_tx=[{}]",
+                ep.credits.get(),
+                ep.pending_posts.get(),
+                ep.rx.borrow().len(),
+                ep.next_req.get(),
+                ep.in_wait.get(),
+                tx.join(" "),
+            );
+        }
+        out
+    }
+
     /// Wakes every processor blocked in a network wait so it re-checks its
     /// condition. Used by SPMD runtimes for conditions that change without
     /// a message arriving (e.g. "all processors have finished").
@@ -336,9 +425,134 @@ impl ClusterInner {
             crate::LatencyMode::DelayQueue => wire_done + cfg.eff_latency(),
             crate::LatencyMode::SlowRxPath => wire_done + cfg.machine.latency,
         };
+
+        // Fault injection. The sender has already paid full LogGP send
+        // costs (overhead, NIC occupancy, counters) — a fault only decides
+        // what the *wire* does with the message. Decisions are stateless
+        // hashes of (seed, link, attempt nonce), so the pattern is a pure
+        // function of the plan and the deterministic injection order.
+        if cfg.faults.is_active() {
+            let faults = &cfg.faults;
+            let nonce = src.fault_nonce.get();
+            src.fault_nonce.set(nonce + 1);
+            let lost = faults.in_outage(wire_done, msg.src, msg.dst)
+                || if payload_bytes == 0 {
+                    faults.drops(msg.src, msg.dst, nonce, 0, false)
+                } else {
+                    // Bulk: each fragment rolls; losing any fragment loses
+                    // the whole message (the transport has no
+                    // partial-message semantics — the retransmit resends
+                    // it all).
+                    let frags = payload_bytes.div_ceil(cfg.frag_bytes);
+                    (0..frags).any(|f| faults.drops(msg.src, msg.dst, nonce, f, true))
+                };
+            if lost {
+                src.counters.borrow_mut().drops += 1;
+                return;
+            }
+            if faults.duplicates(msg.src, msg.dst, nonce) {
+                src.counters.borrow_mut().dups += 1;
+                let dup_arrival = arrival + faults.jitter(msg.src, msg.dst, nonce, 1);
+                let weak = Rc::downgrade(self);
+                let dup = msg.clone();
+                self.sim
+                    .schedule(dup_arrival, move |sim| Self::deliver(&weak, sim, dup));
+            }
+            let arrival = arrival + faults.jitter(msg.src, msg.dst, nonce, 0);
+            let weak = Rc::downgrade(self);
+            self.sim
+                .schedule(arrival, move |sim| Self::deliver(&weak, sim, msg));
+            return;
+        }
+
         let weak = Rc::downgrade(self);
         self.sim
             .schedule(arrival, move |sim| Self::deliver(&weak, sim, msg));
+    }
+
+    /// The cumulative-ack watermark `src` piggybacks on messages to `dst`:
+    /// the lowest still-outstanding request id on that link, or the next
+    /// id to be issued if none is outstanding. Every request below it has
+    /// completed, so the receiver can discard its duplicate-suppression
+    /// state below the watermark.
+    pub(crate) fn ack_watermark(&self, src: ProcId, dst: ProcId) -> ReqId {
+        let ep = &self.procs[src];
+        ep.rel_tx.borrow()[dst]
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| ep.next_req.get())
+    }
+
+    /// Applies the cumulative ack carried by an incoming message: advances
+    /// the per-link watermark and prunes the seen-set and reply cache
+    /// below it.
+    pub(crate) fn note_ack(&self, at: ProcId, from: ProcId, ack: ReqId) {
+        let mut rx = self.procs[at].rel_rx.borrow_mut();
+        let link = &mut rx[from];
+        if ack <= link.acked_below {
+            return;
+        }
+        link.acked_below = ack;
+        link.seen = link.seen.split_off(&ack);
+        link.reply_cache.retain(|&req, _| req >= ack);
+    }
+
+    /// Arms the single-shot retransmission timer for attempt `attempt` of
+    /// an outstanding request. The timer self-reschedules with exponential
+    /// backoff while the request remains unacknowledged and becomes a
+    /// no-op once the reply arrives (there is no cancellation — the event
+    /// queue drains naturally).
+    pub(crate) fn arm_retransmit(
+        self: &Rc<Self>,
+        src: ProcId,
+        dst: ProcId,
+        req: ReqId,
+        attempt: u32,
+    ) {
+        let backoff = self
+            .cfg
+            .reliability
+            .backoff(self.cfg.faults.seed, src, dst, req, attempt);
+        {
+            let mut c = self.procs[src].counters.borrow_mut();
+            c.max_retry_backoff = c.max_retry_backoff.max(backoff);
+        }
+        let weak = Rc::downgrade(self);
+        self.sim.schedule(self.sim.now() + backoff, move |_| {
+            if let Some(inner) = weak.upgrade() {
+                inner.on_retransmit_timer(src, dst, req, attempt);
+            }
+        });
+    }
+
+    /// Timeout expiry: if the request is still unacknowledged, charge the
+    /// sender, re-inject with a refreshed ack watermark, and re-arm with
+    /// the next backoff step. Under a permanent outage this fires forever
+    /// (at the capped backoff), so the run's event or time limit — never a
+    /// hang — ends it.
+    fn on_retransmit_timer(self: &Rc<Self>, src: ProcId, dst: ProcId, req: ReqId, attempt: u32) {
+        let ep = &self.procs[src];
+        let mut msg = {
+            let mut tx = ep.rel_tx.borrow_mut();
+            let Some(entry) = tx[dst].get_mut(&req) else {
+                return; // acknowledged in the meantime: timer is stale
+            };
+            entry.attempts += 1;
+            entry.msg.clone()
+        };
+        {
+            // The retransmission is driven from the timer, so its send
+            // overhead is charged interrupt-style: o_time accrues without
+            // blocking the (possibly computing) processor.
+            let mut c = ep.counters.borrow_mut();
+            c.timeouts += 1;
+            c.retransmits += 1;
+            c.o_time += self.cfg.eff_o_send();
+        }
+        msg.ack = self.ack_watermark(src, dst);
+        self.inject(msg);
+        self.arm_retransmit(src, dst, req, attempt + 1);
     }
 
     /// Delivery at the destination NIC, serialized at one message per
@@ -410,6 +624,8 @@ mod tests {
             dst,
             dir: Dir::Request,
             req: 0,
+            ack: 0,
+            seq: 0,
             handler: 0,
             args: [0; 4],
             payload: Payload::None,
@@ -456,10 +672,7 @@ mod tests {
         cluster.inner.inject(short_msg(1, 2));
         sim.run();
         // Second delivery is pushed to 5 + g = 10.8 µs.
-        assert_eq!(
-            sim.now(),
-            SimTime::ZERO + SimDelta::from_micros(10.8)
-        );
+        assert_eq!(sim.now(), SimTime::ZERO + SimDelta::from_micros(10.8));
         assert_eq!(cluster.inner.procs[2].rx.borrow().len(), 2);
     }
 
@@ -538,5 +751,83 @@ mod tests {
         let sim = Sim::new();
         let cluster = AmCluster::new(sim, NetConfig::berkeley_now(), 2);
         let _ = cluster.port(2);
+    }
+
+    #[test]
+    fn certain_drop_swallows_wire_but_charges_sender() {
+        let sim = Sim::new();
+        let cfg = NetConfig::berkeley_now().with_faults(crate::FaultPlan::with_drop_rate(1.0, 1));
+        let cluster = AmCluster::new(sim.clone(), cfg, 2);
+        cluster.register_handler(|_| ReplyData::ack());
+        cluster.inner.inject(short_msg(0, 1));
+        sim.run();
+        assert_eq!(cluster.inner.procs[1].rx.borrow().len(), 0);
+        let c0 = &cluster.stats().per_proc[0];
+        // The sender still paid: counters and NIC occupancy charged.
+        assert_eq!(c0.sends, 1);
+        assert_eq!(c0.drops, 1);
+        assert_eq!(
+            cluster.inner.procs[0].nic_tx_free.get(),
+            SimTime::ZERO + SimDelta::from_micros(5.8)
+        );
+    }
+
+    #[test]
+    fn certain_duplication_delivers_twice() {
+        let sim = Sim::new();
+        let cfg = NetConfig::berkeley_now().with_faults(crate::FaultPlan::none().with_dup(1.0));
+        let cluster = AmCluster::new(sim.clone(), cfg, 2);
+        cluster.register_handler(|_| ReplyData::ack());
+        cluster.inner.inject(short_msg(0, 1));
+        sim.run();
+        assert_eq!(cluster.inner.procs[1].rx.borrow().len(), 2);
+        assert_eq!(cluster.stats().per_proc[0].dups, 1);
+    }
+
+    #[test]
+    fn jitter_delays_arrival_within_bound() {
+        let bound = SimDelta::from_micros(50.0);
+        let sim = Sim::new();
+        let cfg = NetConfig::berkeley_now()
+            .with_faults(crate::FaultPlan::none().with_jitter(bound).with_seed(3));
+        let cluster = AmCluster::new(sim.clone(), cfg, 2);
+        cluster.register_handler(|_| ReplyData::ack());
+        cluster.inner.inject(short_msg(0, 1));
+        sim.run();
+        let t = sim.now();
+        let base = SimTime::ZERO + SimDelta::from_micros(5.0);
+        assert!(t >= base && t <= base + bound, "arrival {t}");
+    }
+
+    #[test]
+    fn outage_window_blacks_out_the_wire() {
+        let sim = Sim::new();
+        let outage = crate::Outage::window(SimTime::ZERO, SimTime::from_nanos(1));
+        let cfg =
+            NetConfig::berkeley_now().with_faults(crate::FaultPlan::none().with_outage(outage));
+        let cluster = AmCluster::new(sim.clone(), cfg, 2);
+        cluster.register_handler(|_| ReplyData::ack());
+        // First message hits the wire at t=0, inside the outage; the second
+        // is serialized behind the gap and escapes it.
+        cluster.inner.inject(short_msg(0, 1));
+        cluster.inner.inject(short_msg(0, 1));
+        sim.run();
+        assert_eq!(cluster.inner.procs[1].rx.borrow().len(), 1);
+        assert_eq!(cluster.stats().per_proc[0].drops, 1);
+    }
+
+    #[test]
+    fn inert_plan_leaves_fault_state_untouched() {
+        let sim = Sim::new();
+        let cluster = AmCluster::new(sim.clone(), NetConfig::berkeley_now(), 2);
+        cluster.register_handler(|_| ReplyData::ack());
+        cluster.inner.inject(short_msg(0, 1));
+        sim.run();
+        assert_eq!(cluster.inner.procs[0].fault_nonce.get(), 0);
+        let c0 = &cluster.stats().per_proc[0];
+        assert_eq!(
+            (c0.drops, c0.dups, c0.retransmits, c0.timeouts),
+            (0, 0, 0, 0)
+        );
     }
 }

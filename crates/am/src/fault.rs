@@ -1,0 +1,531 @@
+//! Deterministic fault injection and the reliable-delivery configuration.
+//!
+//! The paper's GAM/Myrinet apparatus assumes a lossless SAN, so the
+//! baseline transport delivers every injected message exactly once. This
+//! module adds the misbehaving-fabric regime: a [`FaultPlan`] describes,
+//! per (source, destination) link, how the network may **drop**,
+//! **duplicate**, or **jitter** (reorder) messages, and when whole links
+//! suffer transient [`Outage`] windows. A [`Reliability`] config tunes the
+//! retransmission protocol the AM layer switches on to survive those
+//! faults (sequence numbers, cumulative acks, timeout-driven retransmit
+//! with exponential backoff — see DESIGN.md §3).
+//!
+//! # Determinism
+//!
+//! Every fault decision is a pure hash of `(plan seed, src, dst, per-link
+//! attempt counter, decision kind)` — no sequential generator state is
+//! threaded through the transport. Because the simulator schedules
+//! injections deterministically, the attempt counters are deterministic,
+//! so **the same plan seed always yields the identical fault pattern and
+//! identical virtual times** (the same discipline the apparatus already
+//! uses for workload seeding). Probabilities are stored in integer parts
+//! per million so [`crate::NetConfig`] stays `Copy + Eq + Hash`.
+//!
+//! The default [`FaultPlan::none`] is inert: the transport checks one
+//! boolean and takes the exact seed code path, so all lossless benches and
+//! tests are bit-identical to a build without this module.
+
+use nowlab_sim::{SimDelta, SimTime};
+use std::fmt;
+
+/// Maximum number of outage windows a plan can carry (fixed so the plan
+/// stays `Copy`).
+pub const MAX_OUTAGES: usize = 4;
+
+/// One part per million; probabilities are stored as integers in
+/// `[0, PPM_SCALE]`.
+pub const PPM_SCALE: u32 = 1_000_000;
+
+/// A transient link outage: during `[start, end)` the affected link drops
+/// every message (both message classes). Use [`Outage::permanent`] to take
+/// a link down forever — the livelock guard (`event_limit` /
+/// `time_limit`) must then turn the run into the paper's `N/A`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub struct Outage {
+    /// First instant of the outage.
+    pub start: SimTime,
+    /// First instant after the outage.
+    pub end: SimTime,
+    /// Affected source processor, or `None` for all sources.
+    pub src: Option<usize>,
+    /// Affected destination processor, or `None` for all destinations.
+    pub dst: Option<usize>,
+}
+
+impl Outage {
+    /// An outage of every link during `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn window(start: SimTime, end: SimTime) -> Self {
+        assert!(start < end, "outage window must be non-empty");
+        Outage {
+            start,
+            end,
+            src: None,
+            dst: None,
+        }
+    }
+
+    /// A permanent outage of every link from `start` on.
+    pub fn permanent(start: SimTime) -> Self {
+        Outage {
+            start,
+            end: SimTime::MAX,
+            src: None,
+            dst: None,
+        }
+    }
+
+    /// Restricts the outage to messages from `src`.
+    pub fn from_src(mut self, src: usize) -> Self {
+        self.src = Some(src);
+        self
+    }
+
+    /// Restricts the outage to messages to `dst`.
+    pub fn to_dst(mut self, dst: usize) -> Self {
+        self.dst = Some(dst);
+        self
+    }
+
+    /// True if this outage swallows a message on `(src, dst)` hitting the
+    /// wire at `t`.
+    pub fn covers(&self, t: SimTime, src: usize, dst: usize) -> bool {
+        self.start <= t
+            && t < self.end
+            && self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+    }
+}
+
+/// A deterministic, seeded fault model for the cluster network.
+///
+/// Probabilities are per *injection attempt*: short messages roll once,
+/// bulk messages roll once per ≤`frag_bytes` fragment (losing any fragment
+/// loses the whole message — the transport has no partial-message
+/// semantics, so the retransmit resends it all, as GAM would).
+///
+/// Attach to a [`crate::NetConfig`] with
+/// [`crate::NetConfig::with_faults`]; the reliable-delivery protocol
+/// engages automatically whenever the plan [is active](FaultPlan::is_active).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub struct FaultPlan {
+    /// Seed for all fault decisions (same seed ⇒ identical fault pattern).
+    pub seed: u64,
+    /// Drop probability for short messages, in parts per million.
+    pub drop_short_ppm: u32,
+    /// Drop probability per bulk fragment, in parts per million.
+    pub drop_bulk_ppm: u32,
+    /// Duplication probability per delivered message, in parts per
+    /// million.
+    pub dup_ppm: u32,
+    /// Upper bound on extra transit delay (uniform in `[0, jitter_max]`);
+    /// nonzero jitter reorders messages that left within a window of each
+    /// other.
+    pub jitter_max: SimDelta,
+    /// Scheduled link outages (up to [`MAX_OUTAGES`]).
+    pub outages: [Option<Outage>; MAX_OUTAGES],
+}
+
+impl FaultPlan {
+    /// The inert plan: no faults, reliability protocol disengaged, the
+    /// transport byte-identical to the lossless baseline.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan dropping both message classes with probability `rate`
+    /// (`0.0..=1.0`), seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn with_drop_rate(rate: f64, seed: u64) -> Self {
+        FaultPlan::none().with_seed(seed).with_drops(rate, rate)
+    }
+
+    /// Replaces the decision seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the drop probabilities for short messages and bulk fragments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is outside `[0, 1]`.
+    pub fn with_drops(mut self, short: f64, bulk_frag: f64) -> Self {
+        self.drop_short_ppm = to_ppm(short);
+        self.drop_bulk_ppm = to_ppm(bulk_frag);
+        self
+    }
+
+    /// Sets the duplication probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn with_dup(mut self, rate: f64) -> Self {
+        self.dup_ppm = to_ppm(rate);
+        self
+    }
+
+    /// Sets the reorder-jitter bound.
+    pub fn with_jitter(mut self, jitter_max: SimDelta) -> Self {
+        self.jitter_max = jitter_max;
+        self
+    }
+
+    /// Adds an outage window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan already holds [`MAX_OUTAGES`] outages.
+    pub fn with_outage(mut self, outage: Outage) -> Self {
+        let slot = self
+            .outages
+            .iter_mut()
+            .find(|o| o.is_none())
+            .expect("FaultPlan: too many outages");
+        *slot = Some(outage);
+        self
+    }
+
+    /// True if the plan can perturb anything — this is the switch that
+    /// engages the reliability protocol.
+    pub fn is_active(&self) -> bool {
+        self.drop_short_ppm > 0
+            || self.drop_bulk_ppm > 0
+            || self.dup_ppm > 0
+            || !self.jitter_max.is_zero()
+            || self.outages.iter().any(Option::is_some)
+    }
+
+    /// True if some outage swallows a message on `(src, dst)` hitting the
+    /// wire at `t`.
+    pub fn in_outage(&self, t: SimTime, src: usize, dst: usize) -> bool {
+        self.outages.iter().flatten().any(|o| o.covers(t, src, dst))
+    }
+
+    /// Drop decision for injection attempt `nonce` on `(src, dst)`; bulk
+    /// messages call once per fragment with distinct `frag` indices.
+    pub fn drops(&self, src: usize, dst: usize, nonce: u64, frag: u32, bulk: bool) -> bool {
+        let ppm = if bulk {
+            self.drop_bulk_ppm
+        } else {
+            self.drop_short_ppm
+        };
+        roll(
+            self.decision(src, dst, nonce, u64::from(frag), salt::DROP),
+            ppm,
+        )
+    }
+
+    /// Duplication decision for injection attempt `nonce` on `(src, dst)`.
+    pub fn duplicates(&self, src: usize, dst: usize, nonce: u64) -> bool {
+        roll(self.decision(src, dst, nonce, 0, salt::DUP), self.dup_ppm)
+    }
+
+    /// Extra transit delay for delivery `copy` (0 = original, 1 = the
+    /// duplicate) of injection attempt `nonce` on `(src, dst)` — uniform
+    /// in `[0, jitter_max]`.
+    pub fn jitter(&self, src: usize, dst: usize, nonce: u64, copy: u64) -> SimDelta {
+        let bound = self.jitter_max.as_nanos();
+        if bound == 0 {
+            return SimDelta::ZERO;
+        }
+        let h = self.decision(src, dst, nonce, copy, salt::JITTER);
+        SimDelta::from_nanos(h % (bound + 1))
+    }
+
+    /// The stateless decision hash: a strong 64-bit mix of the plan seed
+    /// and the decision coordinates (same family as the splitc lock
+    /// backoff and the apps' `mix64`).
+    fn decision(&self, src: usize, dst: usize, nonce: u64, extra: u64, salt: u64) -> u64 {
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((src as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .wrapping_add((dst as u64).wrapping_mul(0x8CB9_2BA7_2F3D_8DD7))
+            .wrapping_add(nonce.wrapping_mul(0xA24B_AED4_963E_E407))
+            .wrapping_add(extra.wrapping_mul(0x9FB2_1C65_1E98_DF25))
+            ^ salt;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        x ^= x >> 33;
+        x
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_active() {
+            return write!(f, "faults=none");
+        }
+        write!(
+            f,
+            "faults[seed={} drop={:.2}%/{:.2}% dup={:.2}% jitter={} outages={}]",
+            self.seed,
+            self.drop_short_ppm as f64 / 10_000.0,
+            self.drop_bulk_ppm as f64 / 10_000.0,
+            self.dup_ppm as f64 / 10_000.0,
+            self.jitter_max,
+            self.outages.iter().flatten().count(),
+        )
+    }
+}
+
+/// Distinct decision kinds must never share a hash.
+mod salt {
+    pub const DROP: u64 = 0x11;
+    pub const DUP: u64 = 0x22;
+    pub const JITTER: u64 = 0x33;
+    pub const BACKOFF: u64 = 0x44;
+}
+
+fn to_ppm(rate: f64) -> u32 {
+    assert!(
+        (0.0..=1.0).contains(&rate),
+        "fault rate {rate} outside [0, 1]"
+    );
+    (rate * f64::from(PPM_SCALE)).round() as u32
+}
+
+fn roll(hash: u64, ppm: u32) -> bool {
+    // Unbiased enough for fault injection: 2^64 % 1e6 bias is ~5e-14.
+    (hash % u64::from(PPM_SCALE)) < u64::from(ppm)
+}
+
+/// Tuning of the reliable-delivery protocol (engaged when the fault plan
+/// is active; see DESIGN.md §3 for the wire format and the exactly-once
+/// argument).
+///
+/// Retransmission backs off exponentially from [`Reliability::rto`]
+/// (doubling per attempt, capped at [`Reliability::rto_max`]) with a
+/// deterministic hash jitter of up to a quarter of the current backoff —
+/// the same mechanism family as the Barnes lock backoff (DESIGN.md §6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub struct Reliability {
+    /// Initial retransmission timeout. Must generously exceed the
+    /// round trip (2L + 4o ≈ 21.6 µs at the NOW baseline) plus queueing,
+    /// or spurious retransmits churn the wire.
+    pub rto: SimDelta,
+    /// Upper bound on the backed-off timeout.
+    pub rto_max: SimDelta,
+    /// Engage the protocol even with an inert fault plan (measures the
+    /// protocol's own cost on a healthy network).
+    pub always_on: bool,
+}
+
+impl Reliability {
+    /// Initial RTO of 250 µs backing off to 16 ms — an order of magnitude
+    /// above the baseline round trip, two below the app-suite runtimes.
+    pub fn baseline() -> Self {
+        Reliability {
+            rto: SimDelta::from_micros(250.0),
+            rto_max: SimDelta::from_millis(16.0),
+            always_on: false,
+        }
+    }
+
+    /// Replaces the initial retransmission timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rto` is zero (a zero timeout livelocks the wire).
+    pub fn with_rto(mut self, rto: SimDelta) -> Self {
+        assert!(!rto.is_zero(), "rto must be positive");
+        self.rto = rto;
+        self
+    }
+
+    /// Replaces the backoff cap.
+    pub fn with_rto_max(mut self, rto_max: SimDelta) -> Self {
+        self.rto_max = rto_max;
+        self
+    }
+
+    /// Forces the protocol on even without faults.
+    pub fn with_always_on(mut self, on: bool) -> Self {
+        self.always_on = on;
+        self
+    }
+
+    /// The backoff before retransmission attempt `attempt` (1-based) of
+    /// request `req` on `(src, dst)`: `rto · 2^(attempt-1)` capped at
+    /// `rto_max`, plus a deterministic jitter in `[0, backoff/4]`.
+    pub fn backoff(&self, seed: u64, src: usize, dst: usize, req: u64, attempt: u32) -> SimDelta {
+        let doublings = attempt.saturating_sub(1).min(20);
+        let base = (self.rto * (1u64 << doublings)).min(self.rto_max);
+        let jitter_bound = base.as_nanos() / 4;
+        if jitter_bound == 0 {
+            return base;
+        }
+        let mut h = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((src as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .wrapping_add((dst as u64).wrapping_mul(0x8CB9_2BA7_2F3D_8DD7))
+            .wrapping_add(req.wrapping_mul(0xA24B_AED4_963E_E407))
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9FB2_1C65_1E98_DF25))
+            ^ salt::BACKOFF;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 29;
+        base + SimDelta::from_nanos(h % (jitter_bound + 1))
+    }
+}
+
+impl Default for Reliability {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+impl fmt::Display for Reliability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rto={}..{}", self.rto, self.rto_max)?;
+        if self.always_on {
+            write!(f, " (forced on)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_is_inactive_and_default() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        assert_eq!(p, FaultPlan::default());
+        assert!(!p.drops(0, 1, 0, 0, false));
+        assert!(!p.duplicates(0, 1, 0));
+        assert_eq!(p.jitter(0, 1, 0, 0), SimDelta::ZERO);
+        assert!(!p.in_outage(SimTime::ZERO, 0, 1));
+    }
+
+    #[test]
+    fn activity_flags() {
+        assert!(FaultPlan::with_drop_rate(0.01, 1).is_active());
+        assert!(FaultPlan::none().with_dup(0.5).is_active());
+        assert!(FaultPlan::none()
+            .with_jitter(SimDelta::from_micros(1.0))
+            .is_active());
+        assert!(FaultPlan::none()
+            .with_outage(Outage::permanent(SimTime::ZERO))
+            .is_active());
+        // A bare seed perturbs nothing.
+        assert!(!FaultPlan::none().with_seed(7).is_active());
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honored() {
+        let p = FaultPlan::with_drop_rate(0.10, 42);
+        let hits = (0..100_000).filter(|&n| p.drops(0, 1, n, 0, false)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.10).abs() < 0.01, "measured {rate}");
+        // Bulk fragments roll their own class.
+        let p = FaultPlan::none().with_drops(0.0, 0.5);
+        assert!(!(0..1000).any(|n| p.drops(0, 1, n, 0, false)));
+        let bulk_hits = (0..100_000).filter(|&n| p.drops(0, 1, n, 0, true)).count();
+        assert!((bulk_hits as f64 / 100_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::with_drop_rate(0.3, 7);
+        let b = FaultPlan::with_drop_rate(0.3, 7);
+        let c = FaultPlan::with_drop_rate(0.3, 8);
+        let pat =
+            |p: &FaultPlan| -> Vec<bool> { (0..256).map(|n| p.drops(2, 3, n, 0, false)).collect() };
+        assert_eq!(pat(&a), pat(&b));
+        assert_ne!(pat(&a), pat(&c));
+        // Links draw independent streams.
+        let other_link: Vec<bool> = (0..256).map(|n| a.drops(3, 2, n, 0, false)).collect();
+        assert_ne!(pat(&a), other_link);
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let p = FaultPlan::none()
+            .with_jitter(SimDelta::from_micros(5.0))
+            .with_seed(1);
+        let mut max_seen = SimDelta::ZERO;
+        for n in 0..10_000 {
+            let j = p.jitter(0, 1, n, 0);
+            assert!(j <= SimDelta::from_micros(5.0));
+            max_seen = max_seen.max(j);
+        }
+        // The bound is actually approached.
+        assert!(max_seen > SimDelta::from_micros(4.5), "max {max_seen}");
+    }
+
+    #[test]
+    fn outage_windows_cover_and_filter() {
+        let o = Outage::window(SimTime::from_nanos(100), SimTime::from_nanos(200));
+        assert!(o.covers(SimTime::from_nanos(100), 0, 1));
+        assert!(o.covers(SimTime::from_nanos(199), 3, 2));
+        assert!(!o.covers(SimTime::from_nanos(200), 0, 1));
+        assert!(!o.covers(SimTime::from_nanos(99), 0, 1));
+        let scoped = o.from_src(1).to_dst(2);
+        assert!(scoped.covers(SimTime::from_nanos(150), 1, 2));
+        assert!(!scoped.covers(SimTime::from_nanos(150), 1, 3));
+        assert!(!scoped.covers(SimTime::from_nanos(150), 0, 2));
+        let perm = Outage::permanent(SimTime::from_nanos(10));
+        assert!(perm.covers(SimTime::from_nanos(u64::MAX - 1), 0, 1));
+        let plan = FaultPlan::none().with_outage(o).with_outage(perm);
+        assert!(plan.in_outage(SimTime::from_nanos(150), 0, 1));
+        assert!(!plan.in_outage(SimTime::ZERO, 0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many outages")]
+    fn outage_capacity_enforced() {
+        let mut p = FaultPlan::none();
+        for i in 0..=MAX_OUTAGES as u64 {
+            p = p.with_outage(Outage::permanent(SimTime::from_nanos(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn silly_rates_rejected() {
+        let _ = FaultPlan::with_drop_rate(1.5, 0);
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters() {
+        let r = Reliability::baseline();
+        let b1 = r.backoff(0, 0, 1, 0, 1);
+        let b2 = r.backoff(0, 0, 1, 0, 2);
+        let b9 = r.backoff(0, 0, 1, 0, 9);
+        // Base doubles (jitter ≤ base/4 keeps attempts ordered).
+        assert!(b1 >= r.rto && b1 <= r.rto + r.rto / 4);
+        assert!(b2 >= r.rto * 2 && b2 <= r.rto * 2 + r.rto / 2);
+        // Attempt 9 is capped at rto_max (+ jitter).
+        assert!(b9 >= r.rto_max && b9 <= r.rto_max + r.rto_max / 4);
+        // Deterministic.
+        assert_eq!(b2, r.backoff(0, 0, 1, 0, 2));
+        // Different requests get different jitter.
+        assert_ne!(r.backoff(0, 0, 1, 10, 3), r.backoff(0, 0, 1, 11, 3));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", FaultPlan::none()), "faults=none");
+        let s = format!("{}", FaultPlan::with_drop_rate(0.01, 3));
+        assert!(s.contains("drop=1.00%"), "{s}");
+        let r = format!("{}", Reliability::baseline().with_always_on(true));
+        assert!(r.contains("forced on"), "{r}");
+    }
+}

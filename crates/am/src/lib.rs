@@ -25,6 +25,14 @@
 //! observation that effective `g` rises at very large `L` because the
 //! network pipeline cannot be filled.
 //!
+//! Beyond the paper's lossless Myrinet, the transport can emulate a
+//! misbehaving fabric: a deterministic, seeded [`FaultPlan`] drops,
+//! duplicates, jitters, or blacks out messages at the wire, and an
+//! integrated reliable-delivery protocol (sequence numbers, piggybacked
+//! cumulative acks, timeout-driven retransmission with exponential
+//! backoff; see [`Reliability`]) keeps handler execution exactly-once. The
+//! default plan is inert and costs nothing.
+//!
 //! # Examples
 //!
 //! A remote fetch-add between two processors:
@@ -60,12 +68,14 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod fault;
 mod message;
 mod params;
 mod port;
 mod stats;
 
 pub use cluster::{AmCluster, Handler, HandlerCtx};
+pub use fault::{FaultPlan, Outage, Reliability, MAX_OUTAGES, PPM_SCALE};
 pub use message::{Dir, HandlerId, Mark, Msg, Payload, ProcId, ReplyData, ReqId};
 pub use params::{
     mb_per_s_from_per_byte, per_byte_from_mb_per_s, Knobs, LatencyMode, LoggpParams, NetConfig,

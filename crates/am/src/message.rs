@@ -127,6 +127,20 @@ pub struct Msg {
     pub dir: Dir,
     /// Request id for credit matching (replies carry their request's id).
     pub req: ReqId,
+    /// Cumulative acknowledgement piggybacked on every message: the
+    /// sender's receipt watermark toward `dst` — every request it sent to
+    /// `dst` with id below `ack` has completed (its reply was received).
+    /// The receiver uses it to garbage-collect duplicate-suppression state
+    /// (see DESIGN.md §3). Always zero when the reliability protocol is
+    /// disengaged.
+    pub ack: ReqId,
+    /// Per-link FIFO sequence number (requests only): position of this
+    /// request in the stream `src` sends to `dst`. The lossless wire
+    /// delivers per-source FIFO and the upper layers rely on it, so the
+    /// reliable path restores that order at the receiver — a request
+    /// arriving ahead of a lost predecessor is held back until the gap is
+    /// retransmitted. Zero on replies and when the protocol is disengaged.
+    pub seq: u64,
     /// Handler to run on arrival (requests only).
     pub handler: HandlerId,
     /// Four argument words (GAM short-message format).
@@ -222,7 +236,13 @@ mod tests {
     #[test]
     fn read_mark_classification() {
         assert!(Mark::Read.is_read());
-        for m in [Mark::Write, Mark::Rmw, Mark::Bulk, Mark::Barrier, Mark::User] {
+        for m in [
+            Mark::Write,
+            Mark::Rmw,
+            Mark::Bulk,
+            Mark::Barrier,
+            Mark::User,
+        ] {
             assert!(!m.is_read());
         }
     }
@@ -234,6 +254,8 @@ mod tests {
             dst: 1,
             dir: Dir::Request,
             req: 0,
+            ack: 0,
+            seq: 0,
             handler: 0,
             args: [0; 4],
             payload: Payload::Synthetic(128),

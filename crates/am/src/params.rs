@@ -17,13 +17,14 @@
 use nowlab_sim::SimDelta;
 use std::fmt;
 
+use crate::fault::{FaultPlan, Reliability};
+
 /// Baseline LogGP parameters of a machine (all per Table 1 of the paper).
 ///
 /// The overhead is split into its send and receive components as measured by
 /// the LogP signature microbenchmark (Figure 3 shows `o_send = 1.8 µs`,
 /// `o_recv = 4 µs` for the Berkeley NOW); the paper reports their average as
 /// "o".
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct LoggpParams {
     /// Send overhead: processor time to write a message into the NIC.
@@ -148,7 +149,6 @@ pub fn mb_per_s_from_per_byte(per_byte: SimDelta) -> f64 {
 /// * `d_lat` — extra arrival delay applied through the receive-side delay
 ///   queue (latency rises; `o` and `g` untouched).
 /// * `d_gap_per_byte` — extra per-byte stall after each bulk fragment.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Knobs {
     /// Added per-message overhead (applied to send and receive paths).
@@ -230,7 +230,6 @@ impl fmt::Display for Knobs {
 /// g". Both mechanisms are implemented so the `ablation_latency_mechanism`
 /// bench can demonstrate the artifact the paper avoided.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LatencyMode {
     /// The paper's mechanism: presence-bit deferral; `g` unaffected.
     #[default]
@@ -242,7 +241,6 @@ pub enum LatencyMode {
 
 /// Full network configuration: machine baseline, knobs, and AM-layer
 /// constants.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct NetConfig {
     /// Baseline machine parameters.
@@ -262,6 +260,13 @@ pub struct NetConfig {
     pub short_wire_bytes: u32,
     /// Mechanism implementing the added-latency knob.
     pub latency_mode: LatencyMode,
+    /// Deterministic fault model applied at the wire. The default
+    /// [`FaultPlan::none`] is inert and leaves every run bit-identical to
+    /// the lossless transport.
+    pub faults: FaultPlan,
+    /// Tuning of the reliable-delivery protocol, engaged whenever the
+    /// fault plan is active (or [`Reliability::always_on`] is set).
+    pub reliability: Reliability,
 }
 
 impl NetConfig {
@@ -274,6 +279,8 @@ impl NetConfig {
             frag_bytes: 4096,
             short_wire_bytes: 28,
             latency_mode: LatencyMode::DelayQueue,
+            faults: FaultPlan::none(),
+            reliability: Reliability::baseline(),
         }
     }
 
@@ -300,6 +307,27 @@ impl NetConfig {
         assert!(window > 0, "window must be at least 1");
         self.window = window;
         self
+    }
+
+    /// Replaces the fault plan, keeping everything else. An active plan
+    /// engages the reliable-delivery protocol.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the reliability tuning, keeping everything else.
+    pub fn with_reliability(mut self, reliability: Reliability) -> Self {
+        self.reliability = reliability;
+        self
+    }
+
+    /// True if the reliable-delivery protocol is engaged: sequence-number
+    /// tracking, duplicate suppression, and retransmission timers. False by
+    /// default, in which case the transport takes the exact lossless code
+    /// path (no timers, no extra state).
+    pub fn reliability_active(&self) -> bool {
+        self.faults.is_active() || self.reliability.always_on
     }
 
     /// Effective send overhead (`o_send + Δo`).
@@ -348,9 +376,13 @@ impl fmt::Display for NetConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "[{} | {} | W={} frag={}B]",
+            "[{} | {} | W={} frag={}B",
             self.machine, self.knobs, self.window, self.frag_bytes
-        )
+        )?;
+        if self.reliability_active() {
+            write!(f, " | {} {}", self.faults, self.reliability)?;
+        }
+        write!(f, "]")
     }
 }
 
@@ -430,5 +462,27 @@ mod tests {
         let s = format!("{}", NetConfig::berkeley_now());
         assert!(s.contains("W=8"));
         assert!(s.contains("frag=4096B"));
+        assert!(!s.contains("faults"), "inert plan must not clutter: {s}");
+        let s = format!(
+            "{}",
+            NetConfig::berkeley_now().with_faults(FaultPlan::with_drop_rate(0.01, 1))
+        );
+        assert!(s.contains("drop=1.00%"), "{s}");
+    }
+
+    #[test]
+    fn reliability_engages_on_faults_or_forcing() {
+        let base = NetConfig::berkeley_now();
+        assert!(!base.reliability_active());
+        assert!(base
+            .with_faults(FaultPlan::with_drop_rate(0.01, 1))
+            .reliability_active());
+        assert!(base
+            .with_reliability(Reliability::baseline().with_always_on(true))
+            .reliability_active());
+        // A seeded-but-inert plan does not engage the protocol.
+        assert!(!base
+            .with_faults(FaultPlan::none().with_seed(9))
+            .reliability_active());
     }
 }

@@ -14,7 +14,7 @@ use std::rc::Rc;
 
 use nowlab_sim::{SimDelta, SimTime};
 
-use crate::cluster::{ClusterInner, ReplySlot};
+use crate::cluster::{CachedReply, ClusterInner, ReplySlot, TxEntry};
 use crate::message::{Dir, HandlerId, Mark, Msg, Payload, ProcId, ReqId};
 use crate::params::NetConfig;
 
@@ -62,7 +62,10 @@ impl AmPort {
     /// serviced meanwhile).
     pub async fn compute(&self, d: SimDelta) {
         self.inner.sim.delay(d).await;
-        self.inner.procs[self.proc].counters.borrow_mut().compute_time += d;
+        self.inner.procs[self.proc]
+            .counters
+            .borrow_mut()
+            .compute_time += d;
     }
 
     /// Runs `f` on this processor's user state.
@@ -115,6 +118,7 @@ impl AmPort {
 
     async fn process_incoming(&self, msg: Msg) {
         let cfg = &self.inner.cfg;
+        let reliable = cfg.reliability_active();
         let o_recv = cfg.eff_o_recv();
         self.inner.sim.delay(o_recv).await;
         {
@@ -126,9 +130,27 @@ impl AmPort {
                 c.o_time_in_wait += o_recv;
             }
         }
+        if reliable {
+            // Every message piggybacks the sender's cumulative receipt
+            // watermark; apply it before anything else so stale
+            // duplicate-suppression state is shed eagerly.
+            self.inner.note_ack(self.proc, msg.src, msg.ack);
+        }
         match msg.dir {
             Dir::Reply => {
                 let ep = &self.inner.procs[self.proc];
+                if reliable {
+                    // Only the first reply for a request completes it; the
+                    // removal doubles as the duplicate filter, so a late
+                    // network copy or a re-sent cached reply can neither
+                    // double-credit the window nor underflow the posted
+                    // count (the lossless path's "stray ack" hazard).
+                    let first = ep.rel_tx.borrow_mut()[msg.src].remove(&msg.req).is_some();
+                    if !first {
+                        ep.counters.borrow_mut().dup_suppressed += 1;
+                        return;
+                    }
+                }
                 ep.credits.set(ep.credits.get() + 1);
                 let slot = ep.pending_replies.borrow_mut().remove(&msg.req);
                 match slot {
@@ -139,7 +161,8 @@ impl AmPort {
                     }
                     None => {
                         debug_assert!(ep.pending_posts.get() > 0, "stray ack");
-                        ep.pending_posts.set(ep.pending_posts.get().saturating_sub(1));
+                        ep.pending_posts
+                            .set(ep.pending_posts.get().saturating_sub(1));
                     }
                 }
                 // State changed; wake this endpoint's own waiters (the
@@ -148,29 +171,149 @@ impl AmPort {
                 ep.rx_notify.notify_all();
             }
             Dir::Request => {
-                let reply = self.inner.run_handler(&msg);
-                let o_send = cfg.eff_o_send();
-                self.inner.sim.delay(o_send).await;
+                if !reliable {
+                    let reply = self.inner.run_handler(&msg);
+                    self.send_reply(&msg, reply.args, reply.payload, msg.mark)
+                        .await;
+                    return;
+                }
+                // FIFO restore: the lossless wire delivers per-source
+                // in-order and the upper layers rely on it, so a request
+                // that overtook a lost predecessor is held back until the
+                // gap is retransmitted in. (Its `o_recv` is already
+                // charged — the processor did examine it.)
+                let src = msg.src;
+                let msg = {
+                    let ep = &self.inner.procs[self.proc];
+                    let mut rx = ep.rel_rx.borrow_mut();
+                    let link = &mut rx[src];
+                    if msg.seq > link.next_seq {
+                        link.reorder.insert(msg.seq, msg);
+                        return;
+                    }
+                    msg
+                };
+                self.serve_request(msg).await;
+                // This arrival may have closed the gap: release held
+                // successors in sequence order (no second `o_recv` — it
+                // was paid when they first arrived).
+                loop {
+                    let next = {
+                        let ep = &self.inner.procs[self.proc];
+                        let mut rx = ep.rel_rx.borrow_mut();
+                        let link = &mut rx[src];
+                        let key = link.next_seq;
+                        link.reorder.remove(&key)
+                    };
+                    match next {
+                        Some(m) => self.serve_request(m).await,
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serves one in-order request under the reliability protocol:
+    /// duplicate suppression, exactly-once handler execution, reply
+    /// caching. The caller has already charged `o_recv` and established
+    /// that `msg.seq <= next_seq` on the link.
+    async fn serve_request(&self, msg: Msg) {
+        enum Verdict {
+            Fresh,
+            Stale,
+            Replay(CachedReply),
+        }
+        let verdict = {
+            let ep = &self.inner.procs[self.proc];
+            let mut rx = ep.rel_rx.borrow_mut();
+            let link = &mut rx[msg.src];
+            if msg.req < link.acked_below {
+                // The sender already received our reply; this copy
+                // wandered the network too long. Nothing to re-send.
+                Verdict::Stale
+            } else if link.seen.contains(&msg.req) {
+                match link.reply_cache.get(&msg.req) {
+                    Some(cached) => Verdict::Replay(cached.clone()),
+                    None => Verdict::Stale,
+                }
+            } else {
+                // First processing of this link's next sequence step.
+                debug_assert_eq!(msg.seq, link.next_seq, "fresh request out of order");
+                link.next_seq = msg.seq + 1;
+                link.seen.insert(msg.req);
+                Verdict::Fresh
+            }
+        };
+        match verdict {
+            Verdict::Stale => {
+                let ep = &self.inner.procs[self.proc];
+                ep.counters.borrow_mut().dup_suppressed += 1;
+                return;
+            }
+            Verdict::Replay(cached) => {
+                // Duplicate of a request we already answered: the handler
+                // must NOT run again (exactly-once semantics); re-send the
+                // cached reply at full send cost.
                 {
                     let ep = &self.inner.procs[self.proc];
                     let mut c = ep.counters.borrow_mut();
-                    c.o_time += o_send;
-                    if ep.in_wait.get() {
-                        c.o_time_in_wait += o_send;
-                    }
+                    c.dup_suppressed += 1;
+                    c.retransmits += 1;
                 }
-                self.inner.inject(Msg {
-                    src: self.proc,
-                    dst: msg.src,
-                    dir: Dir::Reply,
-                    req: msg.req,
-                    handler: 0,
+                self.send_reply(&msg, cached.args, cached.payload, cached.mark)
+                    .await;
+                return;
+            }
+            Verdict::Fresh => {}
+        }
+        let reply = self.inner.run_handler(&msg);
+        {
+            let ep = &self.inner.procs[self.proc];
+            ep.rel_rx.borrow_mut()[msg.src].reply_cache.insert(
+                msg.req,
+                CachedReply {
                     args: reply.args,
-                    payload: reply.payload,
+                    payload: reply.payload.clone(),
                     mark: msg.mark,
-                });
+                },
+            );
+        }
+        self.send_reply(&msg, reply.args, reply.payload, msg.mark)
+            .await;
+    }
+
+    /// Charges send overhead and injects a reply to `req` — the reply's
+    /// `ack` carries this processor's own watermark on the reverse link,
+    /// so acks flow even when only one side originates requests.
+    async fn send_reply(&self, req: &Msg, args: [u64; 4], payload: Payload, mark: Mark) {
+        let o_send = self.inner.cfg.eff_o_send();
+        self.inner.sim.delay(o_send).await;
+        {
+            let ep = &self.inner.procs[self.proc];
+            let mut c = ep.counters.borrow_mut();
+            c.o_time += o_send;
+            if ep.in_wait.get() {
+                c.o_time_in_wait += o_send;
             }
         }
+        let ack = if self.inner.cfg.reliability_active() {
+            self.inner.ack_watermark(self.proc, req.src)
+        } else {
+            0
+        };
+        self.inner.inject(Msg {
+            src: self.proc,
+            dst: req.src,
+            dir: Dir::Reply,
+            req: req.req,
+            ack,
+            seq: 0,
+            handler: 0,
+            args,
+            payload,
+            mark,
+        });
     }
 
     /// Services the network until `cond()` holds.
@@ -282,11 +425,13 @@ impl AmPort {
             .borrow_mut()
             .insert(req, Rc::clone(&slot));
         self.charge_send().await;
-        self.inner.inject(Msg {
+        self.send_request(Msg {
             src: self.proc,
             dst,
             dir: Dir::Request,
             req,
+            ack: 0,
+            seq: 0,
             handler,
             args,
             payload,
@@ -319,16 +464,45 @@ impl AmPort {
         let ep = &self.inner.procs[self.proc];
         ep.pending_posts.set(ep.pending_posts.get() + 1);
         self.charge_send().await;
-        self.inner.inject(Msg {
+        self.send_request(Msg {
             src: self.proc,
             dst,
             dir: Dir::Request,
             req,
+            ack: 0,
+            seq: 0,
             handler,
             args,
             payload,
             mark,
         });
+    }
+
+    /// Injects a fresh request. Under the reliability protocol the message
+    /// additionally carries the current ack watermark, is retained for
+    /// retransmission until its reply arrives, and gets a timeout armed.
+    fn send_request(&self, mut msg: Msg) {
+        if self.inner.cfg.reliability_active() {
+            let (dst, req) = (msg.dst, msg.req);
+            let ep = &self.inner.procs[self.proc];
+            {
+                // Stamp the per-link FIFO position; retransmissions reuse
+                // the stored message and so keep the original stamp.
+                let mut seqs = ep.tx_seq.borrow_mut();
+                msg.seq = seqs[dst];
+                seqs[dst] += 1;
+            }
+            ep.rel_tx.borrow_mut()[dst].insert(
+                req,
+                TxEntry {
+                    msg: msg.clone(),
+                    attempts: 1,
+                },
+            );
+            msg.ack = self.inner.ack_watermark(self.proc, dst);
+            self.inner.arm_retransmit(self.proc, dst, req, 1);
+        }
+        self.inner.inject(msg);
     }
 
     /// Waits until every [`AmPort::post`] issued by this processor has been
@@ -374,7 +548,9 @@ mod tests {
             port1.wait_until(|| false).await;
         });
         let done = sim.spawn(async move {
-            let (args, _) = port0.request(1, h, [42, 0, 0, 0], Payload::None, Mark::Read).await;
+            let (args, _) = port0
+                .request(1, h, [42, 0, 0, 0], Payload::None, Mark::Read)
+                .await;
             (args[0], port0.now())
         });
         sim.run();
@@ -397,7 +573,9 @@ mod tests {
         sim.spawn(async move { port1.wait_until(|| false).await });
         let done = sim.spawn(async move {
             for i in 0..4 {
-                port0.post(1, h, [i, 0, 0, 0], Payload::None, Mark::Write).await;
+                port0
+                    .post(1, h, [i, 0, 0, 0], Payload::None, Mark::Write)
+                    .await;
             }
             let after_posts = port0.now();
             port0.quiesce().await;
@@ -425,7 +603,9 @@ mod tests {
         let probe = sim.spawn(async move {
             let mut max_outstanding = 0u64;
             for i in 0..(cfgw * 3) {
-                port0.post(1, h, [i, 0, 0, 0], Payload::None, Mark::Write).await;
+                port0
+                    .post(1, h, [i, 0, 0, 0], Payload::None, Mark::Write)
+                    .await;
                 max_outstanding = max_outstanding.max(port0.pending_posts());
             }
             port0.quiesce().await;
@@ -459,12 +639,14 @@ mod tests {
         sim.spawn(async move { p1.wait_until(|| false).await });
         sim.spawn(async move {
             // Slow responder: p0 will be blocked for a while.
-            p0.request(1, h, [0, 0, 0, 0], Payload::None, Mark::Read).await;
+            p0.request(1, h, [0, 0, 0, 0], Payload::None, Mark::Read)
+                .await;
             p0.wait_until(|| false).await;
         });
         let writer = sim.spawn(async move {
             for i in 0..5 {
-                p2.post(0, h, [i + 100, 0, 0, 0], Payload::None, Mark::Write).await;
+                p2.post(0, h, [i + 100, 0, 0, 0], Payload::None, Mark::Write)
+                    .await;
             }
             p2.quiesce().await;
             true

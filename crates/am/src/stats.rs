@@ -9,7 +9,6 @@
 use nowlab_sim::SimDelta;
 
 /// Per-processor communication counters, updated by the transport.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ProcCounters {
     /// Messages sent (requests *and* replies, as in the paper's `m`).
@@ -40,6 +39,25 @@ pub struct ProcCounters {
     /// The portion of `o_time` charged while inside a wait (so
     /// `blocked_time - o_time_in_wait` is pure network/stall wait).
     pub o_time_in_wait: SimDelta,
+    /// Messages this processor sent that the faulty wire dropped
+    /// (including outage losses; bulk messages count once however many
+    /// fragments were lost).
+    pub drops: u64,
+    /// Duplicate deliveries the faulty wire created for this processor's
+    /// sends.
+    pub dups: u64,
+    /// Duplicate messages this processor received and suppressed (the
+    /// reliability protocol's exactly-once filter).
+    pub dup_suppressed: u64,
+    /// Messages this processor re-sent: timed-out requests plus cached
+    /// replies re-sent in answer to duplicate requests.
+    pub retransmits: u64,
+    /// Retransmission timeouts that fired while their request was still
+    /// unacknowledged.
+    pub timeouts: u64,
+    /// Largest retransmission backoff armed by this processor (diagnoses
+    /// how deep the exponential backoff went).
+    pub max_retry_backoff: SimDelta,
 }
 
 impl ProcCounters {
@@ -53,7 +71,6 @@ impl ProcCounters {
 }
 
 /// Immutable snapshot of a finished run's communication behavior.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Debug, Default)]
 pub struct CommStats {
     /// Per-processor counters (index = processor id).
@@ -121,12 +138,7 @@ impl CommStats {
     /// Average interval between barriers, in milliseconds (∞ if no
     /// barriers).
     pub fn barrier_interval_ms(&self) -> f64 {
-        let barriers = self
-            .per_proc
-            .iter()
-            .map(|c| c.barriers)
-            .max()
-            .unwrap_or(0);
+        let barriers = self.per_proc.iter().map(|c| c.barriers).max().unwrap_or(0);
         if barriers == 0 {
             f64::INFINITY
         } else {
@@ -201,14 +213,46 @@ impl CommStats {
         let pure_wait: f64 = self
             .per_proc
             .iter()
-            .map(|c| {
-                (c.blocked_time.saturating_sub(c.o_time_in_wait)).as_secs_f64()
-            })
+            .map(|c| (c.blocked_time.saturating_sub(c.o_time_in_wait)).as_secs_f64())
             .sum::<f64>()
             / p
             / elapsed;
         let other = (1.0 - compute - overhead - pure_wait).max(0.0);
         (compute, overhead, pure_wait, other)
+    }
+
+    /// Total messages the faulty wire dropped.
+    pub fn total_drops(&self) -> u64 {
+        self.per_proc.iter().map(|c| c.drops).sum()
+    }
+
+    /// Total duplicate deliveries the faulty wire created.
+    pub fn total_dups(&self) -> u64 {
+        self.per_proc.iter().map(|c| c.dups).sum()
+    }
+
+    /// Total duplicates suppressed by receivers (exactly-once filter).
+    pub fn total_dup_suppressed(&self) -> u64 {
+        self.per_proc.iter().map(|c| c.dup_suppressed).sum()
+    }
+
+    /// Total retransmissions (timed-out requests + replayed replies).
+    pub fn total_retransmits(&self) -> u64 {
+        self.per_proc.iter().map(|c| c.retransmits).sum()
+    }
+
+    /// Total retransmission timeouts that fired.
+    pub fn total_timeouts(&self) -> u64 {
+        self.per_proc.iter().map(|c| c.timeouts).sum()
+    }
+
+    /// Largest retransmission backoff armed anywhere in the cluster.
+    pub fn max_retry_backoff(&self) -> SimDelta {
+        self.per_proc
+            .iter()
+            .map(|c| c.max_retry_backoff)
+            .max()
+            .unwrap_or(SimDelta::ZERO)
     }
 
     /// The sender→receiver message-count matrix (Figure 4): entry `[i][j]`
@@ -303,6 +347,32 @@ mod tests {
         assert!(s.barrier_interval_ms().is_infinite());
         assert!(s.msg_interval_us().is_infinite());
         assert_eq!(s.matrix_max(), 0);
+        assert_eq!(s.total_drops(), 0);
+        assert_eq!(s.max_retry_backoff(), SimDelta::ZERO);
+    }
+
+    #[test]
+    fn fault_aggregates_sum_across_procs() {
+        let mut a = ProcCounters::new(2);
+        a.drops = 3;
+        a.dups = 1;
+        a.retransmits = 4;
+        a.timeouts = 4;
+        a.max_retry_backoff = SimDelta::from_micros(100.0);
+        let mut b = ProcCounters::new(2);
+        b.drops = 2;
+        b.dup_suppressed = 5;
+        b.max_retry_backoff = SimDelta::from_micros(400.0);
+        let s = CommStats {
+            per_proc: vec![a, b],
+            elapsed: SimDelta::from_millis(1.0),
+        };
+        assert_eq!(s.total_drops(), 5);
+        assert_eq!(s.total_dups(), 1);
+        assert_eq!(s.total_dup_suppressed(), 5);
+        assert_eq!(s.total_retransmits(), 4);
+        assert_eq!(s.total_timeouts(), 4);
+        assert_eq!(s.max_retry_backoff(), SimDelta::from_micros(400.0));
     }
 
     #[test]

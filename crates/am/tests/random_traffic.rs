@@ -1,84 +1,48 @@
-//! Property test: arbitrary traffic patterns leave the transport's
+//! Randomized test: arbitrary traffic patterns leave the transport's
 //! accounting consistent — every request is eventually received and
 //! acknowledged, and the per-destination matrix sums match the totals.
+//!
+//! Cases are drawn from a seeded [`nowlab_rng::SmallRng`] stream, so the
+//! suite is deterministic while still sweeping many traffic shapes.
 
-use nowlab_am::{AmCluster, Mark, NetConfig, Payload, ReplyData};
-use nowlab_sim::Sim;
-use proptest::prelude::*;
+mod util;
 
-#[derive(Clone, Copy, Debug)]
-struct Op {
-    src: usize,
-    dst: usize,
-    bulk: bool,
-    waited: bool,
-}
+use nowlab_am::NetConfig;
+use nowlab_rng::{SeedableRng, SmallRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn accounting_is_consistent_under_random_traffic(
-        procs in 2usize..6,
-        ops in prop::collection::vec((0usize..64, any::<bool>(), any::<bool>()), 1..120),
-    ) {
-        // Materialize ops against the drawn processor count.
-        let ops: Vec<Op> = ops
-            .into_iter()
-            .enumerate()
-            .map(|(i, (d, bulk, waited))| {
-                let src = (d + i) % procs;
-                let dst = (d * 7 + i * 3 + 1) % procs;
-                let dst = if dst == src { (dst + 1) % procs } else { dst };
-                Op { src, dst, bulk, waited }
-            })
-            .filter(|op| op.src != op.dst)
-            .collect();
-        prop_assume!(!ops.is_empty());
-
-        let sim = Sim::new();
-        let cluster = AmCluster::new(sim.clone(), NetConfig::berkeley_now(), procs);
-        let h = cluster.register_handler(|_| ReplyData::ack());
-
-        // One task per processor: perform its ops in order, then serve.
-        for me in 0..procs {
-            let my_ops: Vec<Op> = ops.iter().copied().filter(|o| o.src == me).collect();
-            let port = cluster.port(me);
-            sim.spawn(async move {
-                for op in my_ops {
-                    let payload = if op.bulk {
-                        Payload::Synthetic(512)
-                    } else {
-                        Payload::None
-                    };
-                    if op.waited {
-                        port.request(op.dst, h, [0; 4], payload, Mark::Read).await;
-                    } else {
-                        port.post(op.dst, h, [0; 4], payload, Mark::Write).await;
-                    }
-                }
-                port.quiesce().await;
-                port.wait_until(|| false).await; // keep serving
-            });
+#[test]
+fn accounting_is_consistent_under_random_traffic() {
+    let mut rng = SmallRng::seed_from_u64(0x7247FF1C);
+    let mut ran = 0;
+    while ran < 24 {
+        let (procs, ops) = util::draw_case(&mut rng);
+        if ops.is_empty() {
+            continue;
         }
-        sim.run();
+        ran += 1;
 
-        let stats = cluster.stats();
+        let out = util::run_traffic(procs, &ops, NetConfig::berkeley_now());
+        let stats = &out.stats;
         let requests = ops.len() as u64;
+        // Every sender finished its ops and quiesced.
+        assert!(out.senders_done.iter().all(|&d| d));
+        // Every request ran its handler exactly once.
+        let runs: u64 = out.handler_runs.iter().sum();
+        assert_eq!(runs, requests);
         // Every request got a reply: total sends = 2 × requests.
-        prop_assert_eq!(stats.total_sends(), 2 * requests);
+        assert_eq!(stats.total_sends(), 2 * requests);
         // Everything sent was received.
         let recvs: u64 = stats.per_proc.iter().map(|c| c.recvs).sum();
-        prop_assert_eq!(recvs, stats.total_sends());
+        assert_eq!(recvs, stats.total_sends());
         // The matrix is exact: row sums equal per-processor send counts.
         for (i, c) in stats.per_proc.iter().enumerate() {
             let row: u64 = c.per_dst.iter().sum();
-            prop_assert_eq!(row, c.sends, "row {} mismatch", i);
-            prop_assert_eq!(c.per_dst[i], 0, "self-message at {}", i);
+            assert_eq!(row, c.sends, "row {i} mismatch");
+            assert_eq!(c.per_dst[i], 0, "self-message at {i}");
         }
         // Read accounting: every waited request and its reply are marked.
         let waited = ops.iter().filter(|o| o.waited).count() as u64;
         let reads: u64 = stats.per_proc.iter().map(|c| c.sends_read).sum();
-        prop_assert_eq!(reads, 2 * waited);
+        assert_eq!(reads, 2 * waited);
     }
 }

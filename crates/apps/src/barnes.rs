@@ -176,14 +176,7 @@ fn initial_bodies(seed: u64, n: usize) -> Vec<Body> {
 
 /// One force evaluation against an accepted cell/mass point. All i128,
 /// fully deterministic.
-fn accumulate_force(
-    b: &Body,
-    mass: i64,
-    mx: i64,
-    my: i64,
-    mz: i64,
-    acc: &mut (i64, i64, i64),
-) {
+fn accumulate_force(b: &Body, mass: i64, mx: i64, my: i64, mz: i64, acc: &mut (i64, i64, i64)) {
     if mass == 0 {
         return;
     }
@@ -332,9 +325,7 @@ async fn barnes_body(ctx: Ctx, params: BarnesParams, seed: u64) -> u64 {
                     let o = cell_owner(c);
                     let base = slot_of[c] * CELL_WORDS;
                     let words: Vec<u64> = if o == me {
-                        ctx.with_mem(|m| {
-                            (1..CELL_WORDS).map(|k| m.load(cells, base + k)).collect()
-                        })
+                        ctx.with_mem(|m| (1..CELL_WORDS).map(|k| m.load(cells, base + k)).collect())
                     } else {
                         ctx.bulk_get(GlobalPtr::new(o, cells, base + 1), 4).await
                     };
@@ -368,9 +359,15 @@ async fn barnes_body(ctx: Ctx, params: BarnesParams, seed: u64) -> u64 {
             // Integrate.
             ctx.compute(C_BODY).await;
             let mut nb = *b;
-            nb.vx = nb.vx.wrapping_add(((acc.0 as i128 * DT as i128) / FX_ONE as i128) as i64);
-            nb.vy = nb.vy.wrapping_add(((acc.1 as i128 * DT as i128) / FX_ONE as i128) as i64);
-            nb.vz = nb.vz.wrapping_add(((acc.2 as i128 * DT as i128) / FX_ONE as i128) as i64);
+            nb.vx = nb
+                .vx
+                .wrapping_add(((acc.0 as i128 * DT as i128) / FX_ONE as i128) as i64);
+            nb.vy = nb
+                .vy
+                .wrapping_add(((acc.1 as i128 * DT as i128) / FX_ONE as i128) as i64);
+            nb.vz = nb
+                .vz
+                .wrapping_add(((acc.2 as i128 * DT as i128) / FX_ONE as i128) as i64);
             let wrap = |v: i64| v.rem_euclid(FX_ONE);
             nb.x = wrap(nb.x.wrapping_add(((nb.vx as i128 * DT as i128) / FX_ONE as i128) as i64));
             nb.y = wrap(nb.y.wrapping_add(((nb.vy as i128 * DT as i128) / FX_ONE as i128) as i64));
@@ -496,7 +493,11 @@ mod tests {
     fn uses_locks_rmw_and_bulk_reads() {
         let out = Barnes::new(BarnesParams::small()).run(&RunSpec::new(4));
         assert!(out.stats.pct_bulk() > 5.0, "bulk: {}", out.stats.pct_bulk());
-        assert!(out.stats.pct_reads() > 5.0, "reads: {}", out.stats.pct_reads());
+        assert!(
+            out.stats.pct_reads() > 5.0,
+            "reads: {}",
+            out.stats.pct_reads()
+        );
         assert!(out.stats.total_sends() > 100);
     }
 }

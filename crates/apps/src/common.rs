@@ -5,9 +5,8 @@
 use std::future::Future;
 
 use nowlab_core::{RunOutcome, RunSpec};
+use nowlab_rng::{SeedableRng, SmallRng};
 use nowlab_splitc::{Ctx, SplitC, SpmdConfig};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 /// Builds the Split-C machine for `spec`, lets `setup` register custom
 /// handlers, runs `body` on every processor, and packages the result.
@@ -138,7 +137,7 @@ pub fn word_to_fx(w: u64) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngCore;
+    use nowlab_rng::RngCore;
 
     #[test]
     fn block_partition_is_exact_and_balanced() {

@@ -196,7 +196,9 @@ async fn connect_body(ctx: nowlab_splitc::Ctx, params: ConnectParams, seed: u64)
                 ops += 1;
             }
         }
-        let snapshot: Vec<usize> = (0..n_local).map(|i| find(&mut uf, base, base + i)).collect();
+        let snapshot: Vec<usize> = (0..n_local)
+            .map(|i| find(&mut uf, base, base + i))
+            .collect();
         ctx.with_mem(|m| {
             for (i, r) in snapshot.into_iter().enumerate() {
                 m.store(parent, i, r as u64);

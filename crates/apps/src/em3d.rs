@@ -100,14 +100,18 @@ fn edge_target(seed: u64, g: usize, j: usize, half: usize, p: usize, pct_remote:
 /// The wrapping-integer "field" update: deterministic and associative
 /// enough that any arrival order yields the same result.
 fn update_value(old: u64, neighbor_sum: u64) -> u64 {
-    old ^ neighbor_sum.rotate_left(1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    old ^ neighbor_sum
+        .rotate_left(1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// Sequential reference implementation (tests compare checksums).
 pub fn sequential_checksum(params: &Em3dParams, seed: u64, p: usize) -> u64 {
     let half = params.nodes / 2;
     let mut e: Vec<u64> = (0..half).map(|g| mix64(seed ^ g as u64)).collect();
-    let mut h: Vec<u64> = (0..half).map(|g| mix64(seed ^ (g as u64 + half as u64))).collect();
+    let mut h: Vec<u64> = (0..half)
+        .map(|g| mix64(seed ^ (g as u64 + half as u64)))
+        .collect();
     for _ in 0..params.steps {
         let new_e: Vec<u64> = (0..half)
             .map(|g| {
@@ -316,10 +320,7 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
     for _step in 0..params.steps {
         // ---- Half-step 1: update E from H.
         if read_based {
-            em3d_update_read(
-                &ctx, &my_e_edges, e_vals, h_vals, half, p, my_block.start,
-            )
-            .await;
+            em3d_update_read(&ctx, &my_e_edges, e_vals, h_vals, half, p, my_block.start).await;
         } else {
             // Producers push current H values into consumers' ghost slots.
             for &(c, local, slot) in &push_h {
@@ -329,7 +330,14 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
             ctx.sync().await;
             ctx.barrier().await;
             em3d_update_write(
-                &ctx, &my_e_edges, e_vals, h_vals, h_ghost_region, &h_ghost_idx, half, p,
+                &ctx,
+                &my_e_edges,
+                e_vals,
+                h_vals,
+                h_ghost_region,
+                &h_ghost_idx,
+                half,
+                p,
                 my_block.start,
             )
             .await;
@@ -338,10 +346,7 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
 
         // ---- Half-step 2: update H from E.
         if read_based {
-            em3d_update_read(
-                &ctx, &my_h_edges, h_vals, e_vals, half, p, my_block.start,
-            )
-            .await;
+            em3d_update_read(&ctx, &my_h_edges, h_vals, e_vals, half, p, my_block.start).await;
         } else {
             for &(c, local, slot) in &push_e {
                 let v = ctx.load_local(e_vals, local);
@@ -350,7 +355,14 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
             ctx.sync().await;
             ctx.barrier().await;
             em3d_update_write(
-                &ctx, &my_h_edges, h_vals, e_vals, e_ghost_region, &e_ghost_idx, half, p,
+                &ctx,
+                &my_h_edges,
+                h_vals,
+                e_vals,
+                e_ghost_region,
+                &e_ghost_idx,
+                half,
+                p,
                 my_block.start,
             )
             .await;
@@ -363,7 +375,9 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
     let local_sum = ctx.with_mem(|m| {
         let mut s = 0u64;
         for i in 0..n_local {
-            s = s.wrapping_add(m.load(e_vals, i)).wrapping_add(m.load(h_vals, i));
+            s = s
+                .wrapping_add(m.load(e_vals, i))
+                .wrapping_add(m.load(h_vals, i));
         }
         s
     });
@@ -512,9 +526,7 @@ mod tests {
                     assert!(t < half, "target out of range");
                     let src = crate::common::block_owner(half, p, g);
                     let dst = crate::common::block_owner(half, p, t);
-                    let adjacent = dst == src
-                        || dst == (src + 1) % p
-                        || dst == (src + p - 1) % p;
+                    let adjacent = dst == src || dst == (src + 1) % p || dst == (src + p - 1) % p;
                     assert!(adjacent, "edge crosses more than one block: {src}->{dst}");
                 }
             }

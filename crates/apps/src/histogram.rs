@@ -48,7 +48,10 @@ pub async fn global_histogram(
     let p = ctx.procs();
     let me = ctx.me();
     let buckets = counts.len();
-    assert!(buckets.is_multiple_of(2), "bucket count must be even (2 per message)");
+    assert!(
+        buckets.is_multiple_of(2),
+        "bucket count must be even (2 per message)"
+    );
 
     let mut my_prefix = vec![0u64; buckets];
     let mut totals = vec![0u64; buckets];
@@ -63,8 +66,7 @@ pub async fn global_histogram(
             recv_counts(ctx, mb, bulk, &mut my_prefix).await;
             ctx.compute(C_SCAN * buckets as u64).await;
             if me + 1 < p {
-                let running: Vec<u64> =
-                    my_prefix.iter().zip(counts).map(|(a, b)| a + b).collect();
+                let running: Vec<u64> = my_prefix.iter().zip(counts).map(|(a, b)| a + b).collect();
                 send_counts(ctx, me + 1, mb, &running, bulk).await;
             }
         }
@@ -116,8 +118,13 @@ async fn send_counts(ctx: &Ctx, dst: usize, mb: MailboxId, values: &[u64], bulk:
         return;
     }
     for c in 0..values.len() / 2 {
-        ctx.send_mail(dst, mb, [c as u64, values[2 * c], values[2 * c + 1]], Payload::None)
-            .await;
+        ctx.send_mail(
+            dst,
+            mb,
+            [c as u64, values[2 * c], values[2 * c + 1]],
+            Payload::None,
+        )
+        .await;
     }
 }
 

@@ -423,7 +423,11 @@ mod tests {
                 q.push_back(t);
             }
         }
-        assert!(seen.len() > 300, "reachable space too small: {}", seen.len());
+        assert!(
+            seen.len() > 300,
+            "reachable space too small: {}",
+            seen.len()
+        );
     }
 
     #[test]

@@ -14,9 +14,9 @@
 //! exactly.
 
 use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
+use nowlab_rng::Rng;
 use nowlab_sim::{SimDelta, SimTime};
 use nowlab_splitc::Payload;
-use rand::Rng;
 
 use crate::common::{end_measured_region, execute, proc_rng, start_measured_region};
 

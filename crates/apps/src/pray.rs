@@ -312,10 +312,7 @@ async fn pray_body(ctx: Ctx, params: PrayParams, seed: u64) -> u64 {
                             })
                         } else {
                             let words = ctx
-                                .bulk_get(
-                                    GlobalPtr::new(owner, objs, (id as usize / p) * 4),
-                                    4,
-                                )
+                                .bulk_get(GlobalPtr::new(owner, objs, (id as usize / p) * 4), 4)
                                 .await;
                             sphere_from_words(&words)
                         };
@@ -354,10 +351,18 @@ mod tests {
     #[test]
     fn communication_is_reads_of_bulk_objects() {
         let out = Pray::new(PrayParams::small()).run(&RunSpec::new(4));
-        assert!(out.stats.pct_reads() > 80.0, "reads: {}", out.stats.pct_reads());
+        assert!(
+            out.stats.pct_reads() > 80.0,
+            "reads: {}",
+            out.stats.pct_reads()
+        );
         // Bulk replies carry the object data: roughly half the read
         // traffic (Table 4: 47.9% bulk).
-        assert!(out.stats.pct_bulk() > 25.0, "bulk: {}", out.stats.pct_bulk());
+        assert!(
+            out.stats.pct_bulk() > 25.0,
+            "bulk: {}",
+            out.stats.pct_bulk()
+        );
     }
 
     #[test]

@@ -9,9 +9,9 @@
 //! overhead- and gap-sensitive application.
 
 use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
+use nowlab_rng::Rng;
 use nowlab_sim::SimDelta;
 use nowlab_splitc::GlobalPtr;
-use rand::Rng;
 
 use crate::common::{
     block_owner, block_range, end_measured_region, execute, proc_rng, start_measured_region,
@@ -92,7 +92,11 @@ impl SweepableApp for Radix {
     fn run(&self, spec: &RunSpec) -> RunOutcome {
         let params = self.params;
         let seed = spec.seed;
-        execute(spec, |_| {}, move |ctx| radix_body(ctx, params, seed, false))
+        execute(
+            spec,
+            |_| {},
+            move |ctx| radix_body(ctx, params, seed, false),
+        )
     }
 }
 
@@ -213,7 +217,10 @@ pub(crate) async fn radix_body(
     let local_sum = keys.iter().fold(0u64, |a, &k| a.wrapping_add(k));
     let final_sum = ctx.allreduce_sum(local_sum).await;
     assert!(all_ok, "radix: output not globally sorted");
-    assert_eq!(final_sum, global_input_sum, "radix: keys lost or duplicated");
+    assert_eq!(
+        final_sum, global_input_sum,
+        "radix: keys lost or duplicated"
+    );
     // Per-proc contribution; the harness sums them. Identical across LogGP
     // settings by construction.
     local_sum
@@ -244,9 +251,8 @@ mod tests {
         let knobs = Axis::Overhead
             .knobs_for(&NetConfig::berkeley_now().machine, 23.0)
             .unwrap();
-        let slowed = app.run(
-            &RunSpec::new(4).with_net(NetConfig::berkeley_now().with_knobs(knobs)),
-        );
+        let slowed =
+            app.run(&RunSpec::new(4).with_net(NetConfig::berkeley_now().with_knobs(knobs)));
         assert_eq!(base.check, slowed.check);
         assert!(slowed.runtime > base.runtime);
     }

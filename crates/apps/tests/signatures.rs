@@ -29,7 +29,14 @@ fn read_write_orientation_matches_table4() {
         );
     }
     // Write-based programs (paper: 0.0%).
-    for name in ["Radix", "EM3D(write)", "Sample", "Murphi", "NOW-sort", "Radb"] {
+    for name in [
+        "Radix",
+        "EM3D(write)",
+        "Sample",
+        "Murphi",
+        "NOW-sort",
+        "Radb",
+    ] {
         assert!(
             outs[name].stats.pct_reads() < 10.0,
             "{name} should be write-based: {}",

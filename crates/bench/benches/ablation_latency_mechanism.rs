@@ -12,11 +12,11 @@
 //! latency-tolerant program latency-sensitive and corrupting the whole
 //! experiment, exactly the contamination the paper engineered around.
 
+use nowlab_am::LatencyMode;
 use nowlab_apps::em3d::{Em3dParams, Em3dWrite};
 use nowlab_core::calib::calibrate;
 use nowlab_core::report::{fmt_f, Table};
 use nowlab_core::{Knobs, NetConfig, RunSpec, SimDelta, SweepableApp};
-use nowlab_am::LatencyMode;
 
 fn main() {
     let app = Em3dWrite::new(Em3dParams::benchmark());

@@ -1,80 +1,79 @@
-//! Criterion benchmarks of the simulator engine itself (wall-clock
-//! performance, not virtual time): event throughput, message round trips,
-//! and barrier cost. These bound how large an experiment the apparatus
-//! can drive.
+//! Wall-clock benchmarks of the simulator engine itself (not virtual
+//! time): event throughput, message round trips, and barrier cost. These
+//! bound how large an experiment the apparatus can drive.
+//!
+//! Timing uses plain `std::time::Instant` loops (best-of-N) so the bench
+//! builds with no external harness. Pass `--test` for a single-iteration
+//! smoke run.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+
 use nowlab_am::{AmCluster, Mark, NetConfig, Payload, ReplyData};
 use nowlab_sim::{Sim, SimDelta, SimTime};
 use nowlab_splitc::{run_spmd, SpmdConfig};
 
-fn bench_timer_events(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
-    const N: u64 = 10_000;
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("timer_events_10k", |b| {
-        b.iter(|| {
-            let sim = Sim::new();
-            for i in 0..N {
-                sim.schedule(SimTime::from_nanos(i), |_| {});
+/// Runs `f` `iters` times and reports the best per-iteration wall time.
+fn bench(name: &str, iters: u32, elements: Option<u64>, mut f: impl FnMut()) {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let rate = elements
+        .map(|n| format!("  ({:.1} Melem/s)", n as f64 / best / 1e6))
+        .unwrap_or_default();
+    println!("{name:<28} {:>10.3} ms{rate}", best * 1e3);
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let iters = if smoke { 1 } else { 10 };
+
+    const TIMERS: u64 = 10_000;
+    bench("timer_events_10k", iters, Some(TIMERS), || {
+        let sim = Sim::new();
+        for i in 0..TIMERS {
+            sim.schedule(SimTime::from_nanos(i), |_| {});
+        }
+        let report = sim.run();
+        assert_eq!(report.events_fired, TIMERS);
+    });
+
+    const RTT: usize = 1_000;
+    bench("request_reply_1k", iters, Some(RTT as u64), || {
+        let sim = Sim::new();
+        let cluster = AmCluster::new(sim.clone(), NetConfig::berkeley_now(), 2);
+        let h = cluster.register_handler(|_| ReplyData::ack());
+        let server = cluster.port(1);
+        sim.spawn(async move { server.wait_until(|| false).await });
+        let port = cluster.port(0);
+        let done = sim.spawn(async move {
+            for _ in 0..RTT {
+                port.request(1, h, [0; 4], Payload::None, Mark::Read).await;
             }
-            let report = sim.run();
-            assert_eq!(report.events_fired, N);
-        })
+            true
+        });
+        sim.run();
+        assert_eq!(done.try_take(), Some(true));
     });
-    g.finish();
-}
 
-fn bench_round_trips(c: &mut Criterion) {
-    let mut g = c.benchmark_group("am");
-    const N: usize = 1_000;
-    g.throughput(Throughput::Elements(N as u64));
-    g.bench_function("request_reply_1k", |b| {
-        b.iter(|| {
-            let sim = Sim::new();
-            let cluster = AmCluster::new(sim.clone(), NetConfig::berkeley_now(), 2);
-            let h = cluster.register_handler(|_| ReplyData::ack());
-            let server = cluster.port(1);
-            sim.spawn(async move { server.wait_until(|| false).await });
-            let port = cluster.port(0);
-            let done = sim.spawn(async move {
-                for _ in 0..N {
-                    port.request(1, h, [0; 4], Payload::None, Mark::Read).await;
-                }
-                true
-            });
-            sim.run();
-            assert_eq!(done.try_take(), Some(true));
-        })
+    bench("barrier_32procs_x10", iters, None, || {
+        let outcome = run_spmd(&SpmdConfig::new(32), |ctx| async move {
+            for _ in 0..10 {
+                ctx.barrier().await;
+            }
+            ctx.now()
+        });
+        assert!(outcome.completed);
     });
-    g.finish();
-}
 
-fn bench_barrier(c: &mut Criterion) {
-    let mut g = c.benchmark_group("splitc");
-    g.bench_function("barrier_32procs_x10", |b| {
-        b.iter(|| {
-            let outcome = run_spmd(&SpmdConfig::new(32), |ctx| async move {
-                for _ in 0..10 {
-                    ctx.barrier().await;
-                }
-                ctx.now()
-            });
-            assert!(outcome.completed);
-        })
+    bench("compute_heavy_8procs", iters, None, || {
+        let outcome = run_spmd(&SpmdConfig::new(8), |ctx| async move {
+            for _ in 0..500 {
+                ctx.compute(SimDelta::from_micros(1.0)).await;
+            }
+        });
+        assert!(outcome.completed);
     });
-    g.bench_function("compute_heavy_8procs", |b| {
-        b.iter(|| {
-            let outcome = run_spmd(&SpmdConfig::new(8), |ctx| async move {
-                for _ in 0..500 {
-                    ctx.compute(SimDelta::from_micros(1.0)).await;
-                }
-            });
-            assert!(outcome.completed);
-        })
-    });
-    g.finish();
 }
-
-criterion_group!(benches, bench_timer_events, bench_round_trips, bench_barrier);
-criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Extension — slowdown under message loss (not in the paper).
+//!
+//! The paper's apparatus assumes a perfectly reliable interconnect. This
+//! experiment dials a deterministic drop rate from 0 to 10% and measures
+//! how the reliable-delivery protocol's retransmissions inflate the suite
+//! runtimes, echoing the sensitivity methodology of §5 with loss as the
+//! swept parameter. A second exhibit reruns the §3.3 calibration
+//! microbenchmarks under loss: drops consume flow-control credits until a
+//! retransmit matures, so the *effective* g and L shift upward even though
+//! the configured LogGP parameters are untouched.
+//!
+//! Pass `--test` for a reduced smoke grid (used by CI).
+
+use nowlab_bench::{save_csv, spec, suite, EVENT_LIMIT};
+use nowlab_core::calib::{calibrate, round_trip_us};
+use nowlab_core::report::{fmt_f, fmt_or_na, sparkline, Table};
+use nowlab_core::{FaultPlan, NetConfig, RunSpec, SimDelta};
+
+/// The deterministic fault stream used throughout (arbitrary, fixed).
+const FAULT_SEED: u64 = 0x10_55;
+
+/// Builds a guarded run spec for `rate`: rate 0 is the pristine baseline
+/// (no protocol engaged), anything else gets the fault plan plus a
+/// virtual-time deadline so heavy loss degrades to N/A instead of
+/// retrying forever.
+fn spec_at(procs: usize, rate: f64) -> RunSpec {
+    let mut s = spec(procs);
+    if rate > 0.0 {
+        s = s
+            .with_net(
+                NetConfig::berkeley_now().with_faults(FaultPlan::with_drop_rate(rate, FAULT_SEED)),
+            )
+            .with_time_limit(SimDelta::from_secs(120.0));
+    }
+    s
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    if smoke {
+        std::env::set_var("NOWLAB_SCALE", "test");
+    }
+    let (procs, rates): (usize, &[f64]) = if smoke {
+        (8, &[0.0, 0.01, 0.05])
+    } else {
+        (32, &[0.0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.10])
+    };
+
+    // Exhibit 1: suite slowdown vs drop rate.
+    let headers: Vec<String> = std::iter::once("app".to_string())
+        .chain(rates.iter().map(|r| format!("{:.1}%", r * 100.0)))
+        .chain(std::iter::once("shape".to_string()))
+        .collect();
+    let mut slow = Table::new(
+        format!("ext: slowdown vs drop rate ({procs} procs, seed {FAULT_SEED:#x})"),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    // Per-rate protocol totals, accumulated across the suite.
+    let mut totals = vec![[0u64; 4]; rates.len()]; // drops, retx, timeouts, n/a
+    for app in suite() {
+        let mut row = vec![app.name().to_string()];
+        let mut series = Vec::with_capacity(rates.len());
+        let mut base: Option<(f64, u64)> = None; // runtime secs, check
+        for (i, &rate) in rates.iter().enumerate() {
+            let out = app.run(&spec_at(procs, rate));
+            totals[i][0] += out.stats.total_drops();
+            totals[i][1] += out.stats.total_retransmits();
+            totals[i][2] += out.stats.total_timeouts();
+            totals[i][3] += u64::from(!out.completed);
+            if rate == 0.0 {
+                assert!(out.completed, "{}: lossless baseline failed", app.name());
+                base = Some((out.runtime.as_secs_f64(), out.check));
+            }
+            let (base_rt, base_check) = base.expect("rate grid must start at 0");
+            let slowdown = out.completed.then(|| out.runtime.as_secs_f64() / base_rt);
+            if out.completed {
+                // Loss must never corrupt results: retransmission keeps
+                // the application's answer bit-identical.
+                assert_eq!(
+                    out.check,
+                    base_check,
+                    "{}: checksum changed at drop rate {rate}",
+                    app.name()
+                );
+            }
+            series.push(slowdown.unwrap_or(f64::NAN));
+            row.push(fmt_or_na(slowdown, 2));
+        }
+        row.push(sparkline(&series));
+        slow.push_row(row);
+    }
+    println!("{slow}");
+    save_csv("ext_fault_sweep_slowdown", &slow);
+
+    let mut proto = Table::new(
+        "ext: protocol work per drop rate (suite totals)",
+        &["drop rate", "drops", "retransmits", "timeouts", "N/A runs"],
+    );
+    for (i, &rate) in rates.iter().enumerate() {
+        proto.push_row([
+            format!("{:.1}%", rate * 100.0),
+            totals[i][0].to_string(),
+            totals[i][1].to_string(),
+            totals[i][2].to_string(),
+            totals[i][3].to_string(),
+        ]);
+    }
+    println!("{proto}");
+    save_csv("ext_fault_sweep_protocol", &proto);
+
+    // Exhibit 2: the §3.3 microbenchmarks under loss. The knobs are all at
+    // the baseline — every shift below is protocol-induced.
+    let mut cal = Table::new(
+        "ext: effective LogGP parameters under loss (calibration microbenchmarks)",
+        &[
+            "drop rate",
+            "o_send",
+            "o_recv",
+            "g (us)",
+            "L (us)",
+            "RTT (us)",
+        ],
+    );
+    for &rate in rates {
+        let net = spec_at(2, rate).net;
+        let c = calibrate(net);
+        cal.push_row([
+            format!("{:.1}%", rate * 100.0),
+            fmt_f(c.o_send_us, 2),
+            fmt_f(c.o_recv_us, 2),
+            fmt_f(c.gap_us, 2),
+            fmt_f(c.latency_us, 2),
+            fmt_f(round_trip_us(net), 1),
+        ]);
+    }
+    println!("{cal}");
+    save_csv("ext_fault_sweep_calibration", &cal);
+
+    println!(
+        "drops are rerolled per retransmission, so every run above either \
+         completes with the lossless checksum or reports N/A at the \
+         {EVENT_LIMIT}-event / 120 s budget."
+    );
+}

@@ -43,8 +43,7 @@ fn main() {
         NetConfig::berkeley_now(),
     );
     // The paper's plotted calibration: desired g = 14 us (Δg = 8.2).
-    let g14 = NetConfig::berkeley_now()
-        .with_knobs(Knobs::with_gap(SimDelta::from_micros(8.2)));
+    let g14 = NetConfig::berkeley_now().with_knobs(Knobs::with_gap(SimDelta::from_micros(8.2)));
     print_signature(
         "Figure 3: LogP signature, desired g = 14us (us/message)",
         g14,

@@ -15,8 +15,10 @@ fn main() {
     for procs in [16usize, 32] {
         let sweeps = sweep_suite(procs, Axis::Overhead, &values);
         print_slowdown_table(
-            &format!("Figure 5{}: slowdown vs overhead (us), {procs} nodes",
-                if procs == 16 { 'a' } else { 'b' }),
+            &format!(
+                "Figure 5{}: slowdown vs overhead (us), {procs} nodes",
+                if procs == 16 { 'a' } else { 'b' }
+            ),
             &sweeps,
             &values,
         );

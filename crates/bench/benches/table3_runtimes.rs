@@ -8,17 +8,30 @@ use nowlab_core::report::{fmt_time, Table};
 fn main() {
     let mut t = Table::new(
         "Table 3: Applications and baseline run times (scaled inputs)",
-        &["program", "16-node time", "32-node time", "speedup 16->32", "check"],
+        &[
+            "program",
+            "16-node time",
+            "32-node time",
+            "speedup 16->32",
+            "check",
+        ],
     );
     for app in suite() {
         let o16 = app.run(&spec(16));
         let o32 = app.run(&spec(32));
-        assert!(o16.completed && o32.completed, "{} baseline failed", app.name());
+        assert!(
+            o16.completed && o32.completed,
+            "{} baseline failed",
+            app.name()
+        );
         t.push_row([
             app.name().to_string(),
             fmt_time(o16.runtime),
             fmt_time(o32.runtime),
-            format!("{:.2}x", o16.runtime.as_secs_f64() / o32.runtime.as_secs_f64()),
+            format!(
+                "{:.2}x",
+                o16.runtime.as_secs_f64() / o32.runtime.as_secs_f64()
+            ),
             format!("{:016x}", o32.check),
         ]);
     }

@@ -37,7 +37,12 @@ fn main() {
                     fmt_f(pred.as_secs_f64() / out.runtime.as_secs_f64(), 2),
                 ]);
             } else {
-                t.push_row([fmt_f(g, 1), "N/A".into(), fmt_f(pred.as_secs_f64(), 4), "-".into()]);
+                t.push_row([
+                    fmt_f(g, 1),
+                    "N/A".into(),
+                    fmt_f(pred.as_secs_f64(), 4),
+                    "-".into(),
+                ]);
             }
         }
         println!("{t}");

@@ -11,10 +11,7 @@ use nowlab_bench::{spec, suite};
 use nowlab_core::report::{fmt_f, Table};
 use nowlab_core::{Axis, NetConfig};
 
-fn breakdown_row(
-    app: &dyn nowlab_core::SweepableApp,
-    net: NetConfig,
-) -> Option<[String; 4]> {
+fn breakdown_row(app: &dyn nowlab_core::SweepableApp, net: NetConfig) -> Option<[String; 4]> {
     let out = app.run(&spec(32).with_net(net));
     if !out.completed {
         return None;

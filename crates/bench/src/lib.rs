@@ -67,7 +67,10 @@ pub fn print_slowdown_table(title: &str, sweeps: &[AxisSweep], values: &[f64]) {
         .chain(values.iter().map(|v| format!("{v}")))
         .chain(std::iter::once("shape".to_string()))
         .collect();
-    let mut t = Table::new(title, &headers.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut t = Table::new(
+        title,
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
     for s in sweeps {
         let mut row = vec![s.app.clone()];
         for p in &s.points {
@@ -92,7 +95,13 @@ pub fn print_slowdown_table(title: &str, sweeps: &[AxisSweep], values: &[f64]) {
     println!("{t}");
     let slug: String = title
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect();
     save_csv(slug.trim_matches('_'), &t);
 }

@@ -17,6 +17,9 @@
 //! because the constant window cannot fill the pipe — Table 2's artifact),
 //! which the configured parameters alone do not state.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use nowlab_am::{AmCluster, Mark, NetConfig, Payload, ReplyData};
 use nowlab_sim::{Sim, SimDelta};
 
@@ -69,7 +72,9 @@ pub fn burst_total(net: NetConfig, m: usize, delta: SimDelta) -> SimDelta {
     let server = cluster.port(1);
     sim.spawn(async move { server.wait_until(|| false).await });
     let port = cluster.port(0);
-    let measured = sim.spawn(async move {
+    let measured = Rc::new(Cell::new(None));
+    let out = Rc::clone(&measured);
+    sim.spawn(async move {
         let t0 = port.now();
         for i in 0..m {
             if i > 0 && !delta.is_zero() {
@@ -78,12 +83,15 @@ pub fn burst_total(net: NetConfig, m: usize, delta: SimDelta) -> SimDelta {
             port.post(1, h, [i as u64, 0, 0, 0], Payload::None, Mark::Write)
                 .await;
         }
-        port.now().since(t0)
+        out.set(Some(port.now().since(t0)));
+        // The clock has stopped, but the client must go on servicing the
+        // network: under a faulty wire the unacknowledged tail of the
+        // burst keeps retransmitting until its replies are processed, and
+        // only then does the simulation idle out.
+        port.wait_until(|| false).await;
     });
     sim.run();
-    measured
-        .try_take()
-        .expect("calibration burst did not complete")
+    measured.get().expect("calibration burst did not complete")
 }
 
 /// Asymptotic (steady-state) initiation interval for a given `Δ`, in µs.
@@ -122,20 +130,22 @@ pub fn round_trip_us(net: NetConfig) -> f64 {
     let server = cluster.port(1);
     sim.spawn(async move { server.wait_until(|| false).await });
     let port = cluster.port(0);
-    let measured = sim.spawn(async move {
+    let measured = Rc::new(Cell::new(None));
+    let out = Rc::clone(&measured);
+    sim.spawn(async move {
         let t0 = port.now();
         port.request(1, h, [0; 4], Payload::None, Mark::Read).await;
-        port.now().since(t0)
+        out.set(Some(port.now().since(t0)));
+        port.wait_until(|| false).await; // keep draining (see burst_total)
     });
     sim.run();
     measured
-        .try_take()
+        .get()
         .expect("round-trip did not complete")
         .as_micros_f64()
 }
 
 /// The LogGP characteristics recovered by the microbenchmarks.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Calibration {
     /// Measured send overhead, µs.
@@ -184,18 +194,21 @@ pub fn bulk_bandwidth_mb_per_s(net: NetConfig, bytes: u32, m: usize) -> f64 {
     let server = cluster.port(1);
     sim.spawn(async move { server.wait_until(|| false).await });
     let port = cluster.port(0);
-    let measured = sim.spawn(async move {
+    let measured = Rc::new(Cell::new(None));
+    let out = Rc::clone(&measured);
+    sim.spawn(async move {
         let t0 = port.now();
         for _ in 0..m {
             port.post(1, h, [0; 4], Payload::Synthetic(bytes), Mark::Bulk)
                 .await;
         }
         port.quiesce().await;
-        port.now().since(t0)
+        out.set(Some(port.now().since(t0)));
+        port.wait_until(|| false).await; // keep draining (see burst_total)
     });
     sim.run();
     let total = measured
-        .try_take()
+        .get()
         .expect("bulk calibration did not complete")
         .as_secs_f64();
     (bytes as f64 * m as f64) / 1e6 / total
@@ -235,8 +248,8 @@ mod tests {
 
     #[test]
     fn added_overhead_shows_up_in_o_and_g_but_not_l() {
-        let net = NetConfig::berkeley_now()
-            .with_knobs(Knobs::with_overhead(SimDelta::from_micros(50.0)));
+        let net =
+            NetConfig::berkeley_now().with_knobs(Knobs::with_overhead(SimDelta::from_micros(50.0)));
         let c = calibrate(net);
         assert!((c.o_mean_us() - 52.9).abs() < 0.2, "o={}", c.o_mean_us());
         // Effective gap becomes o_send' + o_recv' = 205.8-100=105.8... for
@@ -257,8 +270,8 @@ mod tests {
 
     #[test]
     fn large_latency_raises_effective_gap_table2_artifact() {
-        let net = NetConfig::berkeley_now()
-            .with_knobs(Knobs::with_latency(SimDelta::from_micros(100.0)));
+        let net =
+            NetConfig::berkeley_now().with_knobs(Knobs::with_latency(SimDelta::from_micros(100.0)));
         let c = calibrate(net);
         assert!((c.latency_us - 105.0).abs() < 0.5, "L={}", c.latency_us);
         assert!((c.o_mean_us() - 2.9).abs() < 0.1);

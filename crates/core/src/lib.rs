@@ -39,9 +39,10 @@ pub mod models;
 pub mod report;
 pub mod sweep;
 
+pub use models::SensitivityModel;
 pub use nowlab_am::{
-    mb_per_s_from_per_byte, per_byte_from_mb_per_s, CommStats, Knobs, LoggpParams, NetConfig,
+    mb_per_s_from_per_byte, per_byte_from_mb_per_s, CommStats, FaultPlan, Knobs, LoggpParams,
+    NetConfig, Outage, Reliability,
 };
 pub use nowlab_sim::{SimDelta, SimTime};
-pub use models::SensitivityModel;
 pub use sweep::{sweep, Axis, AxisSweep, RunOutcome, RunSpec, SweepPoint, SweepableApp};

@@ -65,7 +65,6 @@ pub fn predict_latency(r_base: SimDelta, round_trips: u64, d_lat: SimDelta) -> S
 /// maximum bulk bytes sent by any processor. The paper's individual models
 /// are the axis restrictions of this surface; the `model_crossval` bench
 /// checks how well the composition holds when several knobs move at once.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SensitivityModel {
     /// Baseline runtime.
@@ -140,7 +139,6 @@ impl SensitivityModel {
 }
 
 /// Least-squares line fit with coefficient of determination.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinFit {
     /// Slope of the fitted line.

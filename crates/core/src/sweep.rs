@@ -50,6 +50,14 @@ impl RunSpec {
         self
     }
 
+    /// Sets the virtual-time deadline. Runs on faulty networks should set
+    /// one: a permanent outage otherwise retries (with capped backoff)
+    /// forever, and only a limit turns that into an "N/A" row.
+    pub fn with_time_limit(mut self, limit: SimDelta) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
     /// Sets the workload seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -58,7 +66,6 @@ impl RunSpec {
 }
 
 /// The result of one measured application run.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Debug)]
 pub struct RunOutcome {
     /// Virtual runtime of the measured region.
@@ -81,7 +88,6 @@ pub trait SweepableApp {
 }
 
 /// Which LogGP parameter a sweep varies.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Axis {
     /// Per-message overhead `o` (µs).
@@ -135,9 +141,7 @@ impl Axis {
                 base.o_mean().as_micros_f64(),
             )?)),
             Axis::Gap => Some(Knobs::with_gap(delta_us(base.gap.as_micros_f64())?)),
-            Axis::Latency => Some(Knobs::with_latency(delta_us(
-                base.latency.as_micros_f64(),
-            )?)),
+            Axis::Latency => Some(Knobs::with_latency(delta_us(base.latency.as_micros_f64())?)),
             Axis::BulkBandwidth => Knobs::with_bulk_bandwidth(base, desired),
         }
     }
@@ -150,7 +154,6 @@ impl fmt::Display for Axis {
 }
 
 /// One point of a sensitivity sweep.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Debug)]
 pub struct SweepPoint {
     /// Desired absolute parameter value (µs, or MB/s for bulk bandwidth).
@@ -163,6 +166,12 @@ pub struct SweepPoint {
     pub completed: bool,
     /// Max messages per processor at this point.
     pub max_msgs: u64,
+    /// Messages the fault model swallowed on the wire.
+    pub drops: u64,
+    /// Retransmissions the reliability protocol issued.
+    pub retransmits: u64,
+    /// Retransmit timers that matured.
+    pub timeouts: u64,
 }
 
 /// A full sweep of one application along one axis.
@@ -226,12 +235,7 @@ impl AxisSweep {
 ///
 /// Panics if the baseline run does not complete — sensitivity is undefined
 /// without a baseline.
-pub fn sweep(
-    app: &dyn SweepableApp,
-    template: &RunSpec,
-    axis: Axis,
-    desired: &[f64],
-) -> AxisSweep {
+pub fn sweep(app: &dyn SweepableApp, template: &RunSpec, axis: Axis, desired: &[f64]) -> AxisSweep {
     assert!(!desired.is_empty(), "sweep needs at least one value");
     let base_machine = template.net.machine;
     let mut points = Vec::with_capacity(desired.len());
@@ -261,6 +265,9 @@ pub fn sweep(
             },
             completed: outcome.completed,
             max_msgs: outcome.stats.max_msgs_per_proc(),
+            drops: outcome.stats.total_drops(),
+            retransmits: outcome.stats.total_retransmits(),
+            timeouts: outcome.stats.total_timeouts(),
         });
     }
     AxisSweep {
@@ -308,7 +315,12 @@ mod tests {
     #[test]
     fn axis_values_start_at_baseline() {
         let base = LoggpParams::berkeley_now();
-        for axis in [Axis::Overhead, Axis::Gap, Axis::Latency, Axis::BulkBandwidth] {
+        for axis in [
+            Axis::Overhead,
+            Axis::Gap,
+            Axis::Latency,
+            Axis::BulkBandwidth,
+        ] {
             let first = axis.paper_values()[0];
             let knobs = axis.knobs_for(&base, first).unwrap();
             assert_eq!(knobs, Knobs::baseline(), "axis {axis} first value");
@@ -331,7 +343,12 @@ mod tests {
     fn sweep_computes_slowdowns_and_linearity() {
         let app = FakeApp { msgs: 1000 };
         let template = RunSpec::new(4);
-        let result = sweep(&app, &template, Axis::Overhead, &Axis::Overhead.paper_values());
+        let result = sweep(
+            &app,
+            &template,
+            Axis::Overhead,
+            &Axis::Overhead.paper_values(),
+        );
         assert_eq!(result.points.len(), 9);
         assert!((result.points[0].slowdown - 1.0).abs() < 1e-12);
         // At o=103 (Δo=100.1): rt = 1ms + 2·1000·100.1µs = 201.2ms ⇒ 201.2x.
@@ -340,6 +357,20 @@ mod tests {
         let fit = result.linearity().unwrap();
         assert!(fit.r2 > 0.999999, "exact linear app must fit: {}", fit.r2);
         assert!((result.max_slowdown() - last.slowdown).abs() < 1e-9);
+        // A lossless fake app leaves the fault counters at zero.
+        assert!(result
+            .points
+            .iter()
+            .all(|p| p.drops == 0 && p.retransmits == 0 && p.timeouts == 0));
+    }
+
+    #[test]
+    fn run_spec_builders_set_limits() {
+        let spec = RunSpec::new(4)
+            .with_event_limit(1_000)
+            .with_time_limit(SimDelta::from_millis(5.0));
+        assert_eq!(spec.event_limit, Some(1_000));
+        assert_eq!(spec.time_limit, Some(SimDelta::from_millis(5.0)));
     }
 
     #[test]

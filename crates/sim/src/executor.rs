@@ -401,7 +401,9 @@ pub struct JoinHandle<T> {
 impl<T> fmt::Debug for JoinHandle<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let done = self.state.borrow().result.is_some();
-        f.debug_struct("JoinHandle").field("finished", &done).finish()
+        f.debug_struct("JoinHandle")
+            .field("finished", &done)
+            .finish()
     }
 }
 
@@ -645,8 +647,16 @@ mod tests {
         let sim = Sim::new();
         let s = sim.clone();
         let h = sim.spawn(async move {
-            let first = race(s.delay(SimDelta::from_nanos(10)), s.delay(SimDelta::from_nanos(20))).await;
-            let second = race(s.delay(SimDelta::from_nanos(30)), s.delay(SimDelta::from_nanos(5))).await;
+            let first = race(
+                s.delay(SimDelta::from_nanos(10)),
+                s.delay(SimDelta::from_nanos(20)),
+            )
+            .await;
+            let second = race(
+                s.delay(SimDelta::from_nanos(30)),
+                s.delay(SimDelta::from_nanos(5)),
+            )
+            .await;
             (first, second)
         });
         sim.run();
@@ -660,7 +670,11 @@ mod tests {
         let sim = Sim::new();
         let s = sim.clone();
         let h = sim.spawn(async move {
-            race(s.delay(SimDelta::from_nanos(7)), s.delay(SimDelta::from_nanos(7))).await
+            race(
+                s.delay(SimDelta::from_nanos(7)),
+                s.delay(SimDelta::from_nanos(7)),
+            )
+            .await
         });
         sim.run();
         assert_eq!(h.try_take().unwrap(), Either::A(()));

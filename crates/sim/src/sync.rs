@@ -221,7 +221,10 @@ mod tests {
             true
         });
         sim.run();
-        assert!(!h.is_finished(), "stale notify must not complete new waiter");
+        assert!(
+            !h.is_finished(),
+            "stale notify must not complete new waiter"
+        );
     }
 
     #[test]

@@ -281,8 +281,7 @@ impl Ctx {
     /// Blocking bulk fetch of `words` starting at `gp`.
     pub async fn bulk_get(&self, gp: GlobalPtr, words: usize) -> Vec<u64> {
         if gp.proc == self.me() {
-            return self
-                .with_mem(|m| m.region(gp.region)[gp.offset..gp.offset + words].to_vec());
+            return self.with_mem(|m| m.region(gp.region)[gp.offset..gp.offset + words].to_vec());
         }
         let (_, payload) = self
             .port
@@ -413,12 +412,22 @@ impl Ctx {
             self.with_mem(|m| {
                 m.bcast_data = words.clone();
                 m.bcast_gen += 1;
+                m.bcast_taken += 1; // the root consumes its own broadcast
             });
             words
         } else {
-            let gen0 = self.with_mem(|m| m.bcast_gen);
-            self.port.wait_until(|| self.with_mem(|m| m.bcast_gen) > gen0).await;
-            self.with_mem(|m| m.bcast_data.clone())
+            // Wait for an unconsumed broadcast, not for `bcast_gen` to
+            // move past a snapshot: the payload may already have been
+            // serviced while this processor sat in the preceding barrier
+            // (retransmission delays make that overtaking real), and a
+            // snapshot taken now would never be exceeded.
+            self.port
+                .wait_until(|| self.with_mem(|m| m.bcast_gen > m.bcast_taken))
+                .await;
+            self.with_mem(|m| {
+                m.bcast_taken += 1;
+                m.bcast_data.clone()
+            })
         };
         // Forward to binomial children: rank + 2^k for every k with
         // 2^k > rank.
@@ -459,12 +468,7 @@ impl Ctx {
     /// Acquires a spin lock with exponential backoff: the retry delay
     /// starts at `initial` and doubles up to `max` (set `max == initial`
     /// for the naive fixed-backoff spin). Returns the number of attempts.
-    pub async fn lock_with_backoff(
-        &self,
-        gp: GlobalPtr,
-        initial: SimDelta,
-        max: SimDelta,
-    ) -> u64 {
+    pub async fn lock_with_backoff(&self, gp: GlobalPtr, initial: SimDelta, max: SimDelta) -> u64 {
         let mut attempts = 0u64;
         let mut backoff = initial;
         loop {
@@ -556,6 +560,8 @@ impl Ctx {
 
     /// Posts a one-way user active message to a registered handler.
     pub async fn am_post(&self, dst: usize, handler: HandlerId, args: [u64; 4], payload: Payload) {
-        self.port.post(dst, handler, args, payload, Mark::User).await;
+        self.port
+            .post(dst, handler, args, payload, Mark::User)
+            .await;
     }
 }

@@ -200,6 +200,13 @@ impl SplitC {
                 let epilogue_port = self.cluster.port(i);
                 self.sim.spawn(async move {
                     let out = fut.await;
+                    // Drain this processor's outstanding acks before
+                    // declaring done: it issues nothing afterwards, so at
+                    // the moment the last processor flips `done` every
+                    // retransmit queue in the cluster is empty and the
+                    // simulation can go idle (no timers re-arming against
+                    // a peer that stopped servicing the network).
+                    epilogue_port.quiesce().await;
                     done.set(done.get() + 1);
                     cluster.poke_all();
                     epilogue_port.wait_until(|| done.get() == p).await;
@@ -213,6 +220,33 @@ impl SplitC {
         let report = self.sim.run();
         let outputs: Vec<Option<T>> = handles.iter().map(|h| h.try_take()).collect();
         let completed = outputs.iter().all(Option::is_some);
+        if !completed && std::env::var_os("NOWLAB_DIAG").is_some() {
+            eprintln!(
+                "incomplete SPMD run: stop={:?} t={} stuck={:?}\n{}",
+                report.stop_reason,
+                report.final_time,
+                outputs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| o.is_none())
+                    .map(|(i, _)| i)
+                    .collect::<Vec<_>>(),
+                self.cluster.transport_diagnostic(),
+            );
+            for i in 0..p {
+                self.cluster.port(i).with_state(|m: &mut Memory| {
+                    eprintln!(
+                        "proc {i}: barrier_gen={} arrived={:?} reduce_count={} \
+                         reduce_gen={} bcast_gen={}",
+                        m.barrier_gen,
+                        m.barrier_arrived,
+                        m.reduce_count,
+                        m.reduce_result_gen,
+                        m.bcast_gen,
+                    );
+                });
+            }
+        }
         debug_assert!(
             completed || report.stop_reason != StopReason::Idle,
             "SPMD program deadlocked: {} of {} processors stuck at {}",

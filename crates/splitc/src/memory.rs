@@ -91,6 +91,13 @@ pub struct Memory {
     pub(crate) bcast_data: Vec<u64>,
     /// Generation of `bcast_data`.
     pub(crate) bcast_gen: u64,
+    /// Broadcasts this processor has consumed. Kept separately from
+    /// `bcast_gen` because a broadcast can be *serviced* before the local
+    /// processor even enters `broadcast_words` (e.g. while it still waits
+    /// in the preceding barrier, if a lost barrier message delays it past
+    /// the broadcast's arrival) — a snapshot of `bcast_gen` taken on entry
+    /// would then wait for a generation that never comes.
+    pub(crate) bcast_taken: u64,
     /// Application extension state, accessible to custom handlers.
     pub ext: Option<Box<dyn Any>>,
 }
@@ -120,6 +127,7 @@ impl Memory {
             reduce_result_gen: 0,
             bcast_data: Vec::new(),
             bcast_gen: 0,
+            bcast_taken: 0,
             ext: None,
         }
     }

@@ -90,7 +90,8 @@ fn idle_until_overlaps_incoming_work() {
         } else {
             // "Disk wait": by the time the deadline passes, all the
             // writes must have been served.
-            ctx.idle_until(SimTime::ZERO + SimDelta::from_millis(1.0)).await;
+            ctx.idle_until(SimTime::ZERO + SimDelta::from_millis(1.0))
+                .await;
             let served = ctx.with_mem(|m| (0..8).filter(|&i| m.load(r, i) != 0).count());
             ctx.barrier().await;
             served as u64
@@ -166,9 +167,7 @@ fn lock_backoff_jitter_desynchronizes_identical_spinners() {
     // A stress version of the convoy scenario: many procs in lockstep all
     // hammer one lock with identical timing. The jittered backoff must let
     // the system finish quickly.
-    let net = NetConfig::berkeley_now().with_knobs(Knobs::with_latency(
-        SimDelta::from_micros(2.5),
-    ));
+    let net = NetConfig::berkeley_now().with_knobs(Knobs::with_latency(SimDelta::from_micros(2.5)));
     let cfg = SpmdConfig::new(12)
         .with_net(net)
         .with_event_limit(5_000_000);
@@ -223,7 +222,11 @@ fn broadcast_uses_logarithmically_many_messages() {
                 ctx.reset_measurement();
             }
             ctx.barrier().await;
-            let data = if ctx.me() == 0 { vec![1u64; 16] } else { Vec::new() };
+            let data = if ctx.me() == 0 {
+                vec![1u64; 16]
+            } else {
+                Vec::new()
+            };
             ctx.broadcast_words(0, data).await;
             ctx.barrier().await;
             if ctx.me() == 0 {
@@ -237,20 +240,24 @@ fn broadcast_uses_logarithmically_many_messages() {
     // depth, and counts for linear total.
     let c16 = count_for(16);
     let c32 = count_for(32);
-    assert!(c32 < 2 * c16 + 16 * 12, "total messages stay linear: {c16} -> {c32}");
+    assert!(
+        c32 < 2 * c16 + 16 * 12,
+        "total messages stay linear: {c16} -> {c32}"
+    );
 
     let time_for = |procs: usize| {
         let outcome = run_spmd(&SpmdConfig::new(procs), move |ctx| async move {
             ctx.barrier().await;
             let t0 = ctx.now();
-            let data = if ctx.me() == 0 { vec![1u64; 16] } else { Vec::new() };
+            let data = if ctx.me() == 0 {
+                vec![1u64; 16]
+            } else {
+                Vec::new()
+            };
             ctx.broadcast_words(0, data).await;
             (ctx.now() - t0).as_micros_f64()
         });
-        outcome
-            .expect_outputs()
-            .into_iter()
-            .fold(0.0f64, f64::max)
+        outcome.expect_outputs().into_iter().fold(0.0f64, f64::max)
     };
     let t8 = time_for(8);
     let t64 = time_for(64);

@@ -36,7 +36,8 @@ fn barrier_separates_phases() {
         let r = ctx.alloc_region(1);
         ctx.barrier().await;
         // Stagger the writers wildly.
-        ctx.compute(SimDelta::from_micros(ctx.me() as f64 * 50.0)).await;
+        ctx.compute(SimDelta::from_micros(ctx.me() as f64 * 50.0))
+            .await;
         ctx.write(GlobalPtr::new(ctx.me(), r, 0), 1).await;
         ctx.sync().await;
         ctx.barrier().await;
@@ -142,7 +143,10 @@ fn mailboxes_deliver_in_order_with_payload() {
                 got.push(mail.args[0]);
             }
             ctx.barrier().await;
-            got.iter().enumerate().map(|(i, &v)| (v == i as u64) as u64).sum()
+            got.iter()
+                .enumerate()
+                .map(|(i, &v)| (v == i as u64) as u64)
+                .sum()
         }
     });
     assert_eq!(outcome.expect_outputs()[1], 5);
@@ -160,7 +164,9 @@ fn custom_handlers_see_memory_and_ext() {
         ctx.set_ext(Vec::<u64>::new());
         ctx.barrier().await;
         if ctx.me() == 0 {
-            let (args, _) = ctx.am_request(1, double, [21, 0, 0, 0], Payload::None).await;
+            let (args, _) = ctx
+                .am_request(1, double, [21, 0, 0, 0], Payload::None)
+                .await;
             ctx.barrier().await;
             args[0]
         } else {
@@ -177,9 +183,8 @@ fn added_overhead_slows_a_chatty_program_linearly() {
     // The core claim of the paper, verified at the layer level: runtime of
     // a message-bound program rises by ~2·m·Δo.
     let run_with = |d_o: f64| {
-        let net = NetConfig::berkeley_now().with_knobs(Knobs::with_overhead(
-            SimDelta::from_micros(d_o),
-        ));
+        let net =
+            NetConfig::berkeley_now().with_knobs(Knobs::with_overhead(SimDelta::from_micros(d_o)));
         let outcome = run_spmd(&SpmdConfig::new(2).with_net(net), |ctx| async move {
             let r = ctx.alloc_region(1);
             ctx.barrier().await;
@@ -251,7 +256,8 @@ fn stats_track_reads_writes_and_barriers() {
 fn time_limit_aborts_cleanly() {
     let cfg = SpmdConfig::new(2).with_time_limit(SimDelta::from_micros(10.0));
     let outcome = run_spmd(&cfg, |ctx| async move {
-        ctx.compute(SimDelta::from_micros(5.0 + ctx.me() as f64 * 100.0)).await;
+        ctx.compute(SimDelta::from_micros(5.0 + ctx.me() as f64 * 100.0))
+            .await;
         ctx.me()
     });
     assert!(!outcome.completed);

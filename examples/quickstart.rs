@@ -4,8 +4,8 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use nowlab::core::calib::{calibrate, round_trip_us};
-use nowlab::splitc::{run_spmd, GlobalPtr, SpmdConfig};
 use nowlab::sim::SimDelta;
+use nowlab::splitc::{run_spmd, GlobalPtr, SpmdConfig};
 use nowlab::{Knobs, NetConfig};
 
 fn main() {

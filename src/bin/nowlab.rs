@@ -11,6 +11,11 @@
 //!
 //! Knob flags give *desired absolute* parameter values (like the paper's
 //! tables); omitted knobs stay at the Berkeley NOW baseline.
+//!
+//! Every network-taking command also accepts `--drop-rate R` (fraction of
+//! messages the wire swallows, engaging the reliable-delivery protocol)
+//! and `--fault-seed S` (the deterministic fault stream). Faulty runs get
+//! a virtual-time deadline so total loss reports N/A instead of spinning.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -18,7 +23,7 @@ use std::process::ExitCode;
 use nowlab::apps::{suite_scaled, SuiteScale};
 use nowlab::core::calib::{calibrate, calibrate_bulk};
 use nowlab::core::report::{fmt_f, fmt_time, Table};
-use nowlab::core::{sweep, Axis, Knobs, NetConfig, RunSpec, SweepableApp};
+use nowlab::core::{sweep, Axis, FaultPlan, Knobs, NetConfig, RunSpec, SimDelta, SweepableApp};
 
 const USAGE: &str = "usage:
   nowlab list
@@ -27,7 +32,9 @@ const USAGE: &str = "usage:
                [--o US] [--g US] [--l US] [--mbps MB]
   nowlab sweep --app NAME --axis overhead|gap|latency|bulk [--procs N]
                [--scale test|benchmark]
-  nowlab suite [--procs N] [--scale test|benchmark]";
+  nowlab suite [--procs N] [--scale test|benchmark]
+fault injection (calibrate/run/sweep/suite):
+  [--drop-rate R] [--fault-seed S]   deterministic wire loss, R in [0,1]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,9 +73,7 @@ fn parse_flags(rest: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{flag}`"));
         };
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         flags.insert(name.to_string(), value.clone());
     }
     Ok(flags)
@@ -99,7 +104,9 @@ fn scale_of(flags: &HashMap<String, String>) -> Result<SuiteScale, String> {
 fn net_of(flags: &HashMap<String, String>) -> Result<NetConfig, String> {
     let mut cfg = NetConfig::berkeley_now();
     if let Some(w) = flags.get("window") {
-        let w: u32 = w.parse().map_err(|_| "--window: not a number".to_string())?;
+        let w: u32 = w
+            .parse()
+            .map_err(|_| "--window: not a number".to_string())?;
         cfg = cfg.with_window(w);
     }
     let mut knobs = Knobs::baseline();
@@ -108,9 +115,11 @@ fn net_of(flags: &HashMap<String, String>) -> Result<NetConfig, String> {
             let v: f64 = v
                 .parse()
                 .map_err(|_| format!("--{flag}: cannot parse `{v}`"))?;
-            let k = axis.knobs_for(&NetConfig::berkeley_now().machine, v).ok_or(
-                format!("--{flag} {v}: below the Berkeley NOW baseline (the apparatus only slows down)"),
-            )?;
+            let k = axis
+                .knobs_for(&NetConfig::berkeley_now().machine, v)
+                .ok_or(format!(
+                    "--{flag} {v}: below the Berkeley NOW baseline (the apparatus only slows down)"
+                ))?;
             match axis {
                 Axis::Overhead => knobs.d_o = k.d_o,
                 Axis::Gap => knobs.d_g = k.d_g,
@@ -124,7 +133,29 @@ fn net_of(flags: &HashMap<String, String>) -> Result<NetConfig, String> {
     apply(Axis::Gap, "g", &mut knobs)?;
     apply(Axis::Latency, "l", &mut knobs)?;
     apply(Axis::BulkBandwidth, "mbps", &mut knobs)?;
+    let rate: f64 = parse_or(flags, "drop-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--drop-rate {rate}: want a fraction in [0, 1]"));
+    }
+    if rate > 0.0 {
+        let seed: u64 = parse_or(flags, "fault-seed", 1)?;
+        cfg = cfg.with_faults(FaultPlan::with_drop_rate(rate, seed));
+    } else if flags.contains_key("fault-seed") {
+        return Err("--fault-seed without --drop-rate has no effect".to_string());
+    }
     Ok(cfg.with_knobs(knobs))
+}
+
+/// Attaches livelock guards to `spec`: always an event budget, plus a
+/// virtual-time deadline when the wire is faulty (retransmission backoff
+/// never gives up on its own, so only a limit turns total loss into N/A).
+fn guard(spec: RunSpec) -> RunSpec {
+    let spec = spec.with_event_limit(300_000_000);
+    if spec.net.faults.is_active() {
+        spec.with_time_limit(SimDelta::from_secs(120.0))
+    } else {
+        spec
+    }
 }
 
 fn find_app(scale: SuiteScale, name: &str) -> Result<Box<dyn SweepableApp>, String> {
@@ -163,7 +194,14 @@ fn cmd_calibrate(flags: &HashMap<String, String>) -> Result<(), String> {
     let bw = calibrate_bulk(cfg);
     let mut t = Table::new(
         "calibration (LogP signature microbenchmarks)",
-        &["o (us)", "o_send", "o_recv", "g (us)", "L (us)", "bulk MB/s"],
+        &[
+            "o (us)",
+            "o_send",
+            "o_recv",
+            "g (us)",
+            "L (us)",
+            "bulk MB/s",
+        ],
     );
     t.push_row([
         fmt_f(c.o_mean_us(), 2),
@@ -180,10 +218,11 @@ fn cmd_calibrate(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let name = flags.get("app").ok_or("run needs --app")?;
     let app = find_app(scale_of(flags)?, name)?;
-    let spec = RunSpec::new(parse_or(flags, "procs", 32usize)?)
-        .with_net(net_of(flags)?)
-        .with_seed(parse_or(flags, "seed", 1u64)?)
-        .with_event_limit(300_000_000);
+    let spec = guard(
+        RunSpec::new(parse_or(flags, "procs", 32usize)?)
+            .with_net(net_of(flags)?)
+            .with_seed(parse_or(flags, "seed", 1u64)?),
+    );
     let out = app.run(&spec);
     let mut t = Table::new(
         format!("{} on {} processors", app.name(), spec.procs),
@@ -209,6 +248,16 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         format!("{:016x}", out.check),
     ]);
     println!("{t}");
+    if spec.net.reliability_active() {
+        println!(
+            "faults: {} drops, {} dups, {} retransmits, {} timeouts, max backoff {}",
+            out.stats.total_drops(),
+            out.stats.total_dups(),
+            out.stats.total_retransmits(),
+            out.stats.total_timeouts(),
+            fmt_time(out.stats.max_retry_backoff()),
+        );
+    }
     Ok(())
 }
 
@@ -227,15 +276,20 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
         "bulk" | "bandwidth" | "mbps" => Axis::BulkBandwidth,
         other => return Err(format!("--axis: `{other}`")),
     };
-    let spec = RunSpec::new(parse_or(flags, "procs", 32usize)?).with_event_limit(300_000_000);
+    let spec = guard(RunSpec::new(parse_or(flags, "procs", 32usize)?).with_net(net_of(flags)?));
     let values = axis.paper_values();
     let result = sweep(app.as_ref(), &spec, axis, &values);
+    let faulty = spec.net.faults.is_active();
+    let mut headers = vec![axis.label(), "runtime", "slowdown"];
+    if faulty {
+        headers.extend(["drops", "retx", "timeouts"]);
+    }
     let mut t = Table::new(
         format!("{}: slowdown vs {axis} ({} procs)", result.app, spec.procs),
-        &[axis.label(), "runtime", "slowdown"],
+        &headers,
     );
     for p in &result.points {
-        t.push_row([
+        let mut row = vec![
             fmt_f(p.desired, 1),
             fmt_time(p.runtime),
             if p.completed {
@@ -243,7 +297,15 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
             } else {
                 "N/A".into()
             },
-        ]);
+        ];
+        if faulty {
+            row.extend([
+                p.drops.to_string(),
+                p.retransmits.to_string(),
+                p.timeouts.to_string(),
+            ]);
+        }
+        t.push_row(row);
     }
     println!("{t}");
     if let Some(fit) = result.linearity() {
@@ -260,13 +322,25 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
     let procs = parse_or(flags, "procs", 32usize)?;
     let mut t = Table::new(
         format!("benchmark suite on {procs} processors"),
-        &["program", "runtime", "msg/proc", "interval us", "% bulk", "% reads"],
+        &[
+            "program",
+            "runtime",
+            "msg/proc",
+            "interval us",
+            "% bulk",
+            "% reads",
+        ],
     );
+    let spec = guard(RunSpec::new(procs).with_net(net_of(flags)?));
     for app in suite_scaled(scale) {
-        let out = app.run(&RunSpec::new(procs).with_event_limit(300_000_000));
+        let out = app.run(&spec);
         t.push_row([
             app.name().to_string(),
-            fmt_time(out.runtime),
+            if out.completed {
+                fmt_time(out.runtime)
+            } else {
+                "N/A".into()
+            },
             fmt_f(out.stats.avg_msgs_per_proc(), 0),
             fmt_f(out.stats.msg_interval_us(), 1),
             fmt_f(out.stats.pct_bulk(), 1),

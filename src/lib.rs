@@ -116,5 +116,5 @@ pub mod apps {
     pub use nowlab_apps::*;
 }
 
-pub use nowlab_am::{Knobs, LoggpParams, NetConfig};
+pub use nowlab_am::{FaultPlan, Knobs, LoggpParams, NetConfig, Outage, Reliability};
 pub use nowlab_core::{sweep, Axis, RunOutcome, RunSpec, SweepableApp};

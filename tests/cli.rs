@@ -20,8 +20,16 @@ fn list_names_all_ten_programs() {
     let (ok, text) = nowlab(&["list"]);
     assert!(ok);
     for name in [
-        "Radix", "EM3D(write)", "EM3D(read)", "Sample", "Barnes", "P-Ray", "Murphi", "Connect",
-        "NOW-sort", "Radb",
+        "Radix",
+        "EM3D(write)",
+        "EM3D(read)",
+        "Sample",
+        "Barnes",
+        "P-Ray",
+        "Murphi",
+        "Connect",
+        "NOW-sort",
+        "Radb",
     ] {
         assert!(text.contains(name), "missing {name} in: {text}");
     }
@@ -37,9 +45,7 @@ fn calibrate_reports_baseline() {
 
 #[test]
 fn run_executes_an_app_at_test_scale() {
-    let (ok, text) = nowlab(&[
-        "run", "--app", "radix", "--procs", "4", "--scale", "test",
-    ]);
+    let (ok, text) = nowlab(&["run", "--app", "radix", "--procs", "4", "--scale", "test"]);
     assert!(ok, "{text}");
     assert!(text.contains("Radix on 4 processors"), "{text}");
     assert!(text.contains("true"), "must complete: {text}");
@@ -69,9 +75,7 @@ fn bad_arguments_fail_with_usage() {
     assert!(text.contains("unknown app"), "{text}");
 
     // Knobs cannot go below the baseline.
-    let (ok, text) = nowlab(&[
-        "run", "--app", "radix", "--scale", "test", "--o", "1.0",
-    ]);
+    let (ok, text) = nowlab(&["run", "--app", "radix", "--scale", "test", "--o", "1.0"]);
     assert!(!ok);
     assert!(text.contains("below the Berkeley NOW baseline"), "{text}");
 }

@@ -18,7 +18,8 @@ fn whole_suite_completes_and_is_deterministic() {
         assert!(a.completed, "{} failed", app.name());
         assert_eq!(a.check, b.check, "{}: check not reproducible", app.name());
         assert_eq!(
-            a.runtime, b.runtime,
+            a.runtime,
+            b.runtime,
             "{}: virtual time not reproducible",
             app.name()
         );
@@ -37,7 +38,12 @@ fn checks_are_invariant_across_every_knob() {
     // the central sanity property of the whole apparatus.
     for app in suite_scaled(SuiteScale::Test) {
         let base = app.run(&RunSpec::new(4));
-        for axis in [Axis::Overhead, Axis::Gap, Axis::Latency, Axis::BulkBandwidth] {
+        for axis in [
+            Axis::Overhead,
+            Axis::Gap,
+            Axis::Latency,
+            Axis::BulkBandwidth,
+        ] {
             let values = axis.paper_values();
             let mid = values[values.len() / 2];
             let knobs = axis
