@@ -18,7 +18,7 @@
 
 use std::any::Any;
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::{Rc, Weak};
 
@@ -92,7 +92,7 @@ pub(crate) struct RxLink {
     /// Request ids (≥ `acked_below`) whose handler has already run.
     pub seen: BTreeSet<ReqId>,
     /// Replies already sent for `seen` requests, kept until acked.
-    pub reply_cache: HashMap<ReqId, CachedReply>,
+    pub reply_cache: BTreeMap<ReqId, CachedReply>,
     /// Next in-order sequence number expected on this link ([`Msg::seq`]).
     pub next_seq: u64,
     /// Requests that arrived ahead of a lost predecessor, keyed by
@@ -109,7 +109,7 @@ pub(crate) struct Endpoint {
     /// Remaining flow-control credits (requests in flight = window - credits).
     pub credits: Cell<u32>,
     /// Reply slots for requests whose issuer is waiting.
-    pub pending_replies: RefCell<HashMap<ReqId, Rc<ReplySlot>>>,
+    pub pending_replies: RefCell<BTreeMap<ReqId, Rc<ReplySlot>>>,
     /// Outstanding posted (non-waited) requests, drained by acks.
     pub pending_posts: Cell<u64>,
     /// Next request id.
@@ -144,7 +144,7 @@ impl Endpoint {
             rx: RefCell::new(std::collections::VecDeque::new()),
             rx_notify: Notify::new(),
             credits: Cell::new(window),
-            pending_replies: RefCell::new(HashMap::new()),
+            pending_replies: RefCell::new(BTreeMap::new()),
             pending_posts: Cell::new(0),
             next_req: Cell::new(0),
             nic_tx_free: Cell::new(SimTime::ZERO),

@@ -65,6 +65,7 @@
 //! assert_eq!(got.try_take(), Some(10));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cluster;
@@ -79,6 +80,7 @@ pub use fault::{FaultPlan, Outage, Reliability, MAX_OUTAGES, PPM_SCALE};
 pub use message::{Dir, HandlerId, Mark, Msg, Payload, ProcId, ReplyData, ReqId};
 pub use params::{
     mb_per_s_from_per_byte, per_byte_from_mb_per_s, Knobs, LatencyMode, LoggpParams, NetConfig,
+    GAM_FRAG_BYTES, GAM_WINDOW,
 };
 pub use port::AmPort;
 pub use stats::{render_balance_matrix, CommStats, ProcCounters};

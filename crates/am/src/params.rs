@@ -239,6 +239,15 @@ pub enum LatencyMode {
     SlowRxPath,
 }
 
+/// GAM flow-control window: maximum outstanding requests per processor
+/// (paper §3.3). The single authoritative definition — the analyzer's
+/// `AMP002` lint rejects re-hardcoded copies of this depth.
+pub const GAM_WINDOW: u32 = 8;
+
+/// GAM bulk-transfer fragment size in bytes (paper: "up to 4KB"). The
+/// single authoritative definition, mirroring [`GAM_WINDOW`].
+pub const GAM_FRAG_BYTES: u32 = 4096;
+
 /// Full network configuration: machine baseline, knobs, and AM-layer
 /// constants.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -275,8 +284,8 @@ impl NetConfig {
         NetConfig {
             machine: LoggpParams::berkeley_now(),
             knobs: Knobs::baseline(),
-            window: 8,
-            frag_bytes: 4096,
+            window: GAM_WINDOW,
+            frag_bytes: GAM_FRAG_BYTES,
             short_wire_bytes: 28,
             latency_mode: LatencyMode::DelayQueue,
             faults: FaultPlan::none(),

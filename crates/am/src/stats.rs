@@ -71,7 +71,11 @@ impl ProcCounters {
 }
 
 /// Immutable snapshot of a finished run's communication behavior.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq`/`Eq` compare every counter exactly — this is what the CLI's
+/// `--verify-determinism` double-run mode diffs, so any nondeterminism in
+/// the communication schedule shows up as an inequality here.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Per-processor counters (index = processor id).
     pub per_proc: Vec<ProcCounters>,

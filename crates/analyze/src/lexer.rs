@@ -1,0 +1,291 @@
+//! A minimal Rust token scanner.
+//!
+//! The container this workspace builds in is fully offline (no crates.io),
+//! so the analyzer cannot use `syn`; the lints it enforces only need a
+//! token stream with comments and string/char literals stripped, which a
+//! few hundred lines of hand-rolled lexing provide. The scanner understands
+//! line and nested block comments, plain/byte/raw string literals, char
+//! literals vs. lifetimes, identifiers, and integer literals (with radix
+//! prefixes, `_` separators, and type suffixes); everything else is
+//! emitted as single-character punctuation tokens.
+
+/// What kind of token was scanned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (value available via [`Tok::int_value`]).
+    Int,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token text. For [`TokKind::Punct`] this is one character.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// Numeric value of an integer literal, tolerating `_` separators,
+    /// `0x`/`0o`/`0b` radix prefixes, and type suffixes (`4096u32`).
+    /// Returns `None` for non-integer tokens or overflow.
+    pub fn int_value(&self) -> Option<u64> {
+        if self.kind != TokKind::Int {
+            return None;
+        }
+        let clean: String = self.text.chars().filter(|&c| c != '_').collect();
+        let (radix, digits) = match clean.as_bytes() {
+            [b'0', b'x' | b'X', rest @ ..] => (16, rest),
+            [b'0', b'o' | b'O', rest @ ..] => (8, rest),
+            [b'0', b'b' | b'B', rest @ ..] => (2, rest),
+            _ => (10, clean.as_bytes()),
+        };
+        // Strip a type suffix: digits end at the first char that is not a
+        // digit of the radix.
+        let mut value: u64 = 0;
+        let mut any = false;
+        for &b in digits {
+            let Some(d) = (b as char).to_digit(radix) else {
+                break;
+            };
+            value = value
+                .checked_mul(u64::from(radix))?
+                .checked_add(u64::from(d))?;
+            any = true;
+        }
+        any.then_some(value)
+    }
+}
+
+/// Scans `source` into a token stream with comments and literals stripped.
+pub fn lex(source: &str) -> Vec<Tok> {
+    let b: Vec<char> = source.chars().collect();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let bump_lines = |s: &[char], from: usize, to: usize, line: &mut u32| {
+        *line += s[from..to].iter().filter(|&&c| c == '\n').count() as u32;
+    };
+
+    while i < n {
+        let c = b[i];
+        // Newlines and whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Nested block comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            bump_lines(&b, start, i, &mut line);
+            continue;
+        }
+        // Raw (and raw byte) strings: r"..." / r#"..."# / br#"..."#.
+        if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
+            let start = i;
+            if c == 'b' {
+                i += 1;
+            }
+            i += 1; // past 'r'
+            let mut hashes = 0;
+            while i < n && b[i] == '#' {
+                hashes += 1;
+                i += 1;
+            }
+            i += 1; // past opening quote
+            loop {
+                if i >= n {
+                    break;
+                }
+                if b[i] == '"' {
+                    let mut k = 0;
+                    while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        i += 1 + hashes;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            bump_lines(&b, start, i.min(n), &mut line);
+            continue;
+        }
+        // Plain / byte string literal.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let start = i;
+            if c == 'b' {
+                i += 1;
+            }
+            i += 1;
+            while i < n && b[i] != '"' {
+                if b[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(n);
+            bump_lines(&b, start, i, &mut line);
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            let is_char = i + 1 < n
+                && (b[i + 1] == '\\' || (i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\''));
+            if is_char {
+                i += 1;
+                while i < n && b[i] != '\'' {
+                    if b[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+            } else {
+                // Lifetime: consume the quote; the identifier lexes next.
+                i += 1;
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                text: b[start..i].iter().collect(),
+                line,
+                kind: TokKind::Ident,
+            });
+            continue;
+        }
+        // Integer literal (floats split at the dot, which is fine here).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                text: b[start..i].iter().collect(),
+                line,
+                kind: TokKind::Int,
+            });
+            continue;
+        }
+        // Single punctuation character.
+        toks.push(Tok {
+            text: c.to_string(),
+            line,
+            kind: TokKind::Punct,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// True if position `i` starts a raw-string literal (`r"`, `r#`, `br"`,
+/// `br#`), as opposed to an identifier that merely begins with `r`/`b`.
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j >= b.len() || b[j] != 'r' {
+            return false;
+        }
+    }
+    if b[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let toks =
+            texts("// HashMap in a comment\n/* Instant /* nested */ */\nlet s = \"HashMap\"; foo");
+        assert_eq!(toks, vec!["let", "s", "=", ";", "foo"]);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let toks = texts("fn f<'a>(x: &'a str) { let r = r#\"Instant \"quoted\"\"#; }");
+        assert!(toks.contains(&"a".to_string()));
+        assert!(!toks.contains(&"Instant".to_string()));
+    }
+
+    #[test]
+    fn char_literals_are_stripped() {
+        let toks = texts("let c = 'x'; let d = '\\n'; let e = '\\'';");
+        assert!(!toks.contains(&"x".to_string()));
+        assert!(!toks.contains(&"n".to_string()));
+    }
+
+    #[test]
+    fn int_values_parse_radixes_and_suffixes() {
+        let toks = lex("4096 0x1000 4_096u32 0b1000 8usize 2.9");
+        let vals: Vec<Option<u64>> = toks.iter().map(Tok::int_value).collect();
+        assert_eq!(vals[0], Some(4096));
+        assert_eq!(vals[1], Some(4096));
+        assert_eq!(vals[2], Some(4096));
+        assert_eq!(vals[3], Some(8));
+        assert_eq!(vals[4], Some(8));
+        // The float splits into 2 . 9.
+        assert_eq!(vals[5], Some(2));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_constructs() {
+        let toks = lex("a\n/* x\ny */\nb \"s\ntr\" c");
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        let c = toks.iter().find(|t| t.text == "c").unwrap();
+        assert_eq!(b.line, 4);
+        assert_eq!(c.line, 5);
+    }
+}

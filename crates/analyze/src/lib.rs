@@ -1,0 +1,219 @@
+//! # nowlab-analyze — determinism & AM-protocol static analysis
+//!
+//! The simulation's headline guarantee is that virtual time is a pure
+//! function of (program, seed): two runs with the same inputs produce
+//! bit-identical statistics. That guarantee is easy to break silently —
+//! one `HashMap` iteration in a hot path, one wall-clock read folded into
+//! a `SimTime` — so this crate enforces it mechanically over the whole
+//! workspace, along with the GAM active-message protocol rules the
+//! paper's apparatus depends on.
+//!
+//! Run it as:
+//!
+//! ```text
+//! cargo run -p nowlab-analyze            # report
+//! cargo run -p nowlab-analyze -- --check # CI mode: non-zero exit on errors
+//! ```
+//!
+//! Audited exceptions live in `analyze.toml` at the workspace root (see
+//! [`allowlist`]). The build container is fully offline, so instead of
+//! `syn` the pass runs on a hand-rolled token scanner ([`lexer`]) — ample
+//! for the token-sequence patterns these lints need.
+//!
+//! ## Lint catalogue
+//!
+//! | code | severity | meaning |
+//! |---|---|---|
+//! | `DET001` | error | `HashMap`/`HashSet` in simulation-visible state |
+//! | `DET002` | error | `std::time::Instant`/`SystemTime` in sim-visible code |
+//! | `DET003` | error | OS/env entropy outside `crates/rng` |
+//! | `DET004` | warning | wall-clock value flowing toward virtual time |
+//! | `SAFE001` | error | crate root missing `#![forbid(unsafe_code)]` |
+//! | `AMP001` | error | AM handler issues a request (GAM acyclicity) |
+//! | `AMP002` | error | re-hardcoded window depth / 4KB fragment size |
+//! | `AMP003` | error | public sim-facing API exposes a hash collection |
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod lints;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How bad a finding is. `Error` fails `--check`; `Warning` is advisory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: reported, never fails the build.
+    Warning,
+    /// Violation of a hard invariant: fails `--check`.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding, addressable by file and line.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Stable lint code (`DET001`, `AMP002`, …).
+    pub code: &'static str,
+    /// [`Severity::Error`] or [`Severity::Warning`].
+    pub severity: Severity,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}:{}: {}",
+            self.severity, self.code, self.path, self.line, self.message
+        )
+    }
+}
+
+/// Which lint families apply to a file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Scope {
+    /// Code that can influence simulation state or event order. The
+    /// `DET…` family and `AMP003` apply here.
+    pub sim_visible: bool,
+    /// Inside `crates/am`: the protocol-constant lint `AMP002` applies.
+    pub am_layer: bool,
+    /// Inside `crates/rng`: the one place allowed to touch entropy
+    /// primitives (it wraps them behind seeded streams).
+    pub entropy_exempt: bool,
+    /// A crate/bin root file, which must carry `#![forbid(unsafe_code)]`.
+    pub crate_root: bool,
+}
+
+/// Crates whose code is simulation-visible. `bench` is deliberately
+/// absent: it is the host-side wall-clock harness and may read
+/// `Instant`/env freely.
+const SIM_CRATES: &[&str] = &["sim", "am", "splitc", "core", "apps", "rng"];
+
+/// Determines the lint scope for a workspace-relative `.rs` path, or
+/// `None` if the file is out of scope (tests, benches, fixtures — anything
+/// outside a `src/` tree).
+pub fn scope_for(rel: &str) -> Option<Scope> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (crate_name, in_src) = if parts.first() == Some(&"crates") && parts.len() >= 3 {
+        (Some(parts[1]), parts[2] == "src")
+    } else if parts.first() == Some(&"src") {
+        (None, true)
+    } else {
+        (None, false)
+    };
+    if !in_src {
+        return None;
+    }
+    let file = *parts.last().unwrap_or(&"");
+    let parent = parts[parts.len().saturating_sub(2)];
+    let crate_root =
+        (parent == "src" && (file == "lib.rs" || file == "main.rs")) || parent == "bin";
+    Some(Scope {
+        sim_visible: crate_name.is_none_or(|c| SIM_CRATES.contains(&c)),
+        am_layer: crate_name == Some("am"),
+        entropy_exempt: crate_name == Some("rng"),
+        crate_root,
+    })
+}
+
+/// Lints a single source file under the given scope.
+pub fn scan_source(path: &str, source: &str, scope: &Scope) -> Vec<Diagnostic> {
+    lints::lint_source(path, source, scope)
+}
+
+/// Scans every in-scope `.rs` file under the workspace `root`, in
+/// deterministic (sorted-path) order. Returns diagnostics sorted by
+/// (path, line, code).
+pub fn scan_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut src_roots = vec![root.join("src")];
+    if crates_dir.is_dir() {
+        let mut names: Vec<_> = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        names.sort();
+        src_roots.extend(names.into_iter().map(|p| p.join("src")));
+    }
+    for src in src_roots {
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut diags = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(scope) = scope_for(&rel) else {
+            continue;
+        };
+        let source = std::fs::read_to_string(file).map_err(|e| format!("reading {rel}: {e}"))?;
+        diags.extend(scan_source(&rel, &source, &scope));
+    }
+    diags.sort_by(|a, b| (a.path.as_str(), a.line, a.code).cmp(&(b.path.as_str(), b.line, b.code)));
+    Ok(diags)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_routing() {
+        let s = scope_for("crates/am/src/cluster.rs").unwrap();
+        assert!(s.sim_visible && s.am_layer && !s.entropy_exempt && !s.crate_root);
+        let s = scope_for("crates/rng/src/lib.rs").unwrap();
+        assert!(s.sim_visible && s.entropy_exempt && s.crate_root);
+        let s = scope_for("crates/bench/src/lib.rs").unwrap();
+        assert!(!s.sim_visible && s.crate_root, "bench is host-side");
+        let s = scope_for("src/bin/nowlab.rs").unwrap();
+        assert!(s.sim_visible && s.crate_root);
+        assert!(scope_for("crates/analyze/tests/fixtures/det001.rs").is_none());
+        assert!(scope_for("crates/am/tests/gam.rs").is_none());
+        assert!(scope_for("README.md").is_none());
+    }
+}

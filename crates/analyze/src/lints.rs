@@ -1,0 +1,412 @@
+//! The two lint families, implemented over the token stream.
+//!
+//! **Family 1 — determinism (`DET…`).** Virtual time in `nowlab` must be a
+//! pure function of (program, seed). Anything whose behavior depends on
+//! hasher state, wall-clock time, or OS entropy can silently perturb event
+//! order, so simulation-visible code may not use it.
+//!
+//! **Family 2 — AM protocol (`AMP…`).** The GAM rules the paper's
+//! apparatus relies on: request/reply acyclicity in handlers, single named
+//! constants for the flow-control window and fragment size, and public
+//! sim-facing APIs free of nondeterministic collection types.
+//!
+//! `SAFE001` additionally checks that every scanned crate root carries
+//! `#![forbid(unsafe_code)]`, so the analyzer may assume safe Rust (no
+//! out-of-band entropy or clock access behind `unsafe`).
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::{Diagnostic, Scope, Severity};
+
+/// Hash-based std collections whose iteration order is nondeterministic.
+const HASH_COLLECTIONS: &[&str] = &["HashMap", "HashSet"];
+/// Wall-clock types that must not appear in simulation-visible code.
+const WALL_CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+/// Entropy sources allowed only inside `crates/rng`.
+const ENTROPY_IDENTS: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+    "rand",
+];
+/// Wall-clock-to-duration conversions that feed virtual time (heuristic).
+const WALL_FLOW_IDENTS: &[&str] = &["UNIX_EPOCH", "duration_since"];
+/// Port calls a reply handler must never make (GAM request/reply
+/// acyclicity: reply handlers run on the reply path and issuing a request
+/// from one can deadlock the flow-control window).
+const HANDLER_FORBIDDEN_CALLS: &[&str] = &["request", "post", "post_bulk", "inject"];
+
+/// Runs every lint applicable under `scope` over `source`.
+pub fn lint_source(path: &str, source: &str, scope: &Scope) -> Vec<Diagnostic> {
+    let toks = lex(source);
+    let test_ranges = cfg_test_ranges(&toks);
+    let in_test = |i: usize| test_ranges.iter().any(|r| r.contains(&i));
+    let mut diags = Vec::new();
+
+    // AMP003 first: its signature ranges suppress duplicate DET001 hits.
+    let mut sig_ranges: Vec<std::ops::Range<usize>> = Vec::new();
+    if scope.sim_visible {
+        let mut i = 0;
+        while i + 1 < toks.len() {
+            if toks[i].text == "pub" && toks[i + 1].text == "fn" && !in_test(i) {
+                let sig_start = i + 1;
+                let mut j = i + 2;
+                while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+                    j += 1;
+                }
+                if let Some(t) = toks[sig_start..j].iter().find(|t| {
+                    t.kind == TokKind::Ident && HASH_COLLECTIONS.contains(&t.text.as_str())
+                }) {
+                    diags.push(Diagnostic {
+                        path: path.to_string(),
+                        line: t.line,
+                        code: "AMP003",
+                        severity: Severity::Error,
+                        message: format!(
+                            "public sim-facing API exposes `{}` — callers inherit \
+                             nondeterministic iteration order; expose `BTree{}` or a sorted view",
+                            t.text,
+                            t.text.trim_start_matches("Hash"),
+                        ),
+                    });
+                }
+                sig_ranges.push(sig_start..j);
+                i = j;
+                continue;
+            }
+            i += 1;
+        }
+    }
+    let in_sig = |i: usize| sig_ranges.iter().any(|r| r.contains(&i));
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test(i) {
+            continue;
+        }
+        let name = t.text.as_str();
+        if scope.sim_visible && HASH_COLLECTIONS.contains(&name) && !in_sig(i) {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: t.line,
+                code: "DET001",
+                severity: Severity::Error,
+                message: format!(
+                    "`{name}` in simulation-visible code — iteration order is \
+                     nondeterministic; use `BTree{}` or index-sorted access",
+                    name.trim_start_matches("Hash"),
+                ),
+            });
+        }
+        if scope.sim_visible && WALL_CLOCK_TYPES.contains(&name) {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: t.line,
+                code: "DET002",
+                severity: Severity::Error,
+                message: format!(
+                    "`std::time::{name}` in simulation-visible code — wall-clock \
+                     readings vary across runs; virtual time must come from `Sim::now`",
+                ),
+            });
+        }
+        if scope.sim_visible && !scope.entropy_exempt {
+            let env_read = (name == "var" || name == "var_os")
+                && i >= 3
+                && toks[i - 1].text == ":"
+                && toks[i - 2].text == ":"
+                && toks[i - 3].text == "env";
+            if ENTROPY_IDENTS.contains(&name) || env_read {
+                diags.push(Diagnostic {
+                    path: path.to_string(),
+                    line: t.line,
+                    code: "DET003",
+                    severity: Severity::Error,
+                    message: format!(
+                        "`{name}` draws OS/environment entropy — outside `crates/rng` \
+                         all randomness must come from the seeded `nowlab_rng` streams",
+                    ),
+                });
+            }
+        }
+        if scope.sim_visible && WALL_FLOW_IDENTS.contains(&name) {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: t.line,
+                code: "DET004",
+                severity: Severity::Warning,
+                message: format!(
+                    "`{name}` suggests a wall-clock value flowing toward `SimTime`/\
+                     `SimDelta` — virtual time must be derived only from simulated events",
+                ),
+            });
+        }
+    }
+
+    // AMP001: handler closures passed to `register_handler` must not issue
+    // requests (they run synchronously on the destination's reply path).
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].text == "register_handler" && toks[i + 1].text == "(" && !in_test(i) {
+            let end = match_paren(&toks, i + 1);
+            for j in (i + 2)..end {
+                if toks[j].kind == TokKind::Ident
+                    && HANDLER_FORBIDDEN_CALLS.contains(&toks[j].text.as_str())
+                    && j > 0
+                    && toks[j - 1].text == "."
+                {
+                    diags.push(Diagnostic {
+                        path: path.to_string(),
+                        line: toks[j].line,
+                        code: "AMP001",
+                        severity: Severity::Error,
+                        message: format!(
+                            "handler issues `.{}(…)` — GAM reply handlers must not send \
+                             requests (request/reply acyclicity; risks window deadlock)",
+                            toks[j].text,
+                        ),
+                    });
+                }
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+
+    // AMP002: inside the AM layer the fragment size and flow-control window
+    // must be spelled via the named constants, not re-hardcoded.
+    if scope.am_layer {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Int || in_test(i) || near_const_definition(&toks, i) {
+                continue;
+            }
+            let val = t.int_value();
+            if val == Some(4096) {
+                diags.push(Diagnostic {
+                    path: path.to_string(),
+                    line: t.line,
+                    code: "AMP002",
+                    severity: Severity::Error,
+                    message: "re-hardcoded 4KB fragment size — reference `GAM_FRAG_BYTES` \
+                              so the protocol constant has a single definition"
+                        .to_string(),
+                });
+            }
+            let window_literal = i >= 2
+                && ((toks[i - 2].text == "window" && toks[i - 1].text == ":")
+                    || (toks[i - 2].text == "with_window" && toks[i - 1].text == "("));
+            if window_literal {
+                diags.push(Diagnostic {
+                    path: path.to_string(),
+                    line: t.line,
+                    code: "AMP002",
+                    severity: Severity::Error,
+                    message: "re-hardcoded flow-control window depth — reference \
+                              `GAM_WINDOW` so the protocol constant has a single definition"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    // SAFE001: scanned crate roots must forbid unsafe code, so the
+    // determinism lints can assume no entropy/clock access hides behind
+    // raw pointers or FFI.
+    if scope.crate_root && !has_forbid_unsafe(&toks) {
+        diags.push(Diagnostic {
+            path: path.to_string(),
+            line: 1,
+            code: "SAFE001",
+            severity: Severity::Error,
+            message: "crate root lacks `#![forbid(unsafe_code)]` — the determinism \
+                      analysis assumes safe Rust"
+                .to_string(),
+        });
+    }
+
+    diags
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` items (usually `mod tests`).
+/// Test code runs on the host, not inside the simulation, so the
+/// determinism lints skip it.
+fn cfg_test_ranges(toks: &[Tok]) -> Vec<std::ops::Range<usize>> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let is_cfg_test = toks[i].text == "#"
+            && toks[i + 1].text == "["
+            && toks[i + 2].text == "cfg"
+            && toks[i + 3].text == "("
+            && toks[i + 4].text == "test"
+            && toks[i + 5].text == ")"
+            && toks[i + 6].text == "]";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip any further attributes, then consume the item: to the
+        // matching `}` of its first brace, or to `;` for brace-less items.
+        let mut j = i + 7;
+        while j + 1 < toks.len() && toks[j].text == "#" && toks[j + 1].text == "[" {
+            j = match_bracket(toks, j + 1) + 1;
+        }
+        let mut k = j;
+        while k < toks.len() && toks[k].text != "{" && toks[k].text != ";" {
+            k += 1;
+        }
+        let end = if k < toks.len() && toks[k].text == "{" {
+            match_brace(toks, k)
+        } else {
+            k
+        };
+        ranges.push(i..end + 1);
+        i = end + 1;
+    }
+    ranges
+}
+
+/// True if an enclosing `const` definition sits within a few tokens before
+/// `i` (the single allowed spelling of a protocol constant).
+fn near_const_definition(toks: &[Tok], i: usize) -> bool {
+    toks[i.saturating_sub(8)..i]
+        .iter()
+        .any(|t| t.text == "const")
+}
+
+/// True if the stream contains `#![forbid(unsafe_code)]`.
+fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == "forbid"
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+            && w[6].text == ")"
+            && w[7].text == "]"
+    })
+}
+
+/// Index of the `)` matching the `(` at `open` (or the last token).
+fn match_paren(toks: &[Tok], open: usize) -> usize {
+    match_delim(toks, open, "(", ")")
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn match_bracket(toks: &[Tok], open: usize) -> usize {
+    match_delim(toks, open, "[", "]")
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    match_delim(toks, open, "{", "}")
+}
+
+fn match_delim(toks: &[Tok], open: usize, l: &str, r: &str) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.text == l {
+            depth += 1;
+        } else if t.text == r {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_scope() -> Scope {
+        Scope {
+            sim_visible: true,
+            am_layer: false,
+            entropy_exempt: false,
+            crate_root: false,
+        }
+    }
+
+    fn codes(src: &str, scope: &Scope) -> Vec<&'static str> {
+        lint_source("t.rs", src, scope)
+            .into_iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn hash_collections_flagged_outside_tests_only() {
+        let src = "fn f() { let m = std::collections::HashMap::<u32, u32>::new(); }\n\
+                   #[cfg(test)]\nmod tests { use std::collections::HashSet; }\n";
+        assert_eq!(codes(src, &sim_scope()), vec!["DET001"]);
+    }
+
+    #[test]
+    fn wall_clock_and_entropy_flagged() {
+        let src = "fn f() { let t = Instant::now(); let s = std::env::var(\"X\"); }";
+        assert_eq!(codes(src, &sim_scope()), vec!["DET002", "DET003"]);
+        let mut rng_scope = sim_scope();
+        rng_scope.entropy_exempt = true;
+        assert_eq!(
+            codes("fn f() { getrandom(); }", &rng_scope),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn env_args_is_not_an_entropy_read() {
+        assert!(codes("fn f() { let a = std::env::args(); }", &sim_scope()).is_empty());
+    }
+
+    #[test]
+    fn handler_request_flagged_only_inside_registration() {
+        let src = "fn g(c: &C) { c.register_handler(|ctx| { ctx.port.request(0); Reply::ack() }); \
+                   c.port.request(1); }";
+        assert_eq!(codes(src, &sim_scope()), vec!["AMP001"]);
+    }
+
+    #[test]
+    fn am_layer_literals_flagged_except_const_definitions() {
+        let mut scope = sim_scope();
+        scope.am_layer = true;
+        let src = "pub const GAM_FRAG_BYTES: u32 = 4096;\nfn f() { let frag = 4096; }\n\
+                   fn g() -> C { C { window: 8 } }\nfn h(c: C) { c.with_window(8); }";
+        assert_eq!(codes(src, &scope), vec!["AMP002", "AMP002", "AMP002"]);
+        // Outside the AM layer the same literals are application data.
+        assert!(codes("fn f() { let half = 4096; }", &sim_scope()).is_empty());
+    }
+
+    #[test]
+    fn pub_fn_signature_reports_amp003_not_det001() {
+        let src = "pub fn api() -> std::collections::HashMap<u32, u32> { todo!() }";
+        assert_eq!(codes(src, &sim_scope()), vec!["AMP003"]);
+        // pub(crate) is not a public sim-facing API.
+        let src2 = "pub(crate) fn api(m: &HashMap<u32, u32>) {}";
+        assert_eq!(codes(src2, &sim_scope()), vec!["DET001"]);
+    }
+
+    #[test]
+    fn crate_root_requires_forbid_unsafe() {
+        let mut scope = sim_scope();
+        scope.crate_root = true;
+        assert_eq!(codes("pub fn ok() {}", &scope), vec!["SAFE001"]);
+        assert!(codes("#![forbid(unsafe_code)]\npub fn ok() {}", &scope).is_empty());
+    }
+
+    #[test]
+    fn wall_flow_heuristic_is_a_warning() {
+        let d = lint_source(
+            "t.rs",
+            "fn f(a: T, b: T) -> D { a.duration_since(b) }",
+            &sim_scope(),
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "DET004");
+        assert_eq!(d[0].severity, Severity::Warning);
+    }
+}

@@ -1,0 +1,114 @@
+//! CLI entry point for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p nowlab-analyze                  # report all findings
+//! cargo run -p nowlab-analyze -- --check       # CI: exit 1 on any error
+//! cargo run -p nowlab-analyze -- --root DIR    # scan another tree
+//! cargo run -p nowlab-analyze -- --allowlist F # alternate allowlist
+//! ```
+//!
+//! Exit-code contract (the CI step depends on it): `0` when no
+//! error-severity diagnostics survive the allowlist, `1` when at least one
+//! does (under `--check`), `2` on usage or I/O errors. Warnings and stale
+//! allowlist entries are reported but never affect the exit code.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nowlab_analyze::allowlist::Allowlist;
+use nowlab_analyze::{scan_workspace, Severity};
+
+const USAGE: &str = "usage: nowlab-analyze [--check] [--root DIR] [--allowlist FILE]";
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--allowlist" => match args.next() {
+                Some(v) => allowlist_path = Some(PathBuf::from(v)),
+                None => return usage_error("--allowlist needs a value"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Default root: the workspace this binary was built from.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("analyze.toml"));
+    let allowlist = if allowlist_path.is_file() {
+        match std::fs::read_to_string(&allowlist_path) {
+            Ok(text) => match Allowlist::parse(&text) {
+                Ok(list) => list,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", allowlist_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Allowlist::default()
+    };
+
+    let diags = match scan_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let filtered = allowlist.apply(diags);
+
+    for d in &filtered.kept {
+        println!("{d}");
+    }
+    for e in &filtered.stale {
+        println!(
+            "note: stale allowlist entry ({} in {}) matched nothing — remove it",
+            e.code, e.path
+        );
+    }
+    let errors = filtered
+        .kept
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = filtered.kept.len() - errors;
+    println!(
+        "nowlab-analyze: {errors} error(s), {warnings} warning(s), {} allowlisted",
+        filtered.suppressed.len()
+    );
+
+    if check && errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

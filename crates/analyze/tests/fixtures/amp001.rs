@@ -1,0 +1,7 @@
+//! Fixture: exactly one AMP001 (handler issuing a request).
+fn wire(cluster: &Cluster) {
+    cluster.register_handler(|ctx| {
+        ctx.port.request(0, ECHO);
+        Reply::ack()
+    });
+}

@@ -1,0 +1,4 @@
+//! Fixture: exactly one AMP002 (re-hardcoded fragment size in the AM layer).
+fn fragment(len: u32) -> u32 {
+    len.min(4096)
+}

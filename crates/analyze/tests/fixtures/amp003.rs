@@ -1,0 +1,4 @@
+//! Fixture: exactly one AMP003 (public API exposing a hash collection).
+pub fn routing_table() -> std::collections::HashMap<u32, u32> {
+    todo!()
+}

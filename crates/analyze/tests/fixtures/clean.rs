@@ -1,0 +1,28 @@
+//! Fixture: a compliant crate root — zero diagnostics under every lint.
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const GAM_WINDOW: u32 = 8;
+pub const GAM_FRAG_BYTES: u32 = 4096;
+
+pub fn routes() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+fn seen() -> BTreeSet<u64> {
+    // HashMap and Instant in comments or "HashMap strings" never count.
+    BTreeSet::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn host_side_tests_may_use_anything() {
+        let _m: HashMap<u32, u32> = HashMap::new();
+        let _t = Instant::now();
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: exactly one DET001 (hash collection in sim-visible state).
+use std::collections::BTreeMap;
+
+struct State {
+    routes: std::collections::HashMap<u32, u32>,
+    ordered: BTreeMap<u32, u32>,
+}

@@ -1,0 +1,5 @@
+//! Fixture: exactly one DET002 (wall clock in sim-visible code).
+fn stamp() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}

@@ -1,0 +1,5 @@
+//! Fixture: exactly one DET003 (OS entropy outside crates/rng).
+fn roll() -> u64 {
+    let mut r = thread_rng();
+    r.next()
+}

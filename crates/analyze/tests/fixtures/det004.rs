@@ -1,0 +1,4 @@
+//! Fixture: exactly one DET004 (wall-clock value flowing toward SimTime).
+fn to_virtual(a: Stamp, b: Stamp) -> u64 {
+    a.duration_since(b).as_nanos() as u64
+}

@@ -1,0 +1,2 @@
+//! Fixture: exactly one SAFE001 (crate root without forbid(unsafe_code)).
+pub fn entry() {}

@@ -19,7 +19,7 @@
 //! order) and results are bit-identical at every LogGP setting and
 //! processor count.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
 use nowlab_sim::SimDelta;
@@ -311,7 +311,7 @@ async fn barnes_body(ctx: Ctx, params: BarnesParams, seed: u64) -> u64 {
         ctx.barrier().await;
 
         // ---- Force walk with a software cell cache.
-        let mut cache: HashMap<usize, [i64; 4]> = HashMap::new();
+        let mut cache: BTreeMap<usize, [i64; 4]> = BTreeMap::new();
         let mut cache_order: VecDeque<usize> = VecDeque::new();
         let mut new_bodies = Vec::with_capacity(bodies.len());
         for b in &bodies {

@@ -23,6 +23,7 @@
 //! checksum ([`nowlab_core::RunOutcome::check`]) is identical at every
 //! LogGP setting, which the test suite exploits.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod barnes;

@@ -15,7 +15,7 @@
 //! shared lines may be silently evicted. The checked invariant is
 //! coherence: at most one cache in M, and never M alongside a non-I peer.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
 use nowlab_sim::{SimDelta, SimTime};
@@ -246,7 +246,7 @@ pub fn sequential_explore(params: &MurphiParams) -> (u64, u64) {
 
 /// Sequential BFS over any [`Model`]; returns (state count, hash sum).
 pub fn sequential_explore_model(model: Model) -> (u64, u64) {
-    let mut visited = HashSet::new();
+    let mut visited = BTreeSet::new();
     let mut queue = VecDeque::from([model.initial()]);
     let mut hash_sum = 0u64;
     while let Some(s) = queue.pop_front() {
@@ -306,7 +306,7 @@ async fn murphi_body(ctx: nowlab_splitc::Ctx, model: Model) -> u64 {
     ctx.barrier().await;
     start_measured_region(&ctx).await;
 
-    let mut visited: HashSet<u64> = HashSet::new();
+    let mut visited: BTreeSet<u64> = BTreeSet::new();
     let mut queue: VecDeque<u64> = VecDeque::new();
     let mut hash_sum = 0u64;
     let mut sent = 0u64;

@@ -13,7 +13,7 @@
 //! invariant across LogGP settings (verified against a sequential
 //! renderer).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
 use nowlab_sim::SimDelta;
@@ -199,7 +199,7 @@ pub fn sequential_checksum(params: &PrayParams, seed: u64) -> u64 {
 
 /// A fixed-capacity FIFO object cache (deterministic eviction).
 struct ObjectCache {
-    map: HashMap<u32, Sphere>,
+    map: BTreeMap<u32, Sphere>,
     order: VecDeque<u32>,
     capacity: usize,
     pub misses: u64,
@@ -209,7 +209,7 @@ struct ObjectCache {
 impl ObjectCache {
     fn new(capacity: usize) -> Self {
         ObjectCache {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             order: VecDeque::new(),
             capacity: capacity.max(1),
             misses: 0,

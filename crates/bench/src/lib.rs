@@ -5,6 +5,8 @@
 //! share: suite-wide sweeps, the paper's reference numbers for
 //! side-by-side printing, and environment-variable scaling.
 
+#![forbid(unsafe_code)]
+
 use nowlab_apps::{suite_scaled, SuiteScale};
 use nowlab_core::report::{fmt_f, sparkline, Table};
 use nowlab_core::{sweep, Axis, AxisSweep, RunSpec, SweepableApp};

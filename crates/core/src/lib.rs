@@ -32,6 +32,7 @@
 //! assert!((c.latency_us - 5.0).abs() < 0.1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calib;

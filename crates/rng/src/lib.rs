@@ -27,6 +27,7 @@
 //! let _ = d;
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::Range;

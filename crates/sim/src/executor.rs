@@ -69,6 +69,11 @@ pub struct RunReport {
     pub unfinished_tasks: usize,
     /// Why the run stopped.
     pub stop_reason: StopReason,
+    /// Events that fired at the same virtual instant as their predecessor
+    /// and therefore relied on the registration-sequence tiebreaker for
+    /// their order. Counted only when the event-order audit is active
+    /// (debug builds, or the `order-audit` feature); `0` otherwise.
+    pub simultaneous_events: u64,
 }
 
 enum TimerAction {
@@ -106,6 +111,13 @@ struct Inner {
     seq: u64,
     event_limit: Option<u64>,
     time_limit: Option<SimTime>,
+    order_violations: u64,
+}
+
+/// True when the runtime event-order audit is compiled in: every debug
+/// build, plus release builds with the `order-audit` feature.
+const fn order_audit_enabled() -> bool {
+    cfg!(debug_assertions) || cfg!(feature = "order-audit")
 }
 
 struct TaskWaker {
@@ -157,6 +169,7 @@ impl Sim {
                 seq: 0,
                 event_limit: None,
                 time_limit: None,
+                order_violations: 0,
             })),
             ready: Arc::new(Mutex::new(VecDeque::new())),
         }
@@ -180,6 +193,21 @@ impl Sim {
     /// than `limit`.
     pub fn set_time_limit(&self, limit: Option<SimTime>) {
         self.inner.borrow_mut().time_limit = limit;
+    }
+
+    /// Event-order race detections accumulated across all [`Sim::run`]
+    /// calls on this simulation.
+    ///
+    /// A violation is two events at the identical virtual instant whose
+    /// firing order was *not* resolved by the strictly increasing
+    /// registration sequence — i.e. the deterministic tiebreaker failed.
+    /// With the current `(time, seq)` heap ordering this is impossible by
+    /// construction; the audit exists to catch regressions (a reset `seq`
+    /// counter, an alternative queue) the moment they produce a
+    /// nondeterministic schedule. Always `0` unless the audit is active
+    /// (debug builds, or the `order-audit` feature).
+    pub fn order_violations(&self) -> u64 {
+        self.inner.borrow().order_violations
     }
 
     /// Spawns an async task; it will first be polled by [`Sim::run`].
@@ -301,6 +329,10 @@ impl Sim {
     pub fn run(&self) -> RunReport {
         let mut events: u64 = 0;
         let mut polls: u64 = 0;
+        let mut simultaneous: u64 = 0;
+        // Event-order race detector: remembers the (time, seq) of the last
+        // fired event so ties at the same virtual instant can be audited.
+        let mut last_fired: Option<(SimTime, u64)> = None;
         let stop_reason = loop {
             // Drain all ready tasks at the current instant.
             loop {
@@ -341,6 +373,23 @@ impl Sim {
             match entry {
                 Some(e) => {
                     debug_assert!(e.time >= self.now.get(), "event queue went backwards");
+                    if order_audit_enabled() {
+                        if let Some((t, s)) = last_fired {
+                            if e.time == t {
+                                simultaneous += 1;
+                                if e.seq <= s {
+                                    self.inner.borrow_mut().order_violations += 1;
+                                    debug_assert!(
+                                        false,
+                                        "event-order race: two events at {:?} without a \
+                                         deterministic tiebreaker (seq {} fired after {})",
+                                        e.time, e.seq, s
+                                    );
+                                }
+                            }
+                        }
+                        last_fired = Some((e.time, e.seq));
+                    }
                     self.now.set(e.time);
                     events += 1;
                     match e.action {
@@ -357,6 +406,7 @@ impl Sim {
             polls,
             unfinished_tasks: self.inner.borrow().live_tasks,
             stop_reason,
+            simultaneous_events: simultaneous,
         }
     }
 }
@@ -629,6 +679,21 @@ mod tests {
         }
         sim.run();
         assert_eq!(*log.borrow(), vec![0, 10, 20, 1, 11, 21]);
+    }
+
+    #[test]
+    fn order_audit_counts_simultaneous_events_without_violations() {
+        let sim = Sim::new();
+        for i in 0..4u32 {
+            let _ = i;
+            sim.schedule(SimTime::from_nanos(100), |_| {});
+        }
+        sim.schedule(SimTime::from_nanos(200), |_| {});
+        let report = sim.run();
+        // 4 events share t=100ns: three of them tie with their predecessor.
+        assert_eq!(report.simultaneous_events, 3);
+        // The (time, seq) tiebreaker resolves every tie — no races.
+        assert_eq!(sim.order_violations(), 0);
     }
 
     #[test]

@@ -53,6 +53,7 @@
 //! assert_eq!(receiver.try_take().unwrap().as_micros_f64(), 5.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

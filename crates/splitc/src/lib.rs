@@ -40,6 +40,7 @@
 //! assert_eq!(outcome.expect_outputs()[0], 4);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ctx;

@@ -4,7 +4,7 @@
 //! nowlab list
 //! nowlab calibrate [--o US] [--g US] [--l US] [--mbps MB] [--window N]
 //! nowlab run   --app NAME [--procs N] [--seed S] [--scale test|benchmark]
-//!              [--o US] [--g US] [--l US] [--mbps MB]
+//!              [--o US] [--g US] [--l US] [--mbps MB] [--verify-determinism]
 //! nowlab sweep --app NAME --axis overhead|gap|latency|bulk [--procs N]
 //! nowlab suite [--procs N] [--scale test|benchmark]
 //! ```
@@ -16,6 +16,8 @@
 //! messages the wire swallows, engaging the reliable-delivery protocol)
 //! and `--fault-seed S` (the deterministic fault stream). Faulty runs get
 //! a virtual-time deadline so total loss reports N/A instead of spinning.
+
+#![forbid(unsafe_code)]
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -29,7 +31,7 @@ const USAGE: &str = "usage:
   nowlab list
   nowlab calibrate [--o US] [--g US] [--l US] [--mbps MB] [--window N]
   nowlab run   --app NAME [--procs N] [--seed S] [--scale test|benchmark]
-               [--o US] [--g US] [--l US] [--mbps MB]
+               [--o US] [--g US] [--l US] [--mbps MB] [--verify-determinism]
   nowlab sweep --app NAME --axis overhead|gap|latency|bulk [--procs N]
                [--scale test|benchmark]
   nowlab suite [--procs N] [--scale test|benchmark]
@@ -66,6 +68,9 @@ fn main() -> ExitCode {
     }
 }
 
+/// Flags that take no value; their presence maps to `"true"`.
+const BOOL_FLAGS: &[&str] = &["verify-determinism"];
+
 fn parse_flags(rest: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = rest.iter();
@@ -73,6 +78,10 @@ fn parse_flags(rest: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{flag}`"));
         };
+        if BOOL_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         flags.insert(name.to_string(), value.clone());
     }
@@ -257,6 +266,38 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             out.stats.total_timeouts(),
             fmt_time(out.stats.max_retry_backoff()),
         );
+    }
+    if flags.contains_key("verify-determinism") {
+        // Re-run the identical spec and diff everything observable. Virtual
+        // time is a pure function of (program, seed), so any inequality
+        // here is a determinism bug in the stack below.
+        let out2 = app.run(&spec);
+        let mut diffs = Vec::new();
+        if out.check != out2.check {
+            diffs.push(format!("check {:016x} vs {:016x}", out.check, out2.check));
+        }
+        if out.runtime != out2.runtime {
+            diffs.push(format!(
+                "runtime {} vs {}",
+                fmt_time(out.runtime),
+                fmt_time(out2.runtime)
+            ));
+        }
+        if out.completed != out2.completed {
+            diffs.push(format!("completed {} vs {}", out.completed, out2.completed));
+        }
+        if out.stats != out2.stats {
+            diffs.push("per-processor communication stats differ".to_string());
+        }
+        if diffs.is_empty() {
+            println!(
+                "determinism: OK — two runs with seed {} are bit-identical \
+                 (runtime, checksum, and all communication counters)",
+                spec.seed
+            );
+        } else {
+            return Err(format!("determinism violation: {}", diffs.join("; ")));
+        }
     }
     Ok(())
 }

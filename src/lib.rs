@@ -89,6 +89,7 @@
 //! assert!(result.points[1].slowdown > 2.0, "a chatty ring feels overhead");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// The discrete-event simulation kernel (re-export of `nowlab-sim`).
