@@ -32,6 +32,7 @@
 //! | `AMP001` | error | AM handler issues a request (GAM acyclicity) |
 //! | `AMP002` | error | re-hardcoded window depth / 4KB fragment size |
 //! | `AMP003` | error | public sim-facing API exposes a hash collection |
+//! | `PAR001` | error | thread/lock primitives outside the orchestration layer |
 
 #![forbid(unsafe_code)]
 
@@ -98,6 +99,11 @@ pub struct Scope {
     pub entropy_exempt: bool,
     /// A crate/bin root file, which must carry `#![forbid(unsafe_code)]`.
     pub crate_root: bool,
+    /// Inside the run-boundary orchestration layer (`crates/core::sweep`,
+    /// `crates/bench`, `src/bin`): the only code allowed to use OS threads
+    /// and lock/atomic primitives (`PAR001` elsewhere). Simulations stay
+    /// single-threaded so virtual time cannot depend on host scheduling.
+    pub parallel_ok: bool,
 }
 
 /// Crates whose code is simulation-visible. `bench` is deliberately
@@ -132,6 +138,9 @@ pub fn scope_for(rel: &str) -> Option<Scope> {
         am_layer: crate_name == Some("am"),
         entropy_exempt: crate_name == Some("rng"),
         crate_root,
+        parallel_ok: rel.starts_with("crates/bench/")
+            || rel.starts_with("src/bin/")
+            || rel.starts_with("crates/core/src/sweep"),
     })
 }
 
@@ -206,14 +215,39 @@ mod tests {
     fn scope_routing() {
         let s = scope_for("crates/am/src/cluster.rs").unwrap();
         assert!(s.sim_visible && s.am_layer && !s.entropy_exempt && !s.crate_root);
+        assert!(!s.parallel_ok);
         let s = scope_for("crates/rng/src/lib.rs").unwrap();
         assert!(s.sim_visible && s.entropy_exempt && s.crate_root);
         let s = scope_for("crates/bench/src/lib.rs").unwrap();
         assert!(!s.sim_visible && s.crate_root, "bench is host-side");
+        assert!(s.parallel_ok, "bench may use threads");
         let s = scope_for("src/bin/nowlab.rs").unwrap();
         assert!(s.sim_visible && s.crate_root);
+        assert!(s.parallel_ok, "the CLI fans out whole runs");
         assert!(scope_for("crates/analyze/tests/fixtures/det001.rs").is_none());
         assert!(scope_for("crates/am/tests/gam.rs").is_none());
         assert!(scope_for("README.md").is_none());
+    }
+
+    #[test]
+    fn parallelism_is_confined_to_the_orchestration_layer() {
+        // The worker pool and the sweep driver that owns it.
+        assert!(
+            scope_for("crates/core/src/sweep/par.rs")
+                .unwrap()
+                .parallel_ok
+        );
+        assert!(scope_for("crates/core/src/sweep.rs").unwrap().parallel_ok);
+        // Everything below the run boundary is single-threaded.
+        for rel in [
+            "crates/sim/src/executor.rs",
+            "crates/am/src/cluster.rs",
+            "crates/splitc/src/layer.rs",
+            "crates/apps/src/common.rs",
+            "crates/core/src/models.rs",
+            "src/lib.rs",
+        ] {
+            assert!(!scope_for(rel).unwrap().parallel_ok, "{rel}");
+        }
     }
 }

@@ -36,6 +36,22 @@ const WALL_FLOW_IDENTS: &[&str] = &["UNIX_EPOCH", "duration_since"];
 /// acyclicity: reply handlers run on the reply path and issuing a request
 /// from one can deadlock the flow-control window).
 const HANDLER_FORBIDDEN_CALLS: &[&str] = &["request", "post", "post_bulk", "inject"];
+/// Thread/lock/atomic primitives reserved for the orchestration layer.
+/// (`Arc` is absent: it is a legitimate shared-ownership type; what must
+/// not leak below the run boundary is blocking/synchronizing machinery.)
+const PAR_IDENTS: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "mpsc",
+    "AtomicUsize",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicBool",
+    "AtomicI32",
+    "AtomicI64",
+    "available_parallelism",
+];
 
 /// Runs every lint applicable under `scope` over `source`.
 pub fn lint_source(path: &str, source: &str, scope: &Scope) -> Vec<Diagnostic> {
@@ -125,6 +141,28 @@ pub fn lint_source(path: &str, source: &str, scope: &Scope) -> Vec<Diagnostic> {
                     message: format!(
                         "`{name}` draws OS/environment entropy — outside `crates/rng` \
                          all randomness must come from the seeded `nowlab_rng` streams",
+                    ),
+                });
+            }
+        }
+        if !scope.parallel_ok {
+            // `thread` as a path segment (`std::thread::spawn`, `thread::scope`)
+            // or any lock/atomic type: parallelism below the run boundary
+            // would let host scheduling perturb virtual time.
+            let thread_path = name == "thread"
+                && i + 2 < toks.len()
+                && toks[i + 1].text == ":"
+                && toks[i + 2].text == ":";
+            if PAR_IDENTS.contains(&name) || thread_path {
+                diags.push(Diagnostic {
+                    path: path.to_string(),
+                    line: t.line,
+                    code: "PAR001",
+                    severity: Severity::Error,
+                    message: format!(
+                        "`{name}` outside the orchestration layer — simulations are \
+                         single-threaded; threads/locks belong only in the run-boundary \
+                         pool (crates/core::sweep, crates/bench, src/bin)",
                     ),
                 });
             }
@@ -329,6 +367,7 @@ mod tests {
             am_layer: false,
             entropy_exempt: false,
             crate_root: false,
+            parallel_ok: false,
         }
     }
 
@@ -396,6 +435,20 @@ mod tests {
         scope.crate_root = true;
         assert_eq!(codes("pub fn ok() {}", &scope), vec!["SAFE001"]);
         assert!(codes("#![forbid(unsafe_code)]\npub fn ok() {}", &scope).is_empty());
+    }
+
+    #[test]
+    fn thread_and_lock_primitives_flagged_outside_orchestration() {
+        let src = "fn f() { let m = std::sync::Mutex::new(0); \
+                   std::thread::spawn(|| {}); }";
+        assert_eq!(codes(src, &sim_scope()), vec!["PAR001", "PAR001"]);
+        let mut pool_scope = sim_scope();
+        pool_scope.parallel_ok = true;
+        assert!(codes(src, &pool_scope).is_empty());
+        // `thread` not followed by `::` (a local name) is not a violation,
+        // and neither is `Arc` (shared ownership, not synchronization).
+        let benign = "fn f(thread: u32) -> u32 { let a = Arc::new(thread); *a }";
+        assert!(codes(benign, &sim_scope()).is_empty());
     }
 
     #[test]

@@ -23,6 +23,7 @@ fn armed() -> Scope {
         am_layer: true,
         entropy_exempt: false,
         crate_root: true,
+        parallel_ok: false,
     }
 }
 
@@ -46,6 +47,7 @@ fn each_fixture_trips_its_lint_exactly_once() {
     assert_eq!(codes("amp001.rs", &scope), vec!["AMP001"]);
     assert_eq!(codes("amp002.rs", &scope), vec!["AMP002"]);
     assert_eq!(codes("amp003.rs", &scope), vec!["AMP003"]);
+    assert_eq!(codes("par001.rs", &scope), vec!["PAR001"]);
     // ...and the SAFE001 fixture alone runs as a crate root.
     assert_eq!(codes("safe001.rs", &armed()), vec!["SAFE001"]);
 }
@@ -62,6 +64,7 @@ fn det004_is_the_only_warning_severity_lint() {
         "amp001.rs",
         "amp002.rs",
         "amp003.rs",
+        "par001.rs",
     ] {
         for d in scan_source(name, &fixture(name), &scope) {
             let expect = if d.code == "DET004" {

@@ -39,6 +39,7 @@ where
         stats: outcome.stats,
         completed: outcome.completed,
         check,
+        events: outcome.report.events_fired,
     }
 }
 

@@ -1,0 +1,159 @@
+//! Throughput benchmark of the sweep engine itself (wall clock, not
+//! virtual time): how fast the apparatus regenerates a fixed sensitivity
+//! workload — Radix and EM3D(write) swept along the latency and overhead
+//! axes — sequentially and with the parallel run-boundary worker pool.
+//!
+//! Reports simulator events per wall-second and seconds per sweep for each
+//! worker count, asserts the parallel results are **byte-identical** to
+//! `--jobs 1`, and emits the measurements as `BENCH_sweep.json` (override
+//! the path with `NOWLAB_BENCH_JSON`). Pass `--test` for a truncated
+//! single-iteration smoke run.
+
+use std::time::Instant;
+
+use nowlab_bench::{env_scale, spec};
+use nowlab_core::{default_jobs, sweep_many, Axis, AxisSweep, SweepableApp};
+
+/// The fixed workload: each app swept along each axis.
+const AXES: [Axis; 2] = [Axis::Latency, Axis::Overhead];
+
+fn workload_apps() -> Vec<Box<dyn SweepableApp>> {
+    let wanted = ["radix", "em3dwrite"];
+    let norm = |s: &str| -> String {
+        s.chars()
+            .filter(char::is_ascii_alphanumeric)
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    };
+    let apps: Vec<Box<dyn SweepableApp>> = nowlab_apps::suite_scaled(env_scale())
+        .into_iter()
+        .filter(|a| wanted.contains(&norm(a.name()).as_str()))
+        .collect();
+    assert_eq!(apps.len(), wanted.len(), "workload apps missing from suite");
+    apps
+}
+
+/// Runs the whole workload at one worker count; returns the sweeps and the
+/// total simulator events they fired.
+fn run_workload(
+    apps: &[Box<dyn SweepableApp>],
+    procs: usize,
+    values_cap: usize,
+    jobs: usize,
+) -> (Vec<AxisSweep>, u64) {
+    let mut sweeps = Vec::new();
+    for axis in AXES {
+        let mut values = axis.paper_values();
+        values.truncate(values_cap);
+        for result in sweep_many(apps, &spec(procs), axis, &values, jobs) {
+            sweeps.push(result.unwrap_or_else(|e| panic!("workload sweep failed: {e}")));
+        }
+    }
+    let events = sweeps.iter().map(AxisSweep::total_events).sum();
+    (sweeps, events)
+}
+
+struct Measurement {
+    jobs: usize,
+    wall_s: f64,
+    events: u64,
+}
+
+fn emit_json(workload: &str, measurements: &[Measurement]) {
+    let path =
+        std::env::var("NOWLAB_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+    let rows: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                "  {{\"workload\": \"{workload}\", \"jobs\": {}, \"wall_s\": {:.6}, \
+                 \"events\": {}, \"events_per_s\": {:.1}}}",
+                m.jobs,
+                m.wall_s,
+                m.events,
+                m.events as f64 / m.wall_s
+            )
+        })
+        .collect();
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("(measurements saved to {path})"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let iters = if smoke { 1 } else { 3 };
+    let (procs, values_cap) = if smoke { (4, 3) } else { (16, usize::MAX) };
+    let apps = workload_apps();
+    let workload = format!("radix+em3dwrite x latency+overhead, {procs} procs");
+
+    // Worker counts to measure: `NOWLAB_BENCH_JOBS="1,2,4"` pins them;
+    // otherwise the sequential baseline, then the host's parallelism (and
+    // a midpoint when the host is wide enough).
+    let host = default_jobs();
+    let mut job_counts: Vec<usize> = std::env::var("NOWLAB_BENCH_JOBS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    if job_counts.is_empty() {
+        job_counts.push(1);
+        if host >= 4 {
+            job_counts.push(host / 2);
+        }
+        if host > 1 {
+            job_counts.push(host);
+        }
+        if smoke && !job_counts.contains(&2) {
+            job_counts.push(2); // always exercise the threaded path in CI
+        }
+    } else if job_counts[0] != 1 {
+        job_counts.insert(0, 1); // the sequential baseline anchors everything
+    }
+    job_counts.dedup();
+
+    let mut baseline: Option<(Vec<AxisSweep>, f64)> = None;
+    let mut measurements = Vec::new();
+    for &jobs in &job_counts {
+        let mut best = f64::INFINITY;
+        let mut outcome = None;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let (sweeps, events) = run_workload(&apps, procs, values_cap, jobs);
+            best = best.min(t0.elapsed().as_secs_f64());
+            outcome = Some((sweeps, events));
+        }
+        let (sweeps, events) = outcome.expect("at least one iteration ran");
+        match &baseline {
+            None => baseline = Some((sweeps, best)),
+            Some((seq_sweeps, seq_best)) => {
+                assert_eq!(
+                    &sweeps, seq_sweeps,
+                    "jobs={jobs} output diverged from the sequential sweep"
+                );
+                println!(
+                    "jobs={jobs:<3} {:>8.3} s/sweep  {:>12.0} events/s  (speedup {:.2}x, \
+                     byte-identical to jobs=1)",
+                    best,
+                    events as f64 / best,
+                    seq_best / best
+                );
+            }
+        }
+        if jobs == 1 {
+            println!(
+                "jobs=1   {:>8.3} s/sweep  {:>12.0} events/s  (sequential baseline)",
+                best,
+                events as f64 / best
+            );
+        }
+        measurements.push(Measurement {
+            jobs,
+            wall_s: best,
+            events,
+        });
+    }
+    println!("host parallelism: {host} (measurements above are wall clock)");
+    emit_json(&workload, &measurements);
+}

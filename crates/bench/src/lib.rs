@@ -9,7 +9,7 @@
 
 use nowlab_apps::{suite_scaled, SuiteScale};
 use nowlab_core::report::{fmt_f, sparkline, Table};
-use nowlab_core::{sweep, Axis, AxisSweep, RunSpec, SweepableApp};
+use nowlab_core::{default_jobs, sweep_many, Axis, AxisSweep, RunSpec, SweepableApp};
 
 /// Event budget per run: generously above any completing run at benchmark
 /// scale, so only genuine livelock (Barnes at high overhead) trips it.
@@ -34,11 +34,33 @@ pub fn spec(procs: usize) -> RunSpec {
     RunSpec::new(procs).with_event_limit(EVENT_LIMIT)
 }
 
-/// Sweeps every suite application along one axis and returns the results.
+/// Worker-thread count selected by the `NOWLAB_JOBS` environment variable
+/// (default: the host's available parallelism). `NOWLAB_JOBS=1` forces the
+/// sequential path; results are byte-identical either way.
+pub fn env_jobs() -> usize {
+    std::env::var("NOWLAB_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or_else(default_jobs)
+}
+
+/// Sweeps every suite application along one axis and returns the results,
+/// fanning independent `(app, value)` runs across [`env_jobs`] workers.
 pub fn sweep_suite(procs: usize, axis: Axis, values: &[f64]) -> Vec<AxisSweep> {
-    suite()
-        .iter()
-        .map(|app| sweep(app.as_ref(), &spec(procs), axis, values))
+    sweep_suite_jobs(procs, axis, values, env_jobs())
+}
+
+/// [`sweep_suite`] with an explicit worker count.
+///
+/// The exhibits this library drives all expect complete baselines (the
+/// event budget is far above any completing benchmark-scale run), so an
+/// incomplete baseline here is an apparatus bug: panic with the structured
+/// message rather than silently dropping the row.
+pub fn sweep_suite_jobs(procs: usize, axis: Axis, values: &[f64], jobs: usize) -> Vec<AxisSweep> {
+    sweep_many(&suite(), &spec(procs), axis, values, jobs)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("suite sweep failed: {e}")))
         .collect()
 }
 
@@ -153,8 +175,21 @@ mod tests {
     fn suite_sweep_smoke() {
         std::env::set_var("NOWLAB_SCALE", "test");
         let apps = suite_scaled(SuiteScale::Test);
-        let s = sweep(apps[0].as_ref(), &spec(4), Axis::Overhead, &[2.9, 13.0]);
+        let s = nowlab_core::sweep(apps[0].as_ref(), &spec(4), Axis::Overhead, &[2.9, 13.0])
+            .expect("test-scale baseline completes");
         assert_eq!(s.points.len(), 2);
+        assert!(s.total_events() > 0, "events must flow through the sweep");
         std::env::remove_var("NOWLAB_SCALE");
+    }
+
+    #[test]
+    fn env_jobs_parses_and_defaults() {
+        std::env::remove_var("NOWLAB_JOBS");
+        assert!(env_jobs() >= 1);
+        std::env::set_var("NOWLAB_JOBS", "3");
+        assert_eq!(env_jobs(), 3);
+        std::env::set_var("NOWLAB_JOBS", "0");
+        assert!(env_jobs() >= 1, "zero falls back to the default");
+        std::env::remove_var("NOWLAB_JOBS");
     }
 }

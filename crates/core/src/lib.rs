@@ -46,4 +46,8 @@ pub use nowlab_am::{
     NetConfig, Outage, Reliability,
 };
 pub use nowlab_sim::{SimDelta, SimTime};
-pub use sweep::{sweep, Axis, AxisSweep, RunOutcome, RunSpec, SweepPoint, SweepableApp};
+pub use sweep::par::{default_jobs, parallel_map};
+pub use sweep::{
+    sweep, sweep_jobs, sweep_many, Axis, AxisSweep, RunOutcome, RunSpec, SweepError, SweepPoint,
+    SweepableApp,
+};

@@ -3,6 +3,12 @@
 //! A sweep runs one application repeatedly while one LogGP parameter is
 //! dialed from its baseline to a LAN-like value, recording runtime and
 //! slowdown at each point — the data behind Figures 5–8 and Tables 5–6.
+//!
+//! Sweep points are independent simulations, so the driver can fan them
+//! out across worker threads ([`sweep_jobs`], [`sweep_many`], [`par`])
+//! with **byte-identical** results to the sequential path: each point's
+//! seed and fault plan derive from its [`RunSpec`], never from execution
+//! order, and results are collected by point index.
 
 use std::fmt;
 
@@ -10,6 +16,10 @@ use nowlab_am::{CommStats, Knobs, LoggpParams, NetConfig};
 use nowlab_sim::SimDelta;
 
 use crate::models::{fit_linear, LinFit};
+
+pub mod par;
+
+use par::parallel_map;
 
 /// Everything an application needs to execute one measured run.
 #[derive(Clone, Copy, Debug)]
@@ -66,7 +76,7 @@ impl RunSpec {
 }
 
 /// The result of one measured application run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunOutcome {
     /// Virtual runtime of the measured region.
     pub runtime: SimDelta,
@@ -77,10 +87,17 @@ pub struct RunOutcome {
     /// Application-defined correctness checksum (same inputs ⇒ same value,
     /// independent of LogGP parameters).
     pub check: u64,
+    /// Simulator events fired during the run (the benchmark harness's
+    /// throughput numerator).
+    pub events: u64,
 }
 
 /// An application that can be run under the sweep driver.
-pub trait SweepableApp {
+///
+/// `Send + Sync` because the parallel sweep engine shares the app across
+/// worker threads; the app itself is parameters-only — each `run` builds
+/// its (single-threaded, `Rc`-internal) simulation from scratch.
+pub trait SweepableApp: Send + Sync {
     /// Short name (paper's program column).
     fn name(&self) -> &str;
     /// Executes one run under `spec`.
@@ -154,7 +171,7 @@ impl fmt::Display for Axis {
 }
 
 /// One point of a sensitivity sweep.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SweepPoint {
     /// Desired absolute parameter value (µs, or MB/s for bulk bandwidth).
     pub desired: f64,
@@ -172,10 +189,12 @@ pub struct SweepPoint {
     pub retransmits: u64,
     /// Retransmit timers that matured.
     pub timeouts: u64,
+    /// Simulator events fired at this point.
+    pub events: u64,
 }
 
 /// A full sweep of one application along one axis.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AxisSweep {
     /// Application name.
     pub app: String,
@@ -224,38 +243,108 @@ impl AxisSweep {
             .map(|p| p.slowdown)
             .fold(1.0, f64::max)
     }
+
+    /// Simulator events fired across all points of this sweep.
+    pub fn total_events(&self) -> u64 {
+        self.points.iter().map(|p| p.events).sum()
+    }
 }
 
-/// Sweeps `app` along `axis` through `desired` absolute parameter values.
-///
-/// The first value should be the baseline (it defines slowdown = 1). Values
-/// more aggressive than the baseline are skipped.
-///
-/// # Panics
-///
-/// Panics if the baseline run does not complete — sensitivity is undefined
-/// without a baseline.
-pub fn sweep(app: &dyn SweepableApp, template: &RunSpec, axis: Axis, desired: &[f64]) -> AxisSweep {
-    assert!(!desired.is_empty(), "sweep needs at least one value");
-    let base_machine = template.net.machine;
-    let mut points = Vec::with_capacity(desired.len());
-    let mut baseline: Option<RunOutcome> = None;
-    for &value in desired {
-        let Some(knobs) = axis.knobs_for(&base_machine, value) else {
-            continue;
-        };
-        let spec = template.with_net(template.net.with_knobs(knobs));
-        let outcome = app.run(&spec);
-        if baseline.is_none() {
-            assert!(
-                outcome.completed,
-                "{}: baseline run did not complete",
-                app.name()
-            );
-            baseline = Some(outcome.clone());
+/// Why a sweep could not produce slowdown data (the paper's "N/A" column,
+/// reported structurally instead of by panicking).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SweepError {
+    /// `desired` was empty, or every requested value was more aggressive
+    /// than the baseline machine (the apparatus can only slow it down).
+    NoBaselinePoint {
+        /// Application name.
+        app: String,
+        /// Swept parameter.
+        axis: Axis,
+    },
+    /// The baseline run hit its event or time budget, so slowdown = 1 is
+    /// undefined. Carries the outcome so callers can report the
+    /// graceful-degradation counters (drops/retransmits/timeouts) behind
+    /// the failure.
+    IncompleteBaseline {
+        /// Application name.
+        app: String,
+        /// Swept parameter.
+        axis: Axis,
+        /// The truncated baseline run.
+        outcome: RunOutcome,
+    },
+}
+
+impl SweepError {
+    /// Application name the sweep was attempted for.
+    pub fn app(&self) -> &str {
+        match self {
+            SweepError::NoBaselinePoint { app, .. } => app,
+            SweepError::IncompleteBaseline { app, .. } => app,
         }
-        let base_rt = baseline.as_ref().unwrap().runtime.as_secs_f64();
-        points.push(SweepPoint {
+    }
+
+    /// Axis the sweep was attempted along.
+    pub fn axis(&self) -> Axis {
+        match self {
+            SweepError::NoBaselinePoint { axis, .. } => *axis,
+            SweepError::IncompleteBaseline { axis, .. } => *axis,
+        }
+    }
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::NoBaselinePoint { app, axis } => write!(
+                f,
+                "{app}: no sweep point at or below the {axis} baseline \
+                 (the apparatus can only slow the machine down)"
+            ),
+            SweepError::IncompleteBaseline { app, axis, outcome } => write!(
+                f,
+                "{app}: baseline run did not complete along {axis} \
+                 (N/A; ran {} of virtual time, {} drops, {} retransmits, \
+                 {} timeouts)",
+                outcome.runtime,
+                outcome.stats.total_drops(),
+                outcome.stats.total_retransmits(),
+                outcome.stats.total_timeouts(),
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Builds an [`AxisSweep`] from point outcomes already collected in
+/// `desired` order. Shared by the sequential and parallel drivers so both
+/// assemble byte-identical results.
+fn assemble(
+    app: &str,
+    template: &RunSpec,
+    axis: Axis,
+    pairs: Vec<(f64, RunOutcome)>,
+) -> Result<AxisSweep, SweepError> {
+    let Some((_, baseline)) = pairs.first() else {
+        return Err(SweepError::NoBaselinePoint {
+            app: app.to_string(),
+            axis,
+        });
+    };
+    if !baseline.completed {
+        return Err(SweepError::IncompleteBaseline {
+            app: app.to_string(),
+            axis,
+            outcome: baseline.clone(),
+        });
+    }
+    let baseline = baseline.clone();
+    let base_rt = baseline.runtime.as_secs_f64();
+    let points = pairs
+        .into_iter()
+        .map(|(value, outcome)| SweepPoint {
             desired: value,
             runtime: outcome.runtime,
             slowdown: if base_rt > 0.0 {
@@ -268,15 +357,116 @@ pub fn sweep(app: &dyn SweepableApp, template: &RunSpec, axis: Axis, desired: &[
             drops: outcome.stats.total_drops(),
             retransmits: outcome.stats.total_retransmits(),
             timeouts: outcome.stats.total_timeouts(),
-        });
-    }
-    AxisSweep {
-        app: app.name().to_string(),
+            events: outcome.events,
+        })
+        .collect();
+    Ok(AxisSweep {
+        app: app.to_string(),
         axis,
         procs: template.procs,
-        baseline: baseline.expect("no sweep point at or below baseline"),
+        baseline,
         points,
+    })
+}
+
+/// The `(value, spec)` list a sweep will execute: one entry per desired
+/// value at or below the baseline, in `desired` order.
+fn point_specs(template: &RunSpec, axis: Axis, desired: &[f64]) -> Vec<(f64, RunSpec)> {
+    let base_machine = template.net.machine;
+    desired
+        .iter()
+        .filter_map(|&value| {
+            let knobs = axis.knobs_for(&base_machine, value)?;
+            Some((value, template.with_net(template.net.with_knobs(knobs))))
+        })
+        .collect()
+}
+
+/// Sweeps `app` along `axis` through `desired` absolute parameter values,
+/// sequentially on the calling thread.
+///
+/// The first value should be the baseline (it defines slowdown = 1). Values
+/// more aggressive than the baseline are skipped. Returns a [`SweepError`]
+/// if no value survives the skip or the baseline run does not complete —
+/// sensitivity is undefined without a baseline.
+pub fn sweep(
+    app: &dyn SweepableApp,
+    template: &RunSpec,
+    axis: Axis,
+    desired: &[f64],
+) -> Result<AxisSweep, SweepError> {
+    sweep_jobs(app, template, axis, desired, 1)
+}
+
+/// [`sweep`], fanning the points across up to `jobs` worker threads.
+///
+/// The baseline point always runs first (on the calling thread) so an
+/// incomplete baseline is reported before any fan-out; the remaining
+/// points run in parallel and are collected by index, making the result
+/// byte-identical to `jobs = 1`.
+pub fn sweep_jobs(
+    app: &dyn SweepableApp,
+    template: &RunSpec,
+    axis: Axis,
+    desired: &[f64],
+    jobs: usize,
+) -> Result<AxisSweep, SweepError> {
+    let specs = point_specs(template, axis, desired);
+    let Some((first_value, first_spec)) = specs.first() else {
+        return Err(SweepError::NoBaselinePoint {
+            app: app.name().to_string(),
+            axis,
+        });
+    };
+    let first = app.run(first_spec);
+    if !first.completed {
+        return Err(SweepError::IncompleteBaseline {
+            app: app.name().to_string(),
+            axis,
+            outcome: first,
+        });
     }
+    let rest = parallel_map(jobs, &specs[1..], |_, (_, spec)| app.run(spec));
+    let pairs = std::iter::once((*first_value, first))
+        .chain(specs[1..].iter().map(|(v, _)| *v).zip(rest))
+        .collect();
+    assemble(app.name(), template, axis, pairs)
+}
+
+/// Sweeps every app in `apps` along `axis`, flattening all `(app, value)`
+/// points into one work queue shared by up to `jobs` worker threads —
+/// suite-level parallelism that keeps workers busy across app boundaries.
+///
+/// Results come back in `apps` order and are byte-identical to calling
+/// [`sweep`] per app; a failed sweep yields its `Err` without disturbing
+/// the other apps' results.
+pub fn sweep_many(
+    apps: &[Box<dyn SweepableApp>],
+    template: &RunSpec,
+    axis: Axis,
+    desired: &[f64],
+    jobs: usize,
+) -> Vec<Result<AxisSweep, SweepError>> {
+    // Flat job list: (app index, value, spec), app-major so `jobs = 1`
+    // executes in exactly per-app sequential order.
+    let per_app: Vec<Vec<(f64, RunSpec)>> = apps
+        .iter()
+        .map(|_| point_specs(template, axis, desired))
+        .collect();
+    let flat: Vec<(usize, f64, RunSpec)> = per_app
+        .iter()
+        .enumerate()
+        .flat_map(|(ai, specs)| specs.iter().map(move |(v, s)| (ai, *v, *s)))
+        .collect();
+    let outcomes = parallel_map(jobs, &flat, |_, (ai, _, spec)| apps[*ai].run(spec));
+    let mut grouped: Vec<Vec<(f64, RunOutcome)>> = apps.iter().map(|_| Vec::new()).collect();
+    for ((ai, value, _), outcome) in flat.into_iter().zip(outcomes) {
+        grouped[ai].push((value, outcome));
+    }
+    apps.iter()
+        .zip(grouped)
+        .map(|(app, pairs)| assemble(app.name(), template, axis, pairs))
+        .collect()
 }
 
 #[cfg(test)]
@@ -308,6 +498,7 @@ mod tests {
                 stats,
                 completed: true,
                 check: 42,
+                events: 3 * self.msgs,
             }
         }
     }
@@ -348,7 +539,8 @@ mod tests {
             &template,
             Axis::Overhead,
             &Axis::Overhead.paper_values(),
-        );
+        )
+        .expect("fake app always completes");
         assert_eq!(result.points.len(), 9);
         assert!((result.points[0].slowdown - 1.0).abs() < 1e-12);
         // At o=103 (Δo=100.1): rt = 1ms + 2·1000·100.1µs = 201.2ms ⇒ 201.2x.
@@ -377,29 +569,92 @@ mod tests {
     fn gap_axis_uses_burst_cost_in_fake_app() {
         let app = FakeApp { msgs: 1000 };
         let template = RunSpec::new(4);
-        let result = sweep(&app, &template, Axis::Gap, &Axis::Gap.paper_values());
+        let result = sweep(&app, &template, Axis::Gap, &Axis::Gap.paper_values())
+            .expect("fake app always completes");
         // At g=105 (Δg=99.2): rt = 1ms + 1000·99.2µs = 100.2ms.
         let last = result.points.last().unwrap();
         assert!((last.runtime.as_millis_f64() - 100.2).abs() < 0.01);
     }
 
-    #[test]
-    #[should_panic(expected = "baseline run did not complete")]
-    fn incomplete_baseline_panics() {
-        struct Dud;
-        impl SweepableApp for Dud {
-            fn name(&self) -> &str {
-                "dud"
-            }
-            fn run(&self, _spec: &RunSpec) -> RunOutcome {
-                RunOutcome {
-                    runtime: SimDelta::ZERO,
-                    stats: CommStats::default(),
-                    completed: false,
-                    check: 0,
-                }
+    struct Dud;
+    impl SweepableApp for Dud {
+        fn name(&self) -> &str {
+            "dud"
+        }
+        fn run(&self, _spec: &RunSpec) -> RunOutcome {
+            RunOutcome {
+                runtime: SimDelta::ZERO,
+                stats: CommStats::default(),
+                completed: false,
+                check: 0,
+                events: 0,
             }
         }
-        let _ = sweep(&Dud, &RunSpec::new(2), Axis::Overhead, &[2.9, 10.0]);
+    }
+
+    #[test]
+    fn incomplete_baseline_is_a_structured_error() {
+        let err = sweep(&Dud, &RunSpec::new(2), Axis::Overhead, &[2.9, 10.0])
+            .expect_err("dud baseline never completes");
+        assert_eq!(err.app(), "dud");
+        assert_eq!(err.axis(), Axis::Overhead);
+        match &err {
+            SweepError::IncompleteBaseline { outcome, .. } => assert!(!outcome.completed),
+            other => panic!("wrong error variant: {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("did not complete"), "{msg}");
+        assert!(msg.contains("N/A"), "{msg}");
+    }
+
+    #[test]
+    fn empty_or_all_aggressive_values_yield_no_baseline() {
+        let err = sweep(&FakeApp { msgs: 1 }, &RunSpec::new(2), Axis::Latency, &[])
+            .expect_err("empty value list");
+        assert!(matches!(err, SweepError::NoBaselinePoint { .. }));
+        // Latency below the NOW baseline is unreachable for every value.
+        let err = sweep(
+            &FakeApp { msgs: 1 },
+            &RunSpec::new(2),
+            Axis::Latency,
+            &[1.0, 2.0],
+        )
+        .expect_err("all values more aggressive than baseline");
+        assert!(matches!(err, SweepError::NoBaselinePoint { .. }));
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        let app = FakeApp { msgs: 1000 };
+        let template = RunSpec::new(4);
+        let values = Axis::Overhead.paper_values();
+        let seq = sweep_jobs(&app, &template, Axis::Overhead, &values, 1).unwrap();
+        for jobs in [2, 4, 8] {
+            let par = sweep_jobs(&app, &template, Axis::Overhead, &values, jobs).unwrap();
+            assert_eq!(par, seq, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn sweep_many_matches_per_app_sweeps_and_isolates_failures() {
+        let apps: Vec<Box<dyn SweepableApp>> = vec![
+            Box::new(FakeApp { msgs: 100 }),
+            Box::new(Dud),
+            Box::new(FakeApp { msgs: 2000 }),
+        ];
+        let template = RunSpec::new(4);
+        let values = Axis::Gap.paper_values();
+        for jobs in [1, 3] {
+            let results = sweep_many(&apps, &template, Axis::Gap, &values, jobs);
+            assert_eq!(results.len(), 3);
+            let solo0 = sweep(apps[0].as_ref(), &template, Axis::Gap, &values).unwrap();
+            let solo2 = sweep(apps[2].as_ref(), &template, Axis::Gap, &values).unwrap();
+            assert_eq!(results[0].as_ref().unwrap(), &solo0, "jobs={jobs}");
+            assert_eq!(results[2].as_ref().unwrap(), &solo2, "jobs={jobs}");
+            assert!(matches!(
+                results[1],
+                Err(SweepError::IncompleteBaseline { .. })
+            ));
+        }
     }
 }

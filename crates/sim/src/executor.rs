@@ -81,37 +81,57 @@ enum TimerAction {
     Call(Box<dyn FnOnce(&Sim)>),
 }
 
-struct TimerEntry {
+/// Heap entry for one pending timer. The payload lives in the action slab
+/// (`Inner::actions`), so sift operations move three words instead of the
+/// whole `TimerAction`, and freed slots are recycled through a free list
+/// rather than churning the allocator once per event.
+///
+/// Ordering is lexicographic over `(time, seq)` — the deterministic
+/// tiebreaker the whole apparatus depends on. `seq` is strictly increasing
+/// across registrations, so `slot` (last field) is never reached.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct TimerKey {
     time: SimTime,
     seq: u64,
-    action: TimerAction,
+    slot: u32,
 }
 
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
+/// One spawned task plus its reusable waker. The waker is created once at
+/// spawn instead of once per poll: `Waker::from(Arc<TaskWaker>)` costs an
+/// allocation, and tasks in a message-heavy simulation are polled many
+/// thousands of times.
+struct TaskSlot {
+    fut: BoxedTask,
+    waker: Waker,
 }
 
 struct Inner {
-    timers: BinaryHeap<Reverse<TimerEntry>>,
-    tasks: Vec<Option<BoxedTask>>,
+    timers: BinaryHeap<Reverse<TimerKey>>,
+    /// Slab of pending timer actions, indexed by `TimerKey::slot`.
+    actions: Vec<Option<TimerAction>>,
+    /// Recyclable slab slots (free list).
+    free_slots: Vec<u32>,
+    tasks: Vec<Option<TaskSlot>>,
     live_tasks: usize,
     seq: u64,
-    event_limit: Option<u64>,
-    time_limit: Option<SimTime>,
     order_violations: u64,
+}
+
+impl Inner {
+    /// Stores `action` in the slab, reusing a freed slot when available.
+    fn alloc_slot(&mut self, action: TimerAction) -> u32 {
+        match self.free_slots.pop() {
+            Some(slot) => {
+                self.actions[slot as usize] = Some(action);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.actions.len()).expect("timer slab overflow");
+                self.actions.push(Some(action));
+                slot
+            }
+        }
+    }
 }
 
 /// True when the runtime event-order audit is compiled in: every debug
@@ -141,6 +161,14 @@ impl Wake for TaskWaker {
 #[derive(Clone)]
 pub struct Sim {
     now: Rc<Cell<SimTime>>,
+    /// Deadline of the earliest pending timer — a cached copy of the heap
+    /// top so the run loop's limit checks read a `Cell` instead of
+    /// borrowing and peeking the heap.
+    next_deadline: Rc<Cell<Option<SimTime>>>,
+    /// Run budgets live in `Cell`s (not `Inner`) so the hot loop reads
+    /// them without a `RefCell` borrow; callbacks may change them mid-run.
+    event_limit: Rc<Cell<Option<u64>>>,
+    time_limit: Rc<Cell<Option<SimTime>>>,
     inner: Rc<RefCell<Inner>>,
     ready: Arc<Mutex<VecDeque<TaskId>>>,
 }
@@ -160,18 +188,32 @@ impl fmt::Debug for Sim {
 impl Sim {
     /// Creates an empty simulation with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty simulation pre-sized for roughly `tasks` spawned
+    /// tasks (one per simulated processor, typically): the task table,
+    /// ready queue, timer heap, and action slab reserve space up front so
+    /// cluster construction does not grow them incrementally.
+    pub fn with_capacity(tasks: usize) -> Self {
+        // Each processor task usually keeps a few timers in flight
+        // (delays, retransmit timers, NIC gap pacing).
+        let timers = tasks.saturating_mul(4);
         Sim {
             now: Rc::new(Cell::new(SimTime::ZERO)),
+            next_deadline: Rc::new(Cell::new(None)),
+            event_limit: Rc::new(Cell::new(None)),
+            time_limit: Rc::new(Cell::new(None)),
             inner: Rc::new(RefCell::new(Inner {
-                timers: BinaryHeap::new(),
-                tasks: Vec::new(),
+                timers: BinaryHeap::with_capacity(timers),
+                actions: Vec::with_capacity(timers),
+                free_slots: Vec::with_capacity(timers),
+                tasks: Vec::with_capacity(tasks),
                 live_tasks: 0,
                 seq: 0,
-                event_limit: None,
-                time_limit: None,
                 order_violations: 0,
             })),
-            ready: Arc::new(Mutex::new(VecDeque::new())),
+            ready: Arc::new(Mutex::new(VecDeque::with_capacity(tasks))),
         }
     }
 
@@ -186,13 +228,13 @@ impl Sim {
     /// overhead never completes; we stop and report
     /// [`StopReason::EventLimit`]).
     pub fn set_event_limit(&self, limit: Option<u64>) {
-        self.inner.borrow_mut().event_limit = limit;
+        self.event_limit.set(limit);
     }
 
     /// Caps virtual time: [`Sim::run`] stops before firing any event later
     /// than `limit`.
     pub fn set_time_limit(&self, limit: Option<SimTime>) {
-        self.inner.borrow_mut().time_limit = limit;
+        self.time_limit.set(limit);
     }
 
     /// Event-order race detections accumulated across all [`Sim::run`]
@@ -235,7 +277,14 @@ impl Sim {
         let id = {
             let mut inner = self.inner.borrow_mut();
             let id = inner.tasks.len();
-            inner.tasks.push(Some(Box::pin(wrapped)));
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                ready: Arc::clone(&self.ready),
+            }));
+            inner.tasks.push(Some(TaskSlot {
+                fut: Box::pin(wrapped),
+                waker,
+            }));
             inner.live_tasks += 1;
             id
         };
@@ -253,14 +302,21 @@ impl Sim {
         F: FnOnce(&Sim) + 'static,
     {
         let at = at.max(self.now());
+        self.push_timer(at, TimerAction::Call(Box::new(f)));
+    }
+
+    /// Registers a timer action at `time`, maintaining the cached earliest
+    /// deadline.
+    fn push_timer(&self, time: SimTime, action: TimerAction) {
         let mut inner = self.inner.borrow_mut();
         let seq = inner.seq;
         inner.seq += 1;
-        inner.timers.push(Reverse(TimerEntry {
-            time: at,
-            seq,
-            action: TimerAction::Call(Box::new(f)),
-        }));
+        let slot = inner.alloc_slot(action);
+        inner.timers.push(Reverse(TimerKey { time, seq, slot }));
+        match self.next_deadline.get() {
+            Some(d) if d <= time => {}
+            _ => self.next_deadline.set(Some(time)),
+        }
     }
 
     /// Schedules `f` to run `after` from now.
@@ -287,36 +343,25 @@ impl Sim {
     }
 
     fn register_timer_wake(&self, deadline: SimTime, waker: Waker) {
-        let mut inner = self.inner.borrow_mut();
-        let seq = inner.seq;
-        inner.seq += 1;
-        inner.timers.push(Reverse(TimerEntry {
-            time: deadline,
-            seq,
-            action: TimerAction::Wake(waker),
-        }));
+        self.push_timer(deadline, TimerAction::Wake(waker));
     }
 
     fn poll_task(&self, id: TaskId) -> u64 {
-        let task = {
+        let slot = {
             let mut inner = self.inner.borrow_mut();
             match inner.tasks.get_mut(id) {
                 Some(slot) => slot.take(),
                 None => None,
             }
         };
-        let Some(mut task) = task else { return 0 };
-        let waker = Waker::from(Arc::new(TaskWaker {
-            id,
-            ready: Arc::clone(&self.ready),
-        }));
-        let mut cx = Context::from_waker(&waker);
-        match task.as_mut().poll(&mut cx) {
+        let Some(mut slot) = slot else { return 0 };
+        let mut cx = Context::from_waker(&slot.waker);
+        match slot.fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
                 self.inner.borrow_mut().live_tasks -= 1;
             }
             Poll::Pending => {
-                self.inner.borrow_mut().tasks[id] = Some(task);
+                self.inner.borrow_mut().tasks[id] = Some(slot);
             }
         }
         1
@@ -346,58 +391,60 @@ impl Sim {
                     None => break,
                 }
             }
-            // Advance virtual time to the next event.
-            let (event_limit, time_limit) = {
-                let inner = self.inner.borrow();
-                (inner.event_limit, inner.time_limit)
-            };
-            if let Some(limit) = event_limit {
+            // Advance virtual time to the next event. The earliest
+            // deadline is cached in a `Cell`, so the empty/over-horizon
+            // checks cost no heap peek and no `RefCell` borrow.
+            if let Some(limit) = self.event_limit.get() {
                 if events >= limit {
                     break StopReason::EventLimit;
                 }
             }
-            let entry = {
-                let mut inner = self.inner.borrow_mut();
-                match inner.timers.peek() {
-                    Some(Reverse(e)) => {
-                        if let Some(tl) = time_limit {
-                            if e.time > tl {
-                                break StopReason::TimeLimit;
-                            }
-                        }
-                        inner.timers.pop().map(|Reverse(e)| e)
-                    }
-                    None => None,
-                }
+            let Some(next) = self.next_deadline.get() else {
+                break StopReason::Idle;
             };
-            match entry {
-                Some(e) => {
-                    debug_assert!(e.time >= self.now.get(), "event queue went backwards");
-                    if order_audit_enabled() {
-                        if let Some((t, s)) = last_fired {
-                            if e.time == t {
-                                simultaneous += 1;
-                                if e.seq <= s {
-                                    self.inner.borrow_mut().order_violations += 1;
-                                    debug_assert!(
-                                        false,
-                                        "event-order race: two events at {:?} without a \
-                                         deterministic tiebreaker (seq {} fired after {})",
-                                        e.time, e.seq, s
-                                    );
-                                }
-                            }
+            if let Some(tl) = self.time_limit.get() {
+                if next > tl {
+                    break StopReason::TimeLimit;
+                }
+            }
+            let (key, action) = {
+                let mut inner = self.inner.borrow_mut();
+                let Reverse(key) = inner
+                    .timers
+                    .pop()
+                    .expect("cached deadline with empty timer heap");
+                let action = inner.actions[key.slot as usize]
+                    .take()
+                    .expect("timer slab slot already taken");
+                inner.free_slots.push(key.slot);
+                self.next_deadline
+                    .set(inner.timers.peek().map(|Reverse(k)| k.time));
+                (key, action)
+            };
+            debug_assert!(key.time >= self.now.get(), "event queue went backwards");
+            debug_assert_eq!(key.time, next, "cached deadline out of sync");
+            if order_audit_enabled() {
+                if let Some((t, s)) = last_fired {
+                    if key.time == t {
+                        simultaneous += 1;
+                        if key.seq <= s {
+                            self.inner.borrow_mut().order_violations += 1;
+                            debug_assert!(
+                                false,
+                                "event-order race: two events at {:?} without a \
+                                 deterministic tiebreaker (seq {} fired after {})",
+                                key.time, key.seq, s
+                            );
                         }
-                        last_fired = Some((e.time, e.seq));
-                    }
-                    self.now.set(e.time);
-                    events += 1;
-                    match e.action {
-                        TimerAction::Wake(w) => w.wake(),
-                        TimerAction::Call(f) => f(self),
                     }
                 }
-                None => break StopReason::Idle,
+                last_fired = Some((key.time, key.seq));
+            }
+            self.now.set(key.time);
+            events += 1;
+            match action {
+                TimerAction::Wake(w) => w.wake(),
+                TimerAction::Call(f) => f(self),
             }
         };
         RunReport {
@@ -486,15 +533,27 @@ impl<T> Future for JoinHandle<T> {
 
 /// Races two futures: completes when either completes, returning which one
 /// won (ties go to `a`). The loser is dropped.
+///
+/// The contestants are pinned on the caller's stack (`pin!`), not boxed:
+/// `race` sits on the AM layer's timeout path, so the two heap
+/// allocations the old boxed implementation paid per call were a
+/// measurable share of per-message software cost.
 pub async fn race<A, B>(a: A, b: B) -> Either<A::Output, B::Output>
 where
     A: Future,
     B: Future,
 {
-    Race {
-        a: Box::pin(a),
-        b: Box::pin(b),
-    }
+    let mut a = std::pin::pin!(a);
+    let mut b = std::pin::pin!(b);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = a.as_mut().poll(cx) {
+            return Poll::Ready(Either::A(v));
+        }
+        if let Poll::Ready(v) = b.as_mut().poll(cx) {
+            return Poll::Ready(Either::B(v));
+        }
+        Poll::Pending
+    })
     .await
 }
 
@@ -505,25 +564,6 @@ pub enum Either<A, B> {
     A(A),
     /// The second future finished first.
     B(B),
-}
-
-struct Race<A, B> {
-    a: Pin<Box<A>>,
-    b: Pin<Box<B>>,
-}
-
-impl<A: Future, B: Future> Future for Race<A, B> {
-    type Output = Either<A::Output, B::Output>;
-
-    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        if let Poll::Ready(v) = self.a.as_mut().poll(cx) {
-            return Poll::Ready(Either::A(v));
-        }
-        if let Poll::Ready(v) = self.b.as_mut().poll(cx) {
-            return Poll::Ready(Either::B(v));
-        }
-        Poll::Pending
-    }
 }
 
 /// Future that yields once, letting other ready tasks run at the same instant.

@@ -1,0 +1,139 @@
+//! Kernel accounting regression tests.
+//!
+//! The hot-path optimizations inside the executor (timer-action slab,
+//! cached per-task wakers, cached next-deadline) must not change what the
+//! kernel *counts*: `RunReport::events_fired` and `RunReport::polls` are
+//! part of the determinism contract (`--verify-determinism` diffs them via
+//! the application layer). The expected values below were recorded against
+//! the pre-slab executor; any drift means the rework changed scheduling
+//! semantics, not just its constant factors.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nowlab_sim::{race, Either, Sim, SimDelta, SimTime, StopReason};
+
+/// A fixed mixed workload: scheduled callbacks, multi-delay tasks, a
+/// join-handle chain, and a race with a losing timer left in the heap.
+fn mixed_workload() -> (Sim, nowlab_sim::JoinHandle<Either<(), ()>>) {
+    let sim = Sim::new();
+    // 5 bare callbacks at distinct instants: 5 events, 0 polls.
+    for i in 0..5u64 {
+        sim.schedule(SimTime::from_nanos(i * 10), |_| {});
+    }
+    // 3 tasks x 4 delays: 12 timer events, 3 x 5 polls.
+    for _ in 0..3 {
+        let s = sim.clone();
+        sim.spawn(async move {
+            for _ in 0..4 {
+                s.delay(SimDelta::from_nanos(7)).await;
+            }
+        });
+    }
+    // A join chain: inner sleeps once (1 event), inner poll pair plus the
+    // outer task's two polls (initial + woken by the join handle).
+    let inner = sim.spawn({
+        let s = sim.clone();
+        async move {
+            s.delay(SimDelta::from_nanos(100)).await;
+            7u32
+        }
+    });
+    let outer = sim.spawn(async move {
+        let v = inner.await;
+        assert_eq!(v, 7);
+    });
+    // A race whose loser's timer still fires as a (poll-free) event.
+    let h = sim.spawn({
+        let s = sim.clone();
+        async move {
+            race(
+                s.delay(SimDelta::from_nanos(40)),
+                s.delay(SimDelta::from_nanos(90)),
+            )
+            .await
+        }
+    });
+    drop(outer); // the outer task runs detached; we only count its polls
+    (sim, h)
+}
+
+/// Golden accounting for the mixed workload, recorded before the slab
+/// rework: 5 callbacks + 12 task delays + 1 inner sleep + 2 race timers
+/// = 20 events; 15 delay-loop polls + 2 inner + 2 outer + 2 race polls
+/// = 21 polls.
+#[test]
+fn mixed_workload_counts_are_stable() {
+    let (sim, h) = mixed_workload();
+    let report = sim.run();
+    assert_eq!(report.stop_reason, StopReason::Idle);
+    assert_eq!(report.events_fired, 20, "event count drifted");
+    assert_eq!(report.polls, 21, "poll count drifted");
+    assert_eq!(report.unfinished_tasks, 0);
+    assert_eq!(h.try_take(), Some(Either::A(())));
+}
+
+/// Two identical kernels produce bit-identical reports — the double-run
+/// diff the CLI's `--verify-determinism` relies on, at kernel level.
+#[test]
+fn same_workload_double_run_diff_is_empty() {
+    let (sim_a, _ha) = mixed_workload();
+    let (sim_b, _hb) = mixed_workload();
+    let a = sim_a.run();
+    let b = sim_b.run();
+    assert_eq!(a, b, "kernel reports diverged between identical runs");
+    assert_eq!(sim_a.order_violations(), 0);
+    assert_eq!(sim_b.order_violations(), 0);
+}
+
+/// Timer order (and therefore the event-order audit) survives interleaved
+/// pushes from callbacks while the heap drains — the case a slab free-list
+/// could break by recycling a slot whose key is still enqueued.
+#[test]
+fn callbacks_scheduling_callbacks_keep_fifo_ties() {
+    let sim = Sim::new();
+    let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+    for i in 0..4u32 {
+        let log = Rc::clone(&log);
+        let sim2 = sim.clone();
+        sim.schedule(SimTime::from_nanos(50), move |_| {
+            log.borrow_mut().push(i);
+            // Re-entrant push at the same instant: must fire after every
+            // already-registered tie, in registration order.
+            let log = Rc::clone(&log);
+            sim2.schedule(SimTime::from_nanos(50), move |_| {
+                log.borrow_mut().push(100 + i);
+            });
+        });
+    }
+    let report = sim.run();
+    assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 100, 101, 102, 103]);
+    assert_eq!(report.events_fired, 8);
+    assert_eq!(sim.order_violations(), 0);
+}
+
+/// Event/time limits interact with the cached deadline: the kernel must
+/// stop *before* firing an event beyond the horizon, and resuming after a
+/// limit continues exactly where it left off.
+#[test]
+fn limits_and_resume_preserve_accounting() {
+    let sim = Sim::new();
+    for i in 1..=10u64 {
+        sim.schedule(SimTime::from_nanos(i * 10), |_| {});
+    }
+    sim.set_time_limit(Some(SimTime::from_nanos(45)));
+    let first = sim.run();
+    assert_eq!(first.stop_reason, StopReason::TimeLimit);
+    assert_eq!(first.events_fired, 4);
+    assert_eq!(first.final_time, SimTime::from_nanos(40));
+    sim.set_time_limit(None);
+    sim.set_event_limit(Some(3));
+    let second = sim.run();
+    assert_eq!(second.stop_reason, StopReason::EventLimit);
+    assert_eq!(second.events_fired, 3);
+    sim.set_event_limit(None);
+    let third = sim.run();
+    assert_eq!(third.stop_reason, StopReason::Idle);
+    assert_eq!(third.events_fired, 3);
+    assert_eq!(third.final_time, SimTime::from_nanos(100));
+}

@@ -139,7 +139,10 @@ impl SplitC {
     /// Builds a cluster per `cfg` with the primitive handlers registered
     /// and a fresh [`Memory`] on every processor.
     pub fn new(cfg: &SpmdConfig) -> Self {
-        let sim = Sim::new();
+        // One SPMD task per processor; pre-sizing the kernel's task table,
+        // ready queue, and timer slab avoids incremental growth during the
+        // cluster's first communication phase.
+        let sim = Sim::with_capacity(cfg.procs);
         let cluster = AmCluster::new(sim.clone(), cfg.net, cfg.procs);
         for p in 0..cfg.procs {
             cluster.set_state(p, Box::new(Memory::new(cfg.procs)));

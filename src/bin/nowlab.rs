@@ -25,7 +25,10 @@ use std::process::ExitCode;
 use nowlab::apps::{suite_scaled, SuiteScale};
 use nowlab::core::calib::{calibrate, calibrate_bulk};
 use nowlab::core::report::{fmt_f, fmt_time, Table};
-use nowlab::core::{sweep, Axis, FaultPlan, Knobs, NetConfig, RunSpec, SimDelta, SweepableApp};
+use nowlab::core::{
+    default_jobs, parallel_map, sweep_jobs, Axis, FaultPlan, Knobs, NetConfig, RunSpec, SimDelta,
+    SweepableApp,
+};
 
 const USAGE: &str = "usage:
   nowlab list
@@ -35,6 +38,9 @@ const USAGE: &str = "usage:
   nowlab sweep --app NAME --axis overhead|gap|latency|bulk [--procs N]
                [--scale test|benchmark]
   nowlab suite [--procs N] [--scale test|benchmark]
+parallelism (run/sweep/suite):
+  [--jobs N]   worker threads for independent runs (default: all cores;
+               results are byte-identical to --jobs 1)
 fault injection (calibrate/run/sweep/suite):
   [--drop-rate R] [--fault-seed S]   deterministic wire loss, R in [0,1]";
 
@@ -86,6 +92,16 @@ fn parse_flags(rest: &[String]) -> Result<HashMap<String, String>, String> {
         flags.insert(name.to_string(), value.clone());
     }
     Ok(flags)
+}
+
+/// Worker-thread count from `--jobs` (default: the host's parallelism).
+/// Zero is rejected; 1 selects the exact sequential code path.
+fn jobs_of(flags: &HashMap<String, String>) -> Result<usize, String> {
+    let jobs: usize = parse_or(flags, "jobs", default_jobs())?;
+    if jobs == 0 {
+        return Err("--jobs: want at least 1".to_string());
+    }
+    Ok(jobs)
 }
 
 fn parse_or<T: std::str::FromStr>(
@@ -232,7 +248,19 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             .with_net(net_of(flags)?)
             .with_seed(parse_or(flags, "seed", 1u64)?),
     );
-    let out = app.run(&spec);
+    let jobs = jobs_of(flags)?;
+    let verify = flags.contains_key("verify-determinism");
+    // With --jobs > 1 the determinism double-run executes both replicas
+    // concurrently — a sharper test than back-to-back runs, since the
+    // replicas race each other in wall time yet must agree in virtual time.
+    let mut replica = if verify && jobs > 1 {
+        let mut runs = parallel_map(2, &[(), ()], |_, _| app.run(&spec));
+        let second = runs.pop();
+        (runs.pop(), second)
+    } else {
+        (Some(app.run(&spec)), None)
+    };
+    let out = replica.0.take().expect("first replica always present");
     let mut t = Table::new(
         format!("{} on {} processors", app.name(), spec.procs),
         &[
@@ -267,11 +295,11 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             fmt_time(out.stats.max_retry_backoff()),
         );
     }
-    if flags.contains_key("verify-determinism") {
+    if verify {
         // Re-run the identical spec and diff everything observable. Virtual
         // time is a pure function of (program, seed), so any inequality
         // here is a determinism bug in the stack below.
-        let out2 = app.run(&spec);
+        let out2 = replica.1.take().unwrap_or_else(|| app.run(&spec));
         let mut diffs = Vec::new();
         if out.check != out2.check {
             diffs.push(format!("check {:016x} vs {:016x}", out.check, out2.check));
@@ -319,7 +347,16 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let spec = guard(RunSpec::new(parse_or(flags, "procs", 32usize)?).with_net(net_of(flags)?));
     let values = axis.paper_values();
-    let result = sweep(app.as_ref(), &spec, axis, &values);
+    let result = match sweep_jobs(app.as_ref(), &spec, axis, &values, jobs_of(flags)?) {
+        Ok(s) => s,
+        Err(e) => {
+            // A sweep without a usable baseline is a legitimate scientific
+            // outcome (the paper's N/A entries), not a CLI misuse: report
+            // it structurally and exit cleanly.
+            println!("sweep N/A — {e}");
+            return Ok(());
+        }
+    };
     let faulty = spec.net.faults.is_active();
     let mut headers = vec![axis.label(), "runtime", "slowdown"];
     if faulty {
@@ -373,8 +410,12 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
         ],
     );
     let spec = guard(RunSpec::new(procs).with_net(net_of(flags)?));
-    for app in suite_scaled(scale) {
-        let out = app.run(&spec);
+    let apps = suite_scaled(scale);
+    // Whole apps are independent runs; fan them out and print in suite
+    // order (results are collected by index, so the table is identical to
+    // --jobs 1).
+    let outs = parallel_map(jobs_of(flags)?, &apps, |_, app| app.run(&spec));
+    for (app, out) in apps.iter().zip(outs) {
         t.push_row([
             app.name().to_string(),
             if out.completed {

@@ -32,7 +32,8 @@
 //! use nowlab::apps::em3d::{Em3dParams, Em3dWrite};
 //!
 //! let app = Em3dWrite::new(Em3dParams::small());
-//! let result = sweep(&app, &RunSpec::new(8), Axis::Overhead, &[2.9, 13.0]);
+//! let result = sweep(&app, &RunSpec::new(8), Axis::Overhead, &[2.9, 13.0])
+//!     .expect("the baseline run completes");
 //! assert!((result.points[0].slowdown - 1.0).abs() < 1e-9);
 //! assert!(result.points[1].slowdown > 1.5, "overhead hurts EM3D");
 //! ```
@@ -80,12 +81,14 @@
 //!             stats: outcome.stats,
 //!             completed: outcome.completed,
 //!             check: outcome.outputs.iter().map(|o| o.unwrap_or(0)).sum(),
+//!             events: outcome.report.events_fired,
 //!         }
 //!     }
 //! }
 //!
 //! let app = RingExchange { steps: 8 };
-//! let result = sweep(&app, &RunSpec::new(4), Axis::Overhead, &[2.9, 53.0]);
+//! let result = sweep(&app, &RunSpec::new(4), Axis::Overhead, &[2.9, 53.0])
+//!     .expect("the baseline run completes");
 //! assert!(result.points[1].slowdown > 2.0, "a chatty ring feels overhead");
 //! ```
 
@@ -118,4 +121,7 @@ pub mod apps {
 }
 
 pub use nowlab_am::{FaultPlan, Knobs, LoggpParams, NetConfig, Outage, Reliability};
-pub use nowlab_core::{sweep, Axis, RunOutcome, RunSpec, SweepableApp};
+pub use nowlab_core::{
+    default_jobs, sweep, sweep_jobs, sweep_many, Axis, RunOutcome, RunSpec, SweepError,
+    SweepableApp,
+};

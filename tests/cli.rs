@@ -61,6 +61,59 @@ fn sweep_prints_a_linear_fit() {
 }
 
 #[test]
+fn parallel_suite_output_is_identical_to_sequential() {
+    let base = &["suite", "--procs", "4", "--scale", "test"];
+    let (ok, seq) = nowlab(base);
+    assert!(ok, "{seq}");
+    for jobs in ["2", "4"] {
+        let mut args = base.to_vec();
+        args.extend(["--jobs", jobs]);
+        let (ok, par) = nowlab(&args);
+        assert!(ok, "{par}");
+        assert_eq!(par, seq, "--jobs {jobs} changed the suite table");
+    }
+}
+
+#[test]
+fn verify_determinism_works_with_parallel_replicas() {
+    let (ok, text) = nowlab(&[
+        "run",
+        "--app",
+        "radix",
+        "--procs",
+        "4",
+        "--scale",
+        "test",
+        "--verify-determinism",
+        "--jobs",
+        "2",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("determinism: OK"), "{text}");
+}
+
+#[test]
+fn incomplete_sweep_reports_na_instead_of_panicking() {
+    // Total loss: every message dropped, so no baseline can complete.
+    let (ok, text) = nowlab(&[
+        "sweep",
+        "--app",
+        "radix",
+        "--axis",
+        "overhead",
+        "--procs",
+        "4",
+        "--scale",
+        "test",
+        "--drop-rate",
+        "1.0",
+    ]);
+    assert!(ok, "an N/A sweep is a result, not a failure: {text}");
+    assert!(text.contains("sweep N/A"), "{text}");
+    assert!(text.contains("did not complete"), "{text}");
+}
+
+#[test]
 fn bad_arguments_fail_with_usage() {
     let (ok, text) = nowlab(&["frobnicate"]);
     assert!(!ok);
@@ -78,4 +131,8 @@ fn bad_arguments_fail_with_usage() {
     let (ok, text) = nowlab(&["run", "--app", "radix", "--scale", "test", "--o", "1.0"]);
     assert!(!ok);
     assert!(text.contains("below the Berkeley NOW baseline"), "{text}");
+
+    let (ok, text) = nowlab(&["run", "--app", "radix", "--scale", "test", "--jobs", "0"]);
+    assert!(!ok);
+    assert!(text.contains("--jobs"), "{text}");
 }

@@ -71,8 +71,8 @@ fn overhead_hurts_chatty_apps_more_than_quiet_ones() {
     let nowsort = NowSort::new(NowSortParams::small());
     let spec = RunSpec::new(8);
     let o_values = [2.9, 23.0, 53.0];
-    let r = sweep(&radix, &spec, Axis::Overhead, &o_values);
-    let n = sweep(&nowsort, &spec, Axis::Overhead, &o_values);
+    let r = sweep(&radix, &spec, Axis::Overhead, &o_values).expect("baseline completes");
+    let n = sweep(&nowsort, &spec, Axis::Overhead, &o_values).expect("baseline completes");
     assert!(
         r.max_slowdown() > 3.0 * n.max_slowdown(),
         "radix {} vs nowsort {}",
@@ -86,8 +86,10 @@ fn latency_hurts_readers_more_than_writers() {
     let params = Em3dParams::small();
     let spec = RunSpec::new(8);
     let l_values = [5.0, 55.0, 105.0];
-    let r = sweep(&Em3dRead::new(params), &spec, Axis::Latency, &l_values);
-    let w = sweep(&Em3dWrite::new(params), &spec, Axis::Latency, &l_values);
+    let r =
+        sweep(&Em3dRead::new(params), &spec, Axis::Latency, &l_values).expect("baseline completes");
+    let w = sweep(&Em3dWrite::new(params), &spec, Axis::Latency, &l_values)
+        .expect("baseline completes");
     assert!(
         r.max_slowdown() > 2.0 * w.max_slowdown(),
         "read {} vs write {}",
@@ -102,7 +104,7 @@ fn overhead_and_gap_responses_are_linear() {
     let radix = Radix::new(RadixParams::small());
     let spec = RunSpec::new(8);
     for axis in [Axis::Overhead, Axis::Gap] {
-        let s = sweep(&radix, &spec, axis, &axis.paper_values());
+        let s = sweep(&radix, &spec, axis, &axis.paper_values()).expect("baseline completes");
         let fit = s.linearity().expect("enough points");
         assert!(
             fit.r2 > 0.98,

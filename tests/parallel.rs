@@ -1,0 +1,77 @@
+//! Parallel-sweep equivalence: the worker pool must be invisible in the
+//! results. For every job count, an `AxisSweep` — slowdowns, checksums,
+//! per-processor `CommStats`, and the drop/retransmit/timeout counters of
+//! a seeded fault plan — must compare equal (`PartialEq` over every
+//! field) to the sequential `--jobs 1` sweep. Any divergence means run
+//! state leaked across the run boundary.
+
+use nowlab::apps::{suite_scaled, SuiteScale};
+use nowlab::core::{sweep_jobs, sweep_many, Axis, NetConfig, SimDelta, SweepError};
+use nowlab::{sweep, FaultPlan, RunSpec};
+
+/// A faulty-wire spec: deterministic drops engage the reliability
+/// protocol, so retransmit/timeout counters are live and any cross-thread
+/// nondeterminism would show up in them. The time limit turns a total
+/// stall into an N/A instead of a hang.
+fn faulty_spec(procs: usize) -> RunSpec {
+    let net = NetConfig::berkeley_now().with_faults(FaultPlan::with_drop_rate(0.05, 7));
+    RunSpec::new(procs)
+        .with_net(net)
+        .with_seed(11)
+        .with_event_limit(50_000_000)
+        .with_time_limit(SimDelta::from_secs(120.0))
+}
+
+/// A short axis: baseline plus two slowed points, enough to produce
+/// distinct per-point outcomes without benchmark-scale runtimes.
+const O_VALUES: [f64; 3] = [2.9, 13.0, 53.0];
+
+#[test]
+fn full_suite_parallel_sweep_is_byte_identical_to_sequential() {
+    let apps = suite_scaled(SuiteScale::Test);
+    let spec = faulty_spec(4);
+    for app in &apps {
+        let seq = sweep_jobs(app.as_ref(), &spec, Axis::Overhead, &O_VALUES, 1);
+        for jobs in [2, 4] {
+            let par = sweep_jobs(app.as_ref(), &spec, Axis::Overhead, &O_VALUES, jobs);
+            assert_eq!(par, seq, "{}: jobs={jobs} diverged", app.name());
+        }
+        // The seeded fault plan must actually be exercising the reliable
+        // path — otherwise this test proves nothing about those counters.
+        if let Ok(s) = &seq {
+            assert!(
+                s.baseline.stats.total_drops() > 0,
+                "{}: fault plan injected no drops",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn suite_level_fanout_matches_per_app_sequential_sweeps() {
+    let apps = suite_scaled(SuiteScale::Test);
+    let spec = faulty_spec(4);
+    let seq: Vec<Result<_, SweepError>> = apps
+        .iter()
+        .map(|app| sweep(app.as_ref(), &spec, Axis::Latency, &O_VALUES))
+        .collect();
+    for jobs in [2, 4] {
+        let par = sweep_many(&apps, &spec, Axis::Latency, &O_VALUES, jobs);
+        assert_eq!(par, seq, "jobs={jobs} suite fan-out diverged");
+    }
+}
+
+#[test]
+fn sequential_and_parallel_agree_on_sweep_errors() {
+    // An app whose baseline cannot complete: zero time budget.
+    let apps = suite_scaled(SuiteScale::Test);
+    let spec = faulty_spec(4).with_time_limit(SimDelta::from_micros(1.0));
+    let app = &apps[0];
+    let seq = sweep_jobs(app.as_ref(), &spec, Axis::Overhead, &O_VALUES, 1)
+        .expect_err("1us budget cannot fit a baseline");
+    let par = sweep_jobs(app.as_ref(), &spec, Axis::Overhead, &O_VALUES, 4)
+        .expect_err("1us budget cannot fit a baseline");
+    assert_eq!(seq, par, "error payloads must match across job counts");
+    assert!(matches!(seq, SweepError::IncompleteBaseline { .. }));
+}
