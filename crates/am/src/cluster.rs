@@ -17,12 +17,13 @@
 //!   `o_recv + Δo` per message.
 
 use std::any::Any;
-use std::cell::{Cell, RefCell};
+use std::cell::{Cell, OnceCell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::{Rc, Weak};
 
-use nowlab_sim::{Notify, Sim, SimTime};
+use nowlab_sim::{Notify, Sim, SimDelta, SimTime};
+use nowlab_trace::{MsgKind, SendEvent, TraceEvent, TraceSink, VisibleEvent};
 
 use crate::message::{Dir, HandlerId, Mark, Msg, Payload, ProcId, ReplyData, ReqId};
 use crate::params::NetConfig;
@@ -167,6 +168,26 @@ pub(crate) struct ClusterInner {
     pub handlers: RefCell<Vec<Handler>>,
     pub stats_epoch: Cell<SimTime>,
     pub frozen_stats: RefCell<Option<CommStats>>,
+    /// Optional lifecycle observer. When empty (the default) the hot path
+    /// pays one pointer check per hook and constructs nothing.
+    pub trace: OnceCell<Rc<dyn TraceSink>>,
+    /// Deterministic trace-id well: advances once per port-constructed
+    /// message whether or not a sink is installed, so tracing cannot
+    /// perturb a run.
+    pub trace_ids: Cell<u64>,
+}
+
+/// The AM layer's [`Mark`] projected onto the trace crate's
+/// dependency-free message category.
+fn trace_kind(mark: Mark) -> MsgKind {
+    match mark {
+        Mark::Read => MsgKind::Read,
+        Mark::Write => MsgKind::Write,
+        Mark::Rmw => MsgKind::Rmw,
+        Mark::Bulk => MsgKind::Bulk,
+        Mark::Barrier => MsgKind::Barrier,
+        Mark::User => MsgKind::User,
+    }
 }
 
 /// An emulated cluster of `P` processors joined by a LogGP network with a
@@ -237,8 +258,18 @@ impl AmCluster {
                 handlers: RefCell::new(Vec::new()),
                 stats_epoch: Cell::new(SimTime::ZERO),
                 frozen_stats: RefCell::new(None),
+                trace: OnceCell::new(),
+                trace_ids: Cell::new(0),
             }),
         }
+    }
+
+    /// Installs a lifecycle observer (see [`TraceSink`]). The first
+    /// installation wins; later calls are ignored. Sinks are pure
+    /// observers — traced runs are event-count- and result-identical to
+    /// untraced runs.
+    pub fn set_trace_sink(&self, sink: Rc<dyn TraceSink>) {
+        let _ = self.inner.trace.set(sink);
     }
 
     /// Number of processors.
@@ -365,9 +396,27 @@ impl AmCluster {
 }
 
 impl ClusterInner {
+    /// Draws the next trace correlation id. Always advances (tracing on
+    /// or off) so the id stream is part of the deterministic run state.
+    pub(crate) fn next_trace(&self) -> u64 {
+        let id = self.trace_ids.get() + 1;
+        self.trace_ids.set(id);
+        id
+    }
+
     /// Hands a message to the source NIC at the current instant; computes
-    /// injection and transit times and schedules delivery.
+    /// injection and transit times and schedules delivery. The caller has
+    /// just paid `o_send` on the host processor (retransmission timers
+    /// charge it out of band and use [`ClusterInner::inject_with`]).
     pub(crate) fn inject(self: &Rc<Self>, msg: Msg) {
+        let o_send = self.cfg.eff_o_send();
+        self.inject_with(msg, o_send);
+    }
+
+    /// [`ClusterInner::inject`] with an explicit just-paid send overhead
+    /// (attributed to the message's trace record; zero for timer-driven
+    /// retransmissions).
+    pub(crate) fn inject_with(self: &Rc<Self>, msg: Msg, o_send: SimDelta) {
         let cfg = &self.cfg;
         let now = self.sim.now();
         let src = &self.procs[msg.src];
@@ -421,7 +470,7 @@ impl ClusterInner {
         // (equivalent to deferring the presence bit at the receiver); with
         // the naive slow-receive-path mode only the base latency is, and
         // the receive context pays ΔL per message instead.
-        let arrival = match cfg.latency_mode {
+        let mut arrival = match cfg.latency_mode {
             crate::LatencyMode::DelayQueue => wire_done + cfg.eff_latency(),
             crate::LatencyMode::SlowRxPath => wire_done + cfg.machine.latency,
         };
@@ -448,21 +497,50 @@ impl ClusterInner {
                 };
             if lost {
                 src.counters.borrow_mut().drops += 1;
+                if let Some(sink) = self.trace.get() {
+                    sink.record(&TraceEvent::Drop {
+                        id: msg.trace,
+                        at: now,
+                    });
+                }
                 return;
             }
             if faults.duplicates(msg.src, msg.dst, nonce) {
                 src.counters.borrow_mut().dups += 1;
                 let dup_arrival = arrival + faults.jitter(msg.src, msg.dst, nonce, 1);
+                if let Some(sink) = self.trace.get() {
+                    sink.record(&TraceEvent::DupDelivery {
+                        id: msg.trace,
+                        arrival: dup_arrival,
+                    });
+                }
                 let weak = Rc::downgrade(self);
                 let dup = msg.clone();
                 self.sim
                     .schedule(dup_arrival, move |sim| Self::deliver(&weak, sim, dup));
             }
-            let arrival = arrival + faults.jitter(msg.src, msg.dst, nonce, 0);
-            let weak = Rc::downgrade(self);
-            self.sim
-                .schedule(arrival, move |sim| Self::deliver(&weak, sim, msg));
-            return;
+            arrival += faults.jitter(msg.src, msg.dst, nonce, 0);
+        }
+
+        // Tracing: all sender-side timestamps are known here, so one
+        // event carries the whole injection. Pure observation — nothing
+        // is scheduled and no simulation state is touched.
+        if let Some(sink) = self.trace.get() {
+            sink.record(&TraceEvent::Send(SendEvent {
+                id: msg.trace,
+                src: msg.src,
+                dst: msg.dst,
+                reply: msg.dir == Dir::Reply,
+                kind: trace_kind(msg.mark),
+                bytes: payload_bytes,
+                o_send,
+                inject: now,
+                tx_start: start,
+                wire_done,
+                arrival,
+                in_flight: self.cfg.window.saturating_sub(src.credits.get()),
+                timer_depth: self.sim.pending_timers() as u32,
+            }));
         }
 
         let weak = Rc::downgrade(self);
@@ -550,8 +628,19 @@ impl ClusterInner {
             c.retransmits += 1;
             c.o_time += self.cfg.eff_o_send();
         }
+        if let Some(sink) = self.trace.get() {
+            sink.record(&TraceEvent::Retransmit {
+                id: msg.trace,
+                attempt: attempt + 1,
+                o_send: self.cfg.eff_o_send(),
+                at: self.sim.now(),
+            });
+        }
         msg.ack = self.ack_watermark(src, dst);
-        self.inject(msg);
+        // The interrupt-style overhead above does not precede the
+        // injection in time, so the retry's attributed o_send is zero
+        // (the Retransmit event reports the out-of-band charge).
+        self.inject_with(msg, SimDelta::ZERO);
         self.arm_retransmit(src, dst, req, attempt + 1);
     }
 
@@ -570,7 +659,15 @@ impl ClusterInner {
         match inner.cfg.latency_mode {
             crate::LatencyMode::DelayQueue => {
                 dst.nic_rx_free.set(now + inner.cfg.eff_gap());
+                let trace_id = msg.trace;
                 dst.rx.borrow_mut().push_back(msg);
+                if let Some(sink) = inner.trace.get() {
+                    sink.record(&TraceEvent::Visible(VisibleEvent {
+                        id: trace_id,
+                        at: now,
+                        rx_depth: dst.rx.borrow().len() as u32,
+                    }));
+                }
                 dst.rx_notify.notify_all();
             }
             crate::LatencyMode::SlowRxPath => {
@@ -580,10 +677,18 @@ impl ClusterInner {
                 let visible = now + d_lat;
                 dst.nic_rx_free.set(visible + inner.cfg.eff_gap());
                 let weak2 = weak.clone();
-                sim.schedule(visible, move |_| {
+                sim.schedule(visible, move |sim| {
                     if let Some(inner) = weak2.upgrade() {
                         let dst = &inner.procs[msg.dst];
+                        let trace_id = msg.trace;
                         dst.rx.borrow_mut().push_back(msg);
+                        if let Some(sink) = inner.trace.get() {
+                            sink.record(&TraceEvent::Visible(VisibleEvent {
+                                id: trace_id,
+                                at: sim.now(),
+                                rx_depth: dst.rx.borrow().len() as u32,
+                            }));
+                        }
                         dst.rx_notify.notify_all();
                     }
                 });
@@ -593,6 +698,12 @@ impl ClusterInner {
 
     /// Runs the registered handler for `msg` on its destination processor.
     pub(crate) fn run_handler(&self, msg: &Msg) -> ReplyData {
+        if let Some(sink) = self.trace.get() {
+            sink.record(&TraceEvent::Handler {
+                id: msg.trace,
+                at: self.sim.now(),
+            });
+        }
         let handlers = self.handlers.borrow();
         let handler = handlers
             .get(msg.handler)
@@ -630,6 +741,7 @@ mod tests {
             args: [0; 4],
             payload: Payload::None,
             mark: Mark::Write,
+            trace: 0,
         }
     }
 

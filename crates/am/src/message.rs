@@ -149,6 +149,11 @@ pub struct Msg {
     pub payload: Payload,
     /// Semantic class for instrumentation.
     pub mark: Mark,
+    /// Trace correlation id, stamped from a deterministic per-cluster
+    /// counter when the port constructs the message (always, so traced
+    /// and untraced runs are identical). Retransmissions keep their
+    /// original id; `0` marks a raw injection that bypassed the port.
+    pub trace: u64,
 }
 
 impl Msg {
@@ -260,6 +265,7 @@ mod tests {
             args: [0; 4],
             payload: Payload::Synthetic(128),
             mark: Mark::Bulk,
+            trace: 0,
         };
         assert!(m.is_bulk());
         let m2 = Msg {

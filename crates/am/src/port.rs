@@ -13,6 +13,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use nowlab_sim::{SimDelta, SimTime};
+use nowlab_trace::{RecvEvent, TraceEvent};
 
 use crate::cluster::{CachedReply, ClusterInner, ReplySlot, TxEntry};
 use crate::message::{Dir, HandlerId, Mark, Msg, Payload, ProcId, ReqId};
@@ -129,6 +130,13 @@ impl AmPort {
             if ep.in_wait.get() {
                 c.o_time_in_wait += o_recv;
             }
+        }
+        if let Some(sink) = self.inner.trace.get() {
+            sink.record(&TraceEvent::Recv(RecvEvent {
+                id: msg.trace,
+                o_recv,
+                done: self.inner.sim.now(),
+            }));
         }
         if reliable {
             // Every message piggybacks the sender's cumulative receipt
@@ -313,6 +321,7 @@ impl AmPort {
             args,
             payload,
             mark,
+            trace: self.inner.next_trace(),
         });
     }
 
@@ -436,6 +445,7 @@ impl AmPort {
             args,
             payload,
             mark,
+            trace: self.inner.next_trace(),
         });
         self.wait_until(|| slot.filled.get()).await;
         let payload = std::mem::take(&mut *slot.payload.borrow_mut());
@@ -475,6 +485,7 @@ impl AmPort {
             args,
             payload,
             mark,
+            trace: self.inner.next_trace(),
         });
     }
 

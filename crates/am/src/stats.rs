@@ -280,21 +280,7 @@ impl CommStats {
 /// character per (sender, receiver) cell, scaled from `' '` (zero) to `'@'`
 /// (the matrix maximum).
 pub fn render_balance_matrix(stats: &CommStats) -> String {
-    const SHADES: &[u8] = b" .:-=+*#%@";
-    let max = stats.matrix_max();
-    let mut out = String::new();
-    for row in stats.balance_matrix() {
-        for v in row {
-            let idx = if max == 0 {
-                0
-            } else {
-                ((v as f64 / max as f64) * (SHADES.len() - 1) as f64).round() as usize
-            };
-            out.push(SHADES[idx] as char);
-        }
-        out.push('\n');
-    }
-    out
+    nowlab_trace::render_shade_matrix(&stats.balance_matrix())
 }
 
 #[cfg(test)]

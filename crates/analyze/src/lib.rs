@@ -109,7 +109,7 @@ pub struct Scope {
 /// Crates whose code is simulation-visible. `bench` is deliberately
 /// absent: it is the host-side wall-clock harness and may read
 /// `Instant`/env freely.
-const SIM_CRATES: &[&str] = &["sim", "am", "splitc", "core", "apps", "rng"];
+const SIM_CRATES: &[&str] = &["sim", "trace", "am", "splitc", "core", "apps", "rng"];
 
 /// Determines the lint scope for a workspace-relative `.rs` path, or
 /// `None` if the file is out of scope (tests, benches, fixtures — anything
@@ -224,6 +224,11 @@ mod tests {
         let s = scope_for("src/bin/nowlab.rs").unwrap();
         assert!(s.sim_visible && s.crate_root);
         assert!(s.parallel_ok, "the CLI fans out whole runs");
+        // Trace sinks observe simulations from inside, so the crate is
+        // held to the same determinism rules as the layers it instruments.
+        let s = scope_for("crates/trace/src/lib.rs").unwrap();
+        assert!(s.sim_visible && !s.am_layer && s.crate_root);
+        assert!(!s.parallel_ok);
         assert!(scope_for("crates/analyze/tests/fixtures/det001.rs").is_none());
         assert!(scope_for("crates/am/tests/gam.rs").is_none());
         assert!(scope_for("README.md").is_none());
@@ -241,6 +246,7 @@ mod tests {
         // Everything below the run boundary is single-threaded.
         for rel in [
             "crates/sim/src/executor.rs",
+            "crates/trace/src/ring.rs",
             "crates/am/src/cluster.rs",
             "crates/splitc/src/layer.rs",
             "crates/apps/src/common.rs",

@@ -3,10 +3,12 @@
 //! arithmetic.
 
 use std::future::Future;
+use std::rc::Rc;
 
-use nowlab_core::{RunOutcome, RunSpec};
+use nowlab_core::{RunOutcome, RunSpec, TraceMode};
 use nowlab_rng::{SeedableRng, SmallRng};
 use nowlab_splitc::{Ctx, SplitC, SpmdConfig};
+use nowlab_trace::TraceRecorder;
 
 /// Builds the Split-C machine for `spec`, lets `setup` register custom
 /// handlers, runs `body` on every processor, and packages the result.
@@ -28,6 +30,14 @@ where
         cfg = cfg.with_time_limit(t);
     }
     let sc = SplitC::new(&cfg);
+    let recorder = match spec.trace {
+        TraceMode::Off => None,
+        TraceMode::Summary => Some(Rc::new(TraceRecorder::new(false))),
+        TraceMode::Full => Some(Rc::new(TraceRecorder::new(true))),
+    };
+    if let Some(r) = &recorder {
+        sc.set_trace_sink(Rc::clone(r) as Rc<dyn nowlab_trace::TraceSink>);
+    }
     setup(&sc);
     let outcome = sc.run(body);
     let check = outcome
@@ -40,6 +50,7 @@ where
         completed: outcome.completed,
         check,
         events: outcome.report.events_fired,
+        trace: recorder.map(|r| r.finish()),
     }
 }
 

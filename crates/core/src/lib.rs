@@ -46,6 +46,7 @@ pub use nowlab_am::{
     NetConfig, Outage, Reliability,
 };
 pub use nowlab_sim::{SimDelta, SimTime};
+pub use nowlab_trace::{TraceMode, TraceReport, TraceSummary};
 pub use sweep::par::{default_jobs, parallel_map};
 pub use sweep::{
     sweep, sweep_jobs, sweep_many, Axis, AxisSweep, RunOutcome, RunSpec, SweepError, SweepPoint,

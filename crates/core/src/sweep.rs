@@ -14,6 +14,7 @@ use std::fmt;
 
 use nowlab_am::{CommStats, Knobs, LoggpParams, NetConfig};
 use nowlab_sim::SimDelta;
+use nowlab_trace::{TraceMode, TraceReport, TraceSummary};
 
 use crate::models::{fit_linear, LinFit};
 
@@ -34,6 +35,9 @@ pub struct RunSpec {
     pub time_limit: Option<SimDelta>,
     /// Seed for the application's workload generator.
     pub seed: u64,
+    /// Per-message LogGP cost tracing mode (off by default; tracing never
+    /// alters simulation behaviour, only observes it).
+    pub trace: TraceMode,
 }
 
 impl RunSpec {
@@ -45,6 +49,7 @@ impl RunSpec {
             event_limit: None,
             time_limit: None,
             seed: 1,
+            trace: TraceMode::Off,
         }
     }
 
@@ -73,6 +78,12 @@ impl RunSpec {
         self.seed = seed;
         self
     }
+
+    /// Sets the tracing mode.
+    pub fn with_trace(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 /// The result of one measured application run.
@@ -90,6 +101,9 @@ pub struct RunOutcome {
     /// Simulator events fired during the run (the benchmark harness's
     /// throughput numerator).
     pub events: u64,
+    /// Per-message LogGP cost trace, when [`RunSpec::trace`] requested one
+    /// (`None` under [`TraceMode::Off`]).
+    pub trace: Option<TraceReport>,
 }
 
 /// An application that can be run under the sweep driver.
@@ -191,6 +205,9 @@ pub struct SweepPoint {
     pub timeouts: u64,
     /// Simulator events fired at this point.
     pub events: u64,
+    /// Per-component cost attribution at this point, when the sweep ran
+    /// with tracing enabled.
+    pub trace: Option<TraceSummary>,
 }
 
 /// A full sweep of one application along one axis.
@@ -271,8 +288,10 @@ pub enum SweepError {
         app: String,
         /// Swept parameter.
         axis: Axis,
-        /// The truncated baseline run.
-        outcome: RunOutcome,
+        /// The truncated baseline run (boxed: a `RunOutcome` carries full
+        /// per-processor statistics and an optional trace, far bigger
+        /// than the `Ok` path should pay for on every return).
+        outcome: Box<RunOutcome>,
     },
 }
 
@@ -337,7 +356,7 @@ fn assemble(
         return Err(SweepError::IncompleteBaseline {
             app: app.to_string(),
             axis,
-            outcome: baseline.clone(),
+            outcome: Box::new(baseline.clone()),
         });
     }
     let baseline = baseline.clone();
@@ -358,6 +377,7 @@ fn assemble(
             retransmits: outcome.stats.total_retransmits(),
             timeouts: outcome.stats.total_timeouts(),
             events: outcome.events,
+            trace: outcome.trace.map(|r| r.summary),
         })
         .collect();
     Ok(AxisSweep {
@@ -423,7 +443,7 @@ pub fn sweep_jobs(
         return Err(SweepError::IncompleteBaseline {
             app: app.name().to_string(),
             axis,
-            outcome: first,
+            outcome: Box::new(first),
         });
     }
     let rest = parallel_map(jobs, &specs[1..], |_, (_, spec)| app.run(spec));
@@ -499,6 +519,7 @@ mod tests {
                 completed: true,
                 check: 42,
                 events: 3 * self.msgs,
+                trace: None,
             }
         }
     }
@@ -588,6 +609,7 @@ mod tests {
                 completed: false,
                 check: 0,
                 events: 0,
+                trace: None,
             }
         }
     }

@@ -222,6 +222,13 @@ impl Sim {
         self.now.get()
     }
 
+    /// Number of timers waiting in the scheduler queue — how much future
+    /// the event heap is holding right now. An O(1) observability probe
+    /// for tracing/metrics; reading it cannot disturb event order.
+    pub fn pending_timers(&self) -> usize {
+        self.inner.borrow().timers.len()
+    }
+
     /// Caps the total number of events a subsequent [`Sim::run`] may fire.
     ///
     /// Used to bail out of livelocked programs (the paper's Barnes at high
@@ -822,5 +829,21 @@ mod tests {
         });
         sim.run();
         assert_eq!(h.try_take(), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn pending_timers_tracks_the_event_heap() {
+        let sim = Sim::new();
+        assert_eq!(sim.pending_timers(), 0);
+        sim.schedule(SimTime::from_nanos(10), |_| {});
+        sim.schedule(SimTime::from_nanos(20), |_| {});
+        assert_eq!(sim.pending_timers(), 2);
+        // Probing mid-run must also work (and see the undrained tail).
+        let sim2 = sim.clone();
+        sim.schedule(SimTime::from_nanos(15), move |_| {
+            assert_eq!(sim2.pending_timers(), 1, "only the 20ns timer remains");
+        });
+        sim.run();
+        assert_eq!(sim.pending_timers(), 0);
     }
 }

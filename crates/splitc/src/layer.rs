@@ -166,6 +166,15 @@ impl SplitC {
         &self.cluster
     }
 
+    /// Installs a trace sink on the underlying cluster. The first sink
+    /// installed wins; later calls are ignored. Sinks observe message
+    /// lifecycle events but must never schedule work or mutate simulation
+    /// state, so a traced run is event-for-event identical to an untraced
+    /// one.
+    pub fn set_trace_sink(&self, sink: std::rc::Rc<dyn nowlab_trace::TraceSink>) {
+        self.cluster.set_trace_sink(sink);
+    }
+
     /// Registers an application-defined handler operating on the
     /// destination processor's [`Memory`].
     pub fn register_handler<F>(&self, f: F) -> HandlerId

@@ -1,0 +1,1166 @@
+//! # nowlab-trace — per-message LogGP cost tracing
+//!
+//! The paper's entire method is attributing per-message time to the LogGP
+//! components (`o`, `g`, `L`, `G`). The simulator's end-of-run counters
+//! say *how much* communication happened; this crate says *where each
+//! simulated microsecond went* inside every message:
+//!
+//! ```text
+//! o_send → tx NIC wait → DMA occupancy → wire L → rx serialization
+//!        → rx queue wait → o_recv → handler
+//! ```
+//!
+//! Because the simulator is discrete-event, every boundary above is an
+//! exact integer-nanosecond timestamp — attribution is *exact by
+//! construction* (the seven component spans telescope to the message's
+//! end-to-end time), not a sampling estimate.
+//!
+//! The layer is **zero-cost when disabled**: producers hold an
+//! `Option<Rc<dyn TraceSink>>` and skip event construction entirely when
+//! no sink is installed. Recording must never schedule events or advance
+//! virtual time, so a traced run is event-count- and result-identical to
+//! an untraced run.
+//!
+//! Three consumers are provided:
+//!
+//! * [`TraceRecorder`] — assembles [`MsgRecord`] lifecycles and histogram
+//!   metrics into a [`TraceReport`].
+//! * [`chrome::write_chrome_trace`] — `about:tracing` / Perfetto JSON.
+//! * [`ring::RingSink`] — a compact fixed-size binary ring buffer that
+//!   keeps memory bounded on arbitrarily long runs.
+//!
+//! # Examples
+//!
+//! Feeding a recorder by hand (the AM layer does this for real runs):
+//!
+//! ```
+//! use nowlab_sim::{SimDelta, SimTime};
+//! use nowlab_trace::{MsgKind, RecvEvent, SendEvent, TraceEvent, TraceRecorder, TraceSink, VisibleEvent};
+//!
+//! let us = |x| SimTime::ZERO + SimDelta::from_micros(x);
+//! let rec = TraceRecorder::new(true);
+//! rec.record(&TraceEvent::Send(SendEvent {
+//!     id: 1, src: 0, dst: 1, reply: false, kind: MsgKind::Write, bytes: 0,
+//!     o_send: SimDelta::from_micros(1.8), inject: us(1.8), tx_start: us(1.8),
+//!     wire_done: us(1.8), arrival: us(6.8), in_flight: 1, timer_depth: 1,
+//! }));
+//! rec.record(&TraceEvent::Visible(VisibleEvent { id: 1, at: us(6.8), rx_depth: 1 }));
+//! rec.record(&TraceEvent::Recv(RecvEvent { id: 1, o_recv: SimDelta::from_micros(4.0), done: us(10.8) }));
+//! let report = rec.finish();
+//! let m = &report.records[0];
+//! assert!(m.completed);
+//! assert_eq!(m.component_sum(), m.end_to_end()); // exact, always
+//! assert_eq!(m.end_to_end(), SimDelta::from_micros(10.8));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod ring;
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use nowlab_sim::{SimDelta, SimTime};
+
+/// How much tracing a run performs. `Copy` so run specifications that
+/// embed it stay `Copy`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// No sink installed; the hot path pays a single pointer check.
+    #[default]
+    Off,
+    /// Aggregate metrics only: completed lifecycles fold into totals and
+    /// histograms immediately, keeping memory independent of run length.
+    Summary,
+    /// Keep every per-message [`MsgRecord`] (required for Chrome export
+    /// and the per-message property tests).
+    Full,
+}
+
+/// Message category, mirroring the AM layer's payload marks without
+/// depending on it (this crate sits below the AM layer in the dependency
+/// graph).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MsgKind {
+    /// Remote read request/reply.
+    Read,
+    /// Remote write.
+    Write,
+    /// Read-modify-write (fetch-add, compare-swap).
+    Rmw,
+    /// Bulk transfer fragment train.
+    Bulk,
+    /// Barrier protocol message.
+    Barrier,
+    /// Application-defined.
+    User,
+}
+
+impl MsgKind {
+    /// Short lowercase label (Chrome-trace category).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MsgKind::Read => "read",
+            MsgKind::Write => "write",
+            MsgKind::Rmw => "rmw",
+            MsgKind::Bulk => "bulk",
+            MsgKind::Barrier => "barrier",
+            MsgKind::User => "user",
+        }
+    }
+}
+
+/// A message handed to the source NIC: all sender-side timestamps are
+/// known the moment injection is computed, so one event carries them all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendEvent {
+    /// Trace correlation id (unique per logical message within a run).
+    pub id: u64,
+    /// Source processor.
+    pub src: usize,
+    /// Destination processor.
+    pub dst: usize,
+    /// True for replies (which bypass flow control).
+    pub reply: bool,
+    /// Message category.
+    pub kind: MsgKind,
+    /// Payload wire bytes (0 for short messages).
+    pub bytes: u32,
+    /// Send overhead the host processor paid immediately before this
+    /// injection (zero for timer-driven retransmissions, whose overhead
+    /// is charged interrupt-style and reported via [`TraceEvent::Retransmit`]).
+    pub o_send: SimDelta,
+    /// Instant the message reached the NIC (end of `o_send`).
+    pub inject: SimTime,
+    /// Instant the transmit context picked it up (`≥ inject` when the NIC
+    /// is still busy with a predecessor).
+    pub tx_start: SimTime,
+    /// Instant the last fragment left the NIC (equals `tx_start` for
+    /// short messages; DMA occupancy for bulk).
+    pub wire_done: SimTime,
+    /// Scheduled arrival at the destination NIC (`wire_done + L`, plus
+    /// fault-plan jitter if any).
+    pub arrival: SimTime,
+    /// Flow-control window occupancy at the source when this message was
+    /// sent (requests in flight, including this one).
+    pub in_flight: u32,
+    /// Scheduler pending-timer depth at injection (an executor probe —
+    /// how much future the event queue is holding).
+    pub timer_depth: u32,
+}
+
+/// The message became visible in the destination's receive queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VisibleEvent {
+    /// Trace correlation id.
+    pub id: u64,
+    /// Instant of visibility (after rx-NIC serialization).
+    pub at: SimTime,
+    /// Receive-queue depth right after this push (this message included).
+    pub rx_depth: u32,
+}
+
+/// The destination processor finished paying `o_recv` for the message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvEvent {
+    /// Trace correlation id.
+    pub id: u64,
+    /// Receive overhead just paid.
+    pub o_recv: SimDelta,
+    /// Instant the overhead finished (handler-eligible from here).
+    pub done: SimTime,
+}
+
+/// One observation from the message lifecycle. Producers construct events
+/// only when a sink is installed; sinks must not mutate simulation state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Sender-side injection with full NIC/wire timing.
+    Send(SendEvent),
+    /// Visibility in the destination receive queue.
+    Visible(VisibleEvent),
+    /// Receive overhead paid at the destination processor.
+    Recv(RecvEvent),
+    /// The request handler ran.
+    Handler {
+        /// Trace correlation id.
+        id: u64,
+        /// Instant the handler ran.
+        at: SimTime,
+    },
+    /// The fault plan dropped the message on the wire.
+    Drop {
+        /// Trace correlation id.
+        id: u64,
+        /// Instant of the (failed) injection.
+        at: SimTime,
+    },
+    /// The fault plan scheduled a duplicate delivery.
+    DupDelivery {
+        /// Trace correlation id.
+        id: u64,
+        /// Scheduled arrival of the duplicate.
+        arrival: SimTime,
+    },
+    /// A retransmission timer fired and re-injected the message.
+    Retransmit {
+        /// Trace correlation id.
+        id: u64,
+        /// Attempt number now being transmitted (2 = first retry).
+        attempt: u32,
+        /// Interrupt-style send overhead charged for the retry.
+        o_send: SimDelta,
+        /// Instant the timer fired.
+        at: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// The trace correlation id this event refers to.
+    pub fn id(&self) -> u64 {
+        match *self {
+            TraceEvent::Send(SendEvent { id, .. }) => id,
+            TraceEvent::Visible(VisibleEvent { id, .. }) => id,
+            TraceEvent::Recv(RecvEvent { id, .. }) => id,
+            TraceEvent::Handler { id, .. }
+            | TraceEvent::Drop { id, .. }
+            | TraceEvent::DupDelivery { id, .. }
+            | TraceEvent::Retransmit { id, .. } => id,
+        }
+    }
+}
+
+/// Receives lifecycle events from the simulation layers.
+///
+/// Contract: a sink is a pure observer. It must not schedule simulation
+/// events, advance virtual time, or otherwise influence anything
+/// simulation-visible — traced and untraced runs must be event-count- and
+/// result-identical.
+pub trait TraceSink {
+    /// Observes one lifecycle event.
+    fn record(&self, ev: &TraceEvent);
+}
+
+/// A sink that discards everything — for measuring the cost of event
+/// construction alone.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _ev: &TraceEvent) {}
+}
+
+/// Exact per-component cost attribution for one message, all integer
+/// nanoseconds. For a completed, non-[tangled](MsgRecord::tangled) record
+/// the seven spans telescope:
+///
+/// ```text
+/// o_send + tx_wait + dma + wire + rx_hold + rx_queue + o_recv
+///   == done − send_begin
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgRecord {
+    /// Trace correlation id.
+    pub id: u64,
+    /// Source processor.
+    pub src: usize,
+    /// Destination processor.
+    pub dst: usize,
+    /// True for replies.
+    pub reply: bool,
+    /// Message category.
+    pub kind: MsgKind,
+    /// Payload wire bytes.
+    pub bytes: u32,
+    /// Physical transmissions (1 = no retransmit).
+    pub attempts: u32,
+    /// Attempts the fault plan dropped on the wire.
+    pub dropped_attempts: u32,
+    /// Instant the sender started paying `o_send`.
+    pub send_begin: SimTime,
+    /// Instant the message reached the NIC.
+    pub inject: SimTime,
+    /// Instant the transmit context picked it up.
+    pub tx_start: SimTime,
+    /// Instant the last fragment left the NIC.
+    pub wire_done: SimTime,
+    /// Instant it arrived at the destination NIC.
+    pub arrival: SimTime,
+    /// Instant it became visible in the receive queue.
+    pub visible: SimTime,
+    /// Instant the destination processor popped it.
+    pub pop: SimTime,
+    /// Instant `o_recv` finished.
+    pub done: SimTime,
+    /// Instant the request handler ran, if it did.
+    pub handler_at: Option<SimTime>,
+    /// True once `o_recv` completed at the destination.
+    pub completed: bool,
+    /// True if fault-path races (a duplicate outrunning a retransmitted
+    /// original) made one attribution span ambiguous; such spans are
+    /// clamped to zero and excluded from exactness claims.
+    pub tangled: bool,
+    /// Send overhead (host processor, source).
+    pub o_send: SimDelta,
+    /// Wait for the transmit NIC context.
+    pub tx_wait: SimDelta,
+    /// DMA occupancy of the fragment train (zero for short messages).
+    pub dma: SimDelta,
+    /// Wire transit (`L`, plus fault jitter).
+    pub wire: SimDelta,
+    /// Receive-NIC serialization before visibility.
+    pub rx_hold: SimDelta,
+    /// Wait in the receive queue for the processor's poll.
+    pub rx_queue: SimDelta,
+    /// Receive overhead (host processor, destination).
+    pub o_recv: SimDelta,
+}
+
+impl MsgRecord {
+    /// Sum of the seven component spans.
+    pub fn component_sum(&self) -> SimDelta {
+        self.o_send
+            + self.tx_wait
+            + self.dma
+            + self.wire
+            + self.rx_hold
+            + self.rx_queue
+            + self.o_recv
+    }
+
+    /// End-to-end time: start of `o_send` to end of `o_recv`.
+    pub fn end_to_end(&self) -> SimDelta {
+        self.done.saturating_since(self.send_begin)
+    }
+}
+
+/// Whole-run sums of the seven component spans over completed messages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ComponentTotals {
+    /// Total send overhead.
+    pub o_send: SimDelta,
+    /// Total transmit-NIC wait.
+    pub tx_wait: SimDelta,
+    /// Total DMA occupancy.
+    pub dma: SimDelta,
+    /// Total wire transit.
+    pub wire: SimDelta,
+    /// Total receive-NIC serialization.
+    pub rx_hold: SimDelta,
+    /// Total receive-queue wait.
+    pub rx_queue: SimDelta,
+    /// Total receive overhead.
+    pub o_recv: SimDelta,
+}
+
+impl ComponentTotals {
+    /// Sum of all seven totals.
+    pub fn sum(&self) -> SimDelta {
+        self.o_send
+            + self.tx_wait
+            + self.dma
+            + self.wire
+            + self.rx_hold
+            + self.rx_queue
+            + self.o_recv
+    }
+
+    fn accumulate(&mut self, r: &MsgRecord) {
+        self.o_send += r.o_send;
+        self.tx_wait += r.tx_wait;
+        self.dma += r.dma;
+        self.wire += r.wire;
+        self.rx_hold += r.rx_hold;
+        self.rx_queue += r.rx_queue;
+        self.o_recv += r.o_recv;
+    }
+}
+
+/// A power-of-two (log₂ nanosecond / log₂ count) histogram: cheap to
+/// update, deterministic, and order-independent to merge.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+/// Bucket index for a value: 0 holds zero, bucket `i ≥ 1` holds
+/// `[2^(i−1), 2^i)`.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        let b = bucket_of(v);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest observation (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (exact).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Approximate quantile: the inclusive upper bound of the first bucket
+    /// whose cumulative count reaches `q·total` (`0.0 < q ≤ 1.0`). Exact
+    /// for the max, within 2× below it.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return match b {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << b) - 1,
+                };
+            }
+        }
+        self.max
+    }
+}
+
+/// Aggregate run metrics: plain data (`Clone + PartialEq + Send`), safe to
+/// carry across the parallel-sweep boundary and compare bit-for-bit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Logical messages observed (first injections).
+    pub msgs: u64,
+    /// Messages whose `o_recv` completed.
+    pub completed: u64,
+    /// Wire drops (fault plan).
+    pub drops: u64,
+    /// Duplicate deliveries the fault plan scheduled.
+    pub dup_deliveries: u64,
+    /// Deliveries/receives observed after a record had already completed
+    /// (duplicates and stale retransmissions doing redundant work).
+    pub extra_deliveries: u64,
+    /// Retransmission-timer firings that re-injected a message.
+    pub retransmits: u64,
+    /// Events that referenced no known record (raw injections, id 0).
+    pub orphan_events: u64,
+    /// Records whose attribution was clamped (see [`MsgRecord::tangled`]).
+    pub tangled: u64,
+    /// Component totals over completed messages.
+    pub totals: ComponentTotals,
+    /// Total end-to-end time over completed messages.
+    pub e2e_total: SimDelta,
+    /// Interrupt-style send overhead charged by retransmission timers
+    /// (outside the per-message attribution).
+    pub retransmit_o_total: SimDelta,
+    /// Per-source gaps between consecutive injections, ns.
+    pub interval_hist: Histogram,
+    /// Receive-queue depth observed at each visibility.
+    pub queue_hist: Histogram,
+    /// Flow-control window occupancy observed at each send.
+    pub occupancy_hist: Histogram,
+    /// Scheduler pending-timer depth observed at each send.
+    pub timer_hist: Histogram,
+    /// Per-message end-to-end time, ns.
+    pub e2e_hist: Histogram,
+    /// Unique messages per (source row, destination column).
+    pub matrix: Vec<Vec<u64>>,
+}
+
+impl TraceSummary {
+    /// Fraction of completed-message end-to-end time spent in host
+    /// overhead (`o_send + o_recv`).
+    pub fn share_overhead(&self) -> f64 {
+        self.share(self.totals.o_send + self.totals.o_recv)
+    }
+
+    /// Fraction spent in the NIC (`tx_wait + dma + rx_hold`).
+    pub fn share_nic(&self) -> f64 {
+        self.share(self.totals.tx_wait + self.totals.dma + self.totals.rx_hold)
+    }
+
+    /// Fraction spent on the wire (`L` + jitter).
+    pub fn share_wire(&self) -> f64 {
+        self.share(self.totals.wire)
+    }
+
+    /// Fraction spent waiting in the receive queue for the destination
+    /// processor's poll.
+    pub fn share_rx_queue(&self) -> f64 {
+        self.share(self.totals.rx_queue)
+    }
+
+    fn share(&self, part: SimDelta) -> f64 {
+        let total = self.e2e_total.as_nanos();
+        if total == 0 {
+            0.0
+        } else {
+            part.as_nanos() as f64 / total as f64
+        }
+    }
+
+    /// Human-readable report: component table, distribution quantiles, and
+    /// the communication-balance shade matrix (shared with the AM layer's
+    /// Figure-4 rendering).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace summary: {} msgs, {} completed, {} drops, {} retransmits, {} dup deliveries",
+            self.msgs, self.completed, self.drops, self.retransmits, self.dup_deliveries
+        );
+        let per_msg = |d: SimDelta| {
+            if self.completed == 0 {
+                0.0
+            } else {
+                d.as_micros_f64() / self.completed as f64
+            }
+        };
+        let row = |out: &mut String, name: &str, d: SimDelta, total: SimDelta| {
+            let pct = if total.is_zero() {
+                0.0
+            } else {
+                100.0 * d.as_nanos() as f64 / total.as_nanos() as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<14} {:>14.3}us {:>6.1}% {:>10.3}us/msg",
+                d.as_micros_f64(),
+                pct,
+                per_msg(d)
+            );
+        };
+        let t = &self.totals;
+        let e2e = self.e2e_total;
+        row(&mut out, "o_send", t.o_send, e2e);
+        row(&mut out, "tx_wait", t.tx_wait, e2e);
+        row(&mut out, "dma", t.dma, e2e);
+        row(&mut out, "wire", t.wire, e2e);
+        row(&mut out, "rx_hold", t.rx_hold, e2e);
+        row(&mut out, "rx_queue", t.rx_queue, e2e);
+        row(&mut out, "o_recv", t.o_recv, e2e);
+        row(&mut out, "end-to-end", e2e, e2e);
+        let q = |h: &Histogram| {
+            format!(
+                "p50≤{} p99≤{} max={} (n={})",
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max(),
+                h.count()
+            )
+        };
+        let _ = writeln!(out, "  send interval ns   {}", q(&self.interval_hist));
+        let _ = writeln!(out, "  rx queue depth     {}", q(&self.queue_hist));
+        let _ = writeln!(out, "  window occupancy   {}", q(&self.occupancy_hist));
+        let _ = writeln!(out, "  timer queue depth  {}", q(&self.timer_hist));
+        let _ = writeln!(out, "  e2e per message ns {}", q(&self.e2e_hist));
+        if !self.matrix.is_empty() {
+            let _ = writeln!(out, "message balance matrix (rows=src, cols=dst):");
+            out.push_str(&render_shade_matrix(&self.matrix));
+        }
+        out
+    }
+}
+
+/// A finished trace: the aggregate summary plus (in [`TraceMode::Full`])
+/// every per-message record in injection order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Aggregate metrics.
+    pub summary: TraceSummary,
+    /// Per-message lifecycle records (empty in [`TraceMode::Summary`]).
+    pub records: Vec<MsgRecord>,
+}
+
+/// In-flight state for a message whose lifecycle is still open.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    src: usize,
+    dst: usize,
+    reply: bool,
+    kind: MsgKind,
+    bytes: u32,
+    attempts: u32,
+    dropped_attempts: u32,
+    o_send: SimDelta,
+    inject: SimTime,
+    tx_start: SimTime,
+    wire_done: SimTime,
+    arrival: SimTime,
+    visible: Option<SimTime>,
+    handler_at: Option<SimTime>,
+}
+
+#[derive(Default)]
+struct RecorderState {
+    pending: BTreeMap<u64, Pending>,
+    finished: BTreeMap<u64, MsgRecord>,
+    done_ids: BTreeSet<u64>,
+    last_send: BTreeMap<usize, SimTime>,
+    summary: TraceSummary,
+}
+
+/// The standard [`TraceSink`]: pairs lifecycle events into [`MsgRecord`]s
+/// and aggregates a [`TraceSummary`]. Deterministic (BTree collections
+/// only) and purely observational.
+pub struct TraceRecorder {
+    keep_records: bool,
+    state: RefCell<RecorderState>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder. With `keep_records` the full per-message record
+    /// set is retained ([`TraceMode::Full`]); without it, completed
+    /// lifecycles fold into the summary and are evicted, so memory stays
+    /// proportional to messages in flight.
+    pub fn new(keep_records: bool) -> Self {
+        TraceRecorder {
+            keep_records,
+            state: RefCell::new(RecorderState::default()),
+        }
+    }
+
+    /// Produces the report for everything observed so far.
+    pub fn finish(&self) -> TraceReport {
+        let st = self.state.borrow();
+        let mut records: Vec<MsgRecord> = Vec::new();
+        if self.keep_records {
+            records.extend(st.finished.values().copied());
+            // Open lifecycles (in flight at the end of the run) are
+            // reported too, flagged incomplete.
+            for (&id, p) in &st.pending {
+                records.push(incomplete_record(id, p));
+            }
+            records.sort_by_key(|r| r.id);
+        }
+        TraceReport {
+            summary: st.summary.clone(),
+            records,
+        }
+    }
+}
+
+fn incomplete_record(id: u64, p: &Pending) -> MsgRecord {
+    MsgRecord {
+        id,
+        src: p.src,
+        dst: p.dst,
+        reply: p.reply,
+        kind: p.kind,
+        bytes: p.bytes,
+        attempts: p.attempts,
+        dropped_attempts: p.dropped_attempts,
+        send_begin: begin_of(p),
+        inject: p.inject,
+        tx_start: p.tx_start,
+        wire_done: p.wire_done,
+        arrival: p.arrival,
+        visible: p.visible.unwrap_or(p.arrival),
+        pop: p.arrival,
+        done: p.arrival,
+        handler_at: p.handler_at,
+        completed: false,
+        tangled: false,
+        o_send: p.o_send,
+        tx_wait: SimDelta::ZERO,
+        dma: SimDelta::ZERO,
+        wire: SimDelta::ZERO,
+        rx_hold: SimDelta::ZERO,
+        rx_queue: SimDelta::ZERO,
+        o_recv: SimDelta::ZERO,
+    }
+}
+
+fn begin_of(p: &Pending) -> SimTime {
+    SimTime::from_nanos(p.inject.as_nanos().saturating_sub(p.o_send.as_nanos()))
+}
+
+/// Closes a lifecycle: derives the seven spans from the recorded
+/// timestamps. Every span is a difference of adjacent discrete-event
+/// timestamps, so the spans telescope to `done − send_begin` exactly;
+/// fault-path races that would make a span negative mark the record
+/// tangled instead (the span clamps to zero).
+fn finalize(id: u64, p: &Pending, ev: &RecvEvent) -> MsgRecord {
+    let mut tangled = false;
+    let visible = match p.visible {
+        Some(v) => v,
+        None => {
+            tangled = true;
+            p.arrival
+        }
+    };
+    let pop = SimTime::from_nanos(ev.done.as_nanos().saturating_sub(ev.o_recv.as_nanos()));
+    let mut span = |later: SimTime, earlier: SimTime| {
+        if later < earlier {
+            tangled = true;
+            SimDelta::ZERO
+        } else {
+            later.since(earlier)
+        }
+    };
+    let tx_wait = span(p.tx_start, p.inject);
+    let dma = span(p.wire_done, p.tx_start);
+    let wire = span(p.arrival, p.wire_done);
+    let rx_hold = span(visible, p.arrival);
+    let rx_queue = span(pop, visible);
+    MsgRecord {
+        id,
+        src: p.src,
+        dst: p.dst,
+        reply: p.reply,
+        kind: p.kind,
+        bytes: p.bytes,
+        attempts: p.attempts,
+        dropped_attempts: p.dropped_attempts,
+        send_begin: begin_of(p),
+        inject: p.inject,
+        tx_start: p.tx_start,
+        wire_done: p.wire_done,
+        arrival: p.arrival,
+        visible,
+        pop,
+        done: ev.done,
+        handler_at: p.handler_at,
+        completed: true,
+        tangled,
+        o_send: p.o_send,
+        tx_wait,
+        dma,
+        wire,
+        rx_hold,
+        rx_queue,
+        o_recv: ev.o_recv,
+    }
+}
+
+impl TraceSink for TraceRecorder {
+    fn record(&self, ev: &TraceEvent) {
+        let st = &mut *self.state.borrow_mut();
+        match ev {
+            TraceEvent::Send(e) => {
+                if let Some(prev) = st.last_send.get(&e.src) {
+                    st.summary
+                        .interval_hist
+                        .record(e.inject.saturating_since(*prev).as_nanos());
+                }
+                st.last_send.insert(e.src, e.inject);
+                st.summary.occupancy_hist.record(u64::from(e.in_flight));
+                st.summary.timer_hist.record(u64::from(e.timer_depth));
+                if let Some(p) = st.pending.get_mut(&e.id) {
+                    // Retransmission of an open lifecycle: restart the
+                    // attempt's sender-side timestamps.
+                    p.attempts += 1;
+                    p.o_send = e.o_send;
+                    p.inject = e.inject;
+                    p.tx_start = e.tx_start;
+                    p.wire_done = e.wire_done;
+                    p.arrival = e.arrival;
+                    p.visible = None;
+                } else if let Some(r) = st.finished.get_mut(&e.id) {
+                    r.attempts += 1; // stale retransmission after completion
+                } else if !st.done_ids.contains(&e.id) {
+                    st.summary.msgs += 1;
+                    let m = &mut st.summary.matrix;
+                    let dim = e.src.max(e.dst) + 1;
+                    if m.len() < dim {
+                        m.resize(dim, Vec::new());
+                    }
+                    for row in m.iter_mut() {
+                        if row.len() < dim {
+                            row.resize(dim, 0);
+                        }
+                    }
+                    m[e.src][e.dst] += 1;
+                    st.pending.insert(
+                        e.id,
+                        Pending {
+                            src: e.src,
+                            dst: e.dst,
+                            reply: e.reply,
+                            kind: e.kind,
+                            bytes: e.bytes,
+                            attempts: 1,
+                            dropped_attempts: 0,
+                            o_send: e.o_send,
+                            inject: e.inject,
+                            tx_start: e.tx_start,
+                            wire_done: e.wire_done,
+                            arrival: e.arrival,
+                            visible: None,
+                            handler_at: None,
+                        },
+                    );
+                }
+            }
+            TraceEvent::Visible(e) => {
+                st.summary.queue_hist.record(u64::from(e.rx_depth));
+                if let Some(p) = st.pending.get_mut(&e.id) {
+                    if p.visible.is_none() {
+                        p.visible = Some(e.at);
+                    } else {
+                        st.summary.extra_deliveries += 1;
+                    }
+                } else if st.finished.contains_key(&e.id) || st.done_ids.contains(&e.id) {
+                    st.summary.extra_deliveries += 1;
+                } else {
+                    st.summary.orphan_events += 1;
+                }
+            }
+            TraceEvent::Recv(e) => {
+                if let Some(p) = st.pending.remove(&e.id) {
+                    let rec = finalize(e.id, &p, e);
+                    st.summary.completed += 1;
+                    if rec.tangled {
+                        st.summary.tangled += 1;
+                    }
+                    st.summary.totals.accumulate(&rec);
+                    let e2e = rec.end_to_end();
+                    st.summary.e2e_total += e2e;
+                    st.summary.e2e_hist.record(e2e.as_nanos());
+                    if self.keep_records {
+                        st.finished.insert(e.id, rec);
+                    } else {
+                        st.done_ids.insert(e.id);
+                    }
+                } else if st.finished.contains_key(&e.id) || st.done_ids.contains(&e.id) {
+                    st.summary.extra_deliveries += 1;
+                } else {
+                    st.summary.orphan_events += 1;
+                }
+            }
+            TraceEvent::Handler { id, at } => {
+                if let Some(p) = st.pending.get_mut(id) {
+                    if p.handler_at.is_none() {
+                        p.handler_at = Some(*at);
+                    }
+                } else if let Some(r) = st.finished.get_mut(id) {
+                    if r.handler_at.is_none() {
+                        r.handler_at = Some(*at);
+                    }
+                }
+            }
+            TraceEvent::Drop { id, .. } => {
+                st.summary.drops += 1;
+                if let Some(p) = st.pending.get_mut(id) {
+                    p.dropped_attempts += 1;
+                }
+            }
+            TraceEvent::DupDelivery { .. } => {
+                st.summary.dup_deliveries += 1;
+            }
+            TraceEvent::Retransmit { o_send, .. } => {
+                st.summary.retransmits += 1;
+                st.summary.retransmit_o_total += *o_send;
+            }
+        }
+    }
+}
+
+/// Renders a count matrix as ASCII art, one character per cell, scaled
+/// from `' '` (zero) to `'@'` (the matrix maximum). The single formatting
+/// path behind both the AM layer's Figure-4 balance matrix and
+/// [`TraceSummary::render`].
+pub fn render_shade_matrix(rows: &[Vec<u64>]) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let max = rows.iter().flatten().copied().max().unwrap_or(0);
+    let mut out = String::new();
+    for row in rows {
+        for &v in row {
+            let idx = if max == 0 {
+                0
+            } else {
+                ((v as f64 / max as f64) * (SHADES.len() - 1) as f64).round() as usize
+            };
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(x: f64) -> SimTime {
+        SimTime::ZERO + SimDelta::from_micros(x)
+    }
+
+    fn send(id: u64, src: usize, dst: usize, begin_us: f64) -> TraceEvent {
+        TraceEvent::Send(SendEvent {
+            id,
+            src,
+            dst,
+            reply: false,
+            kind: MsgKind::Write,
+            bytes: 0,
+            o_send: SimDelta::from_micros(1.8),
+            inject: us(begin_us + 1.8),
+            tx_start: us(begin_us + 1.8),
+            wire_done: us(begin_us + 1.8),
+            arrival: us(begin_us + 6.8),
+            in_flight: 1,
+            timer_depth: 1,
+        })
+    }
+
+    fn complete(rec: &TraceRecorder, id: u64, begin_us: f64) {
+        rec.record(&send(id, 0, 1, begin_us));
+        rec.record(&TraceEvent::Visible(VisibleEvent {
+            id,
+            at: us(begin_us + 6.8),
+            rx_depth: 1,
+        }));
+        rec.record(&TraceEvent::Recv(RecvEvent {
+            id,
+            o_recv: SimDelta::from_micros(4.0),
+            done: us(begin_us + 10.8),
+        }));
+    }
+
+    #[test]
+    fn lifecycle_components_sum_to_end_to_end() {
+        let rec = TraceRecorder::new(true);
+        complete(&rec, 1, 0.0);
+        let rep = rec.finish();
+        assert_eq!(rep.summary.msgs, 1);
+        assert_eq!(rep.summary.completed, 1);
+        let m = &rep.records[0];
+        assert!(m.completed && !m.tangled);
+        assert_eq!(m.component_sum(), m.end_to_end());
+        assert_eq!(m.end_to_end(), SimDelta::from_micros(10.8));
+        assert_eq!(m.o_send, SimDelta::from_micros(1.8));
+        assert_eq!(m.wire, SimDelta::from_micros(5.0));
+        assert_eq!(m.o_recv, SimDelta::from_micros(4.0));
+        assert_eq!(m.tx_wait + m.dma + m.rx_hold + m.rx_queue, SimDelta::ZERO);
+        assert_eq!(rep.summary.e2e_total, SimDelta::from_micros(10.8));
+    }
+
+    #[test]
+    fn queue_and_nic_waits_are_attributed() {
+        let rec = TraceRecorder::new(true);
+        rec.record(&TraceEvent::Send(SendEvent {
+            id: 7,
+            src: 0,
+            dst: 1,
+            reply: false,
+            kind: MsgKind::Read,
+            bytes: 4096,
+            o_send: SimDelta::from_micros(1.8),
+            inject: us(1.8),
+            tx_start: us(3.0),    // tx NIC busy 1.2us
+            wire_done: us(110.0), // DMA 107us
+            arrival: us(115.0),
+            in_flight: 3,
+            timer_depth: 2,
+        }));
+        rec.record(&TraceEvent::Visible(VisibleEvent {
+            id: 7,
+            at: us(118.0), // rx context held it 3us
+            rx_depth: 2,
+        }));
+        rec.record(&TraceEvent::Recv(RecvEvent {
+            id: 7,
+            o_recv: SimDelta::from_micros(4.0),
+            done: us(130.0), // popped at 126, queued 8us
+        }));
+        let m = rec.finish().records[0];
+        assert_eq!(m.tx_wait, SimDelta::from_micros(1.2));
+        assert_eq!(m.dma, SimDelta::from_micros(107.0));
+        assert_eq!(m.wire, SimDelta::from_micros(5.0));
+        assert_eq!(m.rx_hold, SimDelta::from_micros(3.0));
+        assert_eq!(m.rx_queue, SimDelta::from_micros(8.0));
+        assert_eq!(m.component_sum(), m.end_to_end());
+        assert_eq!(m.end_to_end(), SimDelta::from_micros(130.0));
+    }
+
+    #[test]
+    fn summary_mode_evicts_but_matches_full_mode_summary() {
+        let full = TraceRecorder::new(true);
+        let slim = TraceRecorder::new(false);
+        for id in 1..=100 {
+            complete(&full, id, id as f64 * 20.0);
+            complete(&slim, id, id as f64 * 20.0);
+        }
+        let a = full.finish();
+        let b = slim.finish();
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.records.len(), 100);
+        assert!(b.records.is_empty());
+        assert!(slim.state.borrow().pending.is_empty(), "eviction failed");
+    }
+
+    #[test]
+    fn retransmit_restarts_the_attempt_and_counts() {
+        let rec = TraceRecorder::new(true);
+        rec.record(&send(1, 0, 1, 0.0)); // original, dropped on the wire
+        rec.record(&TraceEvent::Drop { id: 1, at: us(1.8) });
+        rec.record(&TraceEvent::Retransmit {
+            id: 1,
+            attempt: 2,
+            o_send: SimDelta::from_micros(1.8),
+            at: us(500.0),
+        });
+        // Retry injected at the timer instant, o_send charged out of band.
+        rec.record(&TraceEvent::Send(SendEvent {
+            id: 1,
+            src: 0,
+            dst: 1,
+            reply: false,
+            kind: MsgKind::Write,
+            bytes: 0,
+            o_send: SimDelta::ZERO,
+            inject: us(500.0),
+            tx_start: us(500.0),
+            wire_done: us(500.0),
+            arrival: us(505.0),
+            in_flight: 1,
+            timer_depth: 1,
+        }));
+        rec.record(&TraceEvent::Visible(VisibleEvent {
+            id: 1,
+            at: us(505.0),
+            rx_depth: 1,
+        }));
+        rec.record(&TraceEvent::Recv(RecvEvent {
+            id: 1,
+            o_recv: SimDelta::from_micros(4.0),
+            done: us(509.0),
+        }));
+        let rep = rec.finish();
+        let m = &rep.records[0];
+        assert_eq!(rep.summary.msgs, 1, "retransmit is not a new message");
+        assert_eq!(m.attempts, 2);
+        assert_eq!(m.dropped_attempts, 1);
+        assert!(m.completed && !m.tangled);
+        // Attribution describes the successful attempt.
+        assert_eq!(m.send_begin, us(500.0));
+        assert_eq!(m.component_sum(), m.end_to_end());
+        assert_eq!(rep.summary.retransmits, 1);
+        assert_eq!(rep.summary.drops, 1);
+        assert_eq!(rep.summary.retransmit_o_total, SimDelta::from_micros(1.8));
+    }
+
+    #[test]
+    fn duplicate_delivery_after_completion_is_extra() {
+        let rec = TraceRecorder::new(true);
+        complete(&rec, 1, 0.0);
+        rec.record(&TraceEvent::Visible(VisibleEvent {
+            id: 1,
+            at: us(40.0),
+            rx_depth: 1,
+        }));
+        rec.record(&TraceEvent::Recv(RecvEvent {
+            id: 1,
+            o_recv: SimDelta::from_micros(4.0),
+            done: us(44.0),
+        }));
+        let rep = rec.finish();
+        assert_eq!(rep.summary.completed, 1);
+        assert_eq!(rep.summary.extra_deliveries, 2);
+        // The completed attribution is untouched.
+        assert_eq!(rep.records[0].done, us(10.8));
+    }
+
+    #[test]
+    fn incomplete_messages_are_reported_open() {
+        let rec = TraceRecorder::new(true);
+        rec.record(&send(9, 1, 0, 0.0));
+        let rep = rec.finish();
+        assert_eq!(rep.summary.msgs, 1);
+        assert_eq!(rep.summary.completed, 0);
+        assert!(!rep.records[0].completed);
+    }
+
+    #[test]
+    fn histograms_bucket_by_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 1000, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1024);
+        assert!((h.mean() - (0.0 + 1.0 + 2.0 + 3.0 + 1000.0 + 1024.0) / 6.0).abs() < 1e-9);
+        assert_eq!(h.quantile(1.0), 2047);
+        assert_eq!(h.quantile(0.1), 0);
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn shade_matrix_renders_two_node_fixture() {
+        // The satellite fixture: 2 nodes, each sending only to the other,
+        // one link carrying 3x the traffic of the reverse link.
+        let m = vec![vec![0, 300], vec![100, 0]];
+        let s = render_shade_matrix(&m);
+        assert_eq!(s, " @\n- \n");
+        // All-zero matrices render blank, not NaN garbage.
+        assert_eq!(render_shade_matrix(&[vec![0, 0]]), "  \n");
+    }
+
+    #[test]
+    fn summary_render_mentions_all_components() {
+        let rec = TraceRecorder::new(false);
+        complete(&rec, 1, 0.0);
+        complete(&rec, 2, 30.0);
+        let text = rec.finish().summary.render();
+        for part in [
+            "o_send",
+            "tx_wait",
+            "dma",
+            "wire",
+            "rx_hold",
+            "rx_queue",
+            "o_recv",
+            "end-to-end",
+            "balance matrix",
+        ] {
+            assert!(text.contains(part), "missing {part} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn axis_shares_partition_end_to_end() {
+        let rec = TraceRecorder::new(false);
+        complete(&rec, 1, 0.0);
+        let s = rec.finish().summary;
+        let total = s.share_overhead() + s.share_nic() + s.share_wire() + s.share_rx_queue();
+        assert!(
+            (total - 1.0).abs() < 1e-12,
+            "shares must partition: {total}"
+        );
+    }
+}

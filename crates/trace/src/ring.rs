@@ -1,0 +1,252 @@
+//! Compact binary ring-buffer tracing: bounded memory on unbounded runs.
+//!
+//! Every [`TraceEvent`](crate::TraceEvent) is compacted to one fixed
+//! 32-byte entry — `[tag, id, time, aux]` as four little-endian `u64`
+//! words — and written into a circular buffer that overwrites its oldest
+//! entry once full. The compaction is deliberately lossy (one timestamp
+//! and one packed auxiliary word per event); the point is a last-N flight
+//! recorder whose cost per event is a few stores, not a faithful replay
+//! log — [`crate::TraceRecorder`] is that.
+
+use std::cell::RefCell;
+
+use nowlab_sim::SimTime;
+
+use crate::{TraceEvent, TraceSink};
+
+/// `u64` words per ring entry.
+pub const ENTRY_WORDS: usize = 4;
+
+/// Discriminant of a compacted event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventTag {
+    /// Injection at the source NIC (`aux` packs `src«48 | dst«32 | bytes`).
+    Send,
+    /// Visibility at the destination (`aux` = receive-queue depth).
+    Visible,
+    /// Receive overhead paid (`aux` = `o_recv` nanoseconds).
+    Recv,
+    /// Handler ran.
+    Handler,
+    /// Dropped on the wire.
+    Drop,
+    /// Duplicate delivery scheduled.
+    Dup,
+    /// Retransmission timer fired (`aux` = attempt number).
+    Retransmit,
+}
+
+impl EventTag {
+    fn code(self) -> u64 {
+        match self {
+            EventTag::Send => 0,
+            EventTag::Visible => 1,
+            EventTag::Recv => 2,
+            EventTag::Handler => 3,
+            EventTag::Drop => 4,
+            EventTag::Dup => 5,
+            EventTag::Retransmit => 6,
+        }
+    }
+
+    fn from_code(c: u64) -> Option<Self> {
+        Some(match c {
+            0 => EventTag::Send,
+            1 => EventTag::Visible,
+            2 => EventTag::Recv,
+            3 => EventTag::Handler,
+            4 => EventTag::Drop,
+            5 => EventTag::Dup,
+            6 => EventTag::Retransmit,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded ring entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RingEntry {
+    /// What happened.
+    pub tag: EventTag,
+    /// Trace correlation id.
+    pub id: u64,
+    /// When (virtual nanoseconds).
+    pub at: SimTime,
+    /// Tag-specific packed word (see [`EventTag`]).
+    pub aux: u64,
+}
+
+fn encode(ev: &TraceEvent) -> [u64; ENTRY_WORDS] {
+    let (tag, at, aux) = match *ev {
+        TraceEvent::Send(ref e) => (
+            EventTag::Send,
+            e.inject,
+            ((e.src as u64) << 48) | ((e.dst as u64) << 32) | u64::from(e.bytes),
+        ),
+        TraceEvent::Visible(ref e) => (EventTag::Visible, e.at, u64::from(e.rx_depth)),
+        TraceEvent::Recv(ref e) => (EventTag::Recv, e.done, e.o_recv.as_nanos()),
+        TraceEvent::Handler { at, .. } => (EventTag::Handler, at, 0),
+        TraceEvent::Drop { at, .. } => (EventTag::Drop, at, 0),
+        TraceEvent::DupDelivery { arrival, .. } => (EventTag::Dup, arrival, 0),
+        TraceEvent::Retransmit { attempt, at, .. } => {
+            (EventTag::Retransmit, at, u64::from(attempt))
+        }
+    };
+    [tag.code(), ev.id(), at.as_nanos(), aux]
+}
+
+struct RingState {
+    slots: Vec<[u64; ENTRY_WORDS]>,
+    next: usize,
+    total: u64,
+}
+
+/// A [`TraceSink`] that keeps only the most recent `capacity` events in a
+/// fixed binary buffer.
+pub struct RingSink {
+    capacity: usize,
+    state: RefCell<RingState>,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSink {
+            capacity,
+            state: RefCell::new(RingState {
+                slots: Vec::new(),
+                next: 0,
+                total: 0,
+            }),
+        }
+    }
+
+    /// Total events ever recorded (≥ what the ring still holds).
+    pub fn total(&self) -> u64 {
+        self.state.borrow().total
+    }
+
+    /// Decodes the retained entries, oldest first.
+    pub fn entries(&self) -> Vec<RingEntry> {
+        let st = self.state.borrow();
+        let n = st.slots.len();
+        let start = if (st.total as usize) > n { st.next } else { 0 };
+        (0..n)
+            .map(|i| st.slots[(start + i) % n])
+            .filter_map(|w| {
+                Some(RingEntry {
+                    tag: EventTag::from_code(w[0])?,
+                    id: w[1],
+                    at: SimTime::from_nanos(w[2]),
+                    aux: w[3],
+                })
+            })
+            .collect()
+    }
+
+    /// The raw buffer, oldest entry first, as little-endian bytes —
+    /// `32·min(total, capacity)` of them.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let st = self.state.borrow();
+        let n = st.slots.len();
+        let start = if (st.total as usize) > n { st.next } else { 0 };
+        let mut out = Vec::with_capacity(n * ENTRY_WORDS * 8);
+        for i in 0..n {
+            for word in st.slots[(start + i) % n] {
+                out.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, ev: &TraceEvent) {
+        let mut st = self.state.borrow_mut();
+        let entry = encode(ev);
+        if st.slots.len() < self.capacity {
+            st.slots.push(entry);
+        } else {
+            let at = st.next;
+            st.slots[at] = entry;
+        }
+        st.next = (st.next + 1) % self.capacity;
+        st.total += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VisibleEvent;
+    use nowlab_sim::SimDelta;
+
+    fn visible(id: u64, at_ns: u64) -> TraceEvent {
+        TraceEvent::Visible(VisibleEvent {
+            id,
+            at: SimTime::from_nanos(at_ns),
+            rx_depth: id as u32,
+        })
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_stays_ordered() {
+        let ring = RingSink::new(3);
+        for id in 1..=5 {
+            ring.record(&visible(id, id * 100));
+        }
+        assert_eq!(ring.total(), 5);
+        let got = ring.entries();
+        assert_eq!(got.len(), 3);
+        assert_eq!(
+            got.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![3, 4, 5],
+            "oldest two must have been overwritten"
+        );
+        assert!(got.iter().all(|e| e.tag == EventTag::Visible));
+        assert_eq!(got[0].at, SimTime::from_nanos(300));
+        assert_eq!(got[2].aux, 5);
+    }
+
+    #[test]
+    fn encode_round_trips_through_bytes() {
+        let ring = RingSink::new(8);
+        ring.record(&TraceEvent::Recv(crate::RecvEvent {
+            id: 42,
+            o_recv: SimDelta::from_micros(4.0),
+            done: SimTime::from_nanos(10_800),
+        }));
+        ring.record(&TraceEvent::Retransmit {
+            id: 7,
+            attempt: 3,
+            o_send: SimDelta::from_micros(1.8),
+            at: SimTime::from_nanos(500_000),
+        });
+        let bytes = ring.to_bytes();
+        assert_eq!(bytes.len(), 2 * ENTRY_WORDS * 8);
+        // Decode the first entry by hand from the little-endian words.
+        let word = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        assert_eq!(word(0), EventTag::Recv.code());
+        assert_eq!(word(1), 42);
+        assert_eq!(word(2), 10_800);
+        assert_eq!(word(3), 4_000);
+        let entries = ring.entries();
+        assert_eq!(entries[1].tag, EventTag::Retransmit);
+        assert_eq!(entries[1].aux, 3);
+    }
+
+    #[test]
+    fn partial_fill_keeps_insertion_order() {
+        let ring = RingSink::new(10);
+        ring.record(&visible(1, 10));
+        ring.record(&visible(2, 20));
+        let got = ring.entries();
+        assert_eq!(got.len(), 2);
+        assert_eq!((got[0].id, got[1].id), (1, 2));
+    }
+}

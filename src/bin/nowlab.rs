@@ -27,22 +27,28 @@ use nowlab::core::calib::{calibrate, calibrate_bulk};
 use nowlab::core::report::{fmt_f, fmt_time, Table};
 use nowlab::core::{
     default_jobs, parallel_map, sweep_jobs, Axis, FaultPlan, Knobs, NetConfig, RunSpec, SimDelta,
-    SweepableApp,
+    SweepableApp, TraceMode,
 };
+use nowlab::trace::chrome::write_chrome_trace;
 
 const USAGE: &str = "usage:
   nowlab list
   nowlab calibrate [--o US] [--g US] [--l US] [--mbps MB] [--window N]
   nowlab run   --app NAME [--procs N] [--seed S] [--scale test|benchmark]
                [--o US] [--g US] [--l US] [--mbps MB] [--verify-determinism]
+               [--trace FILE.json] [--trace-summary]
   nowlab sweep --app NAME --axis overhead|gap|latency|bulk [--procs N]
-               [--scale test|benchmark]
+               [--scale test|benchmark] [--trace-summary]
   nowlab suite [--procs N] [--scale test|benchmark]
 parallelism (run/sweep/suite):
   [--jobs N]   worker threads for independent runs (default: all cores;
                results are byte-identical to --jobs 1)
 fault injection (calibrate/run/sweep/suite):
-  [--drop-rate R] [--fault-seed S]   deterministic wire loss, R in [0,1]";
+  [--drop-rate R] [--fault-seed S]   deterministic wire loss, R in [0,1]
+tracing (run/sweep):
+  [--trace FILE.json]  per-message LogGP cost trace (Chrome trace format,
+                       open in chrome://tracing or ui.perfetto.dev)
+  [--trace-summary]    per-component cost attribution table";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,7 +81,7 @@ fn main() -> ExitCode {
 }
 
 /// Flags that take no value; their presence maps to `"true"`.
-const BOOL_FLAGS: &[&str] = &["verify-determinism"];
+const BOOL_FLAGS: &[&str] = &["verify-determinism", "trace-summary"];
 
 fn parse_flags(rest: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -240,13 +246,27 @@ fn cmd_calibrate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Tracing mode from `--trace` / `--trace-summary`: a Chrome-trace export
+/// needs full per-message records; a summary alone gets the bounded-memory
+/// aggregation mode.
+fn trace_mode_of(flags: &HashMap<String, String>) -> TraceMode {
+    if flags.contains_key("trace") {
+        TraceMode::Full
+    } else if flags.contains_key("trace-summary") {
+        TraceMode::Summary
+    } else {
+        TraceMode::Off
+    }
+}
+
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let name = flags.get("app").ok_or("run needs --app")?;
     let app = find_app(scale_of(flags)?, name)?;
     let spec = guard(
         RunSpec::new(parse_or(flags, "procs", 32usize)?)
             .with_net(net_of(flags)?)
-            .with_seed(parse_or(flags, "seed", 1u64)?),
+            .with_seed(parse_or(flags, "seed", 1u64)?)
+            .with_trace(trace_mode_of(flags)),
     );
     let jobs = jobs_of(flags)?;
     let verify = flags.contains_key("verify-determinism");
@@ -294,6 +314,22 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             out.stats.total_timeouts(),
             fmt_time(out.stats.max_retry_backoff()),
         );
+    }
+    if let Some(report) = &out.trace {
+        if flags.contains_key("trace-summary") {
+            println!("{}", report.summary.render());
+        }
+        if let Some(path) = flags.get("trace") {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("--trace {path}: cannot create: {e}"))?;
+            let mut w = std::io::BufWriter::new(file);
+            let drawn = write_chrome_trace(&report.records, &mut w)
+                .map_err(|e| format!("--trace {path}: write failed: {e}"))?;
+            println!(
+                "trace: {drawn} message lifetimes ({} records) written to {path}",
+                report.records.len()
+            );
+        }
     }
     if verify {
         // Re-run the identical spec and diff everything observable. Virtual
@@ -345,7 +381,16 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
         "bulk" | "bandwidth" | "mbps" => Axis::BulkBandwidth,
         other => return Err(format!("--axis: `{other}`")),
     };
-    let spec = guard(RunSpec::new(parse_or(flags, "procs", 32usize)?).with_net(net_of(flags)?));
+    let tracing = flags.contains_key("trace-summary");
+    let spec = guard(
+        RunSpec::new(parse_or(flags, "procs", 32usize)?)
+            .with_net(net_of(flags)?)
+            .with_trace(if tracing {
+                TraceMode::Summary
+            } else {
+                TraceMode::Off
+            }),
+    );
     let values = axis.paper_values();
     let result = match sweep_jobs(app.as_ref(), &spec, axis, &values, jobs_of(flags)?) {
         Ok(s) => s,
@@ -361,6 +406,9 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut headers = vec![axis.label(), "runtime", "slowdown"];
     if faulty {
         headers.extend(["drops", "retx", "timeouts"]);
+    }
+    if tracing {
+        headers.extend(["% o", "% nic", "% wire", "% rxq"]);
     }
     let mut t = Table::new(
         format!("{}: slowdown vs {axis} ({} procs)", result.app, spec.procs),
@@ -382,6 +430,19 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
                 p.retransmits.to_string(),
                 p.timeouts.to_string(),
             ]);
+        }
+        if tracing {
+            // Per-axis attribution: where each message's end-to-end time
+            // went at this sweep point (overhead, NIC, wire, rx queueing).
+            match &p.trace {
+                Some(s) => row.extend([
+                    fmt_f(100.0 * s.share_overhead(), 1),
+                    fmt_f(100.0 * s.share_nic(), 1),
+                    fmt_f(100.0 * s.share_wire(), 1),
+                    fmt_f(100.0 * s.share_rx_queue(), 1),
+                ]),
+                None => row.extend(["-".into(), "-".into(), "-".into(), "-".into()]),
+            }
         }
         t.push_row(row);
     }

@@ -82,6 +82,7 @@
 //!             completed: outcome.completed,
 //!             check: outcome.outputs.iter().map(|o| o.unwrap_or(0)).sum(),
 //!             events: outcome.report.events_fired,
+//!             trace: None,
 //!         }
 //!     }
 //! }
@@ -105,6 +106,11 @@ pub mod am {
     pub use nowlab_am::*;
 }
 
+/// Per-message LogGP cost tracing (re-export of `nowlab-trace`).
+pub mod trace {
+    pub use nowlab_trace::*;
+}
+
 /// The Split-C-style PGAS layer (re-export of `nowlab-splitc`).
 pub mod splitc {
     pub use nowlab_splitc::*;
@@ -123,5 +129,5 @@ pub mod apps {
 pub use nowlab_am::{FaultPlan, Knobs, LoggpParams, NetConfig, Outage, Reliability};
 pub use nowlab_core::{
     default_jobs, sweep, sweep_jobs, sweep_many, Axis, RunOutcome, RunSpec, SweepError,
-    SweepableApp,
+    SweepableApp, TraceMode,
 };

@@ -93,6 +93,56 @@ fn verify_determinism_works_with_parallel_replicas() {
 }
 
 #[test]
+fn run_with_tracing_emits_summary_and_chrome_file() {
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_trace.json");
+    let path_s = path.to_str().unwrap();
+    let (ok, text) = nowlab(&[
+        "run",
+        "--app",
+        "radix",
+        "--procs",
+        "4",
+        "--scale",
+        "test",
+        "--trace",
+        path_s,
+        "--trace-summary",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("trace summary:"), "{text}");
+    assert!(text.contains("end-to-end"), "{text}");
+    assert!(
+        text.contains("100.0%"),
+        "attribution must total 100%: {text}"
+    );
+    let json = std::fs::read_to_string(&path).expect("trace file written");
+    let json = json.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "not JSON");
+    assert!(json.contains("\"traceEvents\""), "missing traceEvents");
+    assert!(json.contains("\"ph\":\"X\""), "missing complete slices");
+}
+
+#[test]
+fn sweep_with_trace_summary_adds_attribution_columns() {
+    let (ok, text) = nowlab(&[
+        "sweep",
+        "--app",
+        "radix",
+        "--axis",
+        "overhead",
+        "--procs",
+        "4",
+        "--scale",
+        "test",
+        "--trace-summary",
+    ]);
+    assert!(ok, "{text}");
+    for col in ["% o", "% nic", "% wire", "% rxq"] {
+        assert!(text.contains(col), "missing column {col}: {text}");
+    }
+}
+
+#[test]
 fn incomplete_sweep_reports_na_instead_of_panicking() {
     // Total loss: every message dropped, so no baseline can complete.
     let (ok, text) = nowlab(&[

@@ -1,0 +1,109 @@
+//! Analytic models vs. measured runtimes (paper §5.1–§5.2).
+//!
+//! The paper validates its sensitivity predictors against the measured
+//! sweeps: `r + 2mΔo` for overhead, and the better of the burst
+//! (`r + mΔg`) and uniform (`r + m(g − I)`) models for gap. This suite
+//! replays that comparison on two apps with opposite communication
+//! characters — Radix (bursty all-to-all) and EM3D(write) (pipelined
+//! stores) — and pins the observed worst-case relative error as a golden
+//! bound, so any regression in either the apps or the models shows up as
+//! a drift in prediction quality.
+
+use nowlab::apps::{suite_scaled, SuiteScale};
+use nowlab::core::models::{predict_gap_burst, predict_gap_uniform, predict_overhead, rel_error};
+use nowlab::core::{RunSpec, SimDelta, SweepableApp};
+use nowlab::{Knobs, NetConfig};
+
+fn app(name: &str) -> Box<dyn SweepableApp> {
+    suite_scaled(SuiteScale::Test)
+        .into_iter()
+        .find(|a| a.name() == name)
+        .unwrap_or_else(|| panic!("app {name} not in suite"))
+}
+
+fn spec_with(knobs: Knobs) -> RunSpec {
+    RunSpec::new(4)
+        .with_net(NetConfig::berkeley_now().with_knobs(knobs))
+        .with_event_limit(300_000_000)
+}
+
+/// Worst-case relative error of the overhead model `r + 2mΔo` over the
+/// paper's mid and far sweep points.
+fn overhead_model_error(name: &str) -> f64 {
+    let app = app(name);
+    let base = app.run(&spec_with(Knobs::baseline()));
+    assert!(base.completed, "{name} baseline");
+    let m = base.stats.max_msgs_per_proc();
+    let mut worst = 0.0f64;
+    for desired in [13.0, 53.0] {
+        let d_o = SimDelta::from_micros(desired - 2.9);
+        let meas = app.run(&spec_with(Knobs::with_overhead(d_o)));
+        assert!(meas.completed, "{name} at o={desired}");
+        let pred = predict_overhead(base.runtime, m, d_o);
+        let err = rel_error(pred, meas.runtime);
+        println!(
+            "{name} o={desired}: pred={pred} meas={} err={err:.4}",
+            meas.runtime
+        );
+        worst = worst.max(err);
+    }
+    worst
+}
+
+/// Worst-case relative error of the gap model — the better of burst and
+/// uniform, as the paper selects per application — over the paper's mid
+/// and far sweep points.
+fn gap_model_error(name: &str) -> f64 {
+    let app = app(name);
+    let base = app.run(&spec_with(Knobs::baseline()));
+    assert!(base.completed, "{name} baseline");
+    let m = base.stats.max_msgs_per_proc();
+    let interval = SimDelta::from_micros(base.stats.msg_interval_us());
+    let mut worst = 0.0f64;
+    for desired in [30.0, 105.0] {
+        let d_g = SimDelta::from_micros(desired - 5.8);
+        let meas = app.run(&spec_with(Knobs::with_gap(d_g)));
+        assert!(meas.completed, "{name} at g={desired}");
+        let burst = predict_gap_burst(base.runtime, m, d_g);
+        let uniform =
+            predict_gap_uniform(base.runtime, m, SimDelta::from_micros(desired), interval);
+        let err = rel_error(burst, meas.runtime).min(rel_error(uniform, meas.runtime));
+        println!(
+            "{name} g={desired}: burst={burst} uniform={uniform} meas={} err={err:.4}",
+            meas.runtime
+        );
+        worst = worst.max(err);
+    }
+    worst
+}
+
+// Golden bounds: observed worst-case errors at the time of writing were
+// radix Δo 0.124 / Δg 0.117 and em3d(write) Δo 0.080 / Δg 0.203 (at Test
+// scale the fixed setup/barrier fraction the models ignore is larger
+// than at paper scale, so errors sit above the paper's ~10%). Pinned at
+// ~1.5× the observation: the simulation is deterministic, so these only
+// move if the apps or the models genuinely change.
+
+#[test]
+fn radix_overhead_model_tracks_measurement() {
+    let worst = overhead_model_error("Radix");
+    assert!(worst < 0.19, "radix overhead model err {worst:.4}");
+}
+
+#[test]
+fn radix_gap_model_tracks_measurement() {
+    let worst = gap_model_error("Radix");
+    assert!(worst < 0.18, "radix gap model err {worst:.4}");
+}
+
+#[test]
+fn em3d_write_overhead_model_tracks_measurement() {
+    let worst = overhead_model_error("EM3D(write)");
+    assert!(worst < 0.12, "em3d overhead model err {worst:.4}");
+}
+
+#[test]
+fn em3d_write_gap_model_tracks_measurement() {
+    let worst = gap_model_error("EM3D(write)");
+    assert!(worst < 0.31, "em3d gap model err {worst:.4}");
+}

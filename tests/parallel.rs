@@ -6,7 +6,7 @@
 //! state leaked across the run boundary.
 
 use nowlab::apps::{suite_scaled, SuiteScale};
-use nowlab::core::{sweep_jobs, sweep_many, Axis, NetConfig, SimDelta, SweepError};
+use nowlab::core::{sweep_jobs, sweep_many, Axis, NetConfig, SimDelta, SweepError, TraceMode};
 use nowlab::{sweep, FaultPlan, RunSpec};
 
 /// A faulty-wire spec: deterministic drops engage the reliability
@@ -60,6 +60,25 @@ fn suite_level_fanout_matches_per_app_sequential_sweeps() {
         let par = sweep_many(&apps, &spec, Axis::Latency, &O_VALUES, jobs);
         assert_eq!(par, seq, "jobs={jobs} suite fan-out diverged");
     }
+}
+
+#[test]
+fn parallel_sweep_with_tracing_matches_sequential() {
+    // Tracing adds per-run recorder state (the sink lives inside each
+    // simulation); a parallel sweep must neither share nor reorder it —
+    // every point's `TraceSummary` compares equal to the sequential run's.
+    let apps = suite_scaled(SuiteScale::Test);
+    let spec = faulty_spec(4).with_trace(TraceMode::Summary);
+    let app = &apps[0];
+    let seq = sweep_jobs(app.as_ref(), &spec, Axis::Overhead, &O_VALUES, 1)
+        .expect("baseline completes under 5% drops");
+    for p in &seq.points {
+        let s = p.trace.as_ref().expect("tracing was requested");
+        assert!(s.completed > 0, "{}: empty trace", app.name());
+    }
+    let par = sweep_jobs(app.as_ref(), &spec, Axis::Overhead, &O_VALUES, 2)
+        .expect("baseline completes under 5% drops");
+    assert_eq!(par, seq, "jobs=2 traced sweep diverged");
 }
 
 #[test]
