@@ -22,6 +22,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::{Rc, Weak};
 
+use nowlab_metrics::MetricsSink;
 use nowlab_sim::{Notify, Sim, SimDelta, SimTime};
 use nowlab_trace::{MsgKind, SendEvent, TraceEvent, TraceSink, VisibleEvent};
 
@@ -171,6 +172,10 @@ pub(crate) struct ClusterInner {
     /// Optional lifecycle observer. When empty (the default) the hot path
     /// pays one pointer check per hook and constructs nothing.
     pub trace: OnceCell<Rc<dyn TraceSink>>,
+    /// Optional metrics observer (utilization timelines). Same discipline
+    /// as `trace`: one pointer check per hook when empty, pure
+    /// observation when installed.
+    pub metrics: OnceCell<Rc<dyn MetricsSink>>,
     /// Deterministic trace-id well: advances once per port-constructed
     /// message whether or not a sink is installed, so tracing cannot
     /// perturb a run.
@@ -259,6 +264,7 @@ impl AmCluster {
                 stats_epoch: Cell::new(SimTime::ZERO),
                 frozen_stats: RefCell::new(None),
                 trace: OnceCell::new(),
+                metrics: OnceCell::new(),
                 trace_ids: Cell::new(0),
             }),
         }
@@ -270,6 +276,14 @@ impl AmCluster {
     /// untraced runs.
     pub fn set_trace_sink(&self, sink: Rc<dyn TraceSink>) {
         let _ = self.inner.trace.set(sink);
+    }
+
+    /// Installs a metrics observer (see [`MetricsSink`]). The first
+    /// installation wins; later calls are ignored. Like tracing, metrics
+    /// hooks are passive: a metered run is event-count- and
+    /// result-identical to an unmetered one.
+    pub fn set_metrics_sink(&self, sink: Rc<dyn MetricsSink>) {
+        let _ = self.inner.metrics.set(sink);
     }
 
     /// Number of processors.
@@ -465,6 +479,16 @@ impl ClusterInner {
             (last_done, t)
         };
         src.nic_tx_free.set(tx_free);
+        if let Some(m) = self.metrics.get() {
+            // The send context is busy from DMA start to loop release;
+            // `nic_tx_free` serializes these spans, so they never overlap.
+            m.nic_tx(msg.src, start, tx_free);
+            m.window_depth(
+                msg.src,
+                self.cfg.window.saturating_sub(src.credits.get()) as usize,
+                now,
+            );
+        }
 
         // Transit. With the delay queue the added latency is applied here
         // (equivalent to deferring the presence bit at the receiver); with
@@ -543,6 +567,9 @@ impl ClusterInner {
             }));
         }
 
+        if let Some(m) = self.metrics.get() {
+            m.wire(msg.src, msg.dst, wire_done, arrival);
+        }
         let weak = Rc::downgrade(self);
         self.sim
             .schedule(arrival, move |sim| Self::deliver(&weak, sim, msg));
@@ -636,6 +663,12 @@ impl ClusterInner {
                 at: self.sim.now(),
             });
         }
+        if let Some(m) = self.metrics.get() {
+            // Counted, not timed: the interrupt-style o_send charge above
+            // overlaps whatever the processor was doing, so it cannot be
+            // a span in the conserving per-processor timeline.
+            m.retransmit(src, self.sim.now());
+        }
         msg.ack = self.ack_watermark(src, dst);
         // The interrupt-style overhead above does not precede the
         // injection in time, so the retry's attributed o_send is zero
@@ -659,6 +692,9 @@ impl ClusterInner {
         match inner.cfg.latency_mode {
             crate::LatencyMode::DelayQueue => {
                 dst.nic_rx_free.set(now + inner.cfg.eff_gap());
+                if let Some(m) = inner.metrics.get() {
+                    m.nic_rx(msg.dst, now, now + inner.cfg.eff_gap());
+                }
                 let trace_id = msg.trace;
                 dst.rx.borrow_mut().push_back(msg);
                 if let Some(sink) = inner.trace.get() {
@@ -676,6 +712,9 @@ impl ClusterInner {
                 let d_lat = inner.cfg.knobs.d_lat;
                 let visible = now + d_lat;
                 dst.nic_rx_free.set(visible + inner.cfg.eff_gap());
+                if let Some(m) = inner.metrics.get() {
+                    m.nic_rx(msg.dst, now, visible + inner.cfg.eff_gap());
+                }
                 let weak2 = weak.clone();
                 sim.schedule(visible, move |sim| {
                     if let Some(inner) = weak2.upgrade() {

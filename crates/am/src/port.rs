@@ -12,6 +12,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+use nowlab_metrics::{ProcState, WaitKind};
 use nowlab_sim::{SimDelta, SimTime};
 use nowlab_trace::{RecvEvent, TraceEvent};
 
@@ -62,11 +63,34 @@ impl AmPort {
     /// Spends `d` of processor time computing (the network is *not*
     /// serviced meanwhile).
     pub async fn compute(&self, d: SimDelta) {
+        let start = self.inner.sim.now();
         self.inner.sim.delay(d).await;
         self.inner.procs[self.proc]
             .counters
             .borrow_mut()
             .compute_time += d;
+        if let Some(m) = self.inner.metrics.get() {
+            m.busy(self.proc, ProcState::Compute, start, start + d);
+        }
+    }
+
+    /// Marks the crossing into application phase `name` (metrics
+    /// segmentation only; a pure observation with no simulation effect).
+    pub fn phase_marker(&self, name: &str) {
+        if let Some(m) = self.inner.metrics.get() {
+            m.phase(self.proc, name, self.inner.sim.now());
+        }
+    }
+
+    /// Reports an overhead span `[start, start + eff)` to the metrics
+    /// sink, split into the machine's baseline component and the Δo
+    /// busy-loop the overhead knob adds (paper §3).
+    fn note_overhead(&self, state: ProcState, base: SimDelta, eff: SimDelta, start: SimTime) {
+        if let Some(m) = self.inner.metrics.get() {
+            let split = start + base.min(eff);
+            m.busy(self.proc, state, start, split);
+            m.busy(self.proc, ProcState::DeltaO, split, start + eff);
+        }
     }
 
     /// Runs `f` on this processor's user state.
@@ -121,7 +145,10 @@ impl AmPort {
         let cfg = &self.inner.cfg;
         let reliable = cfg.reliability_active();
         let o_recv = cfg.eff_o_recv();
+        let base_o_recv = cfg.machine.o_recv;
+        let start = self.inner.sim.now();
         self.inner.sim.delay(o_recv).await;
+        self.note_overhead(ProcState::ORecv, base_o_recv, o_recv, start);
         {
             let ep = &self.inner.procs[self.proc];
             let mut c = ep.counters.borrow_mut();
@@ -296,7 +323,14 @@ impl AmPort {
     /// so acks flow even when only one side originates requests.
     async fn send_reply(&self, req: &Msg, args: [u64; 4], payload: Payload, mark: Mark) {
         let o_send = self.inner.cfg.eff_o_send();
+        let start = self.inner.sim.now();
         self.inner.sim.delay(o_send).await;
+        self.note_overhead(
+            ProcState::OSend,
+            self.inner.cfg.machine.o_send,
+            o_send,
+            start,
+        );
         {
             let ep = &self.inner.procs[self.proc];
             let mut c = ep.counters.borrow_mut();
@@ -333,9 +367,21 @@ impl AmPort {
     /// message — a steady inbound stream must not starve the waiter, or
     /// pipelines through intermediate processors serialize.
     pub async fn wait_until(&self, cond: impl Fn() -> bool) {
+        self.wait_until_kind(cond, WaitKind::Rx).await
+    }
+
+    /// [`AmPort::wait_until`] with an explicit stall classification for
+    /// the metrics timeline: credit acquisition waits are back-pressure
+    /// ([`WaitKind::Tx`]), everything else is a receive stall.
+    async fn wait_until_kind(&self, cond: impl Fn() -> bool, kind: WaitKind) {
         let ep_flag = || &self.inner.procs[self.proc];
         let was_waiting = ep_flag().in_wait.replace(true);
         let t_enter = self.inner.sim.now();
+        if !was_waiting {
+            if let Some(m) = self.inner.metrics.get() {
+                m.wait_enter(self.proc, kind, t_enter);
+            }
+        }
         loop {
             if cond() {
                 break;
@@ -353,6 +399,9 @@ impl AmPort {
         ep.in_wait.set(was_waiting);
         if !was_waiting {
             ep.counters.borrow_mut().blocked_time += self.inner.sim.now().since(t_enter);
+            if let Some(m) = self.inner.metrics.get() {
+                m.wait_exit(self.proc, self.inner.sim.now());
+            }
         }
     }
 
@@ -362,6 +411,11 @@ impl AmPort {
     pub async fn idle_until(&self, deadline: SimTime) {
         let was_waiting = self.inner.procs[self.proc].in_wait.replace(true);
         let t_enter = self.inner.sim.now();
+        if !was_waiting {
+            if let Some(m) = self.inner.metrics.get() {
+                m.wait_enter(self.proc, WaitKind::Rx, t_enter);
+            }
+        }
         loop {
             if self.inner.sim.now() >= deadline {
                 break;
@@ -383,19 +437,30 @@ impl AmPort {
         ep.in_wait.set(was_waiting);
         if !was_waiting {
             ep.counters.borrow_mut().blocked_time += self.inner.sim.now().since(t_enter);
+            if let Some(m) = self.inner.metrics.get() {
+                m.wait_exit(self.proc, self.inner.sim.now());
+            }
         }
     }
 
     async fn acquire_credit(&self) {
         let ep = || &self.inner.procs[self.proc];
-        self.wait_until(|| ep().credits.get() > 0).await;
+        self.wait_until_kind(|| ep().credits.get() > 0, WaitKind::Tx)
+            .await;
         let e = ep();
         e.credits.set(e.credits.get() - 1);
     }
 
     async fn charge_send(&self) {
         let o_send = self.inner.cfg.eff_o_send();
+        let start = self.inner.sim.now();
         self.inner.sim.delay(o_send).await;
+        self.note_overhead(
+            ProcState::OSend,
+            self.inner.cfg.machine.o_send,
+            o_send,
+            start,
+        );
         self.inner.procs[self.proc].counters.borrow_mut().o_time += o_send;
     }
 

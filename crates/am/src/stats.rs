@@ -221,7 +221,18 @@ impl CommStats {
             .sum::<f64>()
             / p
             / elapsed;
-        let other = (1.0 - compute - overhead - pure_wait).max(0.0);
+        let raw = 1.0 - compute - overhead - pure_wait;
+        // A negative residual means the components over-count elapsed time
+        // (double-charged spans). The clamp below keeps release-mode output
+        // sane, but over-counting is an accounting bug, so fail loudly in
+        // debug builds instead of silently hiding it.
+        debug_assert!(
+            raw >= -1e-6,
+            "time_breakdown over-counts: compute {compute} + overhead {overhead} \
+             + pure_wait {pure_wait} exceeds elapsed by {}",
+            -raw
+        );
+        let other = raw.max(0.0);
         (compute, overhead, pure_wait, other)
     }
 
@@ -363,6 +374,41 @@ mod tests {
         assert_eq!(s.total_retransmits(), 4);
         assert_eq!(s.total_timeouts(), 4);
         assert_eq!(s.max_retry_backoff(), SimDelta::from_micros(400.0));
+    }
+
+    #[test]
+    fn time_breakdown_components_partition_elapsed() {
+        let mut a = ProcCounters::new(1);
+        a.compute_time = SimDelta::from_millis(1.0);
+        a.o_time = SimDelta::from_micros(400.0);
+        a.blocked_time = SimDelta::from_micros(500.0);
+        a.o_time_in_wait = SimDelta::from_micros(100.0);
+        let s = CommStats {
+            per_proc: vec![a],
+            elapsed: SimDelta::from_millis(2.0),
+        };
+        let (compute, overhead, pure_wait, other) = s.time_breakdown();
+        assert!((compute - 0.5).abs() < 1e-9);
+        assert!((overhead - 0.2).abs() < 1e-9);
+        assert!((pure_wait - 0.2).abs() < 1e-9);
+        assert!((other - 0.1).abs() < 1e-9);
+        assert!((compute + overhead + pure_wait + other - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time_breakdown over-counts")]
+    fn time_breakdown_rejects_over_counted_components() {
+        // Components exceed elapsed: the old code clamped this to
+        // other = 0 and hid the bug; it must now trip the debug assert.
+        let mut a = ProcCounters::new(1);
+        a.compute_time = SimDelta::from_millis(2.0);
+        a.o_time = SimDelta::from_millis(1.0);
+        let s = CommStats {
+            per_proc: vec![a],
+            elapsed: SimDelta::from_millis(2.0),
+        };
+        let _ = s.time_breakdown();
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! | `AMP002` | error | re-hardcoded window depth / 4KB fragment size |
 //! | `AMP003` | error | public sim-facing API exposes a hash collection |
 //! | `PAR001` | error | thread/lock primitives outside the orchestration layer |
+//! | `MET001` | error | metrics crate depends on more than `nowlab-sim`/`nowlab-trace` |
 
 #![forbid(unsafe_code)]
 
@@ -109,7 +110,15 @@ pub struct Scope {
 /// Crates whose code is simulation-visible. `bench` is deliberately
 /// absent: it is the host-side wall-clock harness and may read
 /// `Instant`/env freely.
-const SIM_CRATES: &[&str] = &["sim", "trace", "am", "splitc", "core", "apps", "rng"];
+const SIM_CRATES: &[&str] = &[
+    "sim", "trace", "metrics", "am", "splitc", "core", "apps", "rng",
+];
+
+/// Crates the metrics crate may depend on. Metrics sinks sit inside the
+/// simulation loop; keeping the dependency cone this small guarantees
+/// they can never reach I/O, threads, or entropy, so enabling metrics
+/// cannot perturb a run (`MET001`).
+const METRICS_ALLOWED_DEPS: &[&str] = &["nowlab-sim", "nowlab-trace"];
 
 /// Determines the lint scope for a workspace-relative `.rs` path, or
 /// `None` if the file is out of scope (tests, benches, fixtures — anything
@@ -186,7 +195,49 @@ pub fn scan_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
         let source = std::fs::read_to_string(file).map_err(|e| format!("reading {rel}: {e}"))?;
         diags.extend(scan_source(&rel, &source, &scope));
     }
+    diags.extend(lint_metrics_manifest(root)?);
     diags.sort_by(|a, b| (a.path.as_str(), a.line, a.code).cmp(&(b.path.as_str(), b.line, b.code)));
+    Ok(diags)
+}
+
+/// `MET001`: the metrics crate's `[dependencies]` must stay within
+/// [`METRICS_ALLOWED_DEPS`]. A manifest lint rather than a source lint:
+/// the cheapest dependency is the one the crate cannot name at all.
+pub fn lint_metrics_manifest(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let rel = "crates/metrics/Cargo.toml";
+    let path = root.join(rel);
+    if !path.is_file() {
+        return Ok(Vec::new());
+    }
+    let source = std::fs::read_to_string(&path).map_err(|e| format!("reading {rel}: {e}"))?;
+    let mut diags = Vec::new();
+    let mut in_deps = false;
+    for (i, raw) in source.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(name) = line.split(['=', '.']).next().map(str::trim) else {
+            continue;
+        };
+        if !name.is_empty() && !METRICS_ALLOWED_DEPS.contains(&name) {
+            diags.push(Diagnostic {
+                path: rel.to_string(),
+                line: (i + 1) as u32,
+                code: "MET001",
+                severity: Severity::Error,
+                message: format!(
+                    "metrics crate depends on `{name}`; the observer must stay inside \
+                     the allowlist {METRICS_ALLOWED_DEPS:?} so enabling it cannot \
+                     perturb a simulation"
+                ),
+            });
+        }
+    }
     Ok(diags)
 }
 
@@ -229,9 +280,43 @@ mod tests {
         let s = scope_for("crates/trace/src/lib.rs").unwrap();
         assert!(s.sim_visible && !s.am_layer && s.crate_root);
         assert!(!s.parallel_ok);
+        // Metrics sinks likewise run inside the event loop.
+        let s = scope_for("crates/metrics/src/lib.rs").unwrap();
+        assert!(s.sim_visible && !s.am_layer && s.crate_root);
+        assert!(!s.parallel_ok);
         assert!(scope_for("crates/analyze/tests/fixtures/det001.rs").is_none());
         assert!(scope_for("crates/am/tests/gam.rs").is_none());
         assert!(scope_for("README.md").is_none());
+    }
+
+    #[test]
+    fn met001_rejects_dependencies_outside_the_allowlist() {
+        let dir = std::env::temp_dir().join(format!("nowlab-met001-{}", std::process::id()));
+        let manifest_dir = dir.join("crates/metrics");
+        std::fs::create_dir_all(&manifest_dir).unwrap();
+        std::fs::write(
+            manifest_dir.join("Cargo.toml"),
+            "[package]\nname = \"nowlab-metrics\"\n\n[dependencies]\n\
+             nowlab-sim.workspace = true\nnowlab-trace.workspace = true\n\
+             serde = \"1\"\nnowlab-am = { path = \"../am\" }\n",
+        )
+        .unwrap();
+        let diags = lint_metrics_manifest(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let names: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(names, ["MET001", "MET001"]);
+        assert!(diags[0].message.contains("serde"));
+        assert!(diags[1].message.contains("nowlab-am"));
+        // A workspace without the crate at all is fine (older checkouts).
+        assert!(lint_metrics_manifest(Path::new("/nonexistent"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn met001_accepts_the_real_manifest() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        assert!(lint_metrics_manifest(&root).unwrap().is_empty());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::future::Future;
 use std::rc::Rc;
 
 use nowlab_core::{RunOutcome, RunSpec, TraceMode};
+use nowlab_metrics::{MetricsMode, MetricsRecorder, DEFAULT_WINDOW};
 use nowlab_rng::{SeedableRng, SmallRng};
 use nowlab_splitc::{Ctx, SplitC, SpmdConfig};
 use nowlab_trace::TraceRecorder;
@@ -38,12 +39,35 @@ where
     if let Some(r) = &recorder {
         sc.set_trace_sink(Rc::clone(r) as Rc<dyn nowlab_trace::TraceSink>);
     }
+    let meter = match spec.metrics {
+        MetricsMode::Off => None,
+        MetricsMode::On => Some(Rc::new(MetricsRecorder::new(spec.procs, DEFAULT_WINDOW))),
+    };
+    if let Some(m) = &meter {
+        sc.set_metrics_sink(Rc::clone(m) as Rc<dyn nowlab_metrics::MetricsSink>);
+        sc.sim().enable_event_sampling(DEFAULT_WINDOW);
+    }
     setup(&sc);
     let outcome = sc.run(body);
     let check = outcome
         .outputs
         .iter()
         .fold(0u64, |acc, o| acc.wrapping_add(o.unwrap_or(0)));
+    let metrics = meter.map(|m| {
+        let mut report = m.finish(outcome.report.final_time);
+        // The executor hands back only *completed* windows; events in the
+        // final partial window are the residual against the run total.
+        let mut counts = sc.sim().take_event_samples();
+        let residual = outcome
+            .report
+            .events_fired
+            .saturating_sub(counts.iter().sum::<u64>());
+        counts.push(residual);
+        let windows = report.end_ns.div_ceil(report.window_ns).max(1) as usize;
+        counts.resize(windows, 0);
+        report.events_per_window = counts;
+        report
+    });
     RunOutcome {
         runtime: outcome.stats.elapsed,
         stats: outcome.stats,
@@ -51,6 +75,7 @@ where
         check,
         events: outcome.report.events_fired,
         trace: recorder.map(|r| r.finish()),
+        metrics,
     }
 }
 

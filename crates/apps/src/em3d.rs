@@ -319,6 +319,7 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
 
     for _step in 0..params.steps {
         // ---- Half-step 1: update E from H.
+        ctx.phase("e-step");
         if read_based {
             em3d_update_read(&ctx, &my_e_edges, e_vals, h_vals, half, p, my_block.start).await;
         } else {
@@ -345,6 +346,7 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
         ctx.barrier().await;
 
         // ---- Half-step 2: update H from E.
+        ctx.phase("h-step");
         if read_based {
             em3d_update_read(&ctx, &my_h_edges, h_vals, e_vals, half, p, my_block.start).await;
         } else {

@@ -133,6 +133,7 @@ pub(crate) async fn radix_body(
         let digit = |k: u64| ((k >> shift) as usize) & (buckets - 1);
 
         // Phase 1: local histogram.
+        ctx.phase("histogram");
         ctx.compute(C_HIST * n_local as u64).await;
         let mut counts = vec![0u64; buckets];
         for &k in &keys {
@@ -140,9 +141,11 @@ pub(crate) async fn radix_body(
         }
 
         // Phase 2: global histogram (pipelined cyclic shift).
+        ctx.phase("global-hist");
         let hist = global_histogram(&ctx, chain_mb, &counts, bulk).await;
 
         // Phase 3: distribution to globally ranked positions.
+        ctx.phase("distribute");
         let mut rank = vec![0u64; buckets];
         if bulk {
             // Radb: group keys per destination processor, one bulk message

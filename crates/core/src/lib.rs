@@ -45,6 +45,10 @@ pub use nowlab_am::{
     mb_per_s_from_per_byte, per_byte_from_mb_per_s, CommStats, FaultPlan, Knobs, LoggpParams,
     NetConfig, Outage, Reliability,
 };
+pub use nowlab_metrics::{
+    render_report, write_sweep_json, MetricsMode, MetricsRecorder, MetricsReport, MetricsSink,
+    MetricsSummary, ProcState, RunMeta, SweepPointMeta, DEFAULT_WINDOW,
+};
 pub use nowlab_sim::{SimDelta, SimTime};
 pub use nowlab_trace::{TraceMode, TraceReport, TraceSummary};
 pub use sweep::par::{default_jobs, parallel_map};

@@ -13,6 +13,7 @@
 use std::fmt;
 
 use nowlab_am::{CommStats, Knobs, LoggpParams, NetConfig};
+use nowlab_metrics::{MetricsMode, MetricsReport, MetricsSummary};
 use nowlab_sim::SimDelta;
 use nowlab_trace::{TraceMode, TraceReport, TraceSummary};
 
@@ -38,6 +39,9 @@ pub struct RunSpec {
     /// Per-message LogGP cost tracing mode (off by default; tracing never
     /// alters simulation behaviour, only observes it).
     pub trace: TraceMode,
+    /// Simulated-time metrics mode (off by default; like tracing, metrics
+    /// observe the run without altering it).
+    pub metrics: MetricsMode,
 }
 
 impl RunSpec {
@@ -50,6 +54,7 @@ impl RunSpec {
             time_limit: None,
             seed: 1,
             trace: TraceMode::Off,
+            metrics: MetricsMode::Off,
         }
     }
 
@@ -84,6 +89,12 @@ impl RunSpec {
         self.trace = trace;
         self
     }
+
+    /// Sets the metrics mode.
+    pub fn with_metrics(mut self, metrics: MetricsMode) -> Self {
+        self.metrics = metrics;
+        self
+    }
 }
 
 /// The result of one measured application run.
@@ -104,6 +115,9 @@ pub struct RunOutcome {
     /// Per-message LogGP cost trace, when [`RunSpec::trace`] requested one
     /// (`None` under [`TraceMode::Off`]).
     pub trace: Option<TraceReport>,
+    /// Simulated-time utilization metrics, when [`RunSpec::metrics`]
+    /// requested them (`None` under [`MetricsMode::Off`]).
+    pub metrics: Option<MetricsReport>,
 }
 
 /// An application that can be run under the sweep driver.
@@ -208,6 +222,9 @@ pub struct SweepPoint {
     /// Per-component cost attribution at this point, when the sweep ran
     /// with tracing enabled.
     pub trace: Option<TraceSummary>,
+    /// Per-phase utilization summary at this point, when the sweep ran
+    /// with metrics enabled.
+    pub metrics: Option<MetricsSummary>,
 }
 
 /// A full sweep of one application along one axis.
@@ -378,6 +395,7 @@ fn assemble(
             timeouts: outcome.stats.total_timeouts(),
             events: outcome.events,
             trace: outcome.trace.map(|r| r.summary),
+            metrics: outcome.metrics.map(|r| r.summary),
         })
         .collect();
     Ok(AxisSweep {
@@ -520,6 +538,7 @@ mod tests {
                 check: 42,
                 events: 3 * self.msgs,
                 trace: None,
+                metrics: None,
             }
         }
     }
@@ -610,6 +629,7 @@ mod tests {
                 check: 0,
                 events: 0,
                 trace: None,
+                metrics: None,
             }
         }
     }

@@ -1,0 +1,599 @@
+//! Simulated-time metrics registry for the nowlab cluster laboratory.
+//!
+//! Where `nowlab-trace` attributes cost *per message*, this crate
+//! aggregates *per processor-nanosecond*: every instant of every
+//! processor's virtual time is attributed to exactly one of seven states
+//! (compute, send overhead, receive overhead, Δo busy-loop, send-window
+//! wait, receive stall, idle), bucketed into fixed simulated-time windows
+//! and segmented by application phase markers. The accounting is
+//! *conserving by construction*: a per-processor cursor walks virtual
+//! time monotonically and every `[from, to)` span is deposited exactly
+//! once, so the components of each window sum exactly to the window
+//! length (the aggregate twin of the trace crate's telescoping
+//! invariant).
+//!
+//! Like tracing, the subsystem is zero-cost when disabled: the AM layer
+//! holds an `OnceCell<Rc<dyn MetricsSink>>` and the hot path pays one
+//! pointer check. Hooks are *passive* — they piggyback on state
+//! transitions the simulation already performs and schedule no events of
+//! their own, so enabling metrics cannot perturb virtual time, event
+//! counts, or any simulation result.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use nowlab_sim::{SimDelta, SimTime};
+
+pub mod json;
+mod render;
+mod report;
+
+pub use render::render_report;
+pub use report::{
+    write_sweep_json, MetricsReport, MetricsSummary, PhaseSlice, ProcSeries, RunMeta,
+    SweepPointMeta, WireBusy,
+};
+
+/// Whether the metrics registry records anything for a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MetricsMode {
+    /// No recording; the simulation pays one pointer check per hook.
+    #[default]
+    Off,
+    /// Record utilization timelines, phase tables, and AM counters.
+    On,
+}
+
+/// Number of processor states tracked ([`ProcState`] variants).
+pub const N_STATES: usize = 7;
+
+/// The exhaustive, mutually exclusive classification of a processor's
+/// virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcState {
+    /// Application compute (`Ctx::compute` spans).
+    Compute = 0,
+    /// Baseline send overhead `o_send` (processor busy injecting).
+    OSend = 1,
+    /// Baseline receive overhead `o_recv` (processor busy extracting).
+    ORecv = 2,
+    /// The Δo busy-loop added by the overhead knob (paper §3).
+    DeltaO = 3,
+    /// Stalled for a send-window credit (flow control back-pressure).
+    TxWait = 4,
+    /// Stalled polling for an awaited message or deadline.
+    RxStall = 5,
+    /// None of the above (local bookkeeping between spans).
+    Idle = 6,
+}
+
+impl ProcState {
+    /// All states, in report column order.
+    pub const ALL: [ProcState; N_STATES] = [
+        ProcState::Compute,
+        ProcState::OSend,
+        ProcState::ORecv,
+        ProcState::DeltaO,
+        ProcState::TxWait,
+        ProcState::RxStall,
+        ProcState::Idle,
+    ];
+
+    /// Stable machine-readable label (also the JSON schema order).
+    pub fn label(self) -> &'static str {
+        match self {
+            ProcState::Compute => "compute",
+            ProcState::OSend => "o_send",
+            ProcState::ORecv => "o_recv",
+            ProcState::DeltaO => "delta_o",
+            ProcState::TxWait => "tx_wait",
+            ProcState::RxStall => "rx_stall",
+            ProcState::Idle => "idle",
+        }
+    }
+}
+
+/// What a processor is waiting *for* while it services the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitKind {
+    /// Blocked acquiring a send-window credit ([`ProcState::TxWait`]).
+    Tx,
+    /// Blocked on a condition or deadline ([`ProcState::RxStall`]).
+    Rx,
+}
+
+/// Passive observer of simulation state transitions.
+///
+/// Implementations must not schedule events, mutate simulation state, or
+/// read host time — the analyzer's MET001/DET lints enforce this for the
+/// in-tree recorder. All hooks are invoked at the *end* of the span they
+/// describe (spans never overlap per processor; see [`MetricsRecorder`]).
+pub trait MetricsSink {
+    /// Processor `proc` occupied `state` over `[from, to)`.
+    fn busy(&self, proc: usize, state: ProcState, from: SimTime, to: SimTime);
+    /// Processor `proc` entered its outermost wait of kind `kind` at `at`.
+    fn wait_enter(&self, proc: usize, kind: WaitKind, at: SimTime);
+    /// Processor `proc` left its outermost wait at `at`.
+    fn wait_exit(&self, proc: usize, at: SimTime);
+    /// `proc`'s NIC send context was occupied over `[from, to)`.
+    fn nic_tx(&self, proc: usize, from: SimTime, to: SimTime);
+    /// `proc`'s NIC receive context was occupied over `[from, to)`.
+    fn nic_rx(&self, proc: usize, from: SimTime, to: SimTime);
+    /// The directed link `src -> dst` carried bits over `[from, to)`.
+    fn wire(&self, src: usize, dst: usize, from: SimTime, to: SimTime);
+    /// At injection time `at`, `proc` had `depth` unacked sends in flight.
+    fn window_depth(&self, proc: usize, depth: usize, at: SimTime);
+    /// `proc`'s transport retransmitted a message at `at`.
+    fn retransmit(&self, proc: usize, at: SimTime);
+    /// `proc` crossed into application phase `name` at `at`.
+    fn phase(&self, proc: usize, name: &str, at: SimTime);
+}
+
+/// A sink that ignores everything (useful for tests and benchmarks).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {
+    fn busy(&self, _: usize, _: ProcState, _: SimTime, _: SimTime) {}
+    fn wait_enter(&self, _: usize, _: WaitKind, _: SimTime) {}
+    fn wait_exit(&self, _: usize, _: SimTime) {}
+    fn nic_tx(&self, _: usize, _: SimTime, _: SimTime) {}
+    fn nic_rx(&self, _: usize, _: SimTime, _: SimTime) {}
+    fn wire(&self, _: usize, _: usize, _: SimTime, _: SimTime) {}
+    fn window_depth(&self, _: usize, _: usize, _: SimTime) {}
+    fn retransmit(&self, _: usize, _: SimTime) {}
+    fn phase(&self, _: usize, _: &str, _: SimTime) {}
+}
+
+/// Default sampling window: 100 µs of simulated time (the suite's
+/// test-scale runs last a few ms; benchmark runs hundreds).
+pub const DEFAULT_WINDOW: SimDelta = SimDelta::from_micros_int(100);
+
+/// Name attributed to time before the first explicit phase marker.
+pub const INIT_PHASE: &str = "init";
+
+#[derive(Clone, Default)]
+struct ProcRec {
+    /// Virtual nanosecond up to which this processor is fully attributed.
+    cursor: u64,
+    /// The outermost wait the processor is currently inside, if any.
+    waiting: Option<WaitKind>,
+    /// Interned id of the current application phase.
+    phase: usize,
+    totals: [u64; N_STATES],
+    timeline: Vec<[u64; N_STATES]>,
+    nic_tx: Vec<u64>,
+    nic_rx: Vec<u64>,
+    nic_tx_total: u64,
+    nic_rx_total: u64,
+}
+
+struct RecState {
+    window: u64,
+    procs: Vec<ProcRec>,
+    wire: BTreeMap<(usize, usize), u64>,
+    phase_names: Vec<String>,
+    phase_ids: BTreeMap<String, usize>,
+    /// Per phase, per state, nanoseconds summed over all processors.
+    phase_totals: Vec<[u64; N_STATES]>,
+    retransmits: u64,
+    depth_max: u64,
+    depth_sum: u128,
+    depth_n: u64,
+}
+
+/// The in-tree [`MetricsSink`]: cursor-based exact attribution into
+/// fixed simulated-time windows.
+///
+/// Per processor, a cursor tracks the last attributed nanosecond. Leaf
+/// busy spans (`busy`) first flush the gap `[cursor, from)` to the
+/// *background* state — the enclosing wait kind if the processor is
+/// inside `wait_until`/`idle_until`, otherwise [`ProcState::Idle`] —
+/// then deposit the span itself. Because every nanosecond is deposited
+/// exactly once, each window's components sum exactly to the window
+/// length (exact `u64` arithmetic, no float accumulation).
+pub struct MetricsRecorder {
+    state: RefCell<RecState>,
+}
+
+/// Splits `[from, to)` across fixed windows, adding each chunk to
+/// `bump(window_index, chunk_ns)`.
+fn deposit(window: u64, mut from: u64, to: u64, mut bump: impl FnMut(usize, u64)) {
+    while from < to {
+        let w = from / window;
+        let wend = (w + 1) * window;
+        let chunk = to.min(wend) - from;
+        bump(w as usize, chunk);
+        from += chunk;
+    }
+}
+
+impl RecState {
+    fn account(&mut self, proc: usize, state: ProcState, from: u64, to: u64) {
+        if to <= from {
+            return;
+        }
+        let s = state as usize;
+        let phase = self.procs[proc].phase;
+        self.phase_totals[phase][s] += to - from;
+        let p = &mut self.procs[proc];
+        p.totals[s] += to - from;
+        let timeline = &mut p.timeline;
+        deposit(self.window, from, to, |w, chunk| {
+            if timeline.len() <= w {
+                timeline.resize(w + 1, [0; N_STATES]);
+            }
+            timeline[w][s] += chunk;
+        });
+    }
+
+    /// Flushes `[cursor, to)` to the background state and advances the
+    /// cursor.
+    fn advance(&mut self, proc: usize, to: u64) {
+        let p = &self.procs[proc];
+        let (cursor, waiting) = (p.cursor, p.waiting);
+        if to > cursor {
+            let bg = match waiting {
+                Some(WaitKind::Tx) => ProcState::TxWait,
+                Some(WaitKind::Rx) => ProcState::RxStall,
+                None => ProcState::Idle,
+            };
+            self.account(proc, bg, cursor, to);
+            self.procs[proc].cursor = to;
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.phase_ids.get(name) {
+            return id;
+        }
+        let id = self.phase_names.len();
+        self.phase_names.push(name.to_string());
+        self.phase_ids.insert(name.to_string(), id);
+        self.phase_totals.push([0; N_STATES]);
+        id
+    }
+}
+
+impl MetricsRecorder {
+    /// Creates a recorder for `procs` processors with the given sampling
+    /// window (see [`DEFAULT_WINDOW`]).
+    pub fn new(procs: usize, window: SimDelta) -> Self {
+        let mut state = RecState {
+            window: window.as_nanos().max(1),
+            procs: vec![ProcRec::default(); procs],
+            wire: BTreeMap::new(),
+            phase_names: Vec::new(),
+            phase_ids: BTreeMap::new(),
+            phase_totals: Vec::new(),
+            retransmits: 0,
+            depth_max: 0,
+            depth_sum: 0,
+            depth_n: 0,
+        };
+        state.intern(INIT_PHASE);
+        MetricsRecorder {
+            state: RefCell::new(state),
+        }
+    }
+
+    /// Closes the books at simulated time `end` (flushing every
+    /// processor's residual span as background time) and produces the
+    /// report. `end` is normally the run's final virtual time.
+    pub fn finish(&self, end: SimTime) -> MetricsReport {
+        let mut st = self.state.borrow_mut();
+        let end_ns = end.as_nanos();
+        for proc in 0..st.procs.len() {
+            st.advance(proc, end_ns);
+        }
+        let window = st.window;
+        let windows = (end_ns as usize).div_ceil(window as usize).max(1);
+        let procs: Vec<ProcSeries> = st
+            .procs
+            .iter()
+            .map(|p| {
+                let mut timeline = p.timeline.clone();
+                timeline.resize(windows, [0; N_STATES]);
+                let mut nic_tx = p.nic_tx.clone();
+                let mut nic_rx = p.nic_rx.clone();
+                nic_tx.resize(windows, 0);
+                nic_rx.resize(windows, 0);
+                ProcSeries {
+                    totals: p.totals,
+                    timeline,
+                    nic_tx,
+                    nic_rx,
+                    nic_tx_total: p.nic_tx_total,
+                    nic_rx_total: p.nic_rx_total,
+                }
+            })
+            .collect();
+        let phase_totals = st.phase_totals.clone();
+        let mut totals = [0u64; N_STATES];
+        for p in &procs {
+            for (t, v) in totals.iter_mut().zip(p.totals.iter()) {
+                *t += v;
+            }
+        }
+        let phases: Vec<PhaseSlice> = st
+            .phase_names
+            .iter()
+            .zip(phase_totals.iter())
+            .map(|(name, tot)| PhaseSlice {
+                name: name.clone(),
+                totals: *tot,
+            })
+            .collect();
+        let summary = MetricsSummary {
+            end_ns,
+            procs: procs.len(),
+            totals,
+            phases,
+            retransmits: st.retransmits,
+            depth_max: st.depth_max,
+            depth_mean: if st.depth_n == 0 {
+                0.0
+            } else {
+                st.depth_sum as f64 / st.depth_n as f64
+            },
+        };
+        MetricsReport {
+            window_ns: window,
+            end_ns,
+            procs,
+            wire: st
+                .wire
+                .iter()
+                .map(|(&(src, dst), &busy_ns)| WireBusy { src, dst, busy_ns })
+                .collect(),
+            events_per_window: Vec::new(),
+            summary,
+        }
+    }
+}
+
+impl MetricsSink for MetricsRecorder {
+    fn busy(&self, proc: usize, state: ProcState, from: SimTime, to: SimTime) {
+        let mut st = self.state.borrow_mut();
+        if proc >= st.procs.len() {
+            return;
+        }
+        let (mut a, b) = (from.as_nanos(), to.as_nanos());
+        debug_assert!(
+            a >= st.procs[proc].cursor,
+            "overlapping busy span for proc {proc}: [{a}, {b}) vs cursor {}",
+            st.procs[proc].cursor
+        );
+        st.advance(proc, a);
+        // Release-mode safety: never let a malformed span rewind the
+        // cursor (attribution stays conserving, the span is truncated).
+        a = a.max(st.procs[proc].cursor);
+        st.account(proc, state, a, b);
+        let p = &mut st.procs[proc];
+        p.cursor = p.cursor.max(b);
+    }
+
+    fn wait_enter(&self, proc: usize, kind: WaitKind, at: SimTime) {
+        let mut st = self.state.borrow_mut();
+        if proc >= st.procs.len() {
+            return;
+        }
+        st.advance(proc, at.as_nanos());
+        st.procs[proc].waiting = Some(kind);
+    }
+
+    fn wait_exit(&self, proc: usize, at: SimTime) {
+        let mut st = self.state.borrow_mut();
+        if proc >= st.procs.len() {
+            return;
+        }
+        st.advance(proc, at.as_nanos());
+        st.procs[proc].waiting = None;
+    }
+
+    fn nic_tx(&self, proc: usize, from: SimTime, to: SimTime) {
+        let mut st = self.state.borrow_mut();
+        if proc >= st.procs.len() || to <= from {
+            return;
+        }
+        let window = st.window;
+        let p = &mut st.procs[proc];
+        p.nic_tx_total += to.since(from).as_nanos();
+        let tl = &mut p.nic_tx;
+        deposit(window, from.as_nanos(), to.as_nanos(), |w, chunk| {
+            if tl.len() <= w {
+                tl.resize(w + 1, 0);
+            }
+            tl[w] += chunk;
+        });
+    }
+
+    fn nic_rx(&self, proc: usize, from: SimTime, to: SimTime) {
+        let mut st = self.state.borrow_mut();
+        if proc >= st.procs.len() || to <= from {
+            return;
+        }
+        let window = st.window;
+        let p = &mut st.procs[proc];
+        p.nic_rx_total += to.since(from).as_nanos();
+        let tl = &mut p.nic_rx;
+        deposit(window, from.as_nanos(), to.as_nanos(), |w, chunk| {
+            if tl.len() <= w {
+                tl.resize(w + 1, 0);
+            }
+            tl[w] += chunk;
+        });
+    }
+
+    fn wire(&self, src: usize, dst: usize, from: SimTime, to: SimTime) {
+        if to <= from {
+            return;
+        }
+        let mut st = self.state.borrow_mut();
+        *st.wire.entry((src, dst)).or_insert(0) += to.since(from).as_nanos();
+    }
+
+    fn window_depth(&self, _proc: usize, depth: usize, _at: SimTime) {
+        let mut st = self.state.borrow_mut();
+        st.depth_max = st.depth_max.max(depth as u64);
+        st.depth_sum += depth as u128;
+        st.depth_n += 1;
+    }
+
+    fn retransmit(&self, _proc: usize, _at: SimTime) {
+        self.state.borrow_mut().retransmits += 1;
+    }
+
+    fn phase(&self, proc: usize, name: &str, at: SimTime) {
+        let mut st = self.state.borrow_mut();
+        if proc >= st.procs.len() {
+            return;
+        }
+        st.advance(proc, at.as_nanos());
+        let id = st.intern(name);
+        st.procs[proc].phase = id;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn every_window_sums_exactly_to_its_length() {
+        // Pseudo-random event stream (deterministic LCG) over 3 procs.
+        let procs = 3;
+        let rec = MetricsRecorder::new(procs, SimDelta::from_nanos(1_000));
+        let mut seed = 0x9E37_79B9u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            seed >> 33
+        };
+        let mut cursors = vec![0u64; procs];
+        for i in 0..5_000 {
+            let p = (rng() % procs as u64) as usize;
+            let gap = rng() % 700;
+            let span = rng() % 900;
+            let a = cursors[p] + gap;
+            let b = a + span;
+            match rng() % 6 {
+                0 => rec.wait_enter(p, WaitKind::Tx, t(a)),
+                1 => rec.wait_enter(p, WaitKind::Rx, t(a)),
+                2 => rec.wait_exit(p, t(a)),
+                3 => rec.phase(p, if i % 2 == 0 { "alpha" } else { "beta" }, t(a)),
+                _ => {
+                    let s = ProcState::ALL[(rng() % 4) as usize];
+                    rec.busy(p, s, t(a), t(b));
+                    cursors[p] = b;
+                    continue;
+                }
+            }
+            cursors[p] = a;
+        }
+        let end = cursors.iter().copied().max().unwrap() + 137;
+        let report = rec.finish(t(end));
+        let window = report.window_ns;
+        for (pi, p) in report.procs.iter().enumerate() {
+            assert_eq!(p.timeline.len(), (end as usize).div_ceil(window as usize));
+            for (w, row) in p.timeline.iter().enumerate() {
+                let expected = window.min(end - (w as u64) * window);
+                let got: u64 = row.iter().sum();
+                assert_eq!(got, expected, "proc {pi} window {w}");
+            }
+            assert_eq!(p.totals.iter().sum::<u64>(), end, "proc {pi} totals");
+        }
+        // Phase totals also conserve: summed over phases and states they
+        // cover every processor-nanosecond.
+        let phase_sum: u64 = report
+            .summary
+            .phases
+            .iter()
+            .map(|ph| ph.totals.iter().sum::<u64>())
+            .sum();
+        assert_eq!(phase_sum, end * procs as u64);
+    }
+
+    #[test]
+    fn background_time_is_attributed_to_the_enclosing_wait() {
+        let rec = MetricsRecorder::new(1, SimDelta::from_nanos(1_000));
+        rec.busy(0, ProcState::Compute, t(0), t(100));
+        rec.wait_enter(0, WaitKind::Tx, t(100));
+        rec.busy(0, ProcState::ORecv, t(300), t(350)); // polled during wait
+        rec.wait_exit(0, t(500));
+        let report = rec.finish(t(600));
+        let p = &report.procs[0];
+        assert_eq!(p.totals[ProcState::Compute as usize], 100);
+        assert_eq!(p.totals[ProcState::TxWait as usize], 200 + 150);
+        assert_eq!(p.totals[ProcState::ORecv as usize], 50);
+        assert_eq!(p.totals[ProcState::Idle as usize], 100);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overlapping busy span")]
+    fn overlapping_spans_trip_the_debug_assert() {
+        let rec = MetricsRecorder::new(1, SimDelta::from_nanos(1_000));
+        rec.busy(0, ProcState::Compute, t(0), t(100));
+        rec.busy(0, ProcState::Compute, t(50), t(150));
+    }
+
+    #[test]
+    fn phase_markers_segment_time_exactly() {
+        let rec = MetricsRecorder::new(2, SimDelta::from_nanos(500));
+        rec.busy(0, ProcState::Compute, t(0), t(400));
+        rec.phase(0, "work", t(400));
+        rec.busy(0, ProcState::Compute, t(400), t(900));
+        rec.phase(1, "work", t(100));
+        let report = rec.finish(t(1_000));
+        let by_name = |n: &str| {
+            report
+                .summary
+                .phases
+                .iter()
+                .find(|p| p.name == n)
+                .unwrap()
+                .totals
+        };
+        let init = by_name(INIT_PHASE);
+        let work = by_name("work");
+        // Proc 0: 400ns compute init, 500 compute + 100 idle work.
+        // Proc 1: 100ns idle init, 900 idle work.
+        assert_eq!(init[ProcState::Compute as usize], 400);
+        assert_eq!(init[ProcState::Idle as usize], 100);
+        assert_eq!(work[ProcState::Compute as usize], 500);
+        assert_eq!(work[ProcState::Idle as usize], 100 + 900);
+        assert_eq!(
+            init.iter().sum::<u64>() + work.iter().sum::<u64>(),
+            2 * 1_000
+        );
+    }
+
+    #[test]
+    fn nic_and_wire_occupancy_accumulate() {
+        let rec = MetricsRecorder::new(2, SimDelta::from_nanos(1_000));
+        rec.nic_tx(0, t(0), t(600));
+        rec.nic_tx(0, t(600), t(1_200));
+        rec.nic_rx(1, t(500), t(700));
+        rec.wire(0, 1, t(100), t(400));
+        rec.wire(0, 1, t(400), t(450));
+        rec.window_depth(0, 3, t(0));
+        rec.window_depth(0, 5, t(10));
+        rec.retransmit(0, t(20));
+        let report = rec.finish(t(2_000));
+        assert_eq!(report.procs[0].nic_tx_total, 1_200);
+        assert_eq!(report.procs[0].nic_tx, vec![1_000, 200]);
+        assert_eq!(report.procs[1].nic_rx_total, 200);
+        assert_eq!(report.wire.len(), 1);
+        assert_eq!(report.wire[0].busy_ns, 350);
+        assert_eq!(report.summary.retransmits, 1);
+        assert_eq!(report.summary.depth_max, 5);
+        assert!((report.summary.depth_mean - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,374 @@
+//! ASCII rendering of saved report files (the `nowlab report`
+//! subcommand and `--metrics-summary`). Works from the parsed JSON so a
+//! report renders without re-running the simulation, and so the render
+//! path exercises the exact bytes a consumer would read.
+
+use std::fmt::Write as _;
+
+use crate::json::{parse, Value};
+use crate::{ProcState, N_STATES};
+
+const MAX_COLS: usize = 64;
+
+/// Sums `vals` into at most [`MAX_COLS`] columns for terminal display.
+fn downsample(vals: &[u64]) -> Vec<u64> {
+    if vals.len() <= MAX_COLS {
+        return vals.to_vec();
+    }
+    let group = vals.len().div_ceil(MAX_COLS);
+    vals.chunks(group).map(|c| c.iter().sum()).collect()
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn state_totals(v: &Value) -> Result<[u64; N_STATES], String> {
+    let vals = v.as_u64s().ok_or("totals: expected an integer array")?;
+    if vals.len() != N_STATES {
+        return Err(format!("totals: expected {N_STATES} states"));
+    }
+    let mut out = [0u64; N_STATES];
+    out.copy_from_slice(&vals);
+    Ok(out)
+}
+
+fn shares_line(totals: &[u64; N_STATES]) -> String {
+    let whole: u64 = totals.iter().sum();
+    let mut line = String::new();
+    for s in ProcState::ALL {
+        let _ = write!(
+            line,
+            "{}{} {:.1}%",
+            if line.is_empty() { "" } else { "  " },
+            s.label(),
+            pct(totals[s as usize], whole)
+        );
+    }
+    line
+}
+
+fn req<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn phase_table(out: &mut String, phases: &[Value]) -> Result<(), String> {
+    let _ = writeln!(
+        out,
+        "{:<14} {:>9}  {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "phase", "proc-ms", "cmp%", "osnd%", "orcv%", "d_o%", "txw%", "rxs%", "idle%"
+    );
+    for ph in phases {
+        let name = req(ph, "name")?.as_str().ok_or("phase name")?;
+        let totals = state_totals(req(ph, "totals")?)?;
+        let whole: u64 = totals.iter().sum();
+        let _ = write!(out, "{:<14} {:>9.3}", name, ms(whole));
+        for s in ProcState::ALL {
+            let _ = write!(out, " {:>6.1}", pct(totals[s as usize], whole));
+        }
+        out.push('\n');
+    }
+    Ok(())
+}
+
+fn am_line(summary: &Value) -> Result<String, String> {
+    let am = req(summary, "am")?;
+    Ok(format!(
+        "am protocol: retransmits {}, send window depth mean {:.2} / max {}",
+        req(am, "retransmits")?.as_u64().ok_or("retransmits")?,
+        req(am, "win_depth_mean")?
+            .as_f64()
+            .ok_or("win_depth_mean")?,
+        req(am, "win_depth_max")?.as_u64().ok_or("win_depth_max")?,
+    ))
+}
+
+fn render_run(v: &Value) -> Result<String, String> {
+    let mut out = String::new();
+    let app = req(v, "app")?.as_str().ok_or("app")?;
+    let procs = req(v, "procs")?.as_u64().ok_or("procs")? as usize;
+    let seed = req(v, "seed")?.as_u64().ok_or("seed")?;
+    let window_ns = req(v, "window_ns")?.as_u64().ok_or("window_ns")?;
+    let end_ns = req(v, "end_ns")?.as_u64().ok_or("end_ns")?;
+    let summary = req(v, "summary")?;
+    let _ = writeln!(
+        out,
+        "metrics: {app} on {procs} processors (seed {seed}, window {:.1} µs, {:.3} ms simulated)",
+        window_ns as f64 / 1e3,
+        ms(end_ns),
+    );
+    let totals = state_totals(req(summary, "totals")?)?;
+    let _ = writeln!(
+        out,
+        "\nstate shares (all processors):\n  {}",
+        shares_line(&totals)
+    );
+
+    // Per-processor compute-utilization shade timeline.
+    let proc_rows = req(v, "proc")?.as_arr().ok_or("proc: expected array")?;
+    let mut rows: Vec<Vec<u64>> = Vec::new();
+    let mut nic_tx_total = 0u64;
+    let mut nic_rx_total = 0u64;
+    for p in proc_rows {
+        let timeline = req(p, "timeline")?.as_arr().ok_or("timeline")?;
+        let compute: Vec<u64> = timeline
+            .iter()
+            .map(|row| Ok::<u64, String>(state_totals(row)?[ProcState::Compute as usize]))
+            .collect::<Result<_, _>>()?;
+        rows.push(downsample(&compute));
+        nic_tx_total += req(p, "nic_tx_total")?.as_u64().ok_or("nic_tx_total")?;
+        nic_rx_total += req(p, "nic_rx_total")?.as_u64().ok_or("nic_rx_total")?;
+    }
+    if !rows.is_empty() {
+        let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+        let group_us = window_ns as f64 / 1e3
+            * (req(v, "proc")?.as_arr().unwrap()[0]
+                .get("timeline")
+                .and_then(Value::as_arr)
+                .map(|t| t.len().div_ceil(cols.max(1)))
+                .unwrap_or(1)) as f64;
+        let _ = writeln!(
+            out,
+            "\ncompute utilization, one cell per {group_us:.1} µs (shade ' '..'@' = none..max):"
+        );
+        for (i, line) in nowlab_trace::render_shade_matrix(&rows).lines().enumerate() {
+            let _ = writeln!(out, "  p{i:<3}|{line}|");
+        }
+    }
+
+    let _ = writeln!(out, "\nphase table:");
+    phase_table(&mut out, req(summary, "phases")?.as_arr().ok_or("phases")?)?;
+
+    let wires = req(v, "wire")?.as_arr().ok_or("wire")?;
+    let busiest = wires
+        .iter()
+        .map(|l| {
+            Ok::<_, String>((
+                req(l, "busy_ns")?.as_u64().ok_or("busy_ns")?,
+                req(l, "src")?.as_u64().ok_or("src")?,
+                req(l, "dst")?.as_u64().ok_or("dst")?,
+            ))
+        })
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .max();
+    let per_proc_end = end_ns * procs.max(1) as u64;
+    let _ = write!(
+        out,
+        "\nnic occupancy: tx {:.1}%  rx {:.1}%    links: {}",
+        pct(nic_tx_total, per_proc_end),
+        pct(nic_rx_total, per_proc_end),
+        wires.len()
+    );
+    if let Some((busy, src, dst)) = busiest {
+        let _ = write!(
+            out,
+            ", busiest {src}->{dst} ({:.1}% of elapsed)",
+            pct(busy, end_ns)
+        );
+    }
+    out.push('\n');
+    let _ = writeln!(out, "{}", am_line(summary)?);
+    let events = req(v, "events_per_window")?
+        .as_u64s()
+        .ok_or("events_per_window")?;
+    if !events.is_empty() {
+        let _ = writeln!(
+            out,
+            "events per window: min {} / max {} over {} windows",
+            events.iter().min().unwrap(),
+            events.iter().max().unwrap(),
+            events.len()
+        );
+    }
+    Ok(out)
+}
+
+fn render_sweep(v: &Value) -> Result<String, String> {
+    let mut out = String::new();
+    let app = req(v, "app")?.as_str().ok_or("app")?;
+    let axis = req(v, "axis")?.as_str().ok_or("axis")?;
+    let procs = req(v, "procs")?.as_u64().ok_or("procs")?;
+    let _ = writeln!(
+        out,
+        "metrics sweep: {app} on {procs} processors, axis {axis}"
+    );
+    let points = req(v, "points")?.as_arr().ok_or("points")?;
+    // Columns: per phase (taken from the first point), compute share.
+    let mut phase_names: Vec<String> = Vec::new();
+    if let Some(p0) = points.first() {
+        for ph in req(req(p0, "summary")?, "phases")?
+            .as_arr()
+            .ok_or("phases")?
+        {
+            phase_names.push(req(ph, "name")?.as_str().ok_or("name")?.to_string());
+        }
+    }
+    let _ = write!(out, "{:>9} {:>9}  {:>6}", axis, "slowdown", "cmp%");
+    for n in &phase_names {
+        let _ = write!(out, " {:>10}", format!("cmp%:{n}"));
+    }
+    out.push('\n');
+    for p in points {
+        let summary = req(p, "summary")?;
+        let totals = state_totals(req(summary, "totals")?)?;
+        let _ = write!(
+            out,
+            "{:>9.2} {:>9.3}  {:>6.1}",
+            req(p, "x")?.as_f64().ok_or("x")?,
+            req(p, "slowdown")?.as_f64().ok_or("slowdown")?,
+            pct(totals[ProcState::Compute as usize], totals.iter().sum()),
+        );
+        for name in &phase_names {
+            let share = req(summary, "phases")?
+                .as_arr()
+                .ok_or("phases")?
+                .iter()
+                .find(|ph| ph.get("name").and_then(Value::as_str) == Some(name))
+                .map(|ph| {
+                    let t = state_totals(req(ph, "totals")?)?;
+                    Ok::<f64, String>(pct(t[ProcState::Compute as usize], t.iter().sum()))
+                })
+                .transpose()?
+                .unwrap_or(0.0);
+            let _ = write!(out, " {share:>10.1}");
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "(cmp% = compute share of all processor time; per-phase columns show the\n compute-bound -> overhead-bound crossover as the knob grows)"
+    );
+    Ok(out)
+}
+
+/// Renders a saved `nowlab-metrics-report` JSON document (either kind)
+/// as ASCII. Returns a message describing the first malformation found.
+pub fn render_report(text: &str) -> Result<String, String> {
+    let v = parse(text)?;
+    let schema = req(&v, "schema")?.as_str().ok_or("schema")?;
+    if schema != crate::report::SCHEMA_NAME {
+        return Err(format!("not a metrics report (schema '{schema}')"));
+    }
+    let version = req(&v, "version")?.as_u64().ok_or("version")?;
+    if version > crate::report::SCHEMA_VERSION {
+        return Err(format!(
+            "report version {version} is newer than this binary understands ({})",
+            crate::report::SCHEMA_VERSION
+        ));
+    }
+    match req(&v, "kind")?.as_str() {
+        Some("run") => render_run(&v),
+        Some("sweep") => render_sweep(&v),
+        k => Err(format!("unknown report kind {k:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetricsRecorder, MetricsSink, RunMeta, WaitKind};
+    use nowlab_sim::{SimDelta, SimTime};
+
+    #[test]
+    fn run_report_round_trips_through_json_and_renders() {
+        let rec = MetricsRecorder::new(2, SimDelta::from_nanos(1_000));
+        rec.busy(
+            0,
+            ProcState::Compute,
+            SimTime::ZERO,
+            SimTime::from_nanos(700),
+        );
+        rec.phase(0, "work", SimTime::from_nanos(700));
+        rec.wait_enter(0, WaitKind::Rx, SimTime::from_nanos(700));
+        rec.wait_exit(0, SimTime::from_nanos(1_500));
+        rec.nic_tx(0, SimTime::from_nanos(10), SimTime::from_nanos(40));
+        rec.wire(0, 1, SimTime::from_nanos(40), SimTime::from_nanos(90));
+        rec.window_depth(0, 2, SimTime::from_nanos(10));
+        let mut report = rec.finish(SimTime::from_nanos(2_000));
+        report.events_per_window = vec![3, 9];
+        let mut buf = Vec::new();
+        report
+            .write_json(
+                &RunMeta {
+                    app: "TestApp",
+                    procs: 2,
+                    seed: 7,
+                },
+                &mut buf,
+            )
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let rendered = render_report(&text).expect("render");
+        assert!(rendered.contains("TestApp on 2 processors"), "{rendered}");
+        assert!(rendered.contains("phase table"), "{rendered}");
+        assert!(rendered.contains("work"), "{rendered}");
+        assert!(rendered.contains("retransmits 0"), "{rendered}");
+        assert!(rendered.contains("events per window"), "{rendered}");
+    }
+
+    #[test]
+    fn sweep_report_renders_per_phase_columns() {
+        let rec = MetricsRecorder::new(1, SimDelta::from_nanos(1_000));
+        rec.busy(
+            0,
+            ProcState::Compute,
+            SimTime::ZERO,
+            SimTime::from_nanos(500),
+        );
+        rec.phase(0, "permute", SimTime::from_nanos(500));
+        rec.busy(
+            0,
+            ProcState::OSend,
+            SimTime::from_nanos(500),
+            SimTime::from_nanos(900),
+        );
+        let report = rec.finish(SimTime::from_nanos(1_000));
+        let mut buf = Vec::new();
+        crate::write_sweep_json(
+            "TestApp",
+            "overhead",
+            1,
+            &[
+                crate::SweepPointMeta {
+                    x: 2.9,
+                    runtime_ns: 1_000,
+                    slowdown: 1.0,
+                    summary: &report.summary,
+                },
+                crate::SweepPointMeta {
+                    x: 10.0,
+                    runtime_ns: 2_000,
+                    slowdown: 2.0,
+                    summary: &report.summary,
+                },
+            ],
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let rendered = render_report(&text).expect("render");
+        assert!(rendered.contains("axis overhead"), "{rendered}");
+        assert!(rendered.contains("cmp%:permute"), "{rendered}");
+        assert!(rendered.contains("cmp%:init"), "{rendered}");
+    }
+
+    #[test]
+    fn version_and_schema_are_checked() {
+        assert!(render_report("{\"schema\":\"other\",\"version\":1}").is_err());
+        let newer = format!(
+            "{{\"schema\":\"{}\",\"version\":{},\"kind\":\"run\"}}",
+            crate::report::SCHEMA_NAME,
+            crate::report::SCHEMA_VERSION + 1
+        );
+        assert!(render_report(&newer).unwrap_err().contains("newer"));
+    }
+}

@@ -169,8 +169,26 @@ pub struct Sim {
     /// them without a `RefCell` borrow; callbacks may change them mid-run.
     event_limit: Rc<Cell<Option<u64>>>,
     time_limit: Rc<Cell<Option<SimTime>>>,
+    /// Event-density sampling boundary: the run loop compares the next
+    /// event's time against this `Cell` and nothing else, so the feature
+    /// costs one compare when disabled (`SimTime::MAX`). Sampling is
+    /// passive — it schedules no events and cannot perturb the run.
+    sample_boundary: Rc<Cell<SimTime>>,
+    samples: Rc<RefCell<SampleState>>,
     inner: Rc<RefCell<Inner>>,
     ready: Arc<Mutex<VecDeque<TaskId>>>,
+}
+
+/// State of the passive event-density sampler (see
+/// [`Sim::enable_event_sampling`]).
+#[derive(Default)]
+struct SampleState {
+    /// Window length in nanoseconds (0 = disabled).
+    window: u64,
+    /// Events counted at the last window flush.
+    last_events: u64,
+    /// Events fired per completed window.
+    counts: Vec<u64>,
 }
 
 impl Default for Sim {
@@ -204,6 +222,8 @@ impl Sim {
             next_deadline: Rc::new(Cell::new(None)),
             event_limit: Rc::new(Cell::new(None)),
             time_limit: Rc::new(Cell::new(None)),
+            sample_boundary: Rc::new(Cell::new(SimTime::MAX)),
+            samples: Rc::new(RefCell::new(SampleState::default())),
             inner: Rc::new(RefCell::new(Inner {
                 timers: BinaryHeap::with_capacity(timers),
                 actions: Vec::with_capacity(timers),
@@ -242,6 +262,53 @@ impl Sim {
     /// than `limit`.
     pub fn set_time_limit(&self, limit: Option<SimTime>) {
         self.time_limit.set(limit);
+    }
+
+    /// Starts counting fired events per fixed window of virtual time
+    /// (the metrics registry's event-density series). Call immediately
+    /// before [`Sim::run`]; any previously collected samples are
+    /// discarded. The sampler is passive — it schedules nothing and adds
+    /// one `Cell` compare per fired event — so enabling it cannot change
+    /// the schedule, the event count, or any simulation result.
+    pub fn enable_event_sampling(&self, window: SimDelta) {
+        let w = window.as_nanos().max(1);
+        *self.samples.borrow_mut() = SampleState {
+            window: w,
+            last_events: 0,
+            counts: Vec::new(),
+        };
+        self.sample_boundary.set(SimTime::from_nanos(w));
+    }
+
+    /// Takes the per-window event counts collected since
+    /// [`Sim::enable_event_sampling`] and disables sampling. Only
+    /// *completed* windows appear; the caller apportions the residual
+    /// (total events minus the returned sum) to the final partial window.
+    pub fn take_event_samples(&self) -> Vec<u64> {
+        self.sample_boundary.set(SimTime::MAX);
+        std::mem::take(&mut self.samples.borrow_mut().counts)
+    }
+
+    /// Cold path of the event-density sampler: closes every window older
+    /// than `now` (zero-filling skipped ones) and advances the boundary.
+    #[cold]
+    fn flush_event_samples(&self, now: SimTime, events_so_far: u64) {
+        let mut st = self.samples.borrow_mut();
+        if st.window == 0 {
+            return;
+        }
+        // All events since the last flush fired before the old boundary,
+        // so they belong to the first window being closed.
+        let delta = events_so_far.saturating_sub(st.last_events);
+        st.counts.push(delta);
+        st.last_events = events_so_far;
+        let mut boundary = self.sample_boundary.get().as_nanos();
+        boundary = boundary.saturating_add(st.window);
+        while now.as_nanos() >= boundary {
+            st.counts.push(0);
+            boundary = boundary.saturating_add(st.window);
+        }
+        self.sample_boundary.set(SimTime::from_nanos(boundary));
     }
 
     /// Event-order race detections accumulated across all [`Sim::run`]
@@ -448,6 +515,9 @@ impl Sim {
                 last_fired = Some((key.time, key.seq));
             }
             self.now.set(key.time);
+            if key.time >= self.sample_boundary.get() {
+                self.flush_event_samples(key.time, events);
+            }
             events += 1;
             match action {
                 TimerAction::Wake(w) => w.wake(),
@@ -616,6 +686,34 @@ mod tests {
         assert_eq!(h.try_take().unwrap(), SimTime::from_nanos(7_000));
         assert_eq!(report.stop_reason, StopReason::Idle);
         assert_eq!(report.unfinished_tasks, 0);
+    }
+
+    #[test]
+    fn event_sampling_counts_every_event_and_changes_nothing() {
+        let build = |sample: bool| {
+            let sim = Sim::new();
+            for i in 0..12u32 {
+                // Exponential spacing: several events in the first 100ns
+                // window, then sparse with empty windows in between.
+                sim.schedule(SimTime::from_nanos(1 << i), |_| {});
+            }
+            if sample {
+                sim.enable_event_sampling(SimDelta::from_nanos(100));
+            }
+            let report = sim.run();
+            (report, sim.take_event_samples())
+        };
+        let (plain, none) = build(false);
+        let (sampled, counts) = build(true);
+        assert!(none.is_empty());
+        assert_eq!(plain, sampled, "sampling must not perturb the run");
+        // Completed windows plus the residual account for every event.
+        let residual = sampled.events_fired - counts.iter().sum::<u64>();
+        assert!(residual > 0, "last partial window holds the rest");
+        // The first window holds the events at 1, 2, ..., 64.
+        assert_eq!(counts[0], 7);
+        // Windows with no events are zero-filled, e.g. [300, 400).
+        assert!(counts.contains(&0), "{counts:?}");
     }
 
     #[test]

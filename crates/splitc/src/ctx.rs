@@ -81,6 +81,13 @@ impl Ctx {
         self.port.idle_until(deadline).await;
     }
 
+    /// Marks the start of a named application phase on this processor's
+    /// metrics timeline. A no-op when metrics are disabled; never affects
+    /// simulation state, so phase-marked runs stay deterministic.
+    pub fn phase(&self, name: &str) {
+        self.port.phase_marker(name);
+    }
+
     /// Restarts the measured region: zeroes all communication counters and
     /// the stats clock. Call from **one** processor, between barriers.
     pub fn reset_measurement(&self) {

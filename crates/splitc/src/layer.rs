@@ -175,6 +175,14 @@ impl SplitC {
         self.cluster.set_trace_sink(sink);
     }
 
+    /// Installs a metrics sink on the underlying cluster. Same contract
+    /// as [`SplitC::set_trace_sink`]: first sink wins, and sinks are
+    /// pure observers — a metered run is event-for-event identical to
+    /// an unmetered one.
+    pub fn set_metrics_sink(&self, sink: std::rc::Rc<dyn nowlab_metrics::MetricsSink>) {
+        self.cluster.set_metrics_sink(sink);
+    }
+
     /// Registers an application-defined handler operating on the
     /// destination processor's [`Memory`].
     pub fn register_handler<F>(&self, f: F) -> HandlerId

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Minimal JSON Schema validator for CI (stdlib only).
+
+Usage: check_schema.py SCHEMA.json FILE.json
+
+Supports the subset the repo's schemas use: type (string or list),
+required, properties, items, enum, minimum, minItems. Unknown keywords
+are ignored, like a full validator would ignore unknown annotations.
+"""
+
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def check(value, schema, path, errors):
+    t = schema.get("type")
+    if t is not None:
+        wanted = t if isinstance(t, list) else [t]
+        ok = False
+        for name in wanted:
+            py = TYPES[name]
+            if isinstance(value, py) and not (
+                name in ("number", "integer") and isinstance(value, bool)
+            ):
+                ok = True
+                break
+        if not ok:
+            errors.append(f"{path}: expected {t}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                check(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: {len(value)} items < minItems {schema['minItems']}")
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                check(item, items, f"{path}[{i}]", errors)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    schema_path, file_path = sys.argv[1], sys.argv[2]
+    with open(schema_path) as f:
+        schema = json.load(f)
+    with open(file_path) as f:
+        value = json.load(f)
+    errors = []
+    check(value, schema, "$", errors)
+    if errors:
+        for e in errors[:50]:
+            print(f"schema violation: {e}", file=sys.stderr)
+        sys.exit(f"{file_path}: {len(errors)} schema violation(s) against {schema_path}")
+    print(f"{file_path}: conforms to {schema_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,7 +26,8 @@ use nowlab::apps::{suite_scaled, SuiteScale};
 use nowlab::core::calib::{calibrate, calibrate_bulk};
 use nowlab::core::report::{fmt_f, fmt_time, Table};
 use nowlab::core::{
-    default_jobs, parallel_map, sweep_jobs, Axis, FaultPlan, Knobs, NetConfig, RunSpec, SimDelta,
+    default_jobs, parallel_map, render_report, sweep_jobs, write_sweep_json, Axis, FaultPlan,
+    Knobs, MetricsMode, NetConfig, ProcState, RunMeta, RunSpec, SimDelta, SweepPointMeta,
     SweepableApp, TraceMode,
 };
 use nowlab::trace::chrome::write_chrome_trace;
@@ -37,9 +38,12 @@ const USAGE: &str = "usage:
   nowlab run   --app NAME [--procs N] [--seed S] [--scale test|benchmark]
                [--o US] [--g US] [--l US] [--mbps MB] [--verify-determinism]
                [--trace FILE.json] [--trace-summary]
+               [--metrics FILE.json] [--metrics-summary]
   nowlab sweep --app NAME --axis overhead|gap|latency|bulk [--procs N]
                [--scale test|benchmark] [--trace-summary]
+               [--metrics FILE.json] [--metrics-summary]
   nowlab suite [--procs N] [--scale test|benchmark]
+  nowlab report FILE.json
 parallelism (run/sweep/suite):
   [--jobs N]   worker threads for independent runs (default: all cores;
                results are byte-identical to --jobs 1)
@@ -48,7 +52,11 @@ fault injection (calibrate/run/sweep/suite):
 tracing (run/sweep):
   [--trace FILE.json]  per-message LogGP cost trace (Chrome trace format,
                        open in chrome://tracing or ui.perfetto.dev)
-  [--trace-summary]    per-component cost attribution table";
+  [--trace-summary]    per-component cost attribution table
+metrics (run/sweep):
+  [--metrics FILE.json]  simulated-time utilization report (versioned
+                         schema; render later with `nowlab report`)
+  [--metrics-summary]    per-phase utilization table on stdout";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,6 +64,16 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `report` takes a positional file argument, not --flags.
+    if cmd == "report" {
+        return match cmd_report(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let flags = match parse_flags(rest) {
         Ok(f) => f,
         Err(e) => {
@@ -81,7 +99,7 @@ fn main() -> ExitCode {
 }
 
 /// Flags that take no value; their presence maps to `"true"`.
-const BOOL_FLAGS: &[&str] = &["verify-determinism", "trace-summary"];
+const BOOL_FLAGS: &[&str] = &["verify-determinism", "trace-summary", "metrics-summary"];
 
 fn parse_flags(rest: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -259,6 +277,16 @@ fn trace_mode_of(flags: &HashMap<String, String>) -> TraceMode {
     }
 }
 
+/// Metrics mode from `--metrics` / `--metrics-summary`: either form of
+/// output needs the recorder attached.
+fn metrics_mode_of(flags: &HashMap<String, String>) -> MetricsMode {
+    if flags.contains_key("metrics") || flags.contains_key("metrics-summary") {
+        MetricsMode::On
+    } else {
+        MetricsMode::Off
+    }
+}
+
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let name = flags.get("app").ok_or("run needs --app")?;
     let app = find_app(scale_of(flags)?, name)?;
@@ -266,7 +294,8 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         RunSpec::new(parse_or(flags, "procs", 32usize)?)
             .with_net(net_of(flags)?)
             .with_seed(parse_or(flags, "seed", 1u64)?)
-            .with_trace(trace_mode_of(flags)),
+            .with_trace(trace_mode_of(flags))
+            .with_metrics(metrics_mode_of(flags)),
     );
     let jobs = jobs_of(flags)?;
     let verify = flags.contains_key("verify-determinism");
@@ -331,6 +360,29 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             );
         }
     }
+    if let Some(report) = &out.metrics {
+        // One serialization serves both outputs: the file is the JSON
+        // bytes, and the summary is rendered *from* those bytes, so what
+        // `nowlab report` shows later is exactly what stdout showed.
+        let meta = RunMeta {
+            app: app.name(),
+            procs: spec.procs,
+            seed: spec.seed,
+        };
+        let mut buf = Vec::new();
+        report
+            .write_json(&meta, &mut buf)
+            .map_err(|e| format!("metrics serialization failed: {e}"))?;
+        let json = String::from_utf8(buf).expect("report JSON is ASCII");
+        if flags.contains_key("metrics-summary") {
+            println!("{}", render_report(&json)?);
+        }
+        if let Some(path) = flags.get("metrics") {
+            std::fs::write(path, &json)
+                .map_err(|e| format!("--metrics {path}: cannot write: {e}"))?;
+            println!("metrics: report written to {path} (render with `nowlab report {path}`)");
+        }
+    }
     if verify {
         // Re-run the identical spec and diff everything observable. Virtual
         // time is a pure function of (program, seed), so any inequality
@@ -352,6 +404,9 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         if out.stats != out2.stats {
             diffs.push("per-processor communication stats differ".to_string());
+        }
+        if out.metrics != out2.metrics {
+            diffs.push("metrics timelines differ".to_string());
         }
         if diffs.is_empty() {
             println!(
@@ -382,6 +437,7 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
         other => return Err(format!("--axis: `{other}`")),
     };
     let tracing = flags.contains_key("trace-summary");
+    let metering = metrics_mode_of(flags);
     let spec = guard(
         RunSpec::new(parse_or(flags, "procs", 32usize)?)
             .with_net(net_of(flags)?)
@@ -389,7 +445,8 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
                 TraceMode::Summary
             } else {
                 TraceMode::Off
-            }),
+            })
+            .with_metrics(metering),
     );
     let values = axis.paper_values();
     let result = match sweep_jobs(app.as_ref(), &spec, axis, &values, jobs_of(flags)?) {
@@ -409,6 +466,27 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     if tracing {
         headers.extend(["% o", "% nic", "% wire", "% rxq"]);
+    }
+    // Per-phase utilization columns: overall compute share, then one
+    // column per application phase (phase names come from the first
+    // metered point; SPMD phase structure is identical across points).
+    let phase_names: Vec<String> = if metering == MetricsMode::On {
+        result
+            .points
+            .iter()
+            .find_map(|p| p.metrics.as_ref())
+            .map(|s| s.phases.iter().map(|ph| ph.name.clone()).collect())
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    let mut owned_headers: Vec<String> = Vec::new();
+    if metering == MetricsMode::On {
+        owned_headers.push("cmp%".to_string());
+        for name in &phase_names {
+            owned_headers.push(format!("cmp%:{name}"));
+        }
+        headers.extend(owned_headers.iter().map(String::as_str));
     }
     let mut t = Table::new(
         format!("{}: slowdown vs {axis} ({} procs)", result.app, spec.procs),
@@ -444,15 +522,63 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
                 None => row.extend(["-".into(), "-".into(), "-".into(), "-".into()]),
             }
         }
+        if metering == MetricsMode::On {
+            match &p.metrics {
+                Some(s) => {
+                    row.push(fmt_f(100.0 * s.share(ProcState::Compute), 1));
+                    for name in &phase_names {
+                        let cell = s
+                            .phases
+                            .iter()
+                            .find(|ph| &ph.name == name)
+                            .map(|ph| fmt_f(100.0 * ph.share(ProcState::Compute), 1))
+                            .unwrap_or_else(|| "-".into());
+                        row.push(cell);
+                    }
+                }
+                None => row.extend((0..1 + phase_names.len()).map(|_| "-".to_string())),
+            }
+        }
         t.push_row(row);
     }
     println!("{t}");
+    if let Some(path) = flags.get("metrics") {
+        let metas: Vec<SweepPointMeta<'_>> = result
+            .points
+            .iter()
+            .filter_map(|p| {
+                p.metrics.as_ref().map(|s| SweepPointMeta {
+                    x: p.desired,
+                    runtime_ns: p.runtime.as_nanos(),
+                    slowdown: p.slowdown,
+                    summary: s,
+                })
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_sweep_json(&result.app, axis.label(), spec.procs, &metas, &mut buf)
+            .map_err(|e| format!("metrics serialization failed: {e}"))?;
+        std::fs::write(path, &buf).map_err(|e| format!("--metrics {path}: cannot write: {e}"))?;
+        println!("metrics: sweep report written to {path} (render with `nowlab report {path}`)");
+    }
     if let Some(fit) = result.linearity() {
         println!(
             "linear fit: slowdown ≈ {:.4}·x + {:.2}   (R² = {:.4})",
             fit.slope, fit.intercept, fit.r2
         );
     }
+    Ok(())
+}
+
+/// Renders a previously written metrics report (run or sweep) without
+/// re-running anything.
+fn cmd_report(rest: &[String]) -> Result<(), String> {
+    let [path] = rest else {
+        return Err("report needs exactly one FILE.json argument".to_string());
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("report {path}: cannot read: {e}"))?;
+    println!("{}", render_report(&text)?);
     Ok(())
 }
 

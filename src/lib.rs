@@ -83,6 +83,7 @@
 //!             check: outcome.outputs.iter().map(|o| o.unwrap_or(0)).sum(),
 //!             events: outcome.report.events_fired,
 //!             trace: None,
+//!             metrics: None,
 //!         }
 //!     }
 //! }
@@ -109,6 +110,11 @@ pub mod am {
 /// Per-message LogGP cost tracing (re-export of `nowlab-trace`).
 pub mod trace {
     pub use nowlab_trace::*;
+}
+
+/// Simulated-time utilization metrics (re-export of `nowlab-metrics`).
+pub mod metrics {
+    pub use nowlab_metrics::*;
 }
 
 /// The Split-C-style PGAS layer (re-export of `nowlab-splitc`).

@@ -143,6 +143,155 @@ fn sweep_with_trace_summary_adds_attribution_columns() {
 }
 
 #[test]
+fn run_metrics_file_round_trips_through_report() {
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_metrics.json");
+    let path_s = path.to_str().unwrap();
+    let (ok, text) = nowlab(&[
+        "run",
+        "--app",
+        "radix",
+        "--procs",
+        "4",
+        "--scale",
+        "test",
+        "--metrics",
+        path_s,
+        "--metrics-summary",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("state shares"), "{text}");
+    assert!(text.contains("phase table:"), "{text}");
+    for phase in ["histogram", "global-hist", "distribute"] {
+        assert!(text.contains(phase), "missing phase {phase}: {text}");
+    }
+    let json = std::fs::read_to_string(&path).expect("metrics file written");
+    assert!(
+        json.contains("\"schema\":\"nowlab-metrics-report\""),
+        "{json}"
+    );
+    assert!(json.contains("\"kind\":\"run\""), "{json}");
+
+    // `nowlab report` must render the file without re-running anything,
+    // and show exactly what the run printed inline.
+    let (ok, rendered) = nowlab(&["report", path_s]);
+    assert!(ok, "{rendered}");
+    assert!(
+        text.contains(rendered.trim_end()),
+        "report output must match the inline summary:\n--- inline\n{text}\n--- report\n{rendered}"
+    );
+}
+
+#[test]
+fn run_metrics_summary_alone_writes_no_file() {
+    let (ok, text) = nowlab(&[
+        "run",
+        "--app",
+        "em3dwrite",
+        "--procs",
+        "4",
+        "--scale",
+        "test",
+        "--metrics-summary",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("phase table:"), "{text}");
+    for phase in ["e-step", "h-step"] {
+        assert!(text.contains(phase), "missing phase {phase}: {text}");
+    }
+    assert!(!text.contains("report written"), "{text}");
+}
+
+#[test]
+fn metrics_report_is_byte_identical_across_job_counts() {
+    let tmp = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    let mut files = Vec::new();
+    for jobs in ["1", "2", "4"] {
+        let path = tmp.join(format!("cli_sweep_metrics_{jobs}.json"));
+        let path_s = path.to_str().unwrap().to_string();
+        let (ok, text) = nowlab(&[
+            "sweep",
+            "--app",
+            "radix",
+            "--axis",
+            "overhead",
+            "--procs",
+            "4",
+            "--scale",
+            "test",
+            "--metrics",
+            &path_s,
+            "--jobs",
+            jobs,
+        ]);
+        assert!(ok, "{text}");
+        files.push(std::fs::read(&path).expect("sweep metrics written"));
+    }
+    assert_eq!(files[0], files[1], "--jobs 2 changed the metrics report");
+    assert_eq!(files[0], files[2], "--jobs 4 changed the metrics report");
+}
+
+#[test]
+fn verify_determinism_covers_metrics_timelines() {
+    let (ok, text) = nowlab(&[
+        "run",
+        "--app",
+        "radix",
+        "--procs",
+        "4",
+        "--scale",
+        "test",
+        "--metrics-summary",
+        "--verify-determinism",
+        "--jobs",
+        "2",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("determinism: OK"), "{text}");
+}
+
+#[test]
+fn sweep_with_metrics_summary_adds_per_phase_columns() {
+    let (ok, text) = nowlab(&[
+        "sweep",
+        "--app",
+        "radix",
+        "--axis",
+        "overhead",
+        "--procs",
+        "4",
+        "--scale",
+        "test",
+        "--metrics-summary",
+    ]);
+    assert!(ok, "{text}");
+    for col in [
+        "cmp%",
+        "cmp%:histogram",
+        "cmp%:global-hist",
+        "cmp%:distribute",
+    ] {
+        assert!(text.contains(col), "missing column {col}: {text}");
+    }
+}
+
+#[test]
+fn report_rejects_bad_input() {
+    let (ok, text) = nowlab(&["report"]);
+    assert!(!ok);
+    assert!(text.contains("exactly one FILE.json"), "{text}");
+
+    let (ok, text) = nowlab(&["report", "/nonexistent/metrics.json"]);
+    assert!(!ok);
+    assert!(text.contains("cannot read"), "{text}");
+
+    let bad = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_not_metrics.json");
+    std::fs::write(&bad, "{\"schema\":\"something-else\",\"version\":1}").unwrap();
+    let (ok, text) = nowlab(&["report", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(text.contains("schema"), "{text}");
+}
+
+#[test]
 fn incomplete_sweep_reports_na_instead_of_panicking() {
     // Total loss: every message dropped, so no baseline can complete.
     let (ok, text) = nowlab(&[
