@@ -82,6 +82,50 @@ pub(crate) struct CachedReply {
     pub mark: Mark,
 }
 
+/// One observer's failure-detector verdict about a peer.
+///
+/// The state machine is driven only at heartbeat ticks: `Alive →
+/// Suspect` after [`crate::NodeFaultPlan::suspect_after`] of silence,
+/// `Suspect → Alive` (a *false suspicion*) when the peer's beat resumes,
+/// `Suspect → Dead` after [`crate::NodeFaultPlan::confirm_after`].
+/// `Dead` is absorbing: a peer that recovers after confirmation stays
+/// dead in this observer's view (crash-stop semantics from the
+/// survivor's side).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum PeerStatus {
+    /// Heard from recently (or never evaluated).
+    Alive,
+    /// Silent beyond the suspect threshold.
+    Suspect,
+    /// Confirmed dead: silence beyond the confirm threshold, or
+    /// retransmit-attempt exhaustion.
+    Dead,
+}
+
+/// A confirmed peer death, as recorded by the first observer to confirm
+/// it — the structured payload of an aborted run (the upper layers'
+/// `DegradePolicy::Abort` surfaces this instead of panicking or hanging).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunAbort {
+    /// The surviving processor whose detector (or retransmit exhaustion)
+    /// confirmed the death.
+    pub observer: ProcId,
+    /// The processor written off as dead.
+    pub peer: ProcId,
+    /// Virtual time of confirmation.
+    pub at: SimTime,
+}
+
+impl fmt::Display for RunAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "proc {} confirmed proc {} dead at {}",
+            self.observer, self.peer, self.at
+        )
+    }
+}
+
 /// Receiver-side duplicate-suppression state for one incoming link
 /// (reliability protocol only). Garbage-collected by the cumulative ack
 /// watermark piggybacked on every message from that source.
@@ -138,6 +182,15 @@ pub(crate) struct Endpoint {
     /// Reliability protocol: next per-link request sequence number, per
     /// destination ([`Msg::seq`]).
     pub tx_seq: RefCell<Vec<u64>>,
+    /// Woken when this processor's crash window ends (fail-pause
+    /// recovery); never signalled for healthy or crash-stop nodes.
+    pub crash_notify: Notify,
+    /// Failure-detector verdict about each peer (self entry stays
+    /// `Alive`). Only the heartbeat control plane and retransmit
+    /// exhaustion mutate it.
+    pub peer_status: RefCell<Vec<PeerStatus>>,
+    /// Last instant a heartbeat from each peer reached this observer.
+    pub last_heard: RefCell<Vec<SimTime>>,
 }
 
 impl Endpoint {
@@ -158,6 +211,9 @@ impl Endpoint {
             rel_tx: RefCell::new((0..p).map(|_| BTreeMap::new()).collect()),
             rel_rx: RefCell::new((0..p).map(|_| RxLink::default()).collect()),
             tx_seq: RefCell::new(vec![0; p]),
+            crash_notify: Notify::new(),
+            peer_status: RefCell::new(vec![PeerStatus::Alive; p]),
+            last_heard: RefCell::new(vec![SimTime::ZERO; p]),
         }
     }
 }
@@ -180,6 +236,14 @@ pub(crate) struct ClusterInner {
     /// message whether or not a sink is installed, so tracing cannot
     /// perturb a run.
     pub trace_ids: Cell<u64>,
+    /// Set by the SPMD runtime when the program epilogue completes: the
+    /// heartbeat control plane stops re-arming ticks.
+    pub control_done: Cell<bool>,
+    /// When set, the first confirmed peer death halts the simulation
+    /// (the *abort* degradation policy; see [`AmCluster::set_abort_on_death`]).
+    pub abort_on_death: Cell<bool>,
+    /// First confirmed peer death across the whole cluster.
+    pub death_note: RefCell<Option<RunAbort>>,
 }
 
 /// The AM layer's [`Mark`] projected onto the trace crate's
@@ -255,7 +319,7 @@ impl AmCluster {
     pub fn new(sim: Sim, cfg: NetConfig, p: usize) -> Self {
         assert!(p > 0, "cluster needs at least one processor");
         let procs = (0..p).map(|_| Endpoint::new(p, cfg.window)).collect();
-        AmCluster {
+        let cluster = AmCluster {
             inner: Rc::new(ClusterInner {
                 sim,
                 cfg,
@@ -266,8 +330,38 @@ impl AmCluster {
                 trace: OnceCell::new(),
                 metrics: OnceCell::new(),
                 trace_ids: Cell::new(0),
+                control_done: Cell::new(false),
+                abort_on_death: Cell::new(false),
+                death_note: RefCell::new(None),
             }),
+        };
+        // The node-failure control plane costs nothing unless the plan is
+        // active: an inert plan schedules no events here, keeping every
+        // healthy run bit-identical to a build without the failure model.
+        let plan = cluster.inner.cfg.node_faults;
+        if plan.is_active() {
+            let weak = Rc::downgrade(&cluster.inner);
+            let first = SimTime::ZERO + plan.hb_period;
+            cluster
+                .inner
+                .sim
+                .schedule(first, move |_| ClusterInner::on_heartbeat_tick(&weak, 1));
+            for f in plan.faults.iter().flatten() {
+                if f.crashes() && f.recover_at != SimTime::MAX {
+                    // Fail-pause recovery: wake the frozen task's crash
+                    // gate and nudge its wait loops to re-check.
+                    let weak = Rc::downgrade(&cluster.inner);
+                    let node = f.node;
+                    cluster.inner.sim.schedule(f.recover_at, move |_| {
+                        if let Some(inner) = weak.upgrade() {
+                            inner.procs[node].crash_notify.notify_all();
+                            inner.procs[node].rx_notify.notify_all();
+                        }
+                    });
+                }
+            }
         }
+        cluster
     }
 
     /// Installs a lifecycle observer (see [`TraceSink`]). The first
@@ -394,6 +488,26 @@ impl AmCluster {
         for ep in &self.inner.procs {
             ep.rx_notify.notify_all();
         }
+    }
+
+    /// Marks the distributed program finished: the heartbeat control
+    /// plane stops re-arming ticks, so trailing control events cannot
+    /// outlive the application by more than one period. Idempotent.
+    pub fn finish_control(&self) {
+        self.inner.control_done.set(true);
+    }
+
+    /// Selects the *abort* degradation policy: the first confirmed peer
+    /// death records a death note and halts the simulation at the
+    /// current instant (a clean, structured abort — never a hang). The
+    /// default (`false`) lets survivors keep running degraded.
+    pub fn set_abort_on_death(&self, on: bool) {
+        self.inner.abort_on_death.set(on);
+    }
+
+    /// The first confirmed peer death, if any.
+    pub fn death_note(&self) -> Option<RunAbort> {
+        *self.inner.death_note.borrow()
     }
 
     /// Zeroes all counters and restarts the stats clock (used to exclude
@@ -633,15 +747,36 @@ impl ClusterInner {
 
     /// Timeout expiry: if the request is still unacknowledged, charge the
     /// sender, re-inject with a refreshed ack watermark, and re-arm with
-    /// the next backoff step. Under a permanent outage this fires forever
-    /// (at the capped backoff), so the run's event or time limit — never a
-    /// hang — ends it.
+    /// the next backoff step. When the silence has a scheduled cause — an
+    /// active node-fault plan, or a wire outage covering the link right
+    /// now — the sender gives up after
+    /// [`crate::Reliability::max_attempts`] injections and escalates the
+    /// peer to its failure detector as dead: a crashed peer or severed
+    /// link ends in a bounded number of timer events, never a spin to the
+    /// run's event/time guard. Probabilistic drops alone never escalate:
+    /// a lossy wire eventually delivers, so the sender retries until the
+    /// run's event/time budget rules (a healthy peer must never be
+    /// declared dead by bad luck).
     fn on_retransmit_timer(self: &Rc<Self>, src: ProcId, dst: ProcId, req: ReqId, attempt: u32) {
         let ep = &self.procs[src];
+        let exhausted = {
+            let tx = ep.rel_tx.borrow();
+            match tx[dst].get(&req) {
+                None => return, // acknowledged in the meantime: timer is stale
+                Some(entry) => entry.attempts >= self.cfg.reliability.max_attempts,
+            }
+        };
+        if exhausted
+            && (self.cfg.node_faults.is_active()
+                || self.cfg.faults.in_outage(self.sim.now(), src, dst))
+        {
+            self.escalate_peer_death(src, dst);
+            return;
+        }
         let mut msg = {
             let mut tx = ep.rel_tx.borrow_mut();
             let Some(entry) = tx[dst].get_mut(&req) else {
-                return; // acknowledged in the meantime: timer is stale
+                return;
             };
             entry.attempts += 1;
             entry.msg.clone()
@@ -653,7 +788,7 @@ impl ClusterInner {
             let mut c = ep.counters.borrow_mut();
             c.timeouts += 1;
             c.retransmits += 1;
-            c.o_time += self.cfg.eff_o_send();
+            c.o_time += self.cfg.node_faults.scale(src, self.cfg.eff_o_send());
         }
         if let Some(sink) = self.trace.get() {
             sink.record(&TraceEvent::Retransmit {
@@ -675,6 +810,152 @@ impl ClusterInner {
         // (the Retransmit event reports the out-of-band charge).
         self.inject_with(msg, SimDelta::ZERO);
         self.arm_retransmit(src, dst, req, attempt + 1);
+    }
+
+    /// One tick of the global heartbeat control plane (active node-fault
+    /// plans only). Heartbeats are modelled out of band: each live node's
+    /// beat is stamped directly into every observer's `last_heard` (with
+    /// the plan's deterministic delivery jitter) rather than sent through
+    /// the data plane, so the failure detector perturbs neither LogGP
+    /// charges nor message schedules. Frozen observers still receive the
+    /// stamps — a recovering node must not wake to a wall of stale
+    /// silence and suspect every healthy peer at once — but evaluate
+    /// nothing while frozen.
+    fn on_heartbeat_tick(weak: &Weak<Self>, tick: u64) {
+        let Some(inner) = weak.upgrade() else { return };
+        if inner.control_done.get() {
+            return;
+        }
+        let now = inner.sim.now();
+        let plan = &inner.cfg.node_faults;
+        let p = inner.procs.len();
+
+        // Emission: every non-frozen node beats once.
+        for sender in 0..p {
+            if plan.frozen(sender, now) {
+                continue;
+            }
+            inner.procs[sender].counters.borrow_mut().heartbeats += 1;
+            let heard = now + plan.hb_jitter(sender, tick);
+            for observer in 0..p {
+                if observer != sender {
+                    inner.procs[observer].last_heard.borrow_mut()[sender] = heard;
+                }
+            }
+        }
+
+        // Detection: every non-frozen observer evaluates peer silence.
+        for observer in 0..p {
+            if plan.frozen(observer, now) {
+                continue;
+            }
+            for peer in 0..p {
+                if peer == observer {
+                    continue;
+                }
+                let (status, gap) = {
+                    let ep = &inner.procs[observer];
+                    let status = ep.peer_status.borrow()[peer];
+                    let gap = now.saturating_since(ep.last_heard.borrow()[peer]);
+                    (status, gap)
+                };
+                match status {
+                    PeerStatus::Dead => {}
+                    _ if gap > plan.confirm_after => {
+                        inner.escalate_peer_death(observer, peer);
+                    }
+                    PeerStatus::Alive if gap > plan.suspect_after => {
+                        let ep = &inner.procs[observer];
+                        ep.peer_status.borrow_mut()[peer] = PeerStatus::Suspect;
+                        ep.counters.borrow_mut().suspicions += 1;
+                    }
+                    PeerStatus::Suspect if gap <= plan.suspect_after => {
+                        // The beat resumed: retract (a false suspicion —
+                        // crash-recovery downtimes shorter than the
+                        // confirm threshold land here by design).
+                        let ep = &inner.procs[observer];
+                        ep.peer_status.borrow_mut()[peer] = PeerStatus::Alive;
+                        ep.counters.borrow_mut().false_suspicions += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Re-arm until every scheduled fault's fate is settled from every
+        // observer's perspective; past that point no tick can change
+        // detector state, so stopping keeps bare-cluster runs finite even
+        // when no SPMD epilogue calls `finish_control`.
+        if now < plan.settle_by() {
+            let weak = weak.clone();
+            let next = now + plan.hb_period;
+            inner
+                .sim
+                .schedule(next, move |_| Self::on_heartbeat_tick(&weak, tick + 1));
+        }
+    }
+
+    /// Marks `peer` dead in `observer`'s membership view and abandons all
+    /// of `observer`'s in-flight protocol state toward it: unacknowledged
+    /// requests are dropped, their reply waiters completed with a default
+    /// reply, posted-but-unacked sends written off, and flow-control
+    /// credits restored — so no task can block forever on a dead peer.
+    /// Idempotent in the view (the death is counted once) but always
+    /// sweeps the in-flight state, because new sends may have raced in
+    /// between confirmation and the next retransmit exhaustion.
+    pub(crate) fn escalate_peer_death(&self, observer: ProcId, peer: ProcId) {
+        let now = self.sim.now();
+        let ep = &self.procs[observer];
+        let newly = {
+            let mut status = ep.peer_status.borrow_mut();
+            let newly = status[peer] != PeerStatus::Dead;
+            status[peer] = PeerStatus::Dead;
+            newly
+        };
+        if newly {
+            let mut c = ep.counters.borrow_mut();
+            c.peer_deaths += 1;
+            if let Some(f) = self.cfg.node_faults.fault_of(peer) {
+                if f.crashes() && f.crash_at <= now {
+                    c.max_detect_latency =
+                        c.max_detect_latency.max(now.saturating_since(f.crash_at));
+                }
+            }
+        }
+        let orphaned: Vec<ReqId> = ep.rel_tx.borrow()[peer].keys().copied().collect();
+        for req in orphaned {
+            ep.rel_tx.borrow_mut()[peer].remove(&req);
+            ep.credits.set(ep.credits.get() + 1);
+            let slot = ep.pending_replies.borrow_mut().remove(&req);
+            match slot {
+                Some(slot) => {
+                    // The requester unblocks with the protocol's default
+                    // reply (zero words, no payload) — the degraded app
+                    // layer decides what that means.
+                    slot.args.set([0; 4]);
+                    *slot.payload.borrow_mut() = Payload::None;
+                    slot.filled.set(true);
+                }
+                None => {
+                    let posts = ep.pending_posts.get();
+                    debug_assert!(posts > 0, "orphaned request was neither awaited nor posted");
+                    ep.pending_posts.set(posts.saturating_sub(1));
+                }
+            }
+        }
+        ep.rx_notify.notify_all();
+        if newly {
+            if self.death_note.borrow().is_none() {
+                *self.death_note.borrow_mut() = Some(RunAbort {
+                    observer,
+                    peer,
+                    at: now,
+                });
+            }
+            if self.abort_on_death.get() {
+                self.sim.halt();
+            }
+        }
     }
 
     /// Delivery at the destination NIC, serialized at one message per

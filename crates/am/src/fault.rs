@@ -181,18 +181,41 @@ impl FaultPlan {
         self
     }
 
-    /// Adds an outage window.
+    /// Adds an outage window, coalescing it with any existing window of
+    /// the same `(src, dst)` scope that overlaps or abuts it. Without the
+    /// merge, a doubly-covered span would silently occupy two slots and
+    /// make equivalent plans compare unequal (`NetConfig` is `Eq + Hash`).
     ///
     /// # Panics
     ///
-    /// Panics if the plan already holds [`MAX_OUTAGES`] outages.
+    /// Panics if the plan already holds [`MAX_OUTAGES`] disjoint outages.
     pub fn with_outage(mut self, outage: Outage) -> Self {
+        let mut merged = outage;
+        // Repeat until no slot overlaps: the union of two windows can
+        // newly bridge a third.
+        loop {
+            let mut changed = false;
+            for slot in self.outages.iter_mut() {
+                if let Some(o) = *slot {
+                    let same_scope = o.src == merged.src && o.dst == merged.dst;
+                    if same_scope && o.start <= merged.end && merged.start <= o.end {
+                        merged.start = merged.start.min(o.start);
+                        merged.end = merged.end.max(o.end);
+                        *slot = None;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
         let slot = self
             .outages
             .iter_mut()
             .find(|o| o.is_none())
             .expect("FaultPlan: too many outages");
-        *slot = Some(outage);
+        *slot = Some(merged);
         self
     }
 
@@ -288,6 +311,292 @@ mod salt {
     pub const DUP: u64 = 0x22;
     pub const JITTER: u64 = 0x33;
     pub const BACKOFF: u64 = 0x44;
+    pub const HEARTBEAT: u64 = 0x55;
+}
+
+/// Maximum number of node faults a plan can carry (fixed so the plan
+/// stays `Copy`).
+pub const MAX_NODE_FAULTS: usize = 4;
+
+/// One processor's scheduled misbehavior.
+///
+/// The model is **fail-pause**: a crashed processor stops executing and
+/// stops emitting heartbeats, but its memory survives, so a
+/// crash-recovery node resumes exactly where it froze (the LANai-reset
+/// regime of the NOW cluster, where the host loses the NIC but not its
+/// address space). Crash-stop is the `recover_at == SimTime::MAX` limit.
+/// A *straggler* keeps running with its host overhead and compute charges
+/// scaled by a fixed multiplier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub struct NodeFault {
+    /// The afflicted processor.
+    pub node: usize,
+    /// First instant at which the processor is frozen ([`SimTime::MAX`]
+    /// for a pure straggler that never crashes).
+    pub crash_at: SimTime,
+    /// First instant after the freeze ([`SimTime::MAX`] for crash-stop).
+    pub recover_at: SimTime,
+    /// Multiplier on host overhead and compute charges, in parts per
+    /// million ([`PPM_SCALE`] = 1.0× = healthy).
+    pub slowdown_ppm: u32,
+}
+
+impl NodeFault {
+    /// A crash-stop fault: `node` freezes at `at` and never returns.
+    pub fn crash(node: usize, at: SimTime) -> Self {
+        NodeFault {
+            node,
+            crash_at: at,
+            recover_at: SimTime::MAX,
+            slowdown_ppm: PPM_SCALE,
+        }
+    }
+
+    /// A crash-recovery fault: `node` freezes at `at` and resumes after
+    /// `downtime`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `downtime` is zero.
+    pub fn crash_recovery(node: usize, at: SimTime, downtime: SimDelta) -> Self {
+        assert!(!downtime.is_zero(), "downtime must be positive");
+        NodeFault {
+            node,
+            crash_at: at,
+            recover_at: at + downtime,
+            slowdown_ppm: PPM_SCALE,
+        }
+    }
+
+    /// A straggler fault: `node` runs with overhead and compute scaled by
+    /// `factor` for the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0` (a node cannot be faster than healthy).
+    pub fn straggler(node: usize, factor: f64) -> Self {
+        assert!(factor >= 1.0, "straggler factor {factor} below 1.0");
+        NodeFault {
+            node,
+            crash_at: SimTime::MAX,
+            recover_at: SimTime::MAX,
+            slowdown_ppm: (factor * f64::from(PPM_SCALE)).round() as u32,
+        }
+    }
+
+    /// True if the processor is frozen at `t`.
+    pub fn frozen(&self, t: SimTime) -> bool {
+        self.crash_at <= t && t < self.recover_at
+    }
+
+    /// True if this entry ever freezes its node.
+    pub fn crashes(&self) -> bool {
+        self.crash_at != SimTime::MAX
+    }
+}
+
+impl fmt::Display for NodeFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.node)?;
+        if self.crashes() {
+            write!(f, "@{}", self.crash_at)?;
+            if self.recover_at != SimTime::MAX {
+                write!(f, "+{}", self.recover_at - self.crash_at)?;
+            }
+        }
+        if self.slowdown_ppm != PPM_SCALE {
+            write!(
+                f,
+                "x{:.2}",
+                f64::from(self.slowdown_ppm) / f64::from(PPM_SCALE)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic, seeded schedule of node-level faults, plus the
+/// failure-detector timing every surviving processor runs against it.
+///
+/// The plan is a pure data value (`Copy + Eq + Hash`, like
+/// [`FaultPlan`]): every crash, recovery, and slowdown is scheduled in
+/// simulated time up front, and the heartbeat jitter is a stateless hash
+/// of `(seed, sender, tick)`. The empty plan is **inert**: the transport
+/// checks one boolean, schedules no heartbeat or detector events, and
+/// runs bit-identical to a build without the node-failure model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub struct NodeFaultPlan {
+    /// Seed for the deterministic heartbeat jitter.
+    pub seed: u64,
+    /// Heartbeat emission period (every live node, every period).
+    pub hb_period: SimDelta,
+    /// Silence after which an observer *suspects* a peer.
+    pub suspect_after: SimDelta,
+    /// Silence after which an observer *confirms* a peer dead.
+    pub confirm_after: SimDelta,
+    /// Scheduled node faults (up to [`MAX_NODE_FAULTS`], one per node).
+    pub faults: [Option<NodeFault>; MAX_NODE_FAULTS],
+}
+
+impl NodeFaultPlan {
+    /// The inert plan: no node faults, no heartbeats, no detector — the
+    /// transport is byte-identical to the healthy baseline.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the heartbeat-jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the detector timing: heartbeat `period`, `suspect`
+    /// silence threshold, `confirm` silence threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < period ≤ suspect ≤ confirm`.
+    pub fn with_detector(mut self, period: SimDelta, suspect: SimDelta, confirm: SimDelta) -> Self {
+        assert!(
+            !period.is_zero() && period <= suspect && suspect <= confirm,
+            "detector timing must satisfy 0 < period <= suspect <= confirm"
+        );
+        self.hb_period = period;
+        self.suspect_after = suspect;
+        self.confirm_after = confirm;
+        self
+    }
+
+    /// Adds a node fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan already holds [`MAX_NODE_FAULTS`] faults or
+    /// already afflicts the same node.
+    pub fn with_fault(mut self, fault: NodeFault) -> Self {
+        assert!(
+            !self.faults.iter().flatten().any(|f| f.node == fault.node),
+            "NodeFaultPlan: duplicate fault for node {}",
+            fault.node
+        );
+        let slot = self
+            .faults
+            .iter_mut()
+            .find(|f| f.is_none())
+            .expect("NodeFaultPlan: too many node faults");
+        *slot = Some(fault);
+        self
+    }
+
+    /// True if the plan afflicts any node — this is the switch that
+    /// engages the heartbeat/detector control plane.
+    pub fn is_active(&self) -> bool {
+        self.faults.iter().any(Option::is_some)
+    }
+
+    /// The fault entry afflicting `node`, if any.
+    pub fn fault_of(&self, node: usize) -> Option<&NodeFault> {
+        self.faults.iter().flatten().find(|f| f.node == node)
+    }
+
+    /// True if `node` is frozen (crashed, not yet recovered) at `t`.
+    pub fn frozen(&self, node: usize, t: SimTime) -> bool {
+        self.fault_of(node).is_some_and(|f| f.frozen(t))
+    }
+
+    /// Overhead/compute slowdown multiplier for `node`, in parts per
+    /// million ([`PPM_SCALE`] for a healthy node).
+    pub fn slowdown_ppm(&self, node: usize) -> u32 {
+        self.fault_of(node).map_or(PPM_SCALE, |f| f.slowdown_ppm)
+    }
+
+    /// Scales a host charge by `node`'s straggler multiplier.
+    pub fn scale(&self, node: usize, d: SimDelta) -> SimDelta {
+        let ppm = self.slowdown_ppm(node);
+        if ppm == PPM_SCALE {
+            return d;
+        }
+        SimDelta::from_nanos(
+            (u128::from(d.as_nanos()) * u128::from(ppm) / u128::from(PPM_SCALE)) as u64,
+        )
+    }
+
+    /// The instant by which every scheduled fault's fate is settled from
+    /// every observer's perspective: each crash has been confirmable for
+    /// a full confirm window past its recovery (or forever, for
+    /// crash-stop), plus two heartbeat periods of evaluation margin.
+    /// The control plane stops re-arming ticks past this point — after
+    /// it, no tick can change detector state, so bare clusters with no
+    /// SPMD epilogue still reach quiescence.
+    pub fn settle_by(&self) -> SimTime {
+        let mut t = SimTime::ZERO;
+        for f in self.faults.iter().flatten() {
+            if !f.crashes() {
+                continue;
+            }
+            let resolved = if f.recover_at == SimTime::MAX {
+                f.crash_at
+            } else {
+                f.recover_at
+            };
+            t = t.max(resolved + self.confirm_after);
+        }
+        t + self.hb_period * 2
+    }
+
+    /// Deterministic heartbeat delivery jitter for `sender`'s beat at
+    /// `tick` — a stateless hash in `[0, hb_period/8]`, so identical
+    /// plans always produce the identical detector timeline.
+    pub fn hb_jitter(&self, sender: usize, tick: u64) -> SimDelta {
+        let bound = self.hb_period.as_nanos() / 8;
+        if bound == 0 {
+            return SimDelta::ZERO;
+        }
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((sender as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .wrapping_add(tick.wrapping_mul(0xA24B_AED4_963E_E407))
+            ^ salt::HEARTBEAT;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 29;
+        SimDelta::from_nanos(x % (bound + 1))
+    }
+}
+
+impl Default for NodeFaultPlan {
+    /// Inert plan with the baseline detector timing: 100 µs heartbeats,
+    /// suspect after 400 µs of silence, confirm after 1.2 ms — an order
+    /// of magnitude above the NOW round trip, well under app runtimes.
+    fn default() -> Self {
+        NodeFaultPlan {
+            seed: 0,
+            hb_period: SimDelta::from_micros(100.0),
+            suspect_after: SimDelta::from_micros(400.0),
+            confirm_after: SimDelta::from_micros(1200.0),
+            faults: [None; MAX_NODE_FAULTS],
+        }
+    }
+}
+
+impl fmt::Display for NodeFaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_active() {
+            return write!(f, "nodes=healthy");
+        }
+        write!(f, "nodes[hb={} ", self.hb_period)?;
+        for (i, fault) in self.faults.iter().flatten().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        write!(f, "]")
+    }
 }
 
 fn to_ppm(rate: f64) -> u32 {
@@ -320,6 +629,12 @@ pub struct Reliability {
     pub rto: SimDelta,
     /// Upper bound on the backed-off timeout.
     pub rto_max: SimDelta,
+    /// Maximum injection attempts per message (first send plus
+    /// retransmissions) before the sender gives up and escalates the
+    /// peer to its failure detector as dead. Before this cap the
+    /// protocol retransmitted forever, so a permanently dead link spun
+    /// timers until the run's event/time guard tripped.
+    pub max_attempts: u32,
     /// Engage the protocol even with an inert fault plan (measures the
     /// protocol's own cost on a healthy network).
     pub always_on: bool,
@@ -327,11 +642,15 @@ pub struct Reliability {
 
 impl Reliability {
     /// Initial RTO of 250 µs backing off to 16 ms — an order of magnitude
-    /// above the baseline round trip, two below the app-suite runtimes.
+    /// above the baseline round trip, two below the app-suite runtimes —
+    /// and at most 16 attempts per message. GAM's credit protocol bounds
+    /// its own NACK-retry the same way; 16 attempts make a spurious
+    /// escalation vanishingly rare even at heavy loss (0.05¹⁶ ≈ 10⁻²¹).
     pub fn baseline() -> Self {
         Reliability {
             rto: SimDelta::from_micros(250.0),
             rto_max: SimDelta::from_millis(16.0),
+            max_attempts: 16,
             always_on: false,
         }
     }
@@ -350,6 +669,18 @@ impl Reliability {
     /// Replaces the backoff cap.
     pub fn with_rto_max(mut self, rto_max: SimDelta) -> Self {
         self.rto_max = rto_max;
+        self
+    }
+
+    /// Replaces the per-message attempt cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts < 2` (one original send plus at least one
+    /// retransmission — a cap of 1 would escalate on the first loss).
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        assert!(max_attempts >= 2, "max_attempts must be at least 2");
+        self.max_attempts = max_attempts;
         self
     }
 
@@ -391,7 +722,11 @@ impl Default for Reliability {
 
 impl fmt::Display for Reliability {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "rto={}..{}", self.rto, self.rto_max)?;
+        write!(
+            f,
+            "rto={}..{} tries<={}",
+            self.rto, self.rto_max, self.max_attempts
+        )?;
         if self.always_on {
             write!(f, " (forced on)")?;
         }
@@ -491,10 +826,122 @@ mod tests {
     #[test]
     #[should_panic(expected = "too many outages")]
     fn outage_capacity_enforced() {
+        // Disjoint windows (overlapping ones would coalesce into one).
         let mut p = FaultPlan::none();
         for i in 0..=MAX_OUTAGES as u64 {
-            p = p.with_outage(Outage::permanent(SimTime::from_nanos(i)));
+            p = p.with_outage(Outage::window(
+                SimTime::from_nanos(10 * i),
+                SimTime::from_nanos(10 * i + 5),
+            ));
         }
+    }
+
+    #[test]
+    fn overlapping_outages_merge_into_one_window() {
+        let t = SimTime::from_nanos;
+        let a = Outage::window(t(100), t(200));
+        let b = Outage::window(t(150), t(300));
+        // Overlapping same-scope windows coalesce: the plan is identical
+        // to one built from the union, occupying a single slot.
+        let merged = FaultPlan::none().with_outage(a).with_outage(b);
+        assert_eq!(
+            merged,
+            FaultPlan::none().with_outage(Outage::window(t(100), t(300)))
+        );
+        assert_eq!(merged.outages.iter().flatten().count(), 1);
+        // Abutting windows coalesce too (the union covers both spans).
+        let abut = FaultPlan::none()
+            .with_outage(Outage::window(t(100), t(200)))
+            .with_outage(Outage::window(t(200), t(250)));
+        assert_eq!(
+            abut,
+            FaultPlan::none().with_outage(Outage::window(t(100), t(250)))
+        );
+        // A later window can bridge two earlier disjoint ones.
+        let bridged = FaultPlan::none()
+            .with_outage(Outage::window(t(100), t(150)))
+            .with_outage(Outage::window(t(200), t(250)))
+            .with_outage(Outage::window(t(140), t(210)));
+        assert_eq!(bridged.outages.iter().flatten().count(), 1);
+        assert!(bridged.in_outage(t(175), 0, 1));
+        // Different scopes never merge: per-link and all-links windows
+        // are distinct fault populations.
+        let scoped = FaultPlan::none().with_outage(a).with_outage(b.from_src(1));
+        assert_eq!(scoped.outages.iter().flatten().count(), 2);
+    }
+
+    #[test]
+    fn node_fault_plan_schedules_and_scales() {
+        let t = |us: f64| SimTime::ZERO + SimDelta::from_micros(us);
+        let plan = NodeFaultPlan::none()
+            .with_fault(NodeFault::crash(3, t(100.0)))
+            .with_fault(NodeFault::crash_recovery(
+                1,
+                t(50.0),
+                SimDelta::from_micros(25.0),
+            ))
+            .with_fault(NodeFault::straggler(2, 2.5));
+        assert!(plan.is_active());
+        assert!(!NodeFaultPlan::none().is_active());
+        // Crash-stop: frozen from crash_at on, forever.
+        assert!(!plan.frozen(3, t(99.9)));
+        assert!(plan.frozen(3, t(100.0)));
+        assert!(plan.frozen(3, t(999_000.0)));
+        // Crash-recovery: frozen only inside the downtime window.
+        assert!(plan.frozen(1, t(50.0)));
+        assert!(plan.frozen(1, t(74.9)));
+        assert!(!plan.frozen(1, t(75.0)));
+        // Straggler never freezes but scales charges.
+        assert!(!plan.frozen(2, t(0.0)));
+        assert_eq!(
+            plan.scale(2, SimDelta::from_nanos(1000)),
+            SimDelta::from_nanos(2500)
+        );
+        // Healthy nodes scale by exactly 1 (bit-identical charges).
+        assert_eq!(
+            plan.scale(0, SimDelta::from_nanos(1234)),
+            SimDelta::from_nanos(1234)
+        );
+        assert_eq!(plan.slowdown_ppm(0), PPM_SCALE);
+    }
+
+    #[test]
+    fn node_fault_plan_is_deterministic_data() {
+        let t = |us: f64| SimTime::ZERO + SimDelta::from_micros(us);
+        let a = NodeFaultPlan::none().with_fault(NodeFault::crash(0, t(10.0)));
+        let b = NodeFaultPlan::none().with_fault(NodeFault::crash(0, t(10.0)));
+        assert_eq!(a, b);
+        // Heartbeat jitter is a pure bounded hash of (seed, sender, tick).
+        for tick in 0..64 {
+            let j = a.hb_jitter(1, tick);
+            assert_eq!(j, b.hb_jitter(1, tick));
+            assert!(j <= a.hb_period / 8);
+        }
+        assert_ne!(
+            (0..64)
+                .map(|k| a.with_seed(9).hb_jitter(1, k))
+                .collect::<Vec<_>>(),
+            (0..64).map(|k| a.hb_jitter(1, k)).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate fault")]
+    fn duplicate_node_fault_rejected() {
+        let _ = NodeFaultPlan::none()
+            .with_fault(NodeFault::crash(1, SimTime::ZERO))
+            .with_fault(NodeFault::straggler(1, 2.0));
+    }
+
+    #[test]
+    fn node_plan_display_formats() {
+        assert_eq!(format!("{}", NodeFaultPlan::none()), "nodes=healthy");
+        let plan = NodeFaultPlan::none().with_fault(NodeFault::crash(
+            3,
+            SimTime::ZERO + SimDelta::from_micros(100.0),
+        ));
+        let s = format!("{plan}");
+        assert!(s.contains("p3@"), "{s}");
     }
 
     #[test]

@@ -75,8 +75,11 @@ mod params;
 mod port;
 mod stats;
 
-pub use cluster::{AmCluster, Handler, HandlerCtx};
-pub use fault::{FaultPlan, Outage, Reliability, MAX_OUTAGES, PPM_SCALE};
+pub use cluster::{AmCluster, Handler, HandlerCtx, RunAbort};
+pub use fault::{
+    FaultPlan, NodeFault, NodeFaultPlan, Outage, Reliability, MAX_NODE_FAULTS, MAX_OUTAGES,
+    PPM_SCALE,
+};
 pub use message::{Dir, HandlerId, Mark, Msg, Payload, ProcId, ReplyData, ReqId};
 pub use params::{
     mb_per_s_from_per_byte, per_byte_from_mb_per_s, Knobs, LatencyMode, LoggpParams, NetConfig,

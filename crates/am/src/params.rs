@@ -17,7 +17,7 @@
 use nowlab_sim::SimDelta;
 use std::fmt;
 
-use crate::fault::{FaultPlan, Reliability};
+use crate::fault::{FaultPlan, NodeFaultPlan, Reliability};
 
 /// Baseline LogGP parameters of a machine (all per Table 1 of the paper).
 ///
@@ -273,6 +273,11 @@ pub struct NetConfig {
     /// [`FaultPlan::none`] is inert and leaves every run bit-identical to
     /// the lossless transport.
     pub faults: FaultPlan,
+    /// Deterministic node-level fault model (crash/recovery/straggler)
+    /// plus failure-detector timing. The default
+    /// [`NodeFaultPlan::none`] is inert: no heartbeats, no detector
+    /// events, runs bit-identical to the healthy cluster.
+    pub node_faults: NodeFaultPlan,
     /// Tuning of the reliable-delivery protocol, engaged whenever the
     /// fault plan is active (or [`Reliability::always_on`] is set).
     pub reliability: Reliability,
@@ -289,6 +294,7 @@ impl NetConfig {
             short_wire_bytes: 28,
             latency_mode: LatencyMode::DelayQueue,
             faults: FaultPlan::none(),
+            node_faults: NodeFaultPlan::none(),
             reliability: Reliability::baseline(),
         }
     }
@@ -331,12 +337,21 @@ impl NetConfig {
         self
     }
 
+    /// Replaces the node-fault plan, keeping everything else. An active
+    /// plan engages the heartbeat/failure-detector control plane *and*
+    /// the reliable-delivery protocol (senders must be able to stop
+    /// retransmitting into a dead peer).
+    pub fn with_node_faults(mut self, node_faults: NodeFaultPlan) -> Self {
+        self.node_faults = node_faults;
+        self
+    }
+
     /// True if the reliable-delivery protocol is engaged: sequence-number
     /// tracking, duplicate suppression, and retransmission timers. False by
     /// default, in which case the transport takes the exact lossless code
     /// path (no timers, no extra state).
     pub fn reliability_active(&self) -> bool {
-        self.faults.is_active() || self.reliability.always_on
+        self.faults.is_active() || self.node_faults.is_active() || self.reliability.always_on
     }
 
     /// Effective send overhead (`o_send + Δo`).
@@ -390,6 +405,9 @@ impl fmt::Display for NetConfig {
         )?;
         if self.reliability_active() {
             write!(f, " | {} {}", self.faults, self.reliability)?;
+            if self.node_faults.is_active() {
+                write!(f, " {}", self.node_faults)?;
+            }
         }
         write!(f, "]")
     }
@@ -493,5 +511,25 @@ mod tests {
         assert!(!base
             .with_faults(FaultPlan::none().with_seed(9))
             .reliability_active());
+    }
+
+    #[test]
+    fn node_faults_engage_reliability() {
+        use crate::fault::NodeFault;
+        use nowlab_sim::SimTime;
+        let base = NetConfig::berkeley_now();
+        let crashy = NodeFaultPlan::none().with_fault(NodeFault::crash(0, SimTime::ZERO));
+        assert!(base.with_node_faults(crashy).reliability_active());
+        // The empty node plan stays fully inert.
+        let empty = base.with_node_faults(NodeFaultPlan::none());
+        assert!(!empty.reliability_active());
+        assert_eq!(empty, base);
+        let s = format!("{empty}");
+        assert!(
+            !s.contains("nodes"),
+            "inert node plan must not clutter: {s}"
+        );
+        let s = format!("{}", base.with_node_faults(crashy));
+        assert!(s.contains("nodes[hb="), "{s}");
     }
 }

@@ -16,7 +16,7 @@ use nowlab_metrics::{ProcState, WaitKind};
 use nowlab_sim::{SimDelta, SimTime};
 use nowlab_trace::{RecvEvent, TraceEvent};
 
-use crate::cluster::{CachedReply, ClusterInner, ReplySlot, TxEntry};
+use crate::cluster::{CachedReply, ClusterInner, PeerStatus, ReplySlot, TxEntry};
 use crate::message::{Dir, HandlerId, Mark, Msg, Payload, ProcId, ReqId};
 use crate::params::NetConfig;
 
@@ -60,9 +60,60 @@ impl AmPort {
         self.inner.sim.now()
     }
 
+    /// Parks this task while its processor is inside a crash window
+    /// (fail-pause: execution freezes, memory survives). Awaited at every
+    /// communication-layer and compute entry, so a crashed processor
+    /// stops emitting, polling, and serving — exactly like a host whose
+    /// NIC program died. Crash-stop nodes (no recovery) pend forever;
+    /// crash-recovery nodes resume at the scheduled wake. Free for
+    /// healthy plans: one boolean check.
+    async fn crash_gate(&self) {
+        if !self.inner.cfg.node_faults.is_active() {
+            return;
+        }
+        loop {
+            if !self
+                .inner
+                .cfg
+                .node_faults
+                .frozen(self.proc, self.inner.sim.now())
+            {
+                return;
+            }
+            self.inner.procs[self.proc].crash_notify.notified().await;
+        }
+    }
+
+    /// True once this processor's failure detector has confirmed `peer`
+    /// dead (never true for itself or under an inert node plan).
+    pub fn peer_dead(&self, peer: ProcId) -> bool {
+        self.inner.procs[self.proc].peer_status.borrow()[peer] == PeerStatus::Dead
+    }
+
+    /// This processor's membership view: `alive[p]` is false exactly for
+    /// the peers its failure detector has confirmed dead. The self entry
+    /// is always true.
+    pub fn peers_alive(&self) -> Vec<bool> {
+        self.inner.procs[self.proc]
+            .peer_status
+            .borrow()
+            .iter()
+            .map(|s| *s != PeerStatus::Dead)
+            .collect()
+    }
+
+    /// Number of processors this one still considers alive (including
+    /// itself).
+    pub fn alive_count(&self) -> usize {
+        self.peers_alive().iter().filter(|&&a| a).count()
+    }
+
     /// Spends `d` of processor time computing (the network is *not*
-    /// serviced meanwhile).
+    /// serviced meanwhile). A straggler node's charge is scaled by its
+    /// slowdown multiplier; a crashed node freezes here until recovery.
     pub async fn compute(&self, d: SimDelta) {
+        self.crash_gate().await;
+        let d = self.inner.cfg.node_faults.scale(self.proc, d);
         let start = self.inner.sim.now();
         self.inner.sim.delay(d).await;
         self.inner.procs[self.proc]
@@ -119,6 +170,7 @@ impl AmPort {
     /// Drains every message currently visible at this processor, charging
     /// receive overhead and running handlers (replies charged as sends).
     pub async fn poll(&self) {
+        self.crash_gate().await;
         loop {
             let msg = self.inner.procs[self.proc].rx.borrow_mut().pop_front();
             match msg {
@@ -144,7 +196,7 @@ impl AmPort {
     async fn process_incoming(&self, msg: Msg) {
         let cfg = &self.inner.cfg;
         let reliable = cfg.reliability_active();
-        let o_recv = cfg.eff_o_recv();
+        let o_recv = cfg.node_faults.scale(self.proc, cfg.eff_o_recv());
         let base_o_recv = cfg.machine.o_recv;
         let start = self.inner.sim.now();
         self.inner.sim.delay(o_recv).await;
@@ -322,7 +374,11 @@ impl AmPort {
     /// `ack` carries this processor's own watermark on the reverse link,
     /// so acks flow even when only one side originates requests.
     async fn send_reply(&self, req: &Msg, args: [u64; 4], payload: Payload, mark: Mark) {
-        let o_send = self.inner.cfg.eff_o_send();
+        let o_send = self
+            .inner
+            .cfg
+            .node_faults
+            .scale(self.proc, self.inner.cfg.eff_o_send());
         let start = self.inner.sim.now();
         self.inner.sim.delay(o_send).await;
         self.note_overhead(
@@ -383,6 +439,7 @@ impl AmPort {
             }
         }
         loop {
+            self.crash_gate().await;
             if cond() {
                 break;
             }
@@ -417,6 +474,7 @@ impl AmPort {
             }
         }
         loop {
+            self.crash_gate().await;
             if self.inner.sim.now() >= deadline {
                 break;
             }
@@ -452,7 +510,11 @@ impl AmPort {
     }
 
     async fn charge_send(&self) {
-        let o_send = self.inner.cfg.eff_o_send();
+        let o_send = self
+            .inner
+            .cfg
+            .node_faults
+            .scale(self.proc, self.inner.cfg.eff_o_send());
         let start = self.inner.sim.now();
         self.inner.sim.delay(o_send).await;
         self.note_overhead(
@@ -486,6 +548,13 @@ impl AmPort {
         mark: Mark,
     ) -> ([u64; 4], Payload) {
         assert!(dst < self.num_procs(), "no such processor {dst}");
+        self.crash_gate().await;
+        if self.peer_dead(dst) {
+            // Fail fast: the detector already confirmed the peer dead, so
+            // the request completes locally with the protocol's default
+            // reply instead of burning 16 retransmissions re-learning it.
+            return ([0; 4], Payload::None);
+        }
         self.poll_n(4).await;
         self.acquire_credit().await;
         let req = self.next_req();
@@ -533,6 +602,10 @@ impl AmPort {
         mark: Mark,
     ) {
         assert!(dst < self.num_procs(), "no such processor {dst}");
+        self.crash_gate().await;
+        if self.peer_dead(dst) {
+            return; // fail fast: confirmed-dead destination, see `request`
+        }
         self.poll_n(4).await;
         self.acquire_credit().await;
         let req = self.next_req();

@@ -58,6 +58,21 @@ pub struct ProcCounters {
     /// Largest retransmission backoff armed by this processor (diagnoses
     /// how deep the exponential backoff went).
     pub max_retry_backoff: SimDelta,
+    /// Heartbeat rounds this processor emitted (one per control-plane
+    /// tick it was alive for; zero when the node-fault plan is inert).
+    pub heartbeats: u64,
+    /// Peers this processor's failure detector moved to *suspect*.
+    pub suspicions: u64,
+    /// Suspicions later retracted because the peer's heartbeat resumed
+    /// (crash-recovery faults and detector over-eagerness both land
+    /// here).
+    pub false_suspicions: u64,
+    /// Peers this processor's failure detector confirmed dead (silence
+    /// beyond the confirm threshold, or retransmit-attempt exhaustion).
+    pub peer_deaths: u64,
+    /// Largest detection latency: confirmation instant minus the peer's
+    /// actual crash instant (zero if no death was confirmed).
+    pub max_detect_latency: SimDelta,
 }
 
 impl ProcCounters {
@@ -266,6 +281,35 @@ impl CommStats {
         self.per_proc
             .iter()
             .map(|c| c.max_retry_backoff)
+            .max()
+            .unwrap_or(SimDelta::ZERO)
+    }
+
+    /// Total heartbeat rounds emitted by all processors.
+    pub fn total_heartbeats(&self) -> u64 {
+        self.per_proc.iter().map(|c| c.heartbeats).sum()
+    }
+
+    /// Total suspicions raised by all failure detectors.
+    pub fn total_suspicions(&self) -> u64 {
+        self.per_proc.iter().map(|c| c.suspicions).sum()
+    }
+
+    /// Total suspicions retracted after the peer's heartbeat resumed.
+    pub fn total_false_suspicions(&self) -> u64 {
+        self.per_proc.iter().map(|c| c.false_suspicions).sum()
+    }
+
+    /// Total peer-death confirmations across all failure detectors.
+    pub fn total_peer_deaths(&self) -> u64 {
+        self.per_proc.iter().map(|c| c.peer_deaths).sum()
+    }
+
+    /// Largest crash-to-confirmation latency observed anywhere.
+    pub fn max_detect_latency(&self) -> SimDelta {
+        self.per_proc
+            .iter()
+            .map(|c| c.max_detect_latency)
             .max()
             .unwrap_or(SimDelta::ZERO)
     }

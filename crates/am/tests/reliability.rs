@@ -203,9 +203,8 @@ fn heavy_loss_still_preserves_per_link_fifo() {
 }
 
 #[test]
-fn permanent_outage_hits_the_event_budget_not_a_hang() {
+fn permanent_outage_escalates_to_peer_death_not_a_hang() {
     let sim = Sim::new();
-    sim.set_event_limit(Some(200_000));
     let plan = FaultPlan::none().with_outage(Outage::permanent(SimTime::ZERO));
     let cluster = AmCluster::new(sim.clone(), NetConfig::berkeley_now().with_faults(plan), 2);
     let h = cluster.register_handler(|_| ReplyData::ack());
@@ -213,19 +212,31 @@ fn permanent_outage_hits_the_event_budget_not_a_hang() {
     sim.spawn(async move { server.wait_until(|| false).await });
     let port = cluster.port(0);
     let done = sim.spawn(async move {
-        port.request(1, h, [0; 4], Payload::None, Mark::Read).await;
-        true
+        let (args, _) = port.request(1, h, [0; 4], Payload::None, Mark::Read).await;
+        (args, port.peer_dead(1), port.peers_alive())
     });
     let report = sim.run();
-    // The requester can never complete; backed-off retransmissions keep
-    // the event queue alive until the budget trips the livelock guard.
-    assert_eq!(report.stop_reason, StopReason::EventLimit);
-    assert_eq!(done.try_take(), None);
+    // The reply can never arrive. After `max_attempts` injections the
+    // sender writes the peer off: the request completes locally with the
+    // protocol's default reply and the event queue drains to Idle —
+    // bounded retransmissions, no spin into the livelock guard.
+    assert_eq!(report.stop_reason, StopReason::Idle);
+    let (args, dead, alive) = done.try_take().expect("requester never unblocked");
+    assert_eq!(args, [0; 4]);
+    assert!(dead, "detector did not mark the peer dead");
+    assert_eq!(alive, vec![true, false]);
     let stats = cluster.stats();
-    assert!(stats.per_proc[0].timeouts > 0, "no timeouts counted");
-    assert_eq!(stats.per_proc[0].drops, stats.per_proc[0].sends);
+    let max = u64::from(NetConfig::berkeley_now().reliability.max_attempts);
+    // Every injection was swallowed by the outage; each but the last
+    // retransmission was driven by a timeout; the final timer escalated.
+    assert_eq!(stats.per_proc[0].sends, max);
+    assert_eq!(stats.per_proc[0].drops, max);
+    assert_eq!(stats.per_proc[0].timeouts, max - 1);
+    assert_eq!(stats.per_proc[0].peer_deaths, 1);
     // The backoff visibly escalated beyond the initial RTO.
     assert!(stats.max_retry_backoff() > NetConfig::berkeley_now().reliability.rto);
+    let note = cluster.death_note().expect("no death note recorded");
+    assert_eq!((note.observer, note.peer), (0, 1));
 }
 
 #[test]

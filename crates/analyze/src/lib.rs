@@ -32,6 +32,7 @@
 //! | `AMP001` | error | AM handler issues a request (GAM acyclicity) |
 //! | `AMP002` | error | re-hardcoded window depth / 4KB fragment size |
 //! | `AMP003` | error | public sim-facing API exposes a hash collection |
+//! | `AMP004` | error | membership/detector state referenced outside `crates/am` |
 //! | `PAR001` | error | thread/lock primitives outside the orchestration layer |
 //! | `MET001` | error | metrics crate depends on more than `nowlab-sim`/`nowlab-trace` |
 

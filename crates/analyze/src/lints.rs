@@ -7,8 +7,9 @@
 //!
 //! **Family 2 — AM protocol (`AMP…`).** The GAM rules the paper's
 //! apparatus relies on: request/reply acyclicity in handlers, single named
-//! constants for the flow-control window and fragment size, and public
-//! sim-facing APIs free of nondeterministic collection types.
+//! constants for the flow-control window and fragment size, public
+//! sim-facing APIs free of nondeterministic collection types, and
+//! membership/failure-detector state confined to `crates/am`.
 //!
 //! `SAFE001` additionally checks that every scanned crate root carries
 //! `#![forbid(unsafe_code)]`, so the analyzer may assume safe Rust (no
@@ -36,6 +37,23 @@ const WALL_FLOW_IDENTS: &[&str] = &["UNIX_EPOCH", "duration_since"];
 /// acyclicity: reply handlers run on the reply path and issuing a request
 /// from one can deadlock the flow-control window).
 const HANDLER_FORBIDDEN_CALLS: &[&str] = &["request", "post", "post_bulk", "inject"];
+/// The failure detector's vocabulary: membership tables, the status enum,
+/// the death-escalation transition, and the raw detector tuning fields.
+/// All of it lives in `crates/am`; every other layer observes membership
+/// only through the port accessors (`peer_dead`, `peers_alive`,
+/// `alive_count`, `death_note`) and configures the detector only through
+/// `NodeFaultPlan::with_detector`. A second copy of membership state
+/// outside the AM layer could disagree with the authoritative one.
+const MEMBERSHIP_IDENTS: &[&str] = &[
+    "PeerStatus",
+    "peer_status",
+    "last_heard",
+    "escalate_peer_death",
+    "hb_period",
+    "suspect_after",
+    "confirm_after",
+    "hb_jitter",
+];
 /// Thread/lock/atomic primitives reserved for the orchestration layer.
 /// (`Arc` is absent: it is a legitimate shared-ownership type; what must
 /// not leak below the run boundary is blocking/synchronizing machinery.)
@@ -166,6 +184,20 @@ pub fn lint_source(path: &str, source: &str, scope: &Scope) -> Vec<Diagnostic> {
                     ),
                 });
             }
+        }
+        if scope.sim_visible && !scope.am_layer && MEMBERSHIP_IDENTS.contains(&name) {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: t.line,
+                code: "AMP004",
+                severity: Severity::Error,
+                message: format!(
+                    "`{name}` outside `crates/am` — membership/detector state has a \
+                     single home in the AM layer; observe it via the port accessors \
+                     (`peer_dead`, `peers_alive`, `alive_count`, `death_note`) and \
+                     tune it via `NodeFaultPlan::with_detector`",
+                ),
+            });
         }
         if scope.sim_visible && WALL_FLOW_IDENTS.contains(&name) {
             diags.push(Diagnostic {
@@ -427,6 +459,26 @@ mod tests {
         // pub(crate) is not a public sim-facing API.
         let src2 = "pub(crate) fn api(m: &HashMap<u32, u32>) {}";
         assert_eq!(codes(src2, &sim_scope()), vec!["DET001"]);
+    }
+
+    #[test]
+    fn membership_state_confined_to_the_am_layer() {
+        // Splitc/apps/core code naming detector internals is a second
+        // membership implementation waiting to diverge.
+        let src = "fn f(c: &C) { if c.peer_status[1] == PeerStatus::Dead { \
+                   c.last_heard[1] = t; } }";
+        assert_eq!(codes(src, &sim_scope()), vec!["AMP004", "AMP004", "AMP004"]);
+        // Inside the AM layer the same identifiers are the implementation.
+        let mut am = sim_scope();
+        am.am_layer = true;
+        assert!(codes(src, &am).is_empty());
+        // The sanctioned observation surface stays clean everywhere.
+        let port = "async fn g(ctx: &Ctx) { if !ctx.peer_dead(1) { \
+                    let n = ctx.alive_count(); let v = ctx.peers_alive(); } }";
+        assert!(codes(port, &sim_scope()).is_empty());
+        // Host-side test modules may poke detector state freely.
+        let test_only = "#[cfg(test)]\nmod tests { fn t(p: &P) { p.last_heard(); } }";
+        assert!(codes(test_only, &sim_scope()).is_empty());
     }
 
     #[test]

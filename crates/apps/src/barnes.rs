@@ -26,7 +26,7 @@ use nowlab_sim::SimDelta;
 use nowlab_splitc::{Ctx, GlobalPtr};
 
 use crate::common::{
-    block_range, end_measured_region, execute, mix64, start_measured_region, FX_ONE,
+    block_range, end_measured_region, execute, mix64, start_measured_region, DegradePolicy, FX_ONE,
 };
 
 /// Fixed-point bits (positions live in [0, 2^20)).
@@ -226,7 +226,12 @@ impl SweepableApp for Barnes {
     fn run(&self, spec: &RunSpec) -> RunOutcome {
         let params = self.params;
         let seed = spec.seed;
-        execute(spec, |_| {}, move |ctx| barnes_body(ctx, params, seed))
+        execute(
+            spec,
+            DegradePolicy::Abort,
+            |_| {},
+            move |ctx| barnes_body(ctx, params, seed),
+        )
     }
 }
 

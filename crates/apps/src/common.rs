@@ -9,21 +9,31 @@ use nowlab_core::{RunOutcome, RunSpec, TraceMode};
 use nowlab_metrics::{MetricsMode, MetricsRecorder, DEFAULT_WINDOW};
 use nowlab_rng::{SeedableRng, SmallRng};
 use nowlab_splitc::{Ctx, SplitC, SpmdConfig};
+
+pub use nowlab_splitc::DegradePolicy;
 use nowlab_trace::TraceRecorder;
 
 /// Builds the Split-C machine for `spec`, lets `setup` register custom
 /// handlers, runs `body` on every processor, and packages the result.
 ///
+/// Every app declares its `policy` toward confirmed node deaths:
+/// [`DegradePolicy::Abort`] for programs whose result is meaningless with
+/// a member missing, [`DegradePolicy::Continue`] for embarrassingly
+/// parallel phases that can report a partial result over the survivors.
+/// The policy is inert unless the spec's network carries node faults.
+///
 /// `body` returns this processor's contribution to the run's correctness
 /// checksum; contributions are combined commutatively (wrapping add) so the
 /// check is independent of completion order.
-pub fn execute<S, F, Fut>(spec: &RunSpec, setup: S, body: F) -> RunOutcome
+pub fn execute<S, F, Fut>(spec: &RunSpec, policy: DegradePolicy, setup: S, body: F) -> RunOutcome
 where
     S: FnOnce(&SplitC),
     F: Fn(Ctx) -> Fut,
     Fut: Future<Output = u64> + 'static,
 {
-    let mut cfg = SpmdConfig::new(spec.procs).with_net(spec.net);
+    let mut cfg = SpmdConfig::new(spec.procs)
+        .with_net(spec.net)
+        .with_degrade(policy);
     if let Some(e) = spec.event_limit {
         cfg = cfg.with_event_limit(e);
     }
@@ -55,6 +65,16 @@ where
         .fold(0u64, |acc, o| acc.wrapping_add(o.unwrap_or(0)));
     let metrics = meter.map(|m| {
         let mut report = m.finish(outcome.report.final_time);
+        // Heartbeats never touch the LogGP pipeline, so the recorder
+        // cannot observe them; stamp the detector counters from the
+        // cluster statistics instead (all zero when the plan is inert).
+        report.summary.detector = nowlab_metrics::DetectorSummary {
+            heartbeats: outcome.stats.total_heartbeats(),
+            suspicions: outcome.stats.total_suspicions(),
+            false_suspicions: outcome.stats.total_false_suspicions(),
+            peer_deaths: outcome.stats.total_peer_deaths(),
+            max_detect_latency_ns: outcome.stats.max_detect_latency().as_nanos(),
+        };
         // The executor hands back only *completed* windows; events in the
         // final partial window are the residual against the run total.
         let mut counts = sc.sim().take_event_samples();
@@ -72,6 +92,8 @@ where
         runtime: outcome.stats.elapsed,
         stats: outcome.stats,
         completed: outcome.completed,
+        completers: outcome.outputs.iter().filter(|o| o.is_some()).count(),
+        abort: outcome.abort,
         check,
         events: outcome.report.events_fired,
         trace: recorder.map(|r| r.finish()),

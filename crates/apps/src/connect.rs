@@ -17,6 +17,7 @@ use nowlab_splitc::GlobalPtr;
 
 use crate::common::{
     block_owner, block_range, end_measured_region, execute, mix64, start_measured_region,
+    DegradePolicy,
 };
 
 /// Per-node/edge cost of the local union-find phase.
@@ -135,7 +136,12 @@ impl SweepableApp for Connect {
     fn run(&self, spec: &RunSpec) -> RunOutcome {
         let params = self.params;
         let seed = spec.seed;
-        execute(spec, |_| {}, move |ctx| connect_body(ctx, params, seed))
+        execute(
+            spec,
+            DegradePolicy::Abort,
+            |_| {},
+            move |ctx| connect_body(ctx, params, seed),
+        )
     }
 }
 

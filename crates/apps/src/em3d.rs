@@ -26,6 +26,7 @@ use nowlab_splitc::{Ctx, GlobalPtr};
 
 use crate::common::{
     block_owner, block_range, end_measured_region, execute, mix64, start_measured_region,
+    DegradePolicy,
 };
 
 /// Per-edge compute cost of the field update.
@@ -481,7 +482,12 @@ impl SweepableApp for Em3dWrite {
     fn run(&self, spec: &RunSpec) -> RunOutcome {
         let params = self.params;
         let seed = spec.seed;
-        execute(spec, |_| {}, move |ctx| em3d_body(ctx, params, seed, false))
+        execute(
+            spec,
+            DegradePolicy::Abort,
+            |_| {},
+            move |ctx| em3d_body(ctx, params, seed, false),
+        )
     }
 }
 
@@ -506,7 +512,12 @@ impl SweepableApp for Em3dRead {
     fn run(&self, spec: &RunSpec) -> RunOutcome {
         let params = self.params;
         let seed = spec.seed;
-        execute(spec, |_| {}, move |ctx| em3d_body(ctx, params, seed, true))
+        execute(
+            spec,
+            DegradePolicy::Abort,
+            |_| {},
+            move |ctx| em3d_body(ctx, params, seed, true),
+        )
     }
 }
 

@@ -63,7 +63,7 @@ pub async fn global_histogram(
         if me == 0 {
             send_counts(ctx, 1, mb, counts, bulk).await;
         } else {
-            recv_counts(ctx, mb, bulk, &mut my_prefix).await;
+            recv_counts(ctx, mb, bulk, me - 1, &mut my_prefix).await;
             ctx.compute(C_SCAN * buckets as u64).await;
             if me + 1 < p {
                 let running: Vec<u64> = my_prefix.iter().zip(counts).map(|(a, b)| a + b).collect();
@@ -88,8 +88,9 @@ pub async fn global_histogram(
             send_counts(ctx, 0, mb, &offsets, bulk).await;
             offsets
         } else {
+            let pred = if me == 0 { p - 1 } else { me - 1 };
             let mut offsets = vec![0u64; buckets];
-            recv_counts(ctx, mb, bulk, &mut offsets).await;
+            recv_counts(ctx, mb, bulk, pred, &mut offsets).await;
             if me + 1 < p - 1 {
                 send_counts(ctx, me + 1, mb, &offsets, bulk).await;
             }
@@ -128,20 +129,29 @@ async fn send_counts(ctx: &Ctx, dst: usize, mb: MailboxId, values: &[u64], bulk:
     }
 }
 
-/// Receives a full bucket vector into `out` (counterpart of
-/// [`send_counts`]).
-async fn recv_counts(ctx: &Ctx, mb: MailboxId, bulk: bool, out: &mut [u64]) {
+/// Receives a full bucket vector from chain predecessor `from` into `out`
+/// (counterpart of [`send_counts`]).
+///
+/// If the failure detector confirms `from` dead mid-wait, the receive
+/// degrades: whatever chunks never arrive stay zero (the chain continues
+/// over the survivors with a partial running histogram).
+async fn recv_counts(ctx: &Ctx, mb: MailboxId, bulk: bool, from: usize, out: &mut [u64]) {
     if bulk {
-        ctx.wait_until(|| ctx.mail_len(mb) > 0).await;
-        let mail = ctx.try_recv_mail(mb).expect("histogram bulk chunk");
-        out.copy_from_slice(mail.payload.as_words().expect("bulk histogram payload"));
+        ctx.wait_until(|| ctx.mail_len(mb) > 0 || ctx.peer_dead(from))
+            .await;
+        if let Some(mail) = ctx.try_recv_mail(mb) {
+            out.copy_from_slice(mail.payload.as_words().expect("bulk histogram payload"));
+        }
         return;
     }
     let chunks = out.len() / 2;
     let mut received = 0usize;
     while received < chunks {
-        ctx.wait_until(|| ctx.mail_len(mb) > 0).await;
-        let mail = ctx.try_recv_mail(mb).expect("histogram chunk");
+        ctx.wait_until(|| ctx.mail_len(mb) > 0 || ctx.peer_dead(from))
+            .await;
+        let Some(mail) = ctx.try_recv_mail(mb) else {
+            return;
+        };
         let c = mail.args[0] as usize;
         out[2 * c] = mail.args[1];
         out[2 * c + 1] = mail.args[2];

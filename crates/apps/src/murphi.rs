@@ -21,7 +21,7 @@ use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
 use nowlab_sim::{SimDelta, SimTime};
 use nowlab_splitc::Payload;
 
-use crate::common::{end_measured_region, execute, mix64, start_measured_region};
+use crate::common::{end_measured_region, execute, mix64, start_measured_region, DegradePolicy};
 
 /// CPU cost of expanding a state (hashing + rule evaluation).
 const C_EXPAND: SimDelta = SimDelta::from_nanos(500_000);
@@ -293,7 +293,12 @@ impl SweepableApp for Murphi {
 
     fn run(&self, spec: &RunSpec) -> RunOutcome {
         let model = self.model;
-        execute(spec, |_| {}, move |ctx| murphi_body(ctx, model))
+        execute(
+            spec,
+            DegradePolicy::Abort,
+            |_| {},
+            move |ctx| murphi_body(ctx, model),
+        )
     }
 }
 

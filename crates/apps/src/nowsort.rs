@@ -18,7 +18,7 @@ use nowlab_rng::Rng;
 use nowlab_sim::{SimDelta, SimTime};
 use nowlab_splitc::Payload;
 
-use crate::common::{end_measured_region, execute, proc_rng, start_measured_region};
+use crate::common::{end_measured_region, execute, proc_rng, start_measured_region, DegradePolicy};
 
 /// Per-record CPU cost of the partitioning/merge logic.
 const C_RECORD: SimDelta = SimDelta::from_nanos(150);
@@ -112,7 +112,12 @@ impl SweepableApp for NowSort {
     fn run(&self, spec: &RunSpec) -> RunOutcome {
         let params = self.params;
         let seed = spec.seed;
-        execute(spec, |_| {}, move |ctx| nowsort_body(ctx, params, seed))
+        execute(
+            spec,
+            DegradePolicy::Abort,
+            |_| {},
+            move |ctx| nowsort_body(ctx, params, seed),
+        )
     }
 }
 

@@ -20,7 +20,7 @@ use nowlab_sim::SimDelta;
 use nowlab_splitc::{Ctx, GlobalPtr};
 
 use crate::common::{
-    block_range, end_measured_region, execute, mix64, start_measured_region, FX_ONE,
+    block_range, end_measured_region, execute, mix64, start_measured_region, DegradePolicy, FX_ONE,
 };
 
 /// Per-candidate cost of a sphere intersection test.
@@ -259,7 +259,12 @@ impl SweepableApp for Pray {
     fn run(&self, spec: &RunSpec) -> RunOutcome {
         let params = self.params;
         let seed = spec.seed;
-        execute(spec, |_| {}, move |ctx| pray_body(ctx, params, seed))
+        execute(
+            spec,
+            DegradePolicy::Abort,
+            |_| {},
+            move |ctx| pray_body(ctx, params, seed),
+        )
     }
 }
 

@@ -9,7 +9,7 @@
 
 use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
 
-use crate::common::execute;
+use crate::common::{execute, DegradePolicy};
 use crate::radix::{radix_body, RadixParams};
 
 /// The bulk radix sort application.
@@ -33,7 +33,12 @@ impl SweepableApp for Radb {
     fn run(&self, spec: &RunSpec) -> RunOutcome {
         let params = self.params;
         let seed = spec.seed;
-        execute(spec, |_| {}, move |ctx| radix_body(ctx, params, seed, true))
+        execute(
+            spec,
+            DegradePolicy::Abort,
+            |_| {},
+            move |ctx| radix_body(ctx, params, seed, true),
+        )
     }
 }
 

@@ -15,6 +15,7 @@ use nowlab_splitc::GlobalPtr;
 
 use crate::common::{
     block_owner, block_range, end_measured_region, execute, proc_rng, start_measured_region,
+    DegradePolicy,
 };
 use crate::histogram::global_histogram;
 
@@ -94,6 +95,7 @@ impl SweepableApp for Radix {
         let seed = spec.seed;
         execute(
             spec,
+            DegradePolicy::Abort,
             |_| {},
             move |ctx| radix_body(ctx, params, seed, false),
         )

@@ -11,7 +11,7 @@ use nowlab_rng::Rng;
 use nowlab_sim::SimDelta;
 use nowlab_splitc::GlobalPtr;
 
-use crate::common::{end_measured_region, execute, proc_rng, start_measured_region};
+use crate::common::{end_measured_region, execute, proc_rng, start_measured_region, DegradePolicy};
 
 /// Per-key cost of the splitter binary search.
 const C_BSEARCH: SimDelta = SimDelta::from_nanos(100);
@@ -74,6 +74,7 @@ impl SweepableApp for Sample {
         let seed = spec.seed;
         execute(
             spec,
+            DegradePolicy::Continue,
             |_| {},
             move |ctx| async move {
                 let p = ctx.procs();
@@ -179,13 +180,19 @@ impl SweepableApp for Sample {
                 let local_sum = received.iter().fold(0u64, |a, &k| a.wrapping_add(k));
                 let out_sum = ctx.allreduce_sum(local_sum).await;
                 let total_received = ctx.allreduce_sum(n_recv as u64).await;
-                assert!(all_ok, "sample: output not globally sorted");
-                assert_eq!(out_sum, global_input_sum, "sample: key sum mismatch");
-                assert_eq!(
-                    total_received as usize,
-                    n_local * p,
-                    "sample: keys lost or duplicated"
-                );
+                // Under DegradePolicy::Continue a confirmed-dead member
+                // takes its keys (and reduction contributions) with it;
+                // survivors report their partial sort instead of asserting
+                // global invariants that a missing member cannot satisfy.
+                if ctx.alive_count() == p {
+                    assert!(all_ok, "sample: output not globally sorted");
+                    assert_eq!(out_sum, global_input_sum, "sample: key sum mismatch");
+                    assert_eq!(
+                        total_received as usize,
+                        n_local * p,
+                        "sample: keys lost or duplicated"
+                    );
+                }
                 local_sum
             },
         )

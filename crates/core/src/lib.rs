@@ -43,7 +43,7 @@ pub mod sweep;
 pub use models::SensitivityModel;
 pub use nowlab_am::{
     mb_per_s_from_per_byte, per_byte_from_mb_per_s, CommStats, FaultPlan, Knobs, LoggpParams,
-    NetConfig, Outage, Reliability,
+    NetConfig, NodeFault, NodeFaultPlan, Outage, Reliability, RunAbort,
 };
 pub use nowlab_metrics::{
     render_report, write_sweep_json, MetricsMode, MetricsRecorder, MetricsReport, MetricsSink,

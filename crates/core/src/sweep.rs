@@ -12,7 +12,7 @@
 
 use std::fmt;
 
-use nowlab_am::{CommStats, Knobs, LoggpParams, NetConfig};
+use nowlab_am::{CommStats, Knobs, LoggpParams, NetConfig, RunAbort};
 use nowlab_metrics::{MetricsMode, MetricsReport, MetricsSummary};
 use nowlab_sim::SimDelta;
 use nowlab_trace::{TraceMode, TraceReport, TraceSummary};
@@ -104,8 +104,16 @@ pub struct RunOutcome {
     pub runtime: SimDelta,
     /// Communication statistics of the measured region.
     pub stats: CommStats,
-    /// False if the run hit a limit (the paper's "N/A" entries).
+    /// False if the run hit a limit (the paper's "N/A" entries) or a
+    /// node failure kept a processor from finishing.
     pub completed: bool,
+    /// Number of processors that finished their SPMD body — equals
+    /// [`RunSpec::procs`] on a complete run; smaller on a degraded one
+    /// (the completeness a `DegradePolicy::Continue` app reports).
+    pub completers: usize,
+    /// The confirmed peer death that aborted the run under
+    /// `DegradePolicy::Abort` (`None` otherwise).
+    pub abort: Option<RunAbort>,
     /// Application-defined correctness checksum (same inputs ⇒ same value,
     /// independent of LogGP parameters).
     pub check: u64,
@@ -535,6 +543,8 @@ mod tests {
                 runtime: rt,
                 stats,
                 completed: true,
+                completers: spec.procs,
+                abort: None,
                 check: 42,
                 events: 3 * self.msgs,
                 trace: None,
@@ -626,6 +636,8 @@ mod tests {
                 runtime: SimDelta::ZERO,
                 stats: CommStats::default(),
                 completed: false,
+                completers: 0,
+                abort: None,
                 check: 0,
                 events: 0,
                 trace: None,

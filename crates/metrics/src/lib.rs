@@ -33,8 +33,8 @@ mod report;
 
 pub use render::render_report;
 pub use report::{
-    write_sweep_json, MetricsReport, MetricsSummary, PhaseSlice, ProcSeries, RunMeta,
-    SweepPointMeta, WireBusy,
+    write_sweep_json, DetectorSummary, MetricsReport, MetricsSummary, PhaseSlice, ProcSeries,
+    RunMeta, SweepPointMeta, WireBusy,
 };
 
 /// Whether the metrics registry records anything for a run.
@@ -339,6 +339,10 @@ impl MetricsRecorder {
             } else {
                 st.depth_sum as f64 / st.depth_n as f64
             },
+            // The recorder never sees detector traffic (heartbeats are
+            // out-of-band); the harness stamps these from the run's
+            // cluster statistics after `finish`.
+            detector: DetectorSummary::default(),
         };
         MetricsReport {
             window_ns: window,

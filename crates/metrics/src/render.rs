@@ -91,6 +91,27 @@ fn am_line(summary: &Value) -> Result<String, String> {
     ))
 }
 
+/// The failure-detector line (schema v2). Absent in v1 files, which
+/// predate the node-failure model — render nothing rather than erroring.
+fn detector_line(summary: &Value) -> Result<Option<String>, String> {
+    let Some(d) = summary.get("detector") else {
+        return Ok(None);
+    };
+    Ok(Some(format!(
+        "failure detector: {} heartbeats, {} suspicions ({} false), {} deaths, max detect latency {:.1} µs",
+        req(d, "heartbeats")?.as_u64().ok_or("heartbeats")?,
+        req(d, "suspicions")?.as_u64().ok_or("suspicions")?,
+        req(d, "false_suspicions")?
+            .as_u64()
+            .ok_or("false_suspicions")?,
+        req(d, "peer_deaths")?.as_u64().ok_or("peer_deaths")?,
+        req(d, "max_detect_latency_ns")?
+            .as_u64()
+            .ok_or("max_detect_latency_ns")? as f64
+            / 1e3,
+    )))
+}
+
 fn render_run(v: &Value) -> Result<String, String> {
     let mut out = String::new();
     let app = req(v, "app")?.as_str().ok_or("app")?;
@@ -177,6 +198,9 @@ fn render_run(v: &Value) -> Result<String, String> {
     }
     out.push('\n');
     let _ = writeln!(out, "{}", am_line(summary)?);
+    if let Some(line) = detector_line(summary)? {
+        let _ = writeln!(out, "{line}");
+    }
     let events = req(v, "events_per_window")?
         .as_u64s()
         .ok_or("events_per_window")?;
@@ -312,6 +336,10 @@ mod tests {
         assert!(rendered.contains("phase table"), "{rendered}");
         assert!(rendered.contains("work"), "{rendered}");
         assert!(rendered.contains("retransmits 0"), "{rendered}");
+        assert!(
+            rendered.contains("failure detector: 0 heartbeats"),
+            "{rendered}"
+        );
         assert!(rendered.contains("events per window"), "{rendered}");
     }
 

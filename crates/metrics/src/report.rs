@@ -15,7 +15,7 @@ pub const SCHEMA_NAME: &str = "nowlab-metrics-report";
 /// Version of the schema emitted in every report file. Bump on any
 /// field removal or meaning change; additions are backward compatible
 /// (see DESIGN.md §10).
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Per-state nanosecond totals for one application phase, summed over
 /// all processors.
@@ -61,6 +61,26 @@ pub struct MetricsSummary {
     pub depth_max: u64,
     /// Mean send window occupancy over all injections.
     pub depth_mean: f64,
+    /// Failure-detector counters (schema v2; all zero on a healthy run).
+    pub detector: DetectorSummary,
+}
+
+/// Failure-detector counters for the run, summed over all observers
+/// (schema v2). All zero when the node-fault plan is inert — the
+/// detector never runs and the report is byte-identical modulo the
+/// constant zeros.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DetectorSummary {
+    /// Heartbeats received across all processors.
+    pub heartbeats: u64,
+    /// Suspicions raised (silence exceeded the suspect threshold).
+    pub suspicions: u64,
+    /// Suspicions retracted after the peer's heartbeat resumed.
+    pub false_suspicions: u64,
+    /// Peers confirmed dead across all observers.
+    pub peer_deaths: u64,
+    /// Worst crash-to-confirmation latency observed, nanoseconds.
+    pub max_detect_latency_ns: u64,
 }
 
 impl MetricsSummary {
@@ -174,8 +194,14 @@ fn write_summary<W: Write>(w: &mut W, s: &MetricsSummary) -> io::Result<()> {
     }
     write!(
         w,
-        r#"],"am":{{"retransmits":{},"win_depth_max":{},"win_depth_mean":{:.3}}}}}"#,
+        r#"],"am":{{"retransmits":{},"win_depth_max":{},"win_depth_mean":{:.3}}},"#,
         s.retransmits, s.depth_max, s.depth_mean
+    )?;
+    let d = &s.detector;
+    write!(
+        w,
+        r#""detector":{{"heartbeats":{},"suspicions":{},"false_suspicions":{},"peer_deaths":{},"max_detect_latency_ns":{}}}}}"#,
+        d.heartbeats, d.suspicions, d.false_suspicions, d.peer_deaths, d.max_detect_latency_ns
     )
 }
 

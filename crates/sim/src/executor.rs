@@ -54,6 +54,9 @@ pub enum StopReason {
     /// The next event lies beyond the configured virtual-time horizon (see
     /// [`Sim::set_time_limit`]).
     TimeLimit,
+    /// A task or callback requested an orderly stop (see [`Sim::halt`]) —
+    /// e.g. a failure detector escalating an unrecoverable peer death.
+    Halted,
 }
 
 /// Summary of one [`Sim::run`] invocation.
@@ -169,6 +172,8 @@ pub struct Sim {
     /// them without a `RefCell` borrow; callbacks may change them mid-run.
     event_limit: Rc<Cell<Option<u64>>>,
     time_limit: Rc<Cell<Option<SimTime>>>,
+    /// Orderly-stop request flag (see [`Sim::halt`]).
+    halted: Rc<Cell<bool>>,
     /// Event-density sampling boundary: the run loop compares the next
     /// event's time against this `Cell` and nothing else, so the feature
     /// costs one compare when disabled (`SimTime::MAX`). Sampling is
@@ -222,6 +227,7 @@ impl Sim {
             next_deadline: Rc::new(Cell::new(None)),
             event_limit: Rc::new(Cell::new(None)),
             time_limit: Rc::new(Cell::new(None)),
+            halted: Rc::new(Cell::new(false)),
             sample_boundary: Rc::new(Cell::new(SimTime::MAX)),
             samples: Rc::new(RefCell::new(SampleState::default())),
             inner: Rc::new(RefCell::new(Inner {
@@ -262,6 +268,22 @@ impl Sim {
     /// than `limit`.
     pub fn set_time_limit(&self, limit: Option<SimTime>) {
         self.time_limit.set(limit);
+    }
+
+    /// Requests an orderly stop: the run loop finishes polling every task
+    /// that is ready at the current instant, then returns with
+    /// [`StopReason::Halted`] instead of advancing virtual time. Callable
+    /// from inside tasks and scheduled callbacks; idempotent. Unlike the
+    /// event/time limits this is an *in-simulation* decision (a failure
+    /// detector giving up on a dead peer), so the instant it fires at is
+    /// itself deterministic.
+    pub fn halt(&self) {
+        self.halted.set(true);
+    }
+
+    /// True if [`Sim::halt`] has been requested.
+    pub fn is_halted(&self) -> bool {
+        self.halted.get()
     }
 
     /// Starts counting fired events per fixed window of virtual time
@@ -464,6 +486,9 @@ impl Sim {
                     Some(id) => polls += self.poll_task(id),
                     None => break,
                 }
+            }
+            if self.halted.get() {
+                break StopReason::Halted;
             }
             // Advance virtual time to the next event. The earliest
             // deadline is cached in a `Cell`, so the empty/over-horizon
@@ -807,6 +832,25 @@ mod tests {
         assert_eq!(report.stop_reason, StopReason::TimeLimit);
         assert!(report.final_time <= SimTime::from_nanos(50));
         assert!(!h.is_finished());
+    }
+
+    #[test]
+    fn halt_stops_without_advancing_time() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.delay(SimDelta::from_nanos(10)).await;
+            s.halt();
+            // The halt takes effect only once this task yields; later
+            // events must never fire.
+            s.delay(SimDelta::from_nanos(1000)).await;
+            unreachable!("halted simulation advanced time");
+        });
+        let report = sim.run();
+        assert_eq!(report.stop_reason, StopReason::Halted);
+        assert_eq!(report.final_time, SimTime::from_nanos(10));
+        assert!(!h.is_finished());
+        assert!(sim.is_halted());
     }
 
     #[test]

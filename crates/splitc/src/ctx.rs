@@ -59,6 +59,23 @@ impl Ctx {
         &self.port
     }
 
+    /// True if this processor's failure detector has confirmed `peer`
+    /// dead (always false on a healthy run).
+    pub fn peer_dead(&self, peer: usize) -> bool {
+        self.port.peer_dead(peer)
+    }
+
+    /// Per-processor liveness from this processor's view (`true` =
+    /// not confirmed dead; the self entry is always `true`).
+    pub fn survivors(&self) -> Vec<bool> {
+        self.port.peers_alive()
+    }
+
+    /// Number of processors not confirmed dead, self included.
+    pub fn alive_count(&self) -> usize {
+        self.port.alive_count()
+    }
+
     /// Spends `d` of local compute time (the network is not serviced).
     pub async fn compute(&self, d: SimDelta) {
         self.port.compute(d).await;
@@ -300,10 +317,13 @@ impl Ctx {
                 Mark::Read,
             )
             .await;
-        payload
-            .as_words()
-            .expect("bulk_get reply missing payload")
-            .to_vec()
+        match payload.as_words() {
+            Some(w) => w.to_vec(),
+            // A request written off against a dead owner completes with
+            // the protocol's default (empty) reply: degrade to zeros.
+            None if self.port.peer_dead(gp.proc) => vec![0; words],
+            None => panic!("bulk_get reply missing payload"),
+        }
     }
 
     /// Waits until every pipelined write/post issued by this processor has
@@ -329,6 +349,11 @@ impl Ctx {
             let rounds = crate::memory::barrier_rounds(p);
             for r in 0..rounds {
                 let partner = (me + (1 << r)) % p;
+                // The dissemination pattern gives each round exactly one
+                // incoming partner; a confirmed-dead partner will never
+                // arrive, so waiting on it is waived (degraded barriers
+                // synchronize the survivors among themselves).
+                let from = (me + p - (1 << r) % p) % p;
                 self.port
                     .post(
                         partner,
@@ -339,7 +364,10 @@ impl Ctx {
                     )
                     .await;
                 self.port
-                    .wait_until(|| self.with_mem(|m| m.barrier_arrived[r]) >= generation)
+                    .wait_until(|| {
+                        self.with_mem(|m| m.barrier_arrived[r]) >= generation
+                            || self.port.peer_dead(from)
+                    })
                     .await;
             }
         }
@@ -355,13 +383,15 @@ impl Ctx {
         }
         let me = self.me();
         if me == 0 {
-            // Root contributes locally and gathers the rest.
+            // Root contributes locally and gathers the rest. Confirmed-dead
+            // processors are not waited for: the reduction degrades to the
+            // survivors' partial sum.
             self.with_mem(|m| {
                 m.reduce_acc = m.reduce_acc.wrapping_add(value);
                 m.reduce_count += 1;
             });
             self.port
-                .wait_until(|| self.with_mem(|m| m.reduce_count) >= p as u64)
+                .wait_until(|| self.with_mem(|m| m.reduce_count) >= self.port.alive_count() as u64)
                 .await;
             let total = self.with_mem(|m| {
                 let t = m.reduce_acc;
@@ -394,10 +424,18 @@ impl Ctx {
                     Mark::Barrier,
                 )
                 .await;
+            // A dead root can never publish a total; degrade to the local
+            // contribution rather than wait forever.
             self.port
-                .wait_until(|| self.with_mem(|m| m.reduce_result_gen) > gen0)
+                .wait_until(|| {
+                    self.with_mem(|m| m.reduce_result_gen) > gen0 || self.port.peer_dead(0)
+                })
                 .await;
-            self.with_mem(|m| m.reduce_result)
+            if self.with_mem(|m| m.reduce_result_gen) > gen0 {
+                self.with_mem(|m| m.reduce_result)
+            } else {
+                value
+            }
         }
     }
 
@@ -428,12 +466,30 @@ impl Ctx {
             // serviced while this processor sat in the preceding barrier
             // (retransmission delays make that overtaking real), and a
             // snapshot taken now would never be exceeded.
+            //
+            // This processor's binomial-tree parent is the only one that
+            // can deliver the payload; if the detector confirms it dead,
+            // the broadcast degrades to an empty payload here rather than
+            // waiting forever.
+            let parent = {
+                let mut high = 1usize;
+                while high * 2 <= rank {
+                    high *= 2;
+                }
+                (root + rank - high) % p
+            };
             self.port
-                .wait_until(|| self.with_mem(|m| m.bcast_gen > m.bcast_taken))
+                .wait_until(|| {
+                    self.with_mem(|m| m.bcast_gen > m.bcast_taken) || self.port.peer_dead(parent)
+                })
                 .await;
             self.with_mem(|m| {
-                m.bcast_taken += 1;
-                m.bcast_data.clone()
+                if m.bcast_gen > m.bcast_taken {
+                    m.bcast_taken += 1;
+                    m.bcast_data.clone()
+                } else {
+                    Vec::new()
+                }
             })
         };
         // Forward to binomial children: rank + 2^k for every k with

@@ -8,7 +8,7 @@
 
 use std::future::Future;
 
-use nowlab_am::{AmCluster, CommStats, HandlerId, Msg, NetConfig, Payload, ReplyData};
+use nowlab_am::{AmCluster, CommStats, HandlerId, Msg, NetConfig, Payload, ReplyData, RunAbort};
 use nowlab_sim::{RunReport, Sim, SimDelta, SimTime, StopReason};
 
 use crate::ctx::Ctx;
@@ -31,6 +31,22 @@ pub struct Prims {
     pub(crate) bcast: HandlerId,
 }
 
+/// How an SPMD program reacts to a confirmed peer death (the node-level
+/// failure model; inert unless the run's [`NetConfig`] carries an active
+/// [`nowlab_am::NodeFaultPlan`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradePolicy {
+    /// Halt the simulation at the first confirmed death and report a
+    /// structured [`RunAbort`] — for applications whose result is
+    /// meaningless with a member missing (sorts, graph codes).
+    #[default]
+    Abort,
+    /// Survivors press on with the remaining membership and report a
+    /// degraded (partial) result — for embarrassingly-parallel phases
+    /// where per-processor contributions are independent.
+    Continue,
+}
+
 /// Configuration of one SPMD run.
 #[derive(Clone, Copy, Debug)]
 pub struct SpmdConfig {
@@ -42,6 +58,8 @@ pub struct SpmdConfig {
     pub event_limit: Option<u64>,
     /// Abort the run at this virtual time.
     pub time_limit: Option<SimDelta>,
+    /// Reaction to a confirmed peer death (node-failure runs only).
+    pub degrade: DegradePolicy,
 }
 
 impl SpmdConfig {
@@ -52,6 +70,7 @@ impl SpmdConfig {
             net: NetConfig::berkeley_now(),
             event_limit: None,
             time_limit: None,
+            degrade: DegradePolicy::Abort,
         }
     }
 
@@ -72,6 +91,12 @@ impl SpmdConfig {
         self.time_limit = Some(limit);
         self
     }
+
+    /// Sets the reaction to a confirmed peer death.
+    pub fn with_degrade(mut self, degrade: DegradePolicy) -> Self {
+        self.degrade = degrade;
+        self
+    }
 }
 
 /// Result of one SPMD run.
@@ -87,6 +112,9 @@ pub struct SpmdOutcome<T> {
     pub stats: CommStats,
     /// True if every processor ran to completion.
     pub completed: bool,
+    /// The death that aborted the run, when [`DegradePolicy::Abort`]
+    /// halted it (`None` for healthy and degraded-continue runs).
+    pub abort: Option<RunAbort>,
     /// The kernel's run report (events, polls, stop reason).
     pub report: RunReport,
 }
@@ -207,6 +235,21 @@ impl SplitC {
         Fut: Future<Output = T> + 'static,
     {
         let p = self.cfg.procs;
+        let faults = self.cfg.net.node_faults;
+        if faults.is_active() && self.cfg.degrade == DegradePolicy::Abort {
+            self.cluster.set_abort_on_death(true);
+        }
+        // A crash-stop processor's body never returns, so the exit
+        // protocol below waits only for the processors that *can* finish.
+        // (Crash-recovery nodes thaw and complete; stragglers are slow but
+        // alive.)
+        let expected = (0..p)
+            .filter(|&i| {
+                faults
+                    .fault_of(i)
+                    .is_none_or(|f| !f.crashes() || f.recover_at != SimTime::MAX)
+            })
+            .count();
         // Processors that finish their body keep servicing the network
         // until everyone is done — a read must be servable even if its
         // target already returned (the SPMD runtime's exit protocol).
@@ -228,8 +271,14 @@ impl SplitC {
                     // a peer that stopped servicing the network).
                     epilogue_port.quiesce().await;
                     done.set(done.get() + 1);
+                    if done.get() >= expected {
+                        // Stop the heartbeat control plane: everyone who
+                        // can finish has, so detection has nothing left
+                        // to detect and the event queue may drain.
+                        cluster.finish_control();
+                    }
                     cluster.poke_all();
-                    epilogue_port.wait_until(|| done.get() == p).await;
+                    epilogue_port.wait_until(|| done.get() >= expected).await;
                     out
                 })
             })
@@ -267,18 +316,31 @@ impl SplitC {
                 });
             }
         }
+        // An Idle stop with missing outputs is the *expected* shape of
+        // degradation — not a deadlock — when node faults are in play:
+        // crashed bodies pend forever, and retransmit exhaustion toward a
+        // crashed peer escalates to a peer death (death_note).
         debug_assert!(
-            completed || report.stop_reason != StopReason::Idle,
+            completed
+                || report.stop_reason != StopReason::Idle
+                || faults.is_active()
+                || self.cluster.death_note().is_some(),
             "SPMD program deadlocked: {} of {} processors stuck at {}",
             report.unfinished_tasks,
             p,
             report.final_time
         );
+        let abort = if report.stop_reason == StopReason::Halted {
+            self.cluster.death_note()
+        } else {
+            None
+        };
         SpmdOutcome {
             outputs,
             elapsed: self.cluster.stats().elapsed,
             stats: self.cluster.stats(),
             completed,
+            abort,
             report,
         }
     }

@@ -48,8 +48,9 @@ mod layer;
 mod memory;
 
 pub use ctx::Ctx;
-pub use layer::{run_spmd, Prims, SplitC, SpmdConfig, SpmdOutcome};
+pub use layer::{run_spmd, DegradePolicy, Prims, SplitC, SpmdConfig, SpmdOutcome};
 pub use memory::{barrier_rounds, GlobalPtr, MailMsg, MailboxId, Memory, RegionId};
 
-// Re-export the payload type applications use with mailboxes.
-pub use nowlab_am::Payload;
+// Re-export the payload type applications use with mailboxes, and the
+// structured abort the node-failure model surfaces.
+pub use nowlab_am::{Payload, RunAbort};

@@ -27,8 +27,8 @@ use nowlab::core::calib::{calibrate, calibrate_bulk};
 use nowlab::core::report::{fmt_f, fmt_time, Table};
 use nowlab::core::{
     default_jobs, parallel_map, render_report, sweep_jobs, write_sweep_json, Axis, FaultPlan,
-    Knobs, MetricsMode, NetConfig, ProcState, RunMeta, RunSpec, SimDelta, SweepPointMeta,
-    SweepableApp, TraceMode,
+    Knobs, MetricsMode, NetConfig, NodeFault, NodeFaultPlan, ProcState, RunMeta, RunOutcome,
+    RunSpec, SimDelta, SimTime, SweepPointMeta, SweepableApp, TraceMode,
 };
 use nowlab::trace::chrome::write_chrome_trace;
 
@@ -39,7 +39,7 @@ const USAGE: &str = "usage:
                [--o US] [--g US] [--l US] [--mbps MB] [--verify-determinism]
                [--trace FILE.json] [--trace-summary]
                [--metrics FILE.json] [--metrics-summary]
-  nowlab sweep --app NAME --axis overhead|gap|latency|bulk [--procs N]
+  nowlab sweep --app NAME --axis overhead|gap|latency|bulk|chaos [--procs N]
                [--scale test|benchmark] [--trace-summary]
                [--metrics FILE.json] [--metrics-summary]
   nowlab suite [--procs N] [--scale test|benchmark]
@@ -49,6 +49,16 @@ parallelism (run/sweep/suite):
                results are byte-identical to --jobs 1)
 fault injection (calibrate/run/sweep/suite):
   [--drop-rate R] [--fault-seed S]   deterministic wire loss, R in [0,1]
+node faults (run/sweep/suite):
+  [--crash p3@2.5ms]        freeze processor 3 at t=2.5ms forever
+                            (crash-stop); `p3@2.5ms+800us` resumes it
+                            after 800us of downtime (crash-recovery)
+  [--straggler p1x2.0]      scale processor 1's host charges by 2.0
+  both take comma-separated lists; a run that confirms a peer dead under
+  an aborting app exits nonzero with a structured abort note
+chaos sweep:
+  --axis chaos  crash one processor at increasing fractions of the
+                healthy runtime and report detection/abort behavior
 tracing (run/sweep):
   [--trace FILE.json]  per-message LogGP cost trace (Chrome trace format,
                        open in chrome://tracing or ui.perfetto.dev)
@@ -82,15 +92,18 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd.as_str() {
-        "list" => cmd_list(),
-        "calibrate" => cmd_calibrate(&flags),
+        "list" => cmd_list().map(|()| ExitCode::SUCCESS),
+        "calibrate" => cmd_calibrate(&flags).map(|()| ExitCode::SUCCESS),
+        // run/sweep pick their own exit code: a run that aborts on a
+        // confirmed node death is a *result* (reported structurally),
+        // not a CLI misuse, but it must still exit nonzero for CI.
         "run" => cmd_run(&flags),
         "sweep" => cmd_sweep(&flags),
-        "suite" => cmd_suite(&flags),
+        "suite" => cmd_suite(&flags).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
             ExitCode::FAILURE
@@ -149,6 +162,108 @@ fn scale_of(flags: &HashMap<String, String>) -> Result<SuiteScale, String> {
     }
 }
 
+/// Parses a duration like `2.5ms`, `800us`, or `0.01s` into a
+/// [`SimDelta`].
+fn parse_delta(s: &str) -> Result<SimDelta, String> {
+    let (num, scale_us) = if let Some(n) = s.strip_suffix("us") {
+        (n, 1.0)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1e3)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1e6)
+    } else {
+        return Err(format!("`{s}`: want a duration like 2.5ms, 800us, 1s"));
+    };
+    let v: f64 = num
+        .parse()
+        .map_err(|_| format!("`{s}`: cannot parse `{num}` as a number"))?;
+    if !(v.is_finite() && v >= 0.0) {
+        return Err(format!("`{s}`: duration must be finite and nonnegative"));
+    }
+    Ok(SimDelta::from_micros(v * scale_us))
+}
+
+/// Parses one `--crash` spec: `p<N>@<TIME>` (crash-stop) or
+/// `p<N>@<TIME>+<DOWNTIME>` (crash-recovery).
+fn parse_crash(spec: &str) -> Result<NodeFault, String> {
+    let rest = spec
+        .strip_prefix('p')
+        .ok_or_else(|| format!("--crash `{spec}`: want p<N>@<TIME>[+<DOWNTIME>]"))?;
+    let (node, when) = rest
+        .split_once('@')
+        .ok_or_else(|| format!("--crash `{spec}`: missing `@<TIME>`"))?;
+    let node: usize = node
+        .parse()
+        .map_err(|_| format!("--crash `{spec}`: bad processor id `{node}`"))?;
+    match when.split_once('+') {
+        None => Ok(NodeFault::crash(node, SimTime::ZERO + parse_delta(when)?)),
+        Some((at, down)) => {
+            let downtime = parse_delta(down)?;
+            if downtime.is_zero() {
+                return Err(format!("--crash `{spec}`: downtime must be positive"));
+            }
+            Ok(NodeFault::crash_recovery(
+                node,
+                SimTime::ZERO + parse_delta(at)?,
+                downtime,
+            ))
+        }
+    }
+}
+
+/// Parses one `--straggler` spec: `p<N>x<FACTOR>` with `FACTOR >= 1`.
+fn parse_straggler(spec: &str) -> Result<NodeFault, String> {
+    let rest = spec
+        .strip_prefix('p')
+        .ok_or_else(|| format!("--straggler `{spec}`: want p<N>x<FACTOR>"))?;
+    let (node, factor) = rest
+        .split_once('x')
+        .ok_or_else(|| format!("--straggler `{spec}`: missing `x<FACTOR>`"))?;
+    let node: usize = node
+        .parse()
+        .map_err(|_| format!("--straggler `{spec}`: bad processor id `{node}`"))?;
+    let factor: f64 = factor
+        .parse()
+        .map_err(|_| format!("--straggler `{spec}`: bad factor `{factor}`"))?;
+    if !(factor.is_finite() && factor >= 1.0) {
+        return Err(format!(
+            "--straggler `{spec}`: factor must be >= 1 (a node cannot be faster than healthy)"
+        ));
+    }
+    Ok(NodeFault::straggler(node, factor))
+}
+
+/// Builds the node-fault plan from `--crash` / `--straggler`
+/// (comma-separated specs) and the shared `--fault-seed`.
+fn node_faults_of(flags: &HashMap<String, String>) -> Result<NodeFaultPlan, String> {
+    let mut faults = Vec::new();
+    if let Some(specs) = flags.get("crash") {
+        for spec in specs.split(',') {
+            faults.push(parse_crash(spec.trim())?);
+        }
+    }
+    if let Some(specs) = flags.get("straggler") {
+        for spec in specs.split(',') {
+            faults.push(parse_straggler(spec.trim())?);
+        }
+    }
+    if faults.len() > nowlab::am::MAX_NODE_FAULTS {
+        return Err(format!(
+            "at most {} node faults per run (got {})",
+            nowlab::am::MAX_NODE_FAULTS,
+            faults.len()
+        ));
+    }
+    let mut plan = NodeFaultPlan::none().with_seed(parse_or(flags, "fault-seed", 1u64)?);
+    for f in faults {
+        if plan.fault_of(f.node).is_some() {
+            return Err(format!("node p{} afflicted twice", f.node));
+        }
+        plan = plan.with_fault(f);
+    }
+    Ok(plan)
+}
+
 /// Builds a network config from desired absolute knob values.
 fn net_of(flags: &HashMap<String, String>) -> Result<NetConfig, String> {
     let mut cfg = NetConfig::berkeley_now();
@@ -186,11 +301,17 @@ fn net_of(flags: &HashMap<String, String>) -> Result<NetConfig, String> {
     if !(0.0..=1.0).contains(&rate) {
         return Err(format!("--drop-rate {rate}: want a fraction in [0, 1]"));
     }
+    let node_plan = node_faults_of(flags)?;
+    if node_plan.is_active() {
+        cfg = cfg.with_node_faults(node_plan);
+    }
     if rate > 0.0 {
         let seed: u64 = parse_or(flags, "fault-seed", 1)?;
         cfg = cfg.with_faults(FaultPlan::with_drop_rate(rate, seed));
-    } else if flags.contains_key("fault-seed") {
-        return Err("--fault-seed without --drop-rate has no effect".to_string());
+    } else if flags.contains_key("fault-seed") && !node_plan.is_active() {
+        return Err(
+            "--fault-seed without --drop-rate/--crash/--straggler has no effect".to_string(),
+        );
     }
     Ok(cfg.with_knobs(knobs))
 }
@@ -200,7 +321,7 @@ fn net_of(flags: &HashMap<String, String>) -> Result<NetConfig, String> {
 /// never gives up on its own, so only a limit turns total loss into N/A).
 fn guard(spec: RunSpec) -> RunSpec {
     let spec = spec.with_event_limit(300_000_000);
-    if spec.net.faults.is_active() {
+    if spec.net.faults.is_active() || spec.net.node_faults.is_active() {
         spec.with_time_limit(SimDelta::from_secs(120.0))
     } else {
         spec
@@ -287,7 +408,7 @@ fn metrics_mode_of(flags: &HashMap<String, String>) -> MetricsMode {
     }
 }
 
-fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_run(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let name = flags.get("app").ok_or("run needs --app")?;
     let app = find_app(scale_of(flags)?, name)?;
     let spec = guard(
@@ -342,6 +463,16 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             out.stats.total_retransmits(),
             out.stats.total_timeouts(),
             fmt_time(out.stats.max_retry_backoff()),
+        );
+    }
+    if spec.net.node_faults.is_active() {
+        println!(
+            "detector: {} heartbeats, {} suspicions ({} false), {} deaths, max detect latency {}",
+            out.stats.total_heartbeats(),
+            out.stats.total_suspicions(),
+            out.stats.total_false_suspicions(),
+            out.stats.total_peer_deaths(),
+            fmt_time(out.stats.max_detect_latency()),
         );
     }
     if let Some(report) = &out.trace {
@@ -418,18 +549,26 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             return Err(format!("determinism violation: {}", diffs.join("; ")));
         }
     }
-    Ok(())
+    if let Some(note) = out.abort {
+        eprintln!("run aborted: {note}");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_sweep(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let name = flags.get("app").ok_or("sweep needs --app")?;
     let app = find_app(scale_of(flags)?, name)?;
-    let axis = match flags
+    let axis_flag = flags
         .get("axis")
         .ok_or("sweep needs --axis")?
-        .to_ascii_lowercase()
-        .as_str()
-    {
+        .to_ascii_lowercase();
+    // The chaos axis perturbs *when a processor dies*, not a LogGP
+    // parameter, so it gets a dedicated driver instead of Axis knobs.
+    if axis_flag == "chaos" {
+        return cmd_sweep_chaos(flags, app.as_ref());
+    }
+    let axis = match axis_flag.as_str() {
         "overhead" | "o" => Axis::Overhead,
         "gap" | "g" => Axis::Gap,
         "latency" | "l" => Axis::Latency,
@@ -456,7 +595,7 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
             // outcome (the paper's N/A entries), not a CLI misuse: report
             // it structurally and exit cleanly.
             println!("sweep N/A — {e}");
-            return Ok(());
+            return Ok(ExitCode::SUCCESS);
         }
     };
     let faulty = spec.net.faults.is_active();
@@ -567,7 +706,108 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
             fit.slope, fit.intercept, fit.r2
         );
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Crash times swept by `--axis chaos`, as fractions of the healthy
+/// runtime.
+const CHAOS_FRACTIONS: [f64; 4] = [0.125, 0.25, 0.5, 0.75];
+
+/// The `--axis chaos` driver: measure the healthy run, then re-run it
+/// with one processor (the middle one) crash-stopping at increasing
+/// fractions of that runtime, reporting how the failure detector and the
+/// app's degrade policy respond at each point.
+fn cmd_sweep_chaos(
+    flags: &HashMap<String, String>,
+    app: &dyn SweepableApp,
+) -> Result<ExitCode, String> {
+    let procs: usize = parse_or(flags, "procs", 32usize)?;
+    if procs < 2 {
+        return Err("--axis chaos needs at least 2 processors".to_string());
+    }
+    let net = net_of(flags)?;
+    if net.node_faults.is_active() {
+        return Err("--axis chaos schedules its own crashes; drop --crash/--straggler".to_string());
+    }
+    let seed: u64 = parse_or(flags, "seed", 1u64)?;
+    let fault_seed: u64 = parse_or(flags, "fault-seed", 1u64)?;
+    let baseline_spec = guard(RunSpec::new(procs).with_net(net).with_seed(seed));
+    let baseline = app.run(&baseline_spec);
+    if !baseline.completed {
+        println!("sweep N/A — the healthy baseline run did not complete");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let victim = procs / 2;
+    let specs: Vec<(f64, RunSpec)> = CHAOS_FRACTIONS
+        .iter()
+        .map(|&f| {
+            let at = SimTime::ZERO
+                + SimDelta::from_nanos((f * baseline.runtime.as_nanos() as f64) as u64);
+            let plan = NodeFaultPlan::none()
+                .with_seed(fault_seed)
+                .with_fault(NodeFault::crash(victim, at));
+            (
+                f,
+                guard(
+                    RunSpec::new(procs)
+                        .with_net(net.with_node_faults(plan))
+                        .with_seed(seed),
+                ),
+            )
+        })
+        .collect();
+    let outs: Vec<RunOutcome> = parallel_map(jobs_of(flags)?, &specs, |_, (_, spec)| app.run(spec));
+    let mut t = Table::new(
+        format!(
+            "{}: crash of p{victim} vs injection time ({procs} procs, healthy runtime {})",
+            app.name(),
+            fmt_time(baseline.runtime)
+        ),
+        &[
+            "crash at",
+            "runtime",
+            "outcome",
+            "completers",
+            "deaths",
+            "suspicions",
+            "detect max",
+        ],
+    );
+    let mut aborts = Vec::new();
+    for ((f, spec), out) in specs.iter().zip(&outs) {
+        let outcome = if let Some(note) = out.abort {
+            aborts.push(note);
+            "aborted"
+        } else if out.completed {
+            "completed"
+        } else {
+            "N/A"
+        };
+        let crash_at = spec
+            .net
+            .node_faults
+            .fault_of(victim)
+            .expect("chaos spec afflicts the victim")
+            .crash_at;
+        t.push_row([
+            format!(
+                "{} ({:.0}%)",
+                fmt_time(crash_at.since(SimTime::ZERO)),
+                f * 100.0
+            ),
+            fmt_time(out.runtime),
+            outcome.to_string(),
+            format!("{}/{}", out.completers, procs),
+            out.stats.total_peer_deaths().to_string(),
+            out.stats.total_suspicions().to_string(),
+            fmt_time(out.stats.max_detect_latency()),
+        ]);
+    }
+    println!("{t}");
+    for note in aborts {
+        println!("abort: {note}");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Renders a previously written metrics report (run or sweep) without

@@ -80,6 +80,8 @@
 //!             runtime: outcome.elapsed,
 //!             stats: outcome.stats,
 //!             completed: outcome.completed,
+//!             completers: outcome.outputs.iter().filter(|o| o.is_some()).count(),
+//!             abort: outcome.abort,
 //!             check: outcome.outputs.iter().map(|o| o.unwrap_or(0)).sum(),
 //!             events: outcome.report.events_fired,
 //!             trace: None,

@@ -335,3 +335,130 @@ fn bad_arguments_fail_with_usage() {
     assert!(!ok);
     assert!(text.contains("--jobs"), "{text}");
 }
+
+#[test]
+fn crash_under_abort_policy_exits_nonzero_with_structured_note() {
+    let (ok, text) = nowlab(&[
+        "run", "--app", "radix", "--procs", "4", "--scale", "test", "--crash", "p1@1ms",
+    ]);
+    assert!(
+        !ok,
+        "a confirmed death under Abort must exit nonzero: {text}"
+    );
+    assert!(text.contains("run aborted: proc"), "{text}");
+    assert!(text.contains("confirmed proc 1 dead"), "{text}");
+    assert!(text.contains("detector:"), "{text}");
+    // The abort is a result, not a CLI misuse — no usage dump.
+    assert!(!text.contains("usage:"), "{text}");
+}
+
+#[test]
+fn crash_recovery_under_continue_completes_and_exits_zero() {
+    // Sample declares DegradePolicy::Continue: a crash-stop member is
+    // detected, the survivors finish, and the exit code stays zero.
+    let (ok, text) = nowlab(&[
+        "run", "--app", "sample", "--procs", "4", "--scale", "test", "--crash", "p1@1ms",
+    ]);
+    assert!(ok, "{text}");
+    assert!(
+        text.contains("3 deaths"),
+        "every survivor confirms p1: {text}"
+    );
+    assert!(!text.contains("run aborted"), "{text}");
+}
+
+#[test]
+fn verify_determinism_holds_under_node_faults() {
+    let (ok, text) = nowlab(&[
+        "run",
+        "--app",
+        "em3dwrite",
+        "--procs",
+        "4",
+        "--scale",
+        "test",
+        "--crash",
+        "p1@2ms+500us",
+        "--straggler",
+        "p2x1.5",
+        "--verify-determinism",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("determinism: OK"), "{text}");
+}
+
+#[test]
+fn chaos_sweep_reports_detection_behavior() {
+    let (ok, text) = nowlab(&[
+        "sweep", "--app", "radix", "--axis", "chaos", "--procs", "4", "--scale", "test", "--jobs",
+        "2",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("crash of p2 vs injection time"), "{text}");
+    assert!(text.contains("aborted"), "{text}");
+    assert!(text.contains("abort: proc"), "{text}");
+}
+
+#[test]
+fn bad_node_fault_specs_fail_with_usage() {
+    for (args, needle) in [
+        (
+            vec![
+                "run", "--app", "radix", "--scale", "test", "--crash", "1@1ms",
+            ],
+            "want p<N>@",
+        ),
+        (
+            vec!["run", "--app", "radix", "--scale", "test", "--crash", "p1"],
+            "missing `@",
+        ),
+        (
+            vec![
+                "run", "--app", "radix", "--scale", "test", "--crash", "p1@2",
+            ],
+            "want a duration",
+        ),
+        (
+            vec![
+                "run",
+                "--app",
+                "radix",
+                "--scale",
+                "test",
+                "--straggler",
+                "p1x0.5",
+            ],
+            "factor must be >= 1",
+        ),
+        (
+            vec![
+                "run",
+                "--app",
+                "radix",
+                "--scale",
+                "test",
+                "--crash",
+                "p1@1ms",
+                "--straggler",
+                "p1x2.0",
+            ],
+            "afflicted twice",
+        ),
+        (
+            vec![
+                "run",
+                "--app",
+                "radix",
+                "--scale",
+                "test",
+                "--fault-seed",
+                "3",
+            ],
+            "has no effect",
+        ),
+    ] {
+        let (ok, text) = nowlab(&args);
+        assert!(!ok, "{args:?} must fail: {text}");
+        assert!(text.contains(needle), "{args:?}: {text}");
+    }
+}

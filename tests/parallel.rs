@@ -94,3 +94,83 @@ fn sequential_and_parallel_agree_on_sweep_errors() {
     assert_eq!(seq, par, "error payloads must match across job counts");
     assert!(matches!(seq, SweepError::IncompleteBaseline { .. }));
 }
+
+/// A node-fault spec: processor 1 freezes at 500 µs and thaws 300 µs
+/// later — short enough that no detector confirms a death (the run
+/// completes on all processors), long enough that heartbeat, suspicion,
+/// and retransmission state are all live across worker threads.
+fn crash_recovery_spec(procs: usize) -> RunSpec {
+    use nowlab::core::{NodeFault, NodeFaultPlan, SimTime};
+    let plan = NodeFaultPlan::none()
+        .with_seed(0xC4A5)
+        .with_fault(NodeFault::crash_recovery(
+            1,
+            SimTime::ZERO + SimDelta::from_micros(500.0),
+            SimDelta::from_micros(300.0),
+        ));
+    RunSpec::new(procs)
+        .with_net(NetConfig::berkeley_now().with_node_faults(plan))
+        .with_seed(11)
+        .with_event_limit(50_000_000)
+        .with_time_limit(SimDelta::from_secs(120.0))
+}
+
+#[test]
+fn crash_recovery_sweep_is_byte_identical_across_job_counts() {
+    let apps = suite_scaled(SuiteScale::Test);
+    let spec = crash_recovery_spec(4);
+    for app in &apps {
+        let seq = sweep_jobs(app.as_ref(), &spec, Axis::Overhead, &O_VALUES, 1);
+        for jobs in [2, 4] {
+            let par = sweep_jobs(app.as_ref(), &spec, Axis::Overhead, &O_VALUES, jobs);
+            assert_eq!(
+                par,
+                seq,
+                "{}: jobs={jobs} diverged under node faults",
+                app.name()
+            );
+        }
+        // The plan must actually engage the detector plane, or this test
+        // proves nothing about its determinism.
+        if let Ok(s) = &seq {
+            assert!(
+                s.baseline.stats.total_heartbeats() > 0,
+                "{}: no heartbeats flowed",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_stop_degraded_outcome_is_identical_across_concurrent_replicas() {
+    use nowlab::apps::sample::{Sample, SampleParams};
+    use nowlab::core::{parallel_map, NodeFault, NodeFaultPlan, SimTime};
+    use nowlab::SweepableApp as _;
+    // Sample runs under DegradePolicy::Continue: with processor 1 dead
+    // for good, the survivors confirm the death and finish degraded.
+    let plan = NodeFaultPlan::none()
+        .with_seed(0xDEAD)
+        .with_fault(NodeFault::crash(
+            1,
+            SimTime::ZERO + SimDelta::from_micros(800.0),
+        ));
+    let spec = RunSpec::new(4)
+        .with_net(NetConfig::berkeley_now().with_node_faults(plan))
+        .with_seed(7)
+        .with_event_limit(50_000_000)
+        .with_time_limit(SimDelta::from_secs(120.0));
+    let app = Sample::new(SampleParams::small());
+    let seq = app.run(&spec);
+    assert!(
+        seq.stats.total_peer_deaths() > 0,
+        "p1 was never confirmed dead"
+    );
+    assert_eq!(seq.completers, 3, "three survivors must finish");
+    for jobs in [2, 4] {
+        let replicas = parallel_map(jobs, &[(), (), (), ()], |_, _| app.run(&spec));
+        for (i, r) in replicas.iter().enumerate() {
+            assert_eq!(*r, seq, "replica {i} of jobs={jobs} diverged");
+        }
+    }
+}

@@ -302,3 +302,42 @@ fn barrier_synchronizes_under_random_stagger() {
         assert_eq!(*violations.borrow(), 0, "barrier leaked");
     }
 }
+
+/// The empty node-fault plan is inert: attaching it (with any seed or
+/// detector timing) leaves a run *event-identical* to the plain network —
+/// same executor event count, same virtual end time, same checksum, same
+/// per-processor communication counters — across random apps and sizes.
+#[test]
+fn inert_node_fault_plan_is_event_identical() {
+    use nowlab::apps::{suite_scaled, SuiteScale};
+    use nowlab::core::{NodeFaultPlan, RunSpec};
+    let mut rng = SmallRng::seed_from_u64(0x1AE2);
+    let apps = suite_scaled(SuiteScale::Test);
+    for case in 0..8 {
+        let app = &apps[rng.gen_range(0..apps.len())];
+        let procs = rng.gen_range(2..5usize);
+        let seed = rng.gen::<u64>();
+        let spec = RunSpec::new(procs).with_seed(seed);
+        let base = app.run(&spec);
+        let plan = NodeFaultPlan::none().with_seed(rng.gen()).with_detector(
+            SimDelta::from_micros(f64_in(&mut rng, 10.0, 200.0)),
+            SimDelta::from_micros(300.0),
+            SimDelta::from_micros(f64_in(&mut rng, 300.0, 5_000.0)),
+        );
+        let inert = app.run(&spec.with_net(NetConfig::berkeley_now().with_node_faults(plan)));
+        assert_eq!(
+            base.events,
+            inert.events,
+            "case {case} ({}, {procs}p): inert plan changed the event count",
+            app.name()
+        );
+        assert_eq!(base.runtime, inert.runtime, "case {case}: runtime changed");
+        assert_eq!(base.check, inert.check, "case {case}: checksum changed");
+        assert_eq!(base.stats, inert.stats, "case {case}: comm stats changed");
+        assert_eq!(
+            inert.stats.total_heartbeats(),
+            0,
+            "case {case}: an inert plan must not emit heartbeats"
+        );
+    }
+}
