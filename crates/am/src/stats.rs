@@ -6,7 +6,7 @@
 //! hook: every injected message updates a [`ProcCounters`]; a
 //! [`CommStats`] snapshot aggregates them into the paper's summary columns.
 
-use nowlab_sim::SimDelta;
+use nowlab_sim::{ordered_sum_by, SimDelta};
 
 /// Per-processor communication counters, updated by the transport.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -215,26 +215,15 @@ impl CommStats {
             return (0.0, 0.0, 0.0, 1.0);
         }
         let p = self.per_proc.len() as f64;
-        let compute: f64 = self
-            .per_proc
-            .iter()
-            .map(|c| c.compute_time.as_secs_f64())
-            .sum::<f64>()
-            / p
-            / elapsed;
-        let overhead: f64 = self
-            .per_proc
-            .iter()
-            .map(|c| c.o_time.as_secs_f64())
-            .sum::<f64>()
-            / p
-            / elapsed;
-        let pure_wait: f64 = self
-            .per_proc
-            .iter()
-            .map(|c| (c.blocked_time.saturating_sub(c.o_time_in_wait)).as_secs_f64())
-            .sum::<f64>()
-            / p
+        // Summed with `ordered_sum_by` (strict left-to-right over the
+        // rank-ordered Vec) so the float reduction order is pinned by
+        // construction, not by iterator internals (FLT001).
+        let compute =
+            ordered_sum_by(&self.per_proc, |c| c.compute_time.as_secs_f64()) / p / elapsed;
+        let overhead = ordered_sum_by(&self.per_proc, |c| c.o_time.as_secs_f64()) / p / elapsed;
+        let pure_wait = ordered_sum_by(&self.per_proc, |c| {
+            (c.blocked_time.saturating_sub(c.o_time_in_wait)).as_secs_f64()
+        }) / p
             / elapsed;
         let raw = 1.0 - compute - overhead - pure_wait;
         // A negative residual means the components over-count elapsed time

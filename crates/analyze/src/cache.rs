@@ -1,0 +1,386 @@
+//! Per-file diagnostic cache keyed on (mtime, size).
+//!
+//! The analyzer runs on every CI push and, with `--check`, in inner dev
+//! loops; almost all of its time is lexing + parsing unchanged files. The
+//! cache records, per workspace-relative path, the file's modification
+//! stamp and the diagnostics the last scan produced; a file whose stamp is
+//! unchanged is neither read nor parsed. The full-tree pass stays well
+//! under a second warm.
+//!
+//! The format is a line-oriented text file (no serde in the offline
+//! container):
+//!
+//! ```text
+//! nowlab-analyze-cache v0.1.0 r3
+//! F <mtime_ns> <len> <path>
+//! D <line> <code> <E|W> <message, tab/newline-escaped>
+//! ```
+//!
+//! (fields are tab-separated; `D` lines belong to the preceding `F`).
+//! The header pins both the package version and [`REVISION`], a counter
+//! bumped whenever any lint's behavior changes — a stale header discards
+//! the whole cache, so lint upgrades can never serve outdated findings.
+//! Unknown lint codes on load likewise discard the entry.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::explain::intern_code;
+use crate::{Diagnostic, Severity};
+
+/// Bump whenever lint behavior changes (new lint, changed heuristic,
+/// changed message) so caches written by older analyzers are discarded.
+pub const REVISION: u32 = 3;
+
+/// A file's identity for cache purposes: mtime (ns since epoch) + size.
+/// Content hashing would be sturdier but would cost the read the cache
+/// exists to avoid; mtime+len is the same trade `cargo` makes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileStamp {
+    /// Modification time in nanoseconds since the UNIX epoch.
+    pub mtime_ns: u128,
+    /// File length in bytes.
+    pub len: u64,
+}
+
+impl FileStamp {
+    /// Reads the stamp for `path`, or `None` if the metadata is
+    /// unavailable (the scan then simply proceeds uncached).
+    pub fn of(path: &Path) -> Option<FileStamp> {
+        let meta = std::fs::metadata(path).ok()?;
+        let mtime = meta.modified().ok()?;
+        let mtime_ns = mtime.duration_since(std::time::UNIX_EPOCH).ok()?.as_nanos();
+        Some(FileStamp {
+            mtime_ns,
+            len: meta.len(),
+        })
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    stamp: FileStamp,
+    diags: Vec<Diagnostic>,
+}
+
+/// The diagnostic cache. [`Cache::disabled`] never hits and never saves,
+/// so uncached scans share the same code path.
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: BTreeMap<String, Entry>,
+    enabled: bool,
+}
+
+impl Cache {
+    /// A cache that never hits and is never persisted (`--no-cache`, and
+    /// library callers that want a plain scan).
+    pub fn disabled() -> Cache {
+        Cache::default()
+    }
+
+    /// An empty, enabled cache (first run; will be populated and saved).
+    pub fn empty() -> Cache {
+        Cache {
+            entries: BTreeMap::new(),
+            enabled: true,
+        }
+    }
+
+    /// Loads the cache from `path`. Any problem — missing file, version or
+    /// revision mismatch, malformed line, unknown lint code — yields an
+    /// empty enabled cache; the cache is an optimization, never a source
+    /// of truth.
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Cache::empty();
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(header().as_str()) {
+            return Cache::empty();
+        }
+        let mut cache = Cache::empty();
+        let mut current: Option<(String, Entry)> = None;
+        for line in lines {
+            let mut fields = line.split('\t');
+            match fields.next() {
+                Some("F") => {
+                    if let Some((p, e)) = current.take() {
+                        cache.entries.insert(p, e);
+                    }
+                    let (Some(mtime), Some(len), Some(p)) =
+                        (fields.next(), fields.next(), fields.next())
+                    else {
+                        return Cache::empty();
+                    };
+                    let (Ok(mtime_ns), Ok(len)) = (mtime.parse(), len.parse()) else {
+                        return Cache::empty();
+                    };
+                    current = Some((
+                        p.to_string(),
+                        Entry {
+                            stamp: FileStamp { mtime_ns, len },
+                            diags: Vec::new(),
+                        },
+                    ));
+                }
+                Some("D") => {
+                    let Some((ref p, ref mut entry)) = current else {
+                        return Cache::empty();
+                    };
+                    let (Some(ln), Some(code), Some(sev), Some(msg)) =
+                        (fields.next(), fields.next(), fields.next(), fields.next())
+                    else {
+                        return Cache::empty();
+                    };
+                    let (Ok(line), Some(code)) = (ln.parse(), intern_code(code)) else {
+                        return Cache::empty();
+                    };
+                    let severity = match sev {
+                        "E" => Severity::Error,
+                        "W" => Severity::Warning,
+                        _ => return Cache::empty(),
+                    };
+                    entry.diags.push(Diagnostic {
+                        path: p.clone(),
+                        line,
+                        code,
+                        severity,
+                        message: unescape(msg),
+                    });
+                }
+                _ => return Cache::empty(),
+            }
+        }
+        if let Some((p, e)) = current.take() {
+            cache.entries.insert(p, e);
+        }
+        cache
+    }
+
+    /// Returns the cached diagnostics for `rel` if its stamp matches.
+    pub fn lookup(&self, rel: &str, stamp: FileStamp) -> Option<Vec<Diagnostic>> {
+        if !self.enabled {
+            return None;
+        }
+        let entry = self.entries.get(rel)?;
+        (entry.stamp == stamp).then(|| entry.diags.clone())
+    }
+
+    /// Records the scan result for `rel`.
+    pub fn store(&mut self, rel: &str, stamp: FileStamp, diags: &[Diagnostic]) {
+        if !self.enabled {
+            return;
+        }
+        self.entries.insert(
+            rel.to_string(),
+            Entry {
+                stamp,
+                diags: diags.to_vec(),
+            },
+        );
+    }
+
+    /// Persists the cache to `path` (no-op when disabled). The parent
+    /// directory is created if needed.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let mut out = header();
+        out.push('\n');
+        for (rel, entry) in &self.entries {
+            out.push_str(&format!(
+                "F\t{}\t{}\t{}\n",
+                entry.stamp.mtime_ns, entry.stamp.len, rel
+            ));
+            for d in &entry.diags {
+                out.push_str(&format!(
+                    "D\t{}\t{}\t{}\t{}\n",
+                    d.line,
+                    d.code,
+                    match d.severity {
+                        Severity::Error => "E",
+                        Severity::Warning => "W",
+                    },
+                    escape(&d.message)
+                ));
+            }
+        }
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, out)
+    }
+}
+
+fn header() -> String {
+    format!(
+        "nowlab-analyze-cache v{} r{}",
+        env!("CARGO_PKG_VERSION"),
+        REVISION
+    )
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(line: u32, msg: &str) -> Diagnostic {
+        Diagnostic {
+            path: "crates/sim/src/lib.rs".into(),
+            line,
+            code: "DET001",
+            severity: Severity::Error,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn round_trips_entries_and_diagnostics() {
+        let dir = std::env::temp_dir().join(format!("nowlab-cache-rt-{}", std::process::id()));
+        let file = dir.join("analyze-cache.tsv");
+        let stamp = FileStamp {
+            mtime_ns: 12345678901234567890,
+            len: 42,
+        };
+        let mut c = Cache::empty();
+        c.store(
+            "crates/sim/src/lib.rs",
+            stamp,
+            &[diag(7, "weird\tmessage\nwith breaks \\ and slashes")],
+        );
+        c.store(
+            "crates/am/src/port.rs",
+            FileStamp {
+                mtime_ns: 1,
+                len: 2,
+            },
+            &[],
+        );
+        c.save(&file).unwrap();
+
+        let loaded = Cache::load(&file);
+        let hit = loaded.lookup("crates/sim/src/lib.rs", stamp).unwrap();
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].line, 7);
+        assert_eq!(hit[0].code, "DET001");
+        assert_eq!(hit[0].message, "weird\tmessage\nwith breaks \\ and slashes");
+        // Empty diagnostic lists (the common case: clean files) also hit.
+        assert!(loaded
+            .lookup(
+                "crates/am/src/port.rs",
+                FileStamp {
+                    mtime_ns: 1,
+                    len: 2
+                }
+            )
+            .unwrap()
+            .is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_stamp_misses() {
+        let stamp = FileStamp {
+            mtime_ns: 10,
+            len: 5,
+        };
+        let mut c = Cache::empty();
+        c.store("a.rs", stamp, &[diag(1, "m")]);
+        assert!(c
+            .lookup(
+                "a.rs",
+                FileStamp {
+                    mtime_ns: 11,
+                    len: 5
+                }
+            )
+            .is_none());
+        assert!(c
+            .lookup(
+                "a.rs",
+                FileStamp {
+                    mtime_ns: 10,
+                    len: 6
+                }
+            )
+            .is_none());
+        assert!(c.lookup("b.rs", stamp).is_none());
+        assert!(c.lookup("a.rs", stamp).is_some());
+    }
+
+    #[test]
+    fn version_or_revision_mismatch_discards() {
+        let dir = std::env::temp_dir().join(format!("nowlab-cache-ver-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("cache.tsv");
+        std::fs::write(&file, "nowlab-analyze-cache v0.0.0 r0\nF\t1\t2\ta.rs\n").unwrap();
+        let c = Cache::load(&file);
+        assert!(c
+            .lookup(
+                "a.rs",
+                FileStamp {
+                    mtime_ns: 1,
+                    len: 2
+                }
+            )
+            .is_none());
+        // Unknown lint codes poison the load (lint was removed/renamed).
+        std::fs::write(
+            &file,
+            format!("{}\nF\t1\t2\ta.rs\nD\t3\tZZZ999\tE\tmsg\n", super::header()),
+        )
+        .unwrap();
+        let c = Cache::load(&file);
+        assert!(c
+            .lookup(
+                "a.rs",
+                FileStamp {
+                    mtime_ns: 1,
+                    len: 2
+                }
+            )
+            .is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_cache_never_hits_or_saves() {
+        let mut c = Cache::disabled();
+        let stamp = FileStamp {
+            mtime_ns: 1,
+            len: 1,
+        };
+        c.store("a.rs", stamp, &[diag(1, "m")]);
+        assert!(c.lookup("a.rs", stamp).is_none());
+        let path = std::env::temp_dir().join("nowlab-cache-should-not-exist.tsv");
+        std::fs::remove_file(&path).ok();
+        c.save(&path).unwrap();
+        assert!(!path.exists());
+    }
+}

@@ -1,0 +1,267 @@
+//! The lint registry: one record per lint code, with the rationale the
+//! `--explain` flag renders and the metadata the SARIF exporter embeds as
+//! `rules`.
+//!
+//! This is the single source of truth for what each code means. The docs
+//! table in README.md / DESIGN.md is asserted (by `tests/analyzer.rs`) to
+//! match these summaries, so the registry, the CLI help, and the docs
+//! cannot drift apart.
+
+use crate::Severity;
+
+/// Static metadata for one lint code.
+#[derive(Clone, Copy, Debug)]
+pub struct LintInfo {
+    /// Stable code (`DET001`, `LAY002`, …).
+    pub code: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line summary (docs table / SARIF `shortDescription`).
+    pub summary: &'static str,
+    /// Why the rule exists and how to fix a finding (`--explain` body,
+    /// SARIF `fullDescription`).
+    pub rationale: &'static str,
+}
+
+/// Every lint the analyzer can emit, in stable catalogue order.
+pub const LINTS: &[LintInfo] = &[
+    LintInfo {
+        code: "DET001",
+        severity: Severity::Error,
+        summary: "HashMap/HashSet in simulation-visible state",
+        rationale: "Hash collections iterate in randomized order (SipHash keyed per \
+                    process), so any simulation-visible iteration over one makes event \
+                    order — and therefore virtual time — depend on the host process. \
+                    Use BTreeMap/BTreeSet or a Vec with an explicit sort instead.",
+    },
+    LintInfo {
+        code: "DET002",
+        severity: Severity::Error,
+        summary: "Instant/SystemTime in sim-visible code",
+        rationale: "Wall-clock reads inside the simulation make virtual time a function \
+                    of the host. All time below the run boundary must come from \
+                    Sim::now(). Host-side harness code (crates/bench) is exempt.",
+    },
+    LintInfo {
+        code: "DET003",
+        severity: Severity::Error,
+        summary: "OS/env entropy outside crates/rng",
+        rationale: "RandomState, getrandom, thread_rng, env-var reads and friends are \
+                    entropy channels that break the (program, seed) -> time guarantee. \
+                    Only crates/rng may touch them, wrapped behind seeded streams.",
+    },
+    LintInfo {
+        code: "DET004",
+        severity: Severity::Warning,
+        summary: "wall-clock value flowing toward virtual time",
+        rationale: "A value derived from a wall-clock read appears to flow into a \
+                    SimTime/SimDelta computation. Usually a refactoring accident; route \
+                    the value through the run boundary explicitly or delete it.",
+    },
+    LintInfo {
+        code: "SAFE001",
+        severity: Severity::Error,
+        summary: "crate root missing #![forbid(unsafe_code)]",
+        rationale: "Unsafe code could smuggle in uninitialized reads or data races that \
+                    perturb results nondeterministically. Every workspace crate root \
+                    carries #![forbid(unsafe_code)] so the compiler proves its absence.",
+    },
+    LintInfo {
+        code: "AMP001",
+        severity: Severity::Error,
+        summary: "AM handler issues a request (GAM acyclicity)",
+        rationale: "Generic Active Messages forbid request handlers from issuing new \
+                    requests: the request/reply discipline is what makes the protocol \
+                    deadlock-free with bounded buffers. Handlers may only reply.",
+    },
+    LintInfo {
+        code: "AMP002",
+        severity: Severity::Error,
+        summary: "re-hardcoded window depth / 4KB fragment size",
+        rationale: "The GAM flow-control window (8) and fragment size (4096) are \
+                    protocol constants named GAM_WINDOW / GAM_FRAG_BYTES in crates/am. \
+                    Re-hardcoding the literal elsewhere lets the copies drift apart.",
+    },
+    LintInfo {
+        code: "AMP003",
+        severity: Severity::Error,
+        summary: "public sim-facing API exposes a hash collection",
+        rationale: "A pub fn that accepts or returns HashMap/HashSet invites callers to \
+                    iterate it in randomized order even if the implementation is \
+                    careful. Expose BTree collections or sorted Vecs at the boundary.",
+    },
+    LintInfo {
+        code: "AMP004",
+        severity: Severity::Error,
+        summary: "membership/detector state referenced outside crates/am",
+        rationale: "Failure-detector state machines (Alive/Suspect/Dead) and membership \
+                    words are confined to crates/am; upper layers consume the distilled \
+                    RunAbort/degradation signals instead of peeking at detector state.",
+    },
+    LintInfo {
+        code: "PAR001",
+        severity: Severity::Error,
+        summary: "thread/lock primitives outside the orchestration layer",
+        rationale: "Simulations are single-threaded so virtual time cannot depend on \
+                    host scheduling. OS threads, locks, and atomics are allowed only in \
+                    the run-boundary orchestration layer (core::sweep, bench, src/bin).",
+    },
+    LintInfo {
+        code: "MET001",
+        severity: Severity::Error,
+        summary: "metrics crate depends beyond {sim, trace}",
+        rationale: "Metrics sinks run inside the event loop. Keeping the dependency \
+                    cone to nowlab-sim + nowlab-trace guarantees the observer cannot \
+                    reach I/O, threads, or entropy, so metering cannot perturb a run. \
+                    This is the metrics-crate case of the LAY002 manifest rule, kept \
+                    under its historical code.",
+    },
+    LintInfo {
+        code: "LAY001",
+        severity: Severity::Error,
+        summary: "source reference to a crate outside the declared lower layers",
+        rationale: "Each crate may `use` only its declared lower layers (rng -> sim -> \
+                    am -> splitc -> apps, trace/metrics observe-only). A path reference \
+                    that skips the layering bypasses the seam where the paper's \
+                    o/g/L/G costs are attributed. Route the call through the layer \
+                    that owns it, or re-export the type from the legal layer.",
+    },
+    LintInfo {
+        code: "LAY002",
+        severity: Severity::Error,
+        summary: "manifest dependency outside the declared lower layers",
+        rationale: "A crate's [dependencies] must stay within its layer's allowed set; \
+                    dev-dependencies are host-side and exempt. For the observer crates \
+                    (trace, metrics) every dependency is checked — even non-workspace \
+                    ones — because observers inside the event loop must be provably \
+                    unable to reach I/O, threads, or entropy.",
+    },
+    LintInfo {
+        code: "LAY003",
+        severity: Severity::Error,
+        summary: "apps reach below splitc (sim/am internals)",
+        rationale: "The ported Split-C applications must speak only the splitc runtime \
+                    surface, exactly like the originals on the NOW cluster. An app \
+                    that imports nowlab_sim or nowlab_am directly couples it to kernel \
+                    internals the paper's apparatus never exposed; use the re-exports \
+                    on nowlab_splitc (SimDelta, SimTime, Payload, ...) instead.",
+    },
+    LintInfo {
+        code: "FLT001",
+        severity: Severity::Error,
+        summary: "unordered f64/f32 reduction (.sum / fold(+)) in sim-visible code",
+        rationale: "Float addition is non-associative, so the value of .sum::<f64>() \
+                    or fold(0.0, +) depends on iteration order. Over any container \
+                    without a guaranteed order this silently breaks (program, seed) -> \
+                    time. Sum via nowlab_sim::ordered_sum over a slice (fixed \
+                    left-to-right order) or document the ordering with a named helper.",
+    },
+    LintInfo {
+        code: "FLT002",
+        severity: Severity::Error,
+        summary: "partial_cmp on floats in sim-visible code",
+        rationale: "partial_cmp().unwrap() panics on NaN and sort_by with partial_cmp \
+                    gives an unstable, input-dependent order when NaN appears. Use \
+                    f64::total_cmp, which is a total order and deterministic for every \
+                    bit pattern.",
+    },
+    LintInfo {
+        code: "FLT003",
+        severity: Severity::Error,
+        summary: "float accumulation inside an event handler closure",
+        rationale: "A `+=` on a float inside a handler registered on the event loop \
+                    accumulates in event-arrival order. That order is deterministic \
+                    only per (program, seed); accumulate integers (nanoseconds, \
+                    counts) in handlers and convert to floats at the reporting edge.",
+    },
+    LintInfo {
+        code: "TIM001",
+        severity: Severity::Error,
+        summary: "raw literal flowing into a timer API outside a named const",
+        rationale: "SimDelta::from_micros(2.0) written inline at a delay/schedule call \
+                    site is an unnamed protocol constant: copies drift, and sweeps \
+                    cannot find it. Name it (const BACKOFF: SimDelta = ...) next to \
+                    the other tunables; #[cfg(test)] code is exempt.",
+    },
+    LintInfo {
+        code: "TIM002",
+        severity: Severity::Warning,
+        summary: "mixed time-unit arithmetic in one expression",
+        rationale: "Mixing as_nanos() with as_micros_f64()/as_millis_f64() operands in \
+                    one expression is how silent unit bugs (off by 1e3) happen. \
+                    Convert both sides to one unit first, or stay in SimDelta, whose \
+                    arithmetic is unit-safe integer nanoseconds.",
+    },
+];
+
+/// Looks up a lint by code (case-insensitive).
+pub fn lint_info(code: &str) -> Option<&'static LintInfo> {
+    LINTS.iter().find(|l| l.code.eq_ignore_ascii_case(code))
+}
+
+/// Returns the interned `&'static str` code for a code string, if known.
+/// The diagnostic cache needs this to rebuild `Diagnostic`s from disk.
+pub fn intern_code(code: &str) -> Option<&'static str> {
+    lint_info(code).map(|l| l.code)
+}
+
+/// Renders the `--explain` output for one code, or the full catalogue for
+/// `all`.
+pub fn render_explain(code: &str) -> Option<String> {
+    if code.eq_ignore_ascii_case("all") {
+        let mut out = String::from("| code | severity | meaning |\n|---|---|---|\n");
+        for l in LINTS {
+            out.push_str(&format!(
+                "| `{}` | {} | {} |\n",
+                l.code, l.severity, l.summary
+            ));
+        }
+        return Some(out);
+    }
+    let l = lint_info(code)?;
+    Some(format!(
+        "{} ({})\n  {}\n\n{}\n",
+        l.code, l.severity, l.summary, l.rationale
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        assert_eq!(LINTS.len(), 19);
+        let mut codes: Vec<&str> = LINTS.iter().map(|l| l.code).collect();
+        let n = codes.len();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), n, "duplicate lint codes");
+        // Exactly two advisory lints; everything else fails --check.
+        let warnings: Vec<&str> = LINTS
+            .iter()
+            .filter(|l| l.severity == Severity::Warning)
+            .map(|l| l.code)
+            .collect();
+        assert_eq!(warnings, ["DET004", "TIM002"]);
+    }
+
+    #[test]
+    fn explain_renders_single_and_catalogue() {
+        let one = render_explain("lay003").unwrap();
+        assert!(one.contains("LAY003"));
+        assert!(one.contains("splitc"));
+        let all = render_explain("all").unwrap();
+        for l in LINTS {
+            assert!(all.contains(l.code), "{} missing from catalogue", l.code);
+        }
+        assert!(render_explain("NOPE999").is_none());
+    }
+
+    #[test]
+    fn intern_round_trips() {
+        assert_eq!(intern_code("TIM001"), Some("TIM001"));
+        assert_eq!(intern_code("tim001"), Some("TIM001"));
+        assert_eq!(intern_code("XXX"), None);
+    }
+}

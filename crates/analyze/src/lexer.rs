@@ -16,6 +16,9 @@ pub enum TokKind {
     Ident,
     /// Integer literal (value available via [`Tok::int_value`]).
     Int,
+    /// Float literal (`2.9`, `1.5e-3`, `0.0f64`), kept as one token so the
+    /// float-determinism lints can recognize literal accumulator seeds.
+    Float,
     /// A single punctuation character.
     Punct,
 }
@@ -145,6 +148,19 @@ pub fn lex(source: &str) -> Vec<Tok> {
             bump_lines(&b, start, i.min(n), &mut line);
             continue;
         }
+        // Byte-char literal: b'H', b'\n', b'\''. Without this branch the
+        // leading `b` would leak into the token stream as an identifier.
+        if c == 'b' && i + 1 < n && b[i + 1] == '\'' {
+            i += 2;
+            while i < n && b[i] != '\'' {
+                if b[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(n);
+            continue;
+        }
         // Plain / byte string literal.
         if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
             let start = i;
@@ -194,16 +210,42 @@ pub fn lex(source: &str) -> Vec<Tok> {
             });
             continue;
         }
-        // Integer literal (floats split at the dot, which is fine here).
+        // Numeric literal. Integers keep radix prefixes and type suffixes;
+        // a dot followed by a digit extends the token into a float (so
+        // `1..2` and `1.max(2)` keep their dots as punctuation), as does a
+        // signed exponent (`1.5e-3`).
         if c.is_ascii_digit() {
             let start = i;
+            let radix_prefixed =
+                c == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'X' | 'o' | 'O' | 'b' | 'B');
             while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
                 i += 1;
+            }
+            let mut kind = TokKind::Int;
+            if !radix_prefixed {
+                if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    kind = TokKind::Float;
+                }
+                if i + 1 < n
+                    && matches!(b[i - 1], 'e' | 'E')
+                    && matches!(b[i], '+' | '-')
+                    && b[i + 1].is_ascii_digit()
+                {
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    kind = TokKind::Float;
+                }
             }
             toks.push(Tok {
                 text: b[start..i].iter().collect(),
                 line,
-                kind: TokKind::Int,
+                kind,
             });
             continue;
         }
@@ -276,8 +318,110 @@ mod tests {
         assert_eq!(vals[2], Some(4096));
         assert_eq!(vals[3], Some(8));
         assert_eq!(vals[4], Some(8));
-        // The float splits into 2 . 9.
-        assert_eq!(vals[5], Some(2));
+        // The float is one token and is not an integer.
+        assert_eq!(toks[5].kind, TokKind::Float);
+        assert_eq!(toks[5].text, "2.9");
+        assert_eq!(vals[5], None);
+    }
+
+    #[test]
+    fn float_literals_are_single_tokens() {
+        let toks = lex("2.9 0.0f64 1.5e-3 2E+6 1e5");
+        assert_eq!(toks[0].kind, TokKind::Float);
+        assert_eq!(toks[1].kind, TokKind::Float);
+        assert_eq!(toks[1].text, "0.0f64");
+        assert_eq!(toks[2].kind, TokKind::Float);
+        assert_eq!(toks[2].text, "1.5e-3");
+        assert_eq!(toks[3].kind, TokKind::Float);
+        // `1e5` has no dot or sign, so it stays a (suffixed) Int token —
+        // the lints never treat it as an integer value anyway (`int_value`
+        // stops at `e` only after parsing `1`).
+        assert_eq!(toks[4].text, "1e5");
+    }
+
+    #[test]
+    fn ranges_and_method_calls_keep_their_dots() {
+        let toks = lex("for i in 1..20 { x = 3.max(i); t.0 }");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"1"));
+        assert!(texts.contains(&"20"));
+        assert!(texts.contains(&"3"));
+        assert!(texts.contains(&"max"));
+        assert!(toks.iter().all(|t| t.kind != TokKind::Float));
+    }
+
+    #[test]
+    fn byte_char_literals_do_not_leak_an_ident() {
+        // `b'r'` must not emit a stray `b` (or worse, hide what follows).
+        let toks = texts("let x = b'r'; let y = b'\\''; from_entropy()");
+        assert_eq!(
+            toks,
+            vec![
+                "let",
+                "x",
+                "=",
+                ";",
+                "let",
+                "y",
+                "=",
+                ";",
+                "from_entropy",
+                "(",
+                ")"
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_stripped() {
+        let toks = texts("let a = b\"OsRng\"; let b2 = br#\"thread_rng \"q\"\"#; getrandom()");
+        assert_eq!(
+            toks,
+            vec![
+                "let",
+                "a",
+                "=",
+                ";",
+                "let",
+                "b2",
+                "=",
+                ";",
+                "getrandom",
+                "(",
+                ")"
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_terminate_at_matching_hashes() {
+        // The `"#` inside the r##-string must not close it early; if it did,
+        // the trailing `rand` would be swallowed or garbage would leak.
+        let toks = texts("let s = r##\"inner \"# quote\"##; rand()");
+        assert_eq!(toks, vec!["let", "s", "=", ";", "rand", "(", ")"]);
+    }
+
+    #[test]
+    fn nested_block_comments_with_tricky_delimiters() {
+        assert_eq!(texts("/*/**/*/ ok"), vec!["ok"]);
+        assert_eq!(texts("/* a /* b */ c */ d /* unterminated"), vec!["d"]);
+    }
+
+    #[test]
+    fn lifetimes_survive_next_to_char_literals() {
+        let toks = texts("fn f<'a>(p: &'a T) { let c = 'x'; let l: &'static str = s; }");
+        assert!(toks.contains(&"a".to_string()));
+        assert!(toks.contains(&"static".to_string()));
+        assert!(
+            !toks.contains(&"x".to_string()),
+            "char literal leaked: {toks:?}"
+        );
+    }
+
+    #[test]
+    fn escaped_backslash_string_does_not_swallow_code() {
+        let toks = texts(r#"let p = "\\"; thread_rng()"#);
+        assert_eq!(toks, vec!["let", "p", "=", ";", "thread_rng", "(", ")"]);
     }
 
     #[test]

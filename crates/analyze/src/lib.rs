@@ -17,8 +17,16 @@
 //!
 //! Audited exceptions live in `analyze.toml` at the workspace root (see
 //! [`allowlist`]). The build container is fully offline, so instead of
-//! `syn` the pass runs on a hand-rolled token scanner ([`lexer`]) — ample
-//! for the token-sequence patterns these lints need.
+//! `syn` the pass runs on a hand-rolled token scanner ([`lexer`]) feeding a
+//! lightweight recursive-descent item tree ([`itemtree`]) — modules, `use`
+//! trees, fn/impl signatures, const items — plus a workspace dependency
+//! graph parsed from the crates' manifests ([`graph`]). Lints are therefore
+//! path- and scope-resolved, not bare-identifier matches.
+//!
+//! The lint catalogue — one [`explain::LintInfo`] record per code — is
+//! rendered by `--explain CODE` (or `--explain all`); findings export as
+//! SARIF 2.1.0 via `--format sarif` ([`sarif`]), and repeated runs reuse a
+//! per-file mtime cache ([`cache`]).
 //!
 //! ## Lint catalogue
 //!
@@ -34,16 +42,33 @@
 //! | `AMP003` | error | public sim-facing API exposes a hash collection |
 //! | `AMP004` | error | membership/detector state referenced outside `crates/am` |
 //! | `PAR001` | error | thread/lock primitives outside the orchestration layer |
-//! | `MET001` | error | metrics crate depends on more than `nowlab-sim`/`nowlab-trace` |
+//! | `MET001` | error | metrics crate depends beyond `{sim, trace}` |
+//! | `LAY001` | error | source reference outside the crate's declared lower layers |
+//! | `LAY002` | error | manifest dependency outside the declared lower layers |
+//! | `LAY003` | error | apps reach below splitc (`sim`/`am` internals) |
+//! | `FLT001` | error | unordered `f64` reduction (`.sum()`, `fold(+)`) in sim-visible code |
+//! | `FLT002` | error | `partial_cmp` on floats in sim-visible code |
+//! | `FLT003` | error | float accumulation inside an event handler closure |
+//! | `TIM001` | error | raw literal flowing into a timer API outside a named const |
+//! | `TIM002` | warning | mixed time-unit arithmetic in one expression |
 
 #![forbid(unsafe_code)]
 
 pub mod allowlist;
+pub mod cache;
+pub mod explain;
+pub mod families;
+pub mod graph;
+pub mod itemtree;
 pub mod lexer;
 pub mod lints;
+pub mod sarif;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+use graph::{Layer, WorkspaceGraph};
+use itemtree::FileModel;
 
 /// How bad a finding is. `Error` fails `--check`; `Warning` is advisory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -106,6 +131,9 @@ pub struct Scope {
     /// and lock/atomic primitives (`PAR001` elsewhere). Simulations stay
     /// single-threaded so virtual time cannot depend on host scheduling.
     pub parallel_ok: bool,
+    /// The crate's architectural layer; drives the `LAY…` family (which
+    /// crates this file may reference). [`Layer::Other`] is unconstrained.
+    pub layer: Layer,
 }
 
 /// Crates whose code is simulation-visible. `bench` is deliberately
@@ -114,12 +142,6 @@ pub struct Scope {
 const SIM_CRATES: &[&str] = &[
     "sim", "trace", "metrics", "am", "splitc", "core", "apps", "rng",
 ];
-
-/// Crates the metrics crate may depend on. Metrics sinks sit inside the
-/// simulation loop; keeping the dependency cone this small guarantees
-/// they can never reach I/O, threads, or entropy, so enabling metrics
-/// cannot perturb a run (`MET001`).
-const METRICS_ALLOWED_DEPS: &[&str] = &["nowlab-sim", "nowlab-trace"];
 
 /// Determines the lint scope for a workspace-relative `.rs` path, or
 /// `None` if the file is out of scope (tests, benches, fixtures — anything
@@ -151,18 +173,48 @@ pub fn scope_for(rel: &str) -> Option<Scope> {
         parallel_ok: rel.starts_with("crates/bench/")
             || rel.starts_with("src/bin/")
             || rel.starts_with("crates/core/src/sweep"),
+        layer: crate_name.map_or(Layer::Root, Layer::of_crate),
     })
+}
+
+/// Lints a single parsed [`FileModel`] under the given scope: the
+/// token-level lints ([`lints`]) plus the graph-aware families
+/// ([`families`]).
+pub fn scan_model(path: &str, model: &FileModel, scope: &Scope) -> Vec<Diagnostic> {
+    let mut diags = lints::lint_model(path, model, scope);
+    diags.extend(families::lint_model(path, model, scope));
+    diags
 }
 
 /// Lints a single source file under the given scope.
 pub fn scan_source(path: &str, source: &str, scope: &Scope) -> Vec<Diagnostic> {
-    lints::lint_source(path, source, scope)
+    scan_model(path, &FileModel::parse(source), scope)
+}
+
+/// What a workspace scan did, for the CLI's one-line status report.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScanStats {
+    /// In-scope `.rs` files considered.
+    pub files: usize,
+    /// Files whose diagnostics came from the mtime cache.
+    pub cached: usize,
 }
 
 /// Scans every in-scope `.rs` file under the workspace `root`, in
-/// deterministic (sorted-path) order. Returns diagnostics sorted by
+/// deterministic (sorted-path) order, plus the manifest-level layering
+/// lints from the workspace graph. Returns diagnostics sorted by
 /// (path, line, code).
 pub fn scan_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    scan_workspace_cached(root, &mut cache::Cache::disabled()).map(|(d, _)| d)
+}
+
+/// [`scan_workspace`] with a per-file mtime cache: files whose
+/// (mtime, size) are unchanged since the cache was written reuse their
+/// recorded diagnostics without being read or parsed.
+pub fn scan_workspace_cached(
+    root: &Path,
+    cache: &mut cache::Cache,
+) -> Result<(Vec<Diagnostic>, ScanStats), String> {
     let mut files: Vec<PathBuf> = Vec::new();
     let crates_dir = root.join("crates");
     let mut src_roots = vec![root.join("src")];
@@ -183,6 +235,7 @@ pub fn scan_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
     }
     files.sort();
 
+    let mut stats = ScanStats::default();
     let mut diags = Vec::new();
     for file in &files {
         let rel = file
@@ -193,53 +246,40 @@ pub fn scan_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
         let Some(scope) = scope_for(&rel) else {
             continue;
         };
+        stats.files += 1;
+        let stamp = cache::FileStamp::of(file);
+        if let Some(hit) = stamp.and_then(|st| cache.lookup(&rel, st)) {
+            stats.cached += 1;
+            diags.extend(hit);
+            continue;
+        }
         let source = std::fs::read_to_string(file).map_err(|e| format!("reading {rel}: {e}"))?;
-        diags.extend(scan_source(&rel, &source, &scope));
+        let file_diags = scan_model(&rel, &FileModel::parse(&source), &scope);
+        if let Some(st) = stamp {
+            cache.store(&rel, st, &file_diags);
+        }
+        diags.extend(file_diags);
     }
-    diags.extend(lint_metrics_manifest(root)?);
+    // Manifest-level layering over the workspace graph (LAY002 / MET001).
+    // Manifests are few and tiny; they are never cached.
+    let graph = WorkspaceGraph::load(root)?;
+    diags.extend(graph.lint_manifests());
     diags.sort_by(|a, b| (a.path.as_str(), a.line, a.code).cmp(&(b.path.as_str(), b.line, b.code)));
-    Ok(diags)
+    Ok((diags, stats))
 }
 
 /// `MET001`: the metrics crate's `[dependencies]` must stay within
-/// [`METRICS_ALLOWED_DEPS`]. A manifest lint rather than a source lint:
-/// the cheapest dependency is the one the crate cannot name at all.
+/// `{nowlab-sim, nowlab-trace}`. Kept as a named entry point because the
+/// metrics crate's observer guarantee is load-bearing for the paper's
+/// methodology; since analyzer v2 it is the metrics-crate case of the
+/// [`graph`] manifest lints (`LAY002` elsewhere).
 pub fn lint_metrics_manifest(root: &Path) -> Result<Vec<Diagnostic>, String> {
-    let rel = "crates/metrics/Cargo.toml";
-    let path = root.join(rel);
-    if !path.is_file() {
-        return Ok(Vec::new());
-    }
-    let source = std::fs::read_to_string(&path).map_err(|e| format!("reading {rel}: {e}"))?;
-    let mut diags = Vec::new();
-    let mut in_deps = false;
-    for (i, raw) in source.lines().enumerate() {
-        let line = raw.trim();
-        if line.starts_with('[') {
-            in_deps = line == "[dependencies]";
-            continue;
-        }
-        if !in_deps || line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let Some(name) = line.split(['=', '.']).next().map(str::trim) else {
-            continue;
-        };
-        if !name.is_empty() && !METRICS_ALLOWED_DEPS.contains(&name) {
-            diags.push(Diagnostic {
-                path: rel.to_string(),
-                line: (i + 1) as u32,
-                code: "MET001",
-                severity: Severity::Error,
-                message: format!(
-                    "metrics crate depends on `{name}`; the observer must stay inside \
-                     the allowlist {METRICS_ALLOWED_DEPS:?} so enabling it cannot \
-                     perturb a simulation"
-                ),
-            });
-        }
-    }
-    Ok(diags)
+    let graph = WorkspaceGraph::load(root)?;
+    Ok(graph
+        .lint_manifests()
+        .into_iter()
+        .filter(|d| d.code == "MET001")
+        .collect())
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {

@@ -15,7 +15,8 @@
 //! `#![forbid(unsafe_code)]`, so the analyzer may assume safe Rust (no
 //! out-of-band entropy or clock access behind `unsafe`).
 
-use crate::lexer::{lex, Tok, TokKind};
+use crate::itemtree::FileModel;
+use crate::lexer::{Tok, TokKind};
 use crate::{Diagnostic, Scope, Severity};
 
 /// Hash-based std collections whose iteration order is nondeterministic.
@@ -71,11 +72,20 @@ const PAR_IDENTS: &[&str] = &[
     "available_parallelism",
 ];
 
-/// Runs every lint applicable under `scope` over `source`.
+/// Runs every token-level lint applicable under `scope` over `source`.
+/// Convenience wrapper around [`lint_model`] for one-off sources; the
+/// workspace scan parses each file once and shares the [`FileModel`] with
+/// the [`families`](crate::families) pass.
 pub fn lint_source(path: &str, source: &str, scope: &Scope) -> Vec<Diagnostic> {
-    let toks = lex(source);
-    let test_ranges = cfg_test_ranges(&toks);
-    let in_test = |i: usize| test_ranges.iter().any(|r| r.contains(&i));
+    lint_model(path, &FileModel::parse(source), scope)
+}
+
+/// Runs every token-level lint applicable under `scope` over a parsed
+/// [`FileModel`]. Test exemption comes from the item tree's exact
+/// `#[cfg(test)]` attribute tracking.
+pub fn lint_model(path: &str, model: &FileModel, scope: &Scope) -> Vec<Diagnostic> {
+    let toks = &model.toks;
+    let in_test = |i: usize| model.in_test(i);
     let mut diags = Vec::new();
 
     // AMP003 first: its signature ranges suppress duplicate DET001 hits.
@@ -218,7 +228,7 @@ pub fn lint_source(path: &str, source: &str, scope: &Scope) -> Vec<Diagnostic> {
     let mut i = 0;
     while i + 1 < toks.len() {
         if toks[i].text == "register_handler" && toks[i + 1].text == "(" && !in_test(i) {
-            let end = match_paren(&toks, i + 1);
+            let end = match_paren(toks, i + 1);
             for j in (i + 2)..end {
                 if toks[j].kind == TokKind::Ident
                     && HANDLER_FORBIDDEN_CALLS.contains(&toks[j].text.as_str())
@@ -248,7 +258,7 @@ pub fn lint_source(path: &str, source: &str, scope: &Scope) -> Vec<Diagnostic> {
     // must be spelled via the named constants, not re-hardcoded.
     if scope.am_layer {
         for (i, t) in toks.iter().enumerate() {
-            if t.kind != TokKind::Int || in_test(i) || near_const_definition(&toks, i) {
+            if t.kind != TokKind::Int || in_test(i) || near_const_definition(toks, i) {
                 continue;
             }
             let val = t.int_value();
@@ -283,7 +293,7 @@ pub fn lint_source(path: &str, source: &str, scope: &Scope) -> Vec<Diagnostic> {
     // SAFE001: scanned crate roots must forbid unsafe code, so the
     // determinism lints can assume no entropy/clock access hides behind
     // raw pointers or FFI.
-    if scope.crate_root && !has_forbid_unsafe(&toks) {
+    if scope.crate_root && !has_forbid_unsafe(toks) {
         diags.push(Diagnostic {
             path: path.to_string(),
             line: 1,
@@ -296,45 +306,6 @@ pub fn lint_source(path: &str, source: &str, scope: &Scope) -> Vec<Diagnostic> {
     }
 
     diags
-}
-
-/// Token-index ranges covered by `#[cfg(test)]` items (usually `mod tests`).
-/// Test code runs on the host, not inside the simulation, so the
-/// determinism lints skip it.
-fn cfg_test_ranges(toks: &[Tok]) -> Vec<std::ops::Range<usize>> {
-    let mut ranges = Vec::new();
-    let mut i = 0;
-    while i + 6 < toks.len() {
-        let is_cfg_test = toks[i].text == "#"
-            && toks[i + 1].text == "["
-            && toks[i + 2].text == "cfg"
-            && toks[i + 3].text == "("
-            && toks[i + 4].text == "test"
-            && toks[i + 5].text == ")"
-            && toks[i + 6].text == "]";
-        if !is_cfg_test {
-            i += 1;
-            continue;
-        }
-        // Skip any further attributes, then consume the item: to the
-        // matching `}` of its first brace, or to `;` for brace-less items.
-        let mut j = i + 7;
-        while j + 1 < toks.len() && toks[j].text == "#" && toks[j + 1].text == "[" {
-            j = match_bracket(toks, j + 1) + 1;
-        }
-        let mut k = j;
-        while k < toks.len() && toks[k].text != "{" && toks[k].text != ";" {
-            k += 1;
-        }
-        let end = if k < toks.len() && toks[k].text == "{" {
-            match_brace(toks, k)
-        } else {
-            k
-        };
-        ranges.push(i..end + 1);
-        i = end + 1;
-    }
-    ranges
 }
 
 /// True if an enclosing `const` definition sits within a few tokens before
@@ -364,16 +335,6 @@ fn match_paren(toks: &[Tok], open: usize) -> usize {
     match_delim(toks, open, "(", ")")
 }
 
-/// Index of the `]` matching the `[` at `open`.
-fn match_bracket(toks: &[Tok], open: usize) -> usize {
-    match_delim(toks, open, "[", "]")
-}
-
-/// Index of the `}` matching the `{` at `open`.
-fn match_brace(toks: &[Tok], open: usize) -> usize {
-    match_delim(toks, open, "{", "}")
-}
-
 fn match_delim(toks: &[Tok], open: usize, l: &str, r: &str) -> usize {
     let mut depth = 0usize;
     for (i, t) in toks.iter().enumerate().skip(open) {
@@ -400,6 +361,7 @@ mod tests {
             entropy_exempt: false,
             crate_root: false,
             parallel_ok: false,
+            layer: crate::graph::Layer::Other,
         }
     }
 

@@ -1,0 +1,198 @@
+//! SARIF 2.1.0 exporter.
+//!
+//! `--format sarif` renders the diagnostics as a minimal-but-conformant
+//! SARIF log: one run, the driver's rule table generated from the
+//! [`explain`](crate::explain) registry (stable `ruleIndex` = catalogue
+//! position), and one result per diagnostic with a physical location.
+//! Like the metrics reports, the output is held to a checked-in schema in
+//! CI (`schemas/sarif-subset.schema.json`, validated by
+//! `scripts/check_schema.py`) so downstream tooling can trust the shape.
+//!
+//! Hand-rolled JSON, same as the metrics writer: the container is offline,
+//! and the structure is small enough that an escaping helper is the only
+//! subtle part.
+
+use crate::explain::LINTS;
+use crate::{Diagnostic, Severity};
+
+/// Renders a complete SARIF 2.1.0 log for `diags`. Diagnostics should
+/// already be sorted (the scan returns them sorted by path/line/code);
+/// the output is deterministic for a given input.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::with_capacity(4096 + diags.len() * 256);
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"nowlab-analyze\",\n");
+    out.push_str(&format!(
+        "          \"version\": {},\n",
+        json_str(env!("CARGO_PKG_VERSION"))
+    ));
+    out.push_str("          \"informationUri\": \"https://example.invalid/nowlab\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, l) in LINTS.iter().enumerate() {
+        out.push_str("            {\n");
+        out.push_str(&format!("              \"id\": {},\n", json_str(l.code)));
+        out.push_str(&format!(
+            "              \"shortDescription\": {{ \"text\": {} }},\n",
+            json_str(l.summary)
+        ));
+        out.push_str(&format!(
+            "              \"fullDescription\": {{ \"text\": {} }},\n",
+            json_str(l.rationale)
+        ));
+        out.push_str(&format!(
+            "              \"defaultConfiguration\": {{ \"level\": {} }}\n",
+            json_str(level(l.severity))
+        ));
+        out.push_str(if i + 1 < LINTS.len() {
+            "            },\n"
+        } else {
+            "            }\n"
+        });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let rule_index = LINTS
+            .iter()
+            .position(|l| l.code == d.code)
+            .map(|p| p as i64)
+            .unwrap_or(-1);
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"ruleId\": {},\n", json_str(d.code)));
+        out.push_str(&format!("          \"ruleIndex\": {rule_index},\n"));
+        out.push_str(&format!(
+            "          \"level\": {},\n",
+            json_str(level(d.severity))
+        ));
+        out.push_str(&format!(
+            "          \"message\": {{ \"text\": {} }},\n",
+            json_str(&d.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": {} }},\n",
+            json_str(&d.path)
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {} }}\n",
+            d.line.max(1)
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str(if i + 1 < diags.len() {
+            "        },\n"
+        } else {
+            "        }\n"
+        });
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                path: "crates/am/src/stats.rs".into(),
+                line: 222,
+                code: "FLT001",
+                severity: Severity::Error,
+                message: "float `.sum()` with \"quotes\" and\nnewline".into(),
+            },
+            Diagnostic {
+                path: "crates/core/src/models.rs".into(),
+                line: 169,
+                code: "TIM002",
+                severity: Severity::Warning,
+                message: "mixed units".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_rules_results_and_escapes() {
+        let s = render(&sample());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        // Every registry rule is present.
+        for l in LINTS {
+            assert!(s.contains(&format!("\"id\": \"{}\"", l.code)), "{}", l.code);
+        }
+        assert!(s.contains("\"ruleId\": \"FLT001\""));
+        assert!(s.contains("\"level\": \"warning\""));
+        assert!(s.contains("\"startLine\": 222"));
+        assert!(s.contains("and\\nnewline"));
+        assert!(s.contains("\\\"quotes\\\""));
+        // ruleIndex matches the catalogue position of the code.
+        let idx = LINTS.iter().position(|l| l.code == "FLT001").unwrap();
+        assert!(s.contains(&format!("\"ruleIndex\": {idx}")));
+    }
+
+    #[test]
+    fn empty_scan_still_renders_a_valid_run() {
+        let s = render(&[]);
+        assert!(s.contains("\"results\": [\n      ]"));
+        assert!(s.contains("\"rules\": ["));
+    }
+
+    #[test]
+    fn output_parses_as_json() {
+        // A tiny structural parse: balanced braces/brackets outside
+        // strings, which catches the classic trailing-comma and unescaped-
+        // quote mistakes of hand-rolled writers.
+        let s = render(&sample());
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in s.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+}

@@ -1,22 +1,31 @@
-//! Integration tests: every lint fires on its fixture exactly once, the
-//! clean fixture stays silent, and the workspace itself passes the
+//! Integration tests: every lint fires on its fixture (the v2 families
+//! twice, pinning two seeded true positives each), the clean fixture stays
+//! silent, the `ws_layering` mini-workspace surfaces its manifest- and
+//! source-level violations end to end, and the workspace itself passes the
 //! analyzer with the checked-in allowlist.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use nowlab_analyze::allowlist::Allowlist;
-use nowlab_analyze::{scan_source, scan_workspace, Scope, Severity};
+use nowlab_analyze::cache::Cache;
+use nowlab_analyze::graph::Layer;
+use nowlab_analyze::{sarif, scan_source, scan_workspace, scan_workspace_cached, Scope, Severity};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
 
 fn fixture(name: &str) -> String {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/fixtures")
-        .join(name);
+    let path = fixture_path(name);
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
 }
 
 /// Scope used by most fixtures: sim-visible AM-layer code that is also a
 /// crate root, so every lint family is armed at once and the fixtures
-/// prove each trips exactly its own lint.
+/// prove each trips exactly its own lint. `Layer::Other` keeps the `LAY`
+/// family quiet; the layering fixtures opt in via [`layered`].
 fn armed() -> Scope {
     Scope {
         sim_visible: true,
@@ -24,6 +33,17 @@ fn armed() -> Scope {
         entropy_exempt: false,
         crate_root: true,
         parallel_ok: false,
+        layer: Layer::Other,
+    }
+}
+
+/// A sim-visible scope for a specific architectural layer (the `LAY`
+/// fixtures).
+fn layered(layer: Layer) -> Scope {
+    Scope {
+        sim_visible: true,
+        layer,
+        ..Scope::default()
     }
 }
 
@@ -52,8 +72,29 @@ fn each_fixture_trips_its_lint_exactly_once() {
     assert_eq!(codes("safe001.rs", &armed()), vec!["SAFE001"]);
 }
 
+/// Each v2 family fixture pins two seeded true positives (plus clean
+/// counter-examples that must stay silent).
 #[test]
-fn det004_is_the_only_warning_severity_lint() {
+fn each_family_fixture_pins_two_true_positives() {
+    let mut scope = armed();
+    scope.crate_root = false;
+    assert_eq!(
+        codes("lay001.rs", &layered(Layer::Metrics)),
+        vec!["LAY001", "LAY001"]
+    );
+    assert_eq!(
+        codes("lay003.rs", &layered(Layer::Apps)),
+        vec!["LAY003", "LAY003"]
+    );
+    assert_eq!(codes("flt001.rs", &scope), vec!["FLT001", "FLT001"]);
+    assert_eq!(codes("flt002.rs", &scope), vec!["FLT002", "FLT002"]);
+    assert_eq!(codes("flt003.rs", &scope), vec!["FLT003", "FLT003"]);
+    assert_eq!(codes("tim001.rs", &scope), vec!["TIM001", "TIM001"]);
+    assert_eq!(codes("tim002.rs", &scope), vec!["TIM002", "TIM002"]);
+}
+
+#[test]
+fn det004_and_tim002_are_the_only_warning_severity_lints() {
     let mut scope = armed();
     scope.crate_root = false;
     for name in [
@@ -65,9 +106,14 @@ fn det004_is_the_only_warning_severity_lint() {
         "amp002.rs",
         "amp003.rs",
         "par001.rs",
+        "flt001.rs",
+        "flt002.rs",
+        "flt003.rs",
+        "tim001.rs",
+        "tim002.rs",
     ] {
         for d in scan_source(name, &fixture(name), &scope) {
-            let expect = if d.code == "DET004" {
+            let expect = if d.code == "DET004" || d.code == "TIM002" {
                 Severity::Warning
             } else {
                 Severity::Error
@@ -93,6 +139,80 @@ fn diagnostics_carry_file_and_line() {
     // `Instant` sits on line 3 of the fixture (after the //! line).
     assert_eq!(diags[0].line, 3);
     assert!(diags[0].to_string().contains("det002.rs:3"));
+}
+
+/// End to end over the `ws_layering` mini-workspace: manifest-level
+/// violations (MET001 for the observer, LAY002 for apps) and the
+/// source-level LAY003, all from one `scan_workspace` call.
+#[test]
+fn ws_layering_fixture_surfaces_manifest_and_source_violations() {
+    let diags = scan_workspace(&fixture_path("ws_layering")).expect("fixture scan");
+    let got: Vec<(String, &str)> = diags.iter().map(|d| (d.path.clone(), d.code)).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("crates/apps/Cargo.toml".to_string(), "LAY002"),
+            ("crates/apps/src/lib.rs".to_string(), "LAY003"),
+            ("crates/metrics/Cargo.toml".to_string(), "MET001"),
+            ("crates/metrics/Cargo.toml".to_string(), "MET001"),
+        ],
+        "unexpected diagnostics: {diags:?}"
+    );
+    // The dev-dependency stayed exempt and the violations name their deps.
+    let messages: String = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(messages.contains("serde"));
+    assert!(!messages.contains("serde_json"));
+}
+
+/// A second scan through the same cache reuses every file's recorded
+/// diagnostics (and they match the uncached scan exactly).
+#[test]
+fn cached_rescan_is_complete_and_identical() {
+    let root = fixture_path("ws_layering");
+    let mut cache = Cache::empty();
+    let (first, stats1) = scan_workspace_cached(&root, &mut cache).expect("first scan");
+    assert_eq!(stats1.cached, 0);
+    assert!(stats1.files > 0);
+    let (second, stats2) = scan_workspace_cached(&root, &mut cache).expect("second scan");
+    assert_eq!(stats2.files, stats1.files);
+    assert_eq!(
+        stats2.cached, stats2.files,
+        "all files should hit the cache"
+    );
+    let render = |ds: &[nowlab_analyze::Diagnostic]| -> Vec<String> {
+        ds.iter().map(ToString::to_string).collect()
+    };
+    assert_eq!(render(&first), render(&second));
+}
+
+/// The SARIF stream carries every diagnostic with its rule and location.
+#[test]
+fn sarif_render_covers_every_diagnostic() {
+    let diags = scan_workspace(&fixture_path("ws_layering")).expect("fixture scan");
+    let sarif = sarif::render(&diags);
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    for d in &diags {
+        assert!(
+            sarif.contains(&format!("\"ruleId\": \"{}\"", d.code)),
+            "{d}"
+        );
+        assert!(sarif.contains(&d.path), "{d}");
+    }
+}
+
+/// The README lint table is the `--explain all` catalogue verbatim, row
+/// for row, so the registry and the docs cannot drift apart.
+#[test]
+fn readme_lint_table_matches_the_registry() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+    let catalogue = nowlab_analyze::explain::render_explain("all").expect("catalogue");
+    for row in catalogue.lines().skip(2) {
+        assert!(
+            readme.contains(row),
+            "README.md lint table is missing or differs on:\n{row}"
+        );
+    }
 }
 
 /// The acceptance gate: the workspace as committed passes its own

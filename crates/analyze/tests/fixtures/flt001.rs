@@ -1,0 +1,14 @@
+//! Fixture: order-dependent float reductions in sim-visible code.
+
+pub fn mean(xs: &[f64]) -> f64 {
+    let total = xs.iter().copied().sum::<f64>(); // FLT001: float sum
+    total / xs.len() as f64
+}
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |acc, x| acc + x) // FLT001: float fold(+)
+}
+
+pub fn count(xs: &[u64]) -> u64 {
+    xs.iter().sum::<u64>() // clean: integer sum
+}

@@ -1,0 +1,13 @@
+//! Fixture: partial float comparisons in sim-visible code.
+
+pub fn sort_speedups(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // FLT002: NaN-partial order
+}
+
+pub fn best(v: &[f64]) -> Option<f64> {
+    v.iter().copied().max_by(|a, b| a.partial_cmp(b).unwrap()) // FLT002
+}
+
+pub fn sort_total(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp); // clean: total order over every bit pattern
+}

@@ -1,0 +1,14 @@
+//! Fixture: float accumulation inside event-loop closures.
+
+pub fn register(bus: &Bus, st: &mut Stats) {
+    bus.register_handler(|msg| {
+        st.total_us += msg.delta_us as f64; // FLT003: order-dependent
+    });
+    bus.register_handler(|msg| {
+        let _ = msg;
+        st.weight += 0.5; // FLT003: float literal accumulation
+    });
+    bus.register_handler(|msg| {
+        st.total_ns += msg.delta_ns; // clean: integer accumulation
+    });
+}

@@ -1,0 +1,10 @@
+//! Fixture: metrics-layer code reaching outside its declared lower layers
+//! ({sim, trace}). Scanned with `Layer::Metrics`.
+
+use nowlab_am::Port; // LAY001: am is not a declared lower layer of metrics
+use nowlab_splitc::Ctx; // LAY001: neither is splitc
+
+pub fn observe(ctx: &Ctx, port: &Port) -> u64 {
+    let _ = (ctx, port);
+    0
+}

@@ -1,0 +1,12 @@
+//! Fixture: app code reaching below the splitc runtime surface. Scanned
+//! with `Layer::Apps`.
+
+use nowlab_sim::SimDelta; // LAY003: apps must use the nowlab_splitc re-export
+
+pub fn payload_len() -> usize {
+    nowlab_am::Payload::words(4).len() // LAY003: inline path below splitc
+}
+
+pub fn wait(d: SimDelta) -> SimDelta {
+    d
+}

@@ -1,0 +1,17 @@
+//! Fixture: raw time literals at timer call sites.
+
+/// Named constants are the sanctioned spelling (and TIM001-exempt).
+const POLL: SimDelta = SimDelta::from_micros_int(5);
+
+pub async fn spin(sim: &Sim) {
+    sim.delay(SimDelta::from_micros(2.0)).await; // TIM001: unnamed constant
+    sim.delay(POLL).await; // clean: named constant
+}
+
+pub fn arm(sim: &Sim) {
+    sim.schedule(SimTime::from_nanos(500), || {}); // TIM001
+}
+
+pub async fn computed(sim: &Sim, us: f64) {
+    sim.delay(SimDelta::from_micros(us)).await; // clean: not a raw literal
+}

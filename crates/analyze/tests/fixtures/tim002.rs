@@ -1,0 +1,17 @@
+//! Fixture: different time units combined arithmetically.
+
+pub fn skew(a: SimDelta, b: SimDelta) -> u64 {
+    a.as_nanos() + b.as_micros() * 1_000 // TIM002: ns + µs
+}
+
+pub fn before(t: SimTime, deadline: SimDelta) -> bool {
+    (t.as_nanos() as f64) < deadline.as_secs_f64() // TIM002: ns vs s
+}
+
+pub fn same_unit(a: SimDelta, b: SimDelta) -> u64 {
+    a.as_nanos() + b.as_nanos() // clean: one unit
+}
+
+pub fn separate_args(a: SimDelta, b: SimDelta) -> (u64, f64) {
+    (a.as_nanos(), b.as_micros_f64()) // clean: independent values
+}

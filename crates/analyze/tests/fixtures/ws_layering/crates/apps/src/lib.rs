@@ -1,0 +1,8 @@
+//! Fixture crate root: one source-level layering violation.
+#![forbid(unsafe_code)]
+
+use nowlab_sim::SimDelta; // LAY003: apps must use the nowlab_splitc re-export
+
+pub fn wait(d: SimDelta) -> SimDelta {
+    d
+}

@@ -22,7 +22,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
-use nowlab_sim::SimDelta;
+use nowlab_splitc::SimDelta;
 use nowlab_splitc::{Ctx, GlobalPtr};
 
 use crate::common::{
@@ -45,6 +45,10 @@ const C_AGG: SimDelta = SimDelta::from_nanos(800);
 const C_FORCE: SimDelta = SimDelta::from_nanos(1_800);
 /// Per-body integration cost.
 const C_BODY: SimDelta = SimDelta::from_nanos(3_000);
+/// Initial retry backoff of the cell-lock spin (doubles per failure).
+const LOCK_BACKOFF_INITIAL: SimDelta = SimDelta::from_micros_int(2);
+/// Backoff ceiling of the cell-lock spin.
+const LOCK_BACKOFF_MAX: SimDelta = SimDelta::from_micros_int(64);
 
 /// Parameters of the Barnes-Hut benchmark.
 #[derive(Clone, Copy, Debug)]
@@ -299,11 +303,7 @@ async fn barnes_body(ctx: Ctx, params: BarnesParams, seed: u64) -> u64 {
                 }
                 let lock_gp = GlobalPtr::new(o, cells, base);
                 total_lock_attempts += ctx
-                    .lock_with_backoff(
-                        lock_gp,
-                        SimDelta::from_micros(2.0),
-                        SimDelta::from_micros(64.0),
-                    )
+                    .lock_with_backoff(lock_gp, LOCK_BACKOFF_INITIAL, LOCK_BACKOFF_MAX)
                     .await;
                 for (k, &v) in add.iter().enumerate() {
                     ctx.fetch_add(GlobalPtr::new(o, cells, base + 1 + k), v as u64)

@@ -12,8 +12,8 @@
 //! count and label sum are deterministic at every LogGP setting.
 
 use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
-use nowlab_sim::SimDelta;
 use nowlab_splitc::GlobalPtr;
+use nowlab_splitc::SimDelta;
 
 use crate::common::{
     block_owner, block_range, end_measured_region, execute, mix64, start_measured_region,

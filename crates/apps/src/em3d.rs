@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
-use nowlab_sim::SimDelta;
+use nowlab_splitc::SimDelta;
 use nowlab_splitc::{Ctx, GlobalPtr};
 
 use crate::common::{

@@ -13,7 +13,7 @@
 //! buckets (each bucket's global start position). Counts travel two
 //! buckets per short message.
 
-use nowlab_sim::SimDelta;
+use nowlab_splitc::SimDelta;
 use nowlab_splitc::{Ctx, MailboxId, Payload};
 
 /// Result of the global histogram phase for one processor.

@@ -18,8 +18,8 @@
 use std::collections::{BTreeSet, VecDeque};
 
 use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
-use nowlab_sim::{SimDelta, SimTime};
 use nowlab_splitc::Payload;
+use nowlab_splitc::{SimDelta, SimTime};
 
 use crate::common::{end_measured_region, execute, mix64, start_measured_region, DegradePolicy};
 

@@ -15,8 +15,8 @@
 
 use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
 use nowlab_rng::Rng;
-use nowlab_sim::{SimDelta, SimTime};
 use nowlab_splitc::Payload;
+use nowlab_splitc::{SimDelta, SimTime};
 
 use crate::common::{end_measured_region, execute, proc_rng, start_measured_region, DegradePolicy};
 

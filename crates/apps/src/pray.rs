@@ -16,7 +16,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
-use nowlab_sim::SimDelta;
+use nowlab_splitc::SimDelta;
 use nowlab_splitc::{Ctx, GlobalPtr};
 
 use crate::common::{

@@ -8,8 +8,8 @@
 
 use nowlab_core::{RunOutcome, RunSpec, SweepableApp};
 use nowlab_rng::Rng;
-use nowlab_sim::SimDelta;
 use nowlab_splitc::GlobalPtr;
+use nowlab_splitc::SimDelta;
 
 use crate::common::{end_measured_region, execute, proc_rng, start_measured_region, DegradePolicy};
 

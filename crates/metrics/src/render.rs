@@ -249,7 +249,10 @@ fn render_sweep(v: &Value) -> Result<String, String> {
             "{:>9.2} {:>9.3}  {:>6.1}",
             req(p, "x")?.as_f64().ok_or("x")?,
             req(p, "slowdown")?.as_f64().ok_or("slowdown")?,
-            pct(totals[ProcState::Compute as usize], totals.iter().sum()),
+            pct(
+                totals[ProcState::Compute as usize],
+                totals.iter().sum::<u64>()
+            ),
         );
         for name in &phase_names {
             let share = req(summary, "phases")?
@@ -259,7 +262,7 @@ fn render_sweep(v: &Value) -> Result<String, String> {
                 .find(|ph| ph.get("name").and_then(Value::as_str) == Some(name))
                 .map(|ph| {
                     let t = state_totals(req(ph, "totals")?)?;
-                    Ok::<f64, String>(pct(t[ProcState::Compute as usize], t.iter().sum()))
+                    Ok::<f64, String>(pct(t[ProcState::Compute as usize], t.iter().sum::<u64>()))
                 })
                 .transpose()?
                 .unwrap_or(0.0);

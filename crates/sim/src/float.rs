@@ -1,0 +1,73 @@
+//! Deterministic float reduction.
+//!
+//! Float addition is non-associative: `(a + b) + c` and `a + (b + c)`
+//! differ in the last bits, so the value of a float sum depends on the
+//! order the elements arrive in. The ISCA'97 methodology compares the same
+//! application under many LogGP parameter vectors, which only works if
+//! every statistic is a pure function of (program, seed) — an
+//! iteration-order-dependent sum silently breaks that (the `FLT001`
+//! analyzer lint).
+//!
+//! [`ordered_sum`] is the sanctioned reduction: the caller materializes a
+//! slice (whose order is part of the program, not of a hasher or an
+//! arrival race) and the sum folds it strictly left-to-right.
+
+/// Sums `xs` strictly left-to-right.
+///
+/// The result is bit-identical for a given slice, independent of how the
+/// caller produced it — the ordering responsibility is pushed to the slice
+/// itself, which in this workspace always comes from an index-ordered
+/// container (`Vec` per processor rank, per axis point, …).
+pub fn ordered_sum(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+/// [`ordered_sum`] over a mapping of an index-ordered slice: sums
+/// `f(x)` for each element strictly left-to-right without allocating.
+pub fn ordered_sum_by<T>(xs: &[T], mut f: impl FnMut(&T) -> f64) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += f(x);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_left_to_right() {
+        // A sequence engineered so that order matters: the big terms cancel
+        // first and the tiny one survives left-to-right, while the reversed
+        // order absorbs the tiny term into a big one and loses it. The
+        // function must match the plain left-to-right loop exactly.
+        let xs = [1e16, -1e16, 1.0];
+        let mut expect = 0.0;
+        for &x in &xs {
+            expect += x;
+        }
+        assert_eq!(ordered_sum(&xs).to_bits(), expect.to_bits());
+        // And that IS order-dependent, which is the whole point.
+        let reversed: Vec<f64> = xs.iter().rev().copied().collect();
+        assert_ne!(ordered_sum(&xs).to_bits(), ordered_sum(&reversed).to_bits());
+    }
+
+    #[test]
+    fn by_variant_matches_mapped_slice() {
+        struct P {
+            t: f64,
+        }
+        let ps = [P { t: 0.25 }, P { t: 1.5 }, P { t: -0.75 }];
+        let mapped: Vec<f64> = ps.iter().map(|p| p.t).collect();
+        assert_eq!(
+            ordered_sum_by(&ps, |p| p.t).to_bits(),
+            ordered_sum(&mapped).to_bits()
+        );
+        assert_eq!(ordered_sum(&[]), 0.0);
+    }
+}

@@ -58,11 +58,13 @@
 #![warn(missing_debug_implementations)]
 
 mod executor;
+mod float;
 mod sync;
 mod time;
 
 pub use executor::{
     race, yield_now, Either, JoinHandle, RunReport, Sim, Sleep, StopReason, YieldNow,
 };
+pub use float::{ordered_sum, ordered_sum_by};
 pub use sync::{Notified, Notify, Semaphore};
 pub use time::{SimDelta, SimTime};

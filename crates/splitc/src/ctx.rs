@@ -519,13 +519,15 @@ impl Ctx {
     // ------------------------------------------------------------------
 
     /// Acquires a spin lock at `gp` (word must be 0 when free) with a
-    /// fixed 1 µs retry backoff. Returns the number of attempts — the
+    /// fixed [`LOCK_RETRY`] backoff. Returns the number of attempts — the
     /// paper's Barnes instrumentation counts failed acquisitions to
     /// diagnose livelock, and under contention this naive spin exhibits
     /// exactly that retry explosion.
     pub async fn lock(&self, gp: GlobalPtr) -> u64 {
-        self.lock_with_backoff(gp, SimDelta::from_micros(1.0), SimDelta::from_micros(1.0))
-            .await
+        /// Fixed retry period of the naive spin lock (`max == initial`
+        /// disables the exponential growth).
+        const LOCK_RETRY: SimDelta = SimDelta::from_micros_int(1);
+        self.lock_with_backoff(gp, LOCK_RETRY, LOCK_RETRY).await
     }
 
     /// Acquires a spin lock with exponential backoff: the retry delay

@@ -54,3 +54,7 @@ pub use memory::{barrier_rounds, GlobalPtr, MailMsg, MailboxId, Memory, RegionId
 // Re-export the payload type applications use with mailboxes, and the
 // structured abort the node-failure model surfaces.
 pub use nowlab_am::{Payload, RunAbort};
+
+// Re-export the time vocabulary so applications can talk about durations
+// without reaching below the Split-C layer (see lint LAY003).
+pub use nowlab_sim::{SimDelta, SimTime};

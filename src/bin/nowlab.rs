@@ -316,13 +316,17 @@ fn net_of(flags: &HashMap<String, String>) -> Result<NetConfig, String> {
     Ok(cfg.with_knobs(knobs))
 }
 
+/// Virtual-time deadline for runs on a faulty wire: 120 simulated seconds,
+/// far beyond any healthy run in the suite.
+const FAULTY_RUN_DEADLINE: SimDelta = SimDelta::from_micros_int(120_000_000);
+
 /// Attaches livelock guards to `spec`: always an event budget, plus a
 /// virtual-time deadline when the wire is faulty (retransmission backoff
 /// never gives up on its own, so only a limit turns total loss into N/A).
 fn guard(spec: RunSpec) -> RunSpec {
     let spec = spec.with_event_limit(300_000_000);
     if spec.net.faults.is_active() || spec.net.node_faults.is_active() {
-        spec.with_time_limit(SimDelta::from_secs(120.0))
+        spec.with_time_limit(FAULTY_RUN_DEADLINE)
     } else {
         spec
     }
