@@ -23,7 +23,7 @@ use std::fmt;
 use std::rc::{Rc, Weak};
 
 use nowlab_metrics::MetricsSink;
-use nowlab_sim::{Notify, Sim, SimDelta, SimTime};
+use nowlab_sim::{HookId, Notify, Sim, SimDelta, SimTime};
 use nowlab_trace::{MsgKind, SendEvent, TraceEvent, TraceSink, VisibleEvent};
 
 use crate::message::{Dir, HandlerId, Mark, Msg, Payload, ProcId, ReplyData, ReqId};
@@ -218,10 +218,62 @@ impl Endpoint {
     }
 }
 
+/// In-flight message arena: the hot delivery path parks each [`Msg`] here
+/// and schedules a kernel *hook* event carrying only the slot token, so no
+/// `Box<dyn FnOnce>` is allocated per message (see [`Sim::register_hook`]).
+/// Slots are recycled through a free list; a message occupies its slot only
+/// between schedule and fire, so the arena's high-water mark tracks the
+/// number of messages simultaneously in flight on the wire.
+#[derive(Default)]
+pub(crate) struct MsgSlab {
+    entries: Vec<Option<Msg>>,
+    free: Vec<u32>,
+}
+
+impl MsgSlab {
+    fn with_capacity(n: usize) -> Self {
+        MsgSlab {
+            entries: Vec::with_capacity(n),
+            free: Vec::with_capacity(n),
+        }
+    }
+
+    fn insert(&mut self, msg: Msg) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot as usize] = Some(msg);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.entries.len()).expect("message arena overflow");
+                self.entries.push(Some(msg));
+                slot
+            }
+        }
+    }
+
+    fn take(&mut self, slot: u32) -> Msg {
+        let msg = self.entries[slot as usize]
+            .take()
+            .expect("message arena slot fired twice");
+        self.free.push(slot);
+        msg
+    }
+}
+
+/// Token bit distinguishing the two delivery phases dispatched through the
+/// single network hook: clear = arrival at the destination NIC, set = the
+/// SlowRxPath make-visible step after the receive context's ΔL.
+const VISIBLE_BIT: u64 = 1 << 32;
+
 pub(crate) struct ClusterInner {
     pub sim: Sim,
     pub cfg: NetConfig,
     pub procs: Vec<Endpoint>,
+    /// In-flight message arena for hook-scheduled delivery events.
+    pub msg_slab: RefCell<MsgSlab>,
+    /// The network delivery hook, registered once at construction.
+    pub net_hook: OnceCell<HookId>,
     pub handlers: RefCell<Vec<Handler>>,
     pub stats_epoch: Cell<SimTime>,
     pub frozen_stats: RefCell<Option<CommStats>>,
@@ -319,11 +371,16 @@ impl AmCluster {
     pub fn new(sim: Sim, cfg: NetConfig, p: usize) -> Self {
         assert!(p > 0, "cluster needs at least one processor");
         let procs = (0..p).map(|_| Endpoint::new(p, cfg.window)).collect();
+        // Arena sized for the steady-state wire load: up to `window`
+        // outstanding messages per processor.
+        let slab_cap = p.saturating_mul(cfg.window as usize);
         let cluster = AmCluster {
             inner: Rc::new(ClusterInner {
                 sim,
                 cfg,
                 procs,
+                msg_slab: RefCell::new(MsgSlab::with_capacity(slab_cap)),
+                net_hook: OnceCell::new(),
                 handlers: RefCell::new(Vec::new()),
                 stats_epoch: Cell::new(SimTime::ZERO),
                 frozen_stats: RefCell::new(None),
@@ -335,6 +392,22 @@ impl AmCluster {
                 death_note: RefCell::new(None),
             }),
         };
+        // Register the network delivery hook once: every wire arrival and
+        // every SlowRxPath visibility step dispatches through it with a
+        // message-arena token instead of a freshly boxed closure.
+        {
+            let weak = Rc::downgrade(&cluster.inner);
+            let hook = cluster.inner.sim.register_hook(move |sim, token| {
+                if let Some(inner) = weak.upgrade() {
+                    inner.on_net_hook(sim, token);
+                }
+            });
+            cluster
+                .inner
+                .net_hook
+                .set(hook)
+                .expect("network hook registered twice");
+        }
         // The node-failure control plane costs nothing unless the plan is
         // active: an inert plan schedules no events here, keeping every
         // healthy run bit-identical to a build without the failure model.
@@ -652,10 +725,7 @@ impl ClusterInner {
                         arrival: dup_arrival,
                     });
                 }
-                let weak = Rc::downgrade(self);
-                let dup = msg.clone();
-                self.sim
-                    .schedule(dup_arrival, move |sim| Self::deliver(&weak, sim, dup));
+                self.schedule_deliver(dup_arrival, msg.clone());
             }
             arrival += faults.jitter(msg.src, msg.dst, nonce, 0);
         }
@@ -684,9 +754,7 @@ impl ClusterInner {
         if let Some(m) = self.metrics.get() {
             m.wire(msg.src, msg.dst, wire_done, arrival);
         }
-        let weak = Rc::downgrade(self);
-        self.sim
-            .schedule(arrival, move |sim| Self::deliver(&weak, sim, msg));
+        self.schedule_deliver(arrival, msg);
     }
 
     /// The cumulative-ack watermark `src` piggybacks on messages to `dst`:
@@ -958,62 +1026,82 @@ impl ClusterInner {
         }
     }
 
+    /// Parks `msg` in the arena and schedules the NIC-arrival phase of the
+    /// network hook at `at`. Event ordering is identical to the closure
+    /// `schedule` it replaces — the kernel's sequence counter is shared.
+    fn schedule_deliver(&self, at: SimTime, msg: Msg) {
+        let slot = self.msg_slab.borrow_mut().insert(msg);
+        let hook = *self.net_hook.get().expect("network hook not registered");
+        self.sim.schedule_hook(at, hook, u64::from(slot));
+    }
+
+    /// Parks `msg` and schedules the SlowRxPath make-visible phase at `at`.
+    fn schedule_visible(&self, at: SimTime, msg: Msg) {
+        let slot = self.msg_slab.borrow_mut().insert(msg);
+        let hook = *self.net_hook.get().expect("network hook not registered");
+        self.sim
+            .schedule_hook(at, hook, VISIBLE_BIT | u64::from(slot));
+    }
+
+    /// Dispatcher for the network hook: reclaims the arena slot and runs
+    /// the phase encoded in the token.
+    fn on_net_hook(&self, sim: &Sim, token: u64) {
+        let slot = (token & u64::from(u32::MAX)) as u32;
+        let msg = self.msg_slab.borrow_mut().take(slot);
+        if token & VISIBLE_BIT != 0 {
+            self.make_visible(sim, msg);
+        } else {
+            self.deliver(sim, msg);
+        }
+    }
+
     /// Delivery at the destination NIC, serialized at one message per
     /// effective gap by the receive context.
-    fn deliver(weak: &Weak<Self>, sim: &Sim, msg: Msg) {
-        let Some(inner) = weak.upgrade() else { return };
-        let dst = &inner.procs[msg.dst];
+    fn deliver(&self, sim: &Sim, msg: Msg) {
+        let dst = &self.procs[msg.dst];
         let now = sim.now();
         let free = dst.nic_rx_free.get();
         if free > now {
-            let weak = weak.clone();
-            sim.schedule(free, move |sim| Self::deliver(&weak, sim, msg));
+            self.schedule_deliver(free, msg);
             return;
         }
-        match inner.cfg.latency_mode {
+        match self.cfg.latency_mode {
             crate::LatencyMode::DelayQueue => {
-                dst.nic_rx_free.set(now + inner.cfg.eff_gap());
-                if let Some(m) = inner.metrics.get() {
-                    m.nic_rx(msg.dst, now, now + inner.cfg.eff_gap());
+                dst.nic_rx_free.set(now + self.cfg.eff_gap());
+                if let Some(m) = self.metrics.get() {
+                    m.nic_rx(msg.dst, now, now + self.cfg.eff_gap());
                 }
-                let trace_id = msg.trace;
-                dst.rx.borrow_mut().push_back(msg);
-                if let Some(sink) = inner.trace.get() {
-                    sink.record(&TraceEvent::Visible(VisibleEvent {
-                        id: trace_id,
-                        at: now,
-                        rx_depth: dst.rx.borrow().len() as u32,
-                    }));
-                }
-                dst.rx_notify.notify_all();
+                self.make_visible(sim, msg);
             }
             crate::LatencyMode::SlowRxPath => {
                 // The receive context spends ΔL handling this message
                 // before it becomes visible — inflating the effective gap.
-                let d_lat = inner.cfg.knobs.d_lat;
+                let d_lat = self.cfg.knobs.d_lat;
                 let visible = now + d_lat;
-                dst.nic_rx_free.set(visible + inner.cfg.eff_gap());
-                if let Some(m) = inner.metrics.get() {
-                    m.nic_rx(msg.dst, now, visible + inner.cfg.eff_gap());
+                dst.nic_rx_free.set(visible + self.cfg.eff_gap());
+                if let Some(m) = self.metrics.get() {
+                    m.nic_rx(msg.dst, now, visible + self.cfg.eff_gap());
                 }
-                let weak2 = weak.clone();
-                sim.schedule(visible, move |sim| {
-                    if let Some(inner) = weak2.upgrade() {
-                        let dst = &inner.procs[msg.dst];
-                        let trace_id = msg.trace;
-                        dst.rx.borrow_mut().push_back(msg);
-                        if let Some(sink) = inner.trace.get() {
-                            sink.record(&TraceEvent::Visible(VisibleEvent {
-                                id: trace_id,
-                                at: sim.now(),
-                                rx_depth: dst.rx.borrow().len() as u32,
-                            }));
-                        }
-                        dst.rx_notify.notify_all();
-                    }
-                });
+                self.schedule_visible(visible, msg);
             }
         }
+    }
+
+    /// The message enters the destination's receive queue and its waiters
+    /// are woken (DelayQueue: immediately on NIC arrival; SlowRxPath:
+    /// after the receive context's ΔL).
+    fn make_visible(&self, sim: &Sim, msg: Msg) {
+        let dst = &self.procs[msg.dst];
+        let trace_id = msg.trace;
+        dst.rx.borrow_mut().push_back(msg);
+        if let Some(sink) = self.trace.get() {
+            sink.record(&TraceEvent::Visible(VisibleEvent {
+                id: trace_id,
+                at: sim.now(),
+                rx_depth: dst.rx.borrow().len() as u32,
+            }));
+        }
+        dst.rx_notify.notify_all();
     }
 
     /// Runs the registered handler for `msg` on its destination processor.

@@ -263,9 +263,10 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
     let h_ghost_idx = ghost_index(&in_h);
     let e_ghost_idx = ghost_index(&in_e);
     // The producer needs the consumer's slot numbering: recompute the
-    // consumer's full incoming map the same way.
-    let consumer_slot = |consumer: usize, node: usize, for_h: bool| -> usize {
-        let mut next = 0;
+    // consumer's full incoming map the same way — once per consumer, not
+    // once per pushed node (the per-node form made push-plan setup
+    // quadratic in the boundary size and dominated sweep setup time).
+    let consumer_slots = |consumer: usize, for_h: bool| -> BTreeMap<usize, usize> {
         let consumer_block = block_range(half, p, consumer);
         // Rebuild consumer's incoming sets in ascending source-proc order.
         let mut sets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
@@ -283,30 +284,95 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
             v.sort_unstable();
             v.dedup();
         }
+        let mut slots = BTreeMap::new();
+        let mut next = 0;
         for ids in sets.values() {
             for &id in ids {
-                if id == node {
-                    return next;
-                }
+                slots.insert(id, next);
                 next += 1;
             }
         }
-        panic!("node {node} not in consumer {consumer}'s ghost set");
+        slots
     };
     // Precompute producer-side push plans: (consumer, my local node index,
     // consumer ghost slot).
     let mut push_h: Vec<(usize, usize, usize)> = Vec::new();
     for (&c, ids) in &out_h {
+        let slots = consumer_slots(c, true);
         for &id in ids {
-            push_h.push((c, id - my_block.start, consumer_slot(c, id, true)));
+            push_h.push((c, id - my_block.start, slots[&id]));
         }
     }
     let mut push_e: Vec<(usize, usize, usize)> = Vec::new();
     for (&c, ids) in &out_e {
+        let slots = consumer_slots(c, false);
         for &id in ids {
-            push_e.push((c, id - my_block.start, consumer_slot(c, id, false)));
+            push_e.push((c, id - my_block.start, slots[&id]));
         }
     }
+
+    // Resolve every edge endpoint once: the step loops below run many
+    // times over the same graph, and per-edge owner arithmetic plus
+    // ghost-map lookups were the hottest lines of the whole sweep under
+    // the profiler. Resolution is pure host-side memoization — the loads
+    // and reads it produces are exactly the ones the unresolved loops
+    // performed.
+    let resolve_write = |edges: &[Vec<usize>],
+                         src_region: usize,
+                         ghost_region: usize,
+                         ghost_idx: &BTreeMap<usize, usize>|
+     -> Vec<Vec<(usize, usize)>> {
+        edges
+            .iter()
+            .map(|node_edges| {
+                node_edges
+                    .iter()
+                    .map(|&t| {
+                        if block_owner(half, p, t) == me {
+                            (src_region, t - my_block.start)
+                        } else {
+                            (ghost_region, ghost_idx[&t])
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let resolve_read = |edges: &[Vec<usize>], src_region: usize| -> Vec<Vec<ReadSrc>> {
+        edges
+            .iter()
+            .map(|node_edges| {
+                node_edges
+                    .iter()
+                    .map(|&t| {
+                        let owner = block_owner(half, p, t);
+                        let off = t - block_range(half, p, owner).start;
+                        if owner == me {
+                            ReadSrc::Local(src_region, off)
+                        } else {
+                            ReadSrc::Remote(GlobalPtr::new(owner, src_region, off))
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let (res_e_write, res_h_write) = if read_based {
+        (Vec::new(), Vec::new())
+    } else {
+        (
+            resolve_write(&my_e_edges, h_vals, h_ghost_region, &h_ghost_idx),
+            resolve_write(&my_h_edges, e_vals, e_ghost_region, &e_ghost_idx),
+        )
+    };
+    let (res_e_read, res_h_read) = if read_based {
+        (
+            resolve_read(&my_e_edges, h_vals),
+            resolve_read(&my_h_edges, e_vals),
+        )
+    } else {
+        (Vec::new(), Vec::new())
+    };
 
     // Initial values.
     ctx.with_mem(|m| {
@@ -322,7 +388,7 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
         // ---- Half-step 1: update E from H.
         ctx.phase("e-step");
         if read_based {
-            em3d_update_read(&ctx, &my_e_edges, e_vals, h_vals, half, p, my_block.start).await;
+            em3d_update_read(&ctx, &res_e_read, e_vals).await;
         } else {
             // Producers push current H values into consumers' ghost slots.
             for &(c, local, slot) in &push_h {
@@ -331,25 +397,14 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
             }
             ctx.sync().await;
             ctx.barrier().await;
-            em3d_update_write(
-                &ctx,
-                &my_e_edges,
-                e_vals,
-                h_vals,
-                h_ghost_region,
-                &h_ghost_idx,
-                half,
-                p,
-                my_block.start,
-            )
-            .await;
+            em3d_update_write(&ctx, &res_e_write, e_vals).await;
         }
         ctx.barrier().await;
 
         // ---- Half-step 2: update H from E.
         ctx.phase("h-step");
         if read_based {
-            em3d_update_read(&ctx, &my_h_edges, h_vals, e_vals, half, p, my_block.start).await;
+            em3d_update_read(&ctx, &res_h_read, h_vals).await;
         } else {
             for &(c, local, slot) in &push_e {
                 let v = ctx.load_local(e_vals, local);
@@ -357,18 +412,7 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
             }
             ctx.sync().await;
             ctx.barrier().await;
-            em3d_update_write(
-                &ctx,
-                &my_h_edges,
-                h_vals,
-                e_vals,
-                e_ghost_region,
-                &e_ghost_idx,
-                half,
-                p,
-                my_block.start,
-            )
-            .await;
+            em3d_update_write(&ctx, &res_h_write, h_vals).await;
         }
         ctx.barrier().await;
     }
@@ -388,35 +432,33 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
     local_sum
 }
 
+/// One edge endpoint of the read-based variant, resolved at setup time.
+#[derive(Clone, Copy)]
+enum ReadSrc {
+    /// `(region, offset)` in my own memory.
+    Local(usize, usize),
+    /// A remote value fetched with a blocking read.
+    Remote(GlobalPtr),
+}
+
 /// Read-based half-step: pull every remote neighbor value with a blocking
-/// read, then update.
-async fn em3d_update_read(
-    ctx: &Ctx,
-    edges: &[Vec<usize>],
-    dst_region: usize,
-    src_region: usize,
-    half: usize,
-    p: usize,
-    block_start: usize,
-) {
-    let me = ctx.me();
-    let mut new_vals = Vec::with_capacity(edges.len());
-    for (i, node_edges) in edges.iter().enumerate() {
+/// read, then update. Edge endpoints were resolved to concrete addresses
+/// once at setup — the step loop issues exactly the same reads in the
+/// same order, without per-edge owner arithmetic.
+async fn em3d_update_read(ctx: &Ctx, resolved: &[Vec<ReadSrc>], dst_region: usize) {
+    let mut new_vals = Vec::with_capacity(resolved.len());
+    for (i, node_edges) in resolved.iter().enumerate() {
         let mut sum = 0u64;
-        for &t in node_edges {
-            let owner = block_owner(half, p, t);
-            let local_off = t - block_range(half, p, owner).start;
-            let v = if owner == me {
-                ctx.load_local(src_region, local_off)
-            } else {
-                ctx.read(GlobalPtr::new(owner, src_region, local_off)).await
+        for &src in node_edges {
+            let v = match src {
+                ReadSrc::Local(region, off) => ctx.load_local(region, off),
+                ReadSrc::Remote(ptr) => ctx.read(ptr).await,
             };
             sum = sum.wrapping_add(v);
         }
         ctx.compute(C_UPDATE * node_edges.len() as u64).await;
         new_vals.push(update_value(ctx.load_local(dst_region, i), sum));
     }
-    let _ = block_start;
     ctx.with_mem(|m| {
         for (i, v) in new_vals.into_iter().enumerate() {
             m.store(dst_region, i, v);
@@ -425,32 +467,18 @@ async fn em3d_update_read(
 }
 
 /// Write-based half-step: all remote values are already in the ghost
-/// region; purely local update.
-#[allow(clippy::too_many_arguments)]
-async fn em3d_update_write(
-    ctx: &Ctx,
-    edges: &[Vec<usize>],
-    dst_region: usize,
-    src_region: usize,
-    ghost_region: usize,
-    ghost_idx: &BTreeMap<usize, usize>,
-    half: usize,
-    p: usize,
-    _block_start: usize,
-) {
-    let me = ctx.me();
-    let mut new_vals = Vec::with_capacity(edges.len());
-    for (i, node_edges) in edges.iter().enumerate() {
-        let mut sum = 0u64;
-        for &t in node_edges {
-            let owner = block_owner(half, p, t);
-            let v = if owner == me {
-                ctx.load_local(src_region, t - block_range(half, p, me).start)
-            } else {
-                ctx.load_local(ghost_region, ghost_idx[&t])
-            };
-            sum = sum.wrapping_add(v);
-        }
+/// region; purely local update. Each edge was resolved at setup to the
+/// `(region, offset)` it loads from (own block or ghost slot), replacing
+/// the per-edge ghost-map lookup that dominated the app body under the
+/// profiler.
+async fn em3d_update_write(ctx: &Ctx, resolved: &[Vec<(usize, usize)>], dst_region: usize) {
+    let mut new_vals = Vec::with_capacity(resolved.len());
+    for (i, node_edges) in resolved.iter().enumerate() {
+        let sum = ctx.with_mem(|m| {
+            node_edges.iter().fold(0u64, |a, &(region, off)| {
+                a.wrapping_add(m.load(region, off))
+            })
+        });
         ctx.compute(C_UPDATE * node_edges.len() as u64).await;
         new_vals.push(update_value(ctx.load_local(dst_region, i), sum));
     }

@@ -1,0 +1,273 @@
+//! Pure-kernel throughput microbench: timer churn with no applications.
+//!
+//! Where `sweep_throughput` measures the whole apparatus (apps + AM layer +
+//! sweep engine), this bench isolates the event kernel itself — wheel push,
+//! batch extraction, wake-log drain, hook dispatch — so kernel regressions
+//! are visible without application noise. Five workloads:
+//!
+//! * `timer_churn` — tasks looping short `delay()`s (the Sleep/wake path);
+//! * `callback_storm` — self-rescheduling boxed `schedule` callbacks
+//!   (slab + wheel, one allocation per event);
+//! * `hook_dispatch` — the same chains through `register_hook` /
+//!   `schedule_hook` (allocation-free hot path);
+//! * `same_instant` — wide ties at each instant (batch extraction);
+//! * `far_timers` — delays beyond the wheel horizon (overflow heap and
+//!   promotion).
+//!
+//! Every workload's `events_fired`/`polls` are exact functions of its
+//! parameters and are asserted on every run — CI runs `--test`, so a
+//! kernel change that alters event accounting fails the bench before any
+//! golden file is compared. Measurements land in `BENCH_kernel.json`
+//! (override with `NOWLAB_BENCH_KERNEL_JSON`); pass `--test` for a
+//! truncated single-iteration smoke run.
+
+use std::time::Instant;
+
+use nowlab_sim::{Sim, SimDelta, SimTime, StopReason};
+
+struct Workload {
+    name: &'static str,
+    /// Exact events the run must fire (golden; asserted every run).
+    events: u64,
+    /// Exact polls the run must perform (golden; asserted every run).
+    polls: u64,
+    run: fn(smoke: bool) -> nowlab_sim::RunReport,
+}
+
+/// (tasks, rounds) for the task-based workloads.
+fn churn_shape(smoke: bool) -> (u64, u64) {
+    if smoke {
+        (16, 500)
+    } else {
+        (64, 80_000)
+    }
+}
+
+fn timer_churn(smoke: bool) -> nowlab_sim::RunReport {
+    let (tasks, rounds) = churn_shape(smoke);
+    let sim = Sim::with_capacity(tasks as usize);
+    for i in 0..tasks {
+        let s = sim.clone();
+        sim.spawn(async move {
+            for r in 0..rounds {
+                // Varied short deltas: spreads entries across ring buckets.
+                let ns = (i * 7 + r * 13) % 97 + 1;
+                s.delay(SimDelta::from_nanos(ns)).await;
+            }
+        });
+    }
+    sim.run()
+}
+
+/// (chains, rounds) for the callback/hook workloads.
+fn storm_shape(smoke: bool) -> (u64, u64) {
+    if smoke {
+        (8, 1_000)
+    } else {
+        (16, 300_000)
+    }
+}
+
+fn callback_storm(smoke: bool) -> nowlab_sim::RunReport {
+    let (chains, rounds) = storm_shape(smoke);
+    fn step(sim: &Sim, chain: u64, remaining: u64) {
+        if remaining == 0 {
+            return;
+        }
+        let stride = chain % 13 + 1;
+        sim.schedule_in(SimDelta::from_nanos(stride), move |sim| {
+            step(sim, chain, remaining - 1)
+        });
+    }
+    let sim = Sim::new();
+    for c in 0..chains {
+        step(&sim, c, rounds);
+    }
+    sim.run()
+}
+
+fn hook_dispatch(smoke: bool) -> nowlab_sim::RunReport {
+    let (chains, rounds) = storm_shape(smoke);
+    let sim = Sim::new();
+    // Token encodes (chain, remaining): the chain picks the stride, the
+    // remainder self-reschedules through the same hook — zero allocations
+    // per event.
+    let hook_cell = std::rc::Rc::new(std::cell::Cell::new(None));
+    let hc = std::rc::Rc::clone(&hook_cell);
+    let hook = sim.register_hook(move |sim, token| {
+        let chain = token >> 32;
+        let remaining = token & u64::from(u32::MAX);
+        if remaining > 1 {
+            let stride = chain % 13 + 1;
+            let at = sim.now() + SimDelta::from_nanos(stride);
+            sim.schedule_hook(
+                at,
+                hc.get().expect("hook id set"),
+                (chain << 32) | (remaining - 1),
+            );
+        }
+    });
+    hook_cell.set(Some(hook));
+    for c in 0..chains {
+        sim.schedule_hook(SimTime::from_nanos(c % 13 + 1), hook, (c << 32) | rounds);
+    }
+    sim.run()
+}
+
+/// (instants, width) for the tie-batch workload.
+fn tie_shape(smoke: bool) -> (u64, u64) {
+    if smoke {
+        (200, 32)
+    } else {
+        (40_000, 128)
+    }
+}
+
+fn same_instant(smoke: bool) -> nowlab_sim::RunReport {
+    let (instants, width) = tie_shape(smoke);
+    let sim = Sim::new();
+    for t in 0..instants {
+        for _ in 0..width {
+            sim.schedule(SimTime::from_nanos((t + 1) * 50), |_| {});
+        }
+    }
+    sim.run()
+}
+
+/// (tasks, rounds) for the overflow workload.
+fn far_shape(smoke: bool) -> (u64, u64) {
+    if smoke {
+        (8, 250)
+    } else {
+        (32, 150_000)
+    }
+}
+
+fn far_timers(smoke: bool) -> nowlab_sim::RunReport {
+    let (tasks, rounds) = far_shape(smoke);
+    let sim = Sim::with_capacity(tasks as usize);
+    for i in 0..tasks {
+        let s = sim.clone();
+        sim.spawn(async move {
+            for r in 0..rounds {
+                // ≥1 ms: far beyond even the largest ring horizon
+                // (8192 buckets x 256 ns ≈ 2.1 ms holds only when the
+                // wheel grows; this pre-sized one spans ≈262 µs), so
+                // every push lands in the overflow heap and is promoted
+                // later.
+                let ns = 1_000_000 + (i * 977 + r * 131) % 50_000;
+                s.delay(SimDelta::from_nanos(ns)).await;
+            }
+        });
+    }
+    sim.run()
+}
+
+fn workloads(smoke: bool) -> Vec<Workload> {
+    let (ct, cr) = churn_shape(smoke);
+    let (sc, sr) = storm_shape(smoke);
+    let (ti, tw) = tie_shape(smoke);
+    let (ft, fr) = far_shape(smoke);
+    vec![
+        Workload {
+            name: "timer_churn",
+            events: ct * cr,
+            polls: ct * (cr + 1),
+            run: timer_churn,
+        },
+        Workload {
+            name: "callback_storm",
+            events: sc * sr,
+            polls: 0,
+            run: callback_storm,
+        },
+        Workload {
+            name: "hook_dispatch",
+            events: sc * sr,
+            polls: 0,
+            run: hook_dispatch,
+        },
+        Workload {
+            name: "same_instant",
+            events: ti * tw,
+            polls: 0,
+            run: same_instant,
+        },
+        Workload {
+            name: "far_timers",
+            events: ft * fr,
+            polls: ft * (fr + 1),
+            run: far_timers,
+        },
+    ]
+}
+
+struct Measurement {
+    name: &'static str,
+    events: u64,
+    wall_s: f64,
+}
+
+fn emit_json(measurements: &[Measurement]) {
+    let path = std::env::var("NOWLAB_BENCH_KERNEL_JSON")
+        .unwrap_or_else(|_| "BENCH_kernel.json".to_string());
+    let rows: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                "  {{\"workload\": \"{}\", \"events\": {}, \"wall_s\": {:.6}, \
+                 \"events_per_s\": {:.1}}}",
+                m.name,
+                m.events,
+                m.wall_s,
+                m.events as f64 / m.wall_s
+            )
+        })
+        .collect();
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("(measurements saved to {path})"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let iters = if smoke { 1 } else { 3 };
+    let mut measurements = Vec::new();
+    for w in workloads(smoke) {
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let report = (w.run)(smoke);
+            best = best.min(t0.elapsed().as_secs_f64());
+            // Event/poll accounting is a golden: any drift is a kernel
+            // semantics change, not a perf change — fail loudly.
+            assert_eq!(report.stop_reason, StopReason::Idle, "{}", w.name);
+            assert_eq!(
+                report.events_fired, w.events,
+                "{}: events_fired drifted from golden",
+                w.name
+            );
+            assert_eq!(
+                report.polls, w.polls,
+                "{}: polls drifted from golden",
+                w.name
+            );
+            assert_eq!(report.unfinished_tasks, 0, "{}", w.name);
+        }
+        println!(
+            "{:<16} {:>10} events  {:>8.3} s  {:>12.0} events/s",
+            w.name,
+            w.events,
+            best,
+            w.events as f64 / best
+        );
+        measurements.push(Measurement {
+            name: w.name,
+            events: w.events,
+            wall_s: best,
+        });
+    }
+    emit_json(&measurements);
+}

@@ -7,9 +7,25 @@
 //! synchronization primitives ([`crate::Notify`], [`crate::Semaphore`]).
 //!
 //! The executor is strictly single-threaded and deterministic: ties in the
-//! event queue are broken by insertion sequence number, and the ready queue is
+//! event queue are broken by insertion sequence number, and the ready list is
 //! FIFO, so the same program produces the same virtual-time trace on every
 //! run.
+//!
+//! # Hot-path architecture
+//!
+//! Three structures carry the per-event cost (the raw-speed campaign of
+//! ROADMAP item 3):
+//!
+//! * the **timer wheel** ([`crate::wheel`]) orders pending timers and hands
+//!   the run loop *batches* — every timer at one instant under a single
+//!   `Inner` borrow;
+//! * the **wake log** ([`crate::ready`]) replaces the old
+//!   `Arc<Mutex<VecDeque>>` ready queue with an atomic append-only log
+//!   drained into a plain `Vec`, one ready bit per task;
+//! * the **action slab** stores timer payloads out-of-line from the wheel
+//!   keys, recycles slots through a free list, and — via registered
+//!   [`Sim::register_hook`] dispatchers — lets high-rate callers schedule
+//!   events without boxing a closure per event.
 //!
 //! # Examples
 //!
@@ -29,19 +45,19 @@
 //! ```
 
 use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::{Arc, Mutex};
-use std::task::{Context, Poll, Wake, Waker};
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 
+use crate::ready::{ReadyQueue, TaskId, TaskWaker};
 use crate::time::{SimDelta, SimTime};
+use crate::wheel::{SchedulerStats, TimerEntry, TimerWheel};
 
-type TaskId = usize;
 type BoxedTask = Pin<Box<dyn Future<Output = ()>>>;
+type HookFn = Rc<dyn Fn(&Sim, u64)>;
 
 /// Why [`Sim::run`] returned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,38 +98,63 @@ pub struct RunReport {
 enum TimerAction {
     Wake(Waker),
     Call(Box<dyn FnOnce(&Sim)>),
+    /// Inline dispatch through a registered hook (see
+    /// [`Sim::register_hook`]): two words in the slab, no allocation.
+    Hook {
+        hook: u32,
+        token: u64,
+    },
 }
 
-/// Heap entry for one pending timer. The payload lives in the action slab
-/// (`Inner::actions`), so sift operations move three words instead of the
-/// whole `TimerAction`, and freed slots are recycled through a free list
-/// rather than churning the allocator once per event.
+/// Identifier of a hook registered with [`Sim::register_hook`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HookId(u32);
+
+/// Handle to a timer scheduled with [`Sim::schedule_cancellable`] or
+/// [`Sim::schedule_hook_cancellable`].
 ///
-/// Ordering is lexicographic over `(time, seq)` — the deterministic
-/// tiebreaker the whole apparatus depends on. `seq` is strictly increasing
-/// across registrations, so `slot` (last field) is never reached.
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
-struct TimerKey {
-    time: SimTime,
-    seq: u64,
+/// The handle names a (slab slot, registration sequence) pair; because the
+/// sequence number is globally unique, a stale handle whose slot has been
+/// recycled can never cancel the wrong timer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerHandle {
     slot: u32,
+    seq: u64,
 }
 
 /// One spawned task plus its reusable waker. The waker is created once at
 /// spawn instead of once per poll: `Waker::from(Arc<TaskWaker>)` costs an
 /// allocation, and tasks in a message-heavy simulation are polled many
-/// thousands of times.
+/// thousands of times. The raw shim is kept alongside so the executor can
+/// clear the ready bit before polling.
 struct TaskSlot {
     fut: BoxedTask,
     waker: Waker,
+    shim: Arc<TaskWaker>,
+}
+
+/// One slab slot: the registration sequence stamped at allocation plus the
+/// pending action. A wheel entry (or a [`TimerHandle`]) is live only while
+/// its `seq` matches the stamp — that is what makes lazy cancellation safe
+/// against slot reuse.
+struct SlabSlot {
+    seq: u64,
+    action: Option<TimerAction>,
 }
 
 struct Inner {
-    timers: BinaryHeap<Reverse<TimerKey>>,
-    /// Slab of pending timer actions, indexed by `TimerKey::slot`.
-    actions: Vec<Option<TimerAction>>,
+    wheel: TimerWheel,
+    /// Slab of pending timer actions, indexed by `TimerEntry::slot`. The
+    /// seq stamp and the action live side by side so the fire-time
+    /// liveness check and the claim touch one slab slot, not two
+    /// parallel arrays.
+    slab: Vec<SlabSlot>,
     /// Recyclable slab slots (free list).
     free_slots: Vec<u32>,
+    /// Timers scheduled but neither fired nor cancelled. The wheel's own
+    /// `len` overcounts this by the lazily-cancelled ghosts still parked
+    /// in its buckets.
+    live_entries: usize,
     tasks: Vec<Option<TaskSlot>>,
     live_tasks: usize,
     seq: u64,
@@ -121,18 +162,79 @@ struct Inner {
 }
 
 impl Inner {
-    /// Stores `action` in the slab, reusing a freed slot when available.
-    fn alloc_slot(&mut self, action: TimerAction) -> u32 {
+    /// Stores `action` in the slab, reusing a freed slot when available,
+    /// and stamps the slot with the registration sequence.
+    fn alloc_slot(&mut self, action: TimerAction, seq: u64) -> u32 {
+        self.live_entries += 1;
         match self.free_slots.pop() {
             Some(slot) => {
-                self.actions[slot as usize] = Some(action);
+                self.slab[slot as usize] = SlabSlot {
+                    seq,
+                    action: Some(action),
+                };
                 slot
             }
             None => {
-                let slot = u32::try_from(self.actions.len()).expect("timer slab overflow");
-                self.actions.push(Some(action));
+                let slot = u32::try_from(self.slab.len()).expect("timer slab overflow");
+                self.slab.push(SlabSlot {
+                    seq,
+                    action: Some(action),
+                });
                 slot
             }
+        }
+    }
+
+    /// Extracts the next batch of *live* same-instant entries into `out`
+    /// in `seq` order, discarding lazily-cancelled ghosts along the way
+    /// (their slots were freed — and possibly recycled — at cancel
+    /// time). Returns the batch instant, or `None` once the wheel is
+    /// empty. Batches consisting entirely of ghosts are discarded
+    /// without surfacing — the clock never advances to a cancelled
+    /// instant.
+    ///
+    /// Actions stay in the slab: the run loop *claims* them one at a
+    /// time as the batch fires, so an earlier same-instant event (or a
+    /// task it wakes) can still cancel a later one, exactly as under the
+    /// one-pop-at-a-time heap kernel.
+    fn take_batch(&mut self, out: &mut Vec<TimerEntry>) -> Option<SimTime> {
+        debug_assert!(out.is_empty());
+        loop {
+            let t = self.wheel.take_batch(out)?;
+            out.retain(|e| {
+                let slot = &self.slab[e.slot as usize];
+                slot.seq == e.seq && slot.action.is_some()
+            });
+            if !out.is_empty() {
+                return Some(t);
+            }
+        }
+    }
+
+    /// Takes a batch entry's action at fire time. `None` means the entry
+    /// was cancelled after extraction — by an earlier event in the same
+    /// batch, or by a task polled between two same-instant events — and
+    /// must fire nothing.
+    fn claim(&mut self, e: TimerEntry) -> Option<TimerAction> {
+        let slot = &mut self.slab[e.slot as usize];
+        if slot.seq != e.seq {
+            return None;
+        }
+        let action = slot.action.take()?;
+        self.free_slots.push(e.slot);
+        self.live_entries -= 1;
+        Some(action)
+    }
+
+    /// Puts an unclaimed batch entry back after an early stop mid-batch
+    /// (halt or event limit between same-instant events). The action
+    /// never left the slab and `seq` is preserved, so a later run fires
+    /// it in exactly the order the uninterrupted run would have. Entries
+    /// cancelled while in flight are dropped instead.
+    fn reinsert(&mut self, e: TimerEntry) {
+        let slot = &self.slab[e.slot as usize];
+        if slot.seq == e.seq && slot.action.is_some() {
+            self.wheel.push(e);
         }
     }
 }
@@ -143,45 +245,45 @@ const fn order_audit_enabled() -> bool {
     cfg!(debug_assertions) || cfg!(feature = "order-audit")
 }
 
-struct TaskWaker {
-    id: TaskId,
-    ready: Arc<Mutex<VecDeque<TaskId>>>,
-}
-
-impl Wake for TaskWaker {
-    fn wake(self: Arc<Self>) {
-        self.ready
-            .lock()
-            .expect("sim ready queue poisoned")
-            .push_back(self.id);
-    }
-}
-
 /// Handle to a deterministic discrete-event simulation.
 ///
 /// `Sim` is a cheap reference-counted handle; clone it freely into tasks.
 /// See the crate documentation for an overview and example.
 #[derive(Clone)]
 pub struct Sim {
-    now: Rc<Cell<SimTime>>,
-    /// Deadline of the earliest pending timer — a cached copy of the heap
-    /// top so the run loop's limit checks read a `Cell` instead of
-    /// borrowing and peeking the heap.
-    next_deadline: Rc<Cell<Option<SimTime>>>,
+    /// All engine state behind one `Rc`. `Sim` is cloned on every hot-path
+    /// construction of a `Sleep`/`Notify` future, so the handle must cost a
+    /// single refcount bump — not one per field. (An earlier layout kept ten
+    /// separate `Rc` fields; profiling showed `delay()` paying ~20 refcount
+    /// operations per call just creating and dropping its `Sleep`.)
+    shared: Rc<Shared>,
+}
+
+/// The single shared allocation behind every [`Sim`] handle.
+struct Shared {
+    now: Cell<SimTime>,
+    /// Deadline of the earliest pending timer — a cached copy of the wheel
+    /// minimum so the run loop's limit checks read a `Cell` instead of
+    /// borrowing and scanning the wheel. Cancellation does not update it,
+    /// so it may conservatively point at a cancelled ghost; the run loop
+    /// re-checks after extraction.
+    next_deadline: Cell<Option<SimTime>>,
     /// Run budgets live in `Cell`s (not `Inner`) so the hot loop reads
     /// them without a `RefCell` borrow; callbacks may change them mid-run.
-    event_limit: Rc<Cell<Option<u64>>>,
-    time_limit: Rc<Cell<Option<SimTime>>>,
+    event_limit: Cell<Option<u64>>,
+    time_limit: Cell<Option<SimTime>>,
     /// Orderly-stop request flag (see [`Sim::halt`]).
-    halted: Rc<Cell<bool>>,
+    halted: Cell<bool>,
     /// Event-density sampling boundary: the run loop compares the next
     /// event's time against this `Cell` and nothing else, so the feature
     /// costs one compare when disabled (`SimTime::MAX`). Sampling is
     /// passive — it schedules no events and cannot perturb the run.
-    sample_boundary: Rc<Cell<SimTime>>,
-    samples: Rc<RefCell<SampleState>>,
-    inner: Rc<RefCell<Inner>>,
-    ready: Arc<Mutex<VecDeque<TaskId>>>,
+    sample_boundary: Cell<SimTime>,
+    samples: RefCell<SampleState>,
+    /// Registered hook dispatchers, indexed by [`HookId`].
+    hooks: RefCell<Vec<HookFn>>,
+    inner: RefCell<Inner>,
+    ready: Arc<ReadyQueue>,
 }
 
 /// State of the passive event-density sampler (see
@@ -204,7 +306,9 @@ impl Default for Sim {
 
 impl fmt::Debug for Sim {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Sim").field("now", &self.now.get()).finish()
+        f.debug_struct("Sim")
+            .field("now", &self.shared.now.get())
+            .finish()
     }
 }
 
@@ -216,43 +320,60 @@ impl Sim {
 
     /// Creates an empty simulation pre-sized for roughly `tasks` spawned
     /// tasks (one per simulated processor, typically): the task table,
-    /// ready queue, timer heap, and action slab reserve space up front so
+    /// wake log, timer wheel, and action slab reserve space up front so
     /// cluster construction does not grow them incrementally.
     pub fn with_capacity(tasks: usize) -> Self {
         // Each processor task usually keeps a few timers in flight
         // (delays, retransmit timers, NIC gap pacing).
         let timers = tasks.saturating_mul(4);
         Sim {
-            now: Rc::new(Cell::new(SimTime::ZERO)),
-            next_deadline: Rc::new(Cell::new(None)),
-            event_limit: Rc::new(Cell::new(None)),
-            time_limit: Rc::new(Cell::new(None)),
-            halted: Rc::new(Cell::new(false)),
-            sample_boundary: Rc::new(Cell::new(SimTime::MAX)),
-            samples: Rc::new(RefCell::new(SampleState::default())),
-            inner: Rc::new(RefCell::new(Inner {
-                timers: BinaryHeap::with_capacity(timers),
-                actions: Vec::with_capacity(timers),
-                free_slots: Vec::with_capacity(timers),
-                tasks: Vec::with_capacity(tasks),
-                live_tasks: 0,
-                seq: 0,
-                order_violations: 0,
-            })),
-            ready: Arc::new(Mutex::new(VecDeque::with_capacity(tasks))),
+            shared: Rc::new(Shared {
+                now: Cell::new(SimTime::ZERO),
+                next_deadline: Cell::new(None),
+                event_limit: Cell::new(None),
+                time_limit: Cell::new(None),
+                halted: Cell::new(false),
+                sample_boundary: Cell::new(SimTime::MAX),
+                samples: RefCell::new(SampleState::default()),
+                hooks: RefCell::new(Vec::new()),
+                inner: RefCell::new(Inner {
+                    wheel: TimerWheel::with_capacity(timers),
+                    slab: Vec::with_capacity(timers),
+                    free_slots: Vec::with_capacity(timers),
+                    live_entries: 0,
+                    tasks: Vec::with_capacity(tasks),
+                    live_tasks: 0,
+                    seq: 0,
+                    order_violations: 0,
+                }),
+                ready: ReadyQueue::with_capacity(tasks),
+            }),
         }
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.now.get()
+        self.shared.now.get()
     }
 
-    /// Number of timers waiting in the scheduler queue — how much future
-    /// the event heap is holding right now. An O(1) observability probe
-    /// for tracing/metrics; reading it cannot disturb event order.
+    /// Number of *live* timers waiting in the scheduler queue — how much
+    /// future the event wheel is holding right now. Lazily-cancelled
+    /// entries are excluded (they occupy wheel slots until their instant
+    /// passes, but will never fire). An O(1) observability probe for
+    /// tracing/metrics; reading it cannot disturb event order.
     pub fn pending_timers(&self) -> usize {
-        self.inner.borrow().timers.len()
+        self.shared.inner.borrow().live_entries
+    }
+
+    /// Capacity and occupancy snapshot of the timer wheel: ring size
+    /// (fixed at construction), per-bucket allocation, overflow-heap
+    /// depth, and live/cancelled entry counts. Used by the differential
+    /// tests to assert the ring never grows during steady state.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        let inner = self.shared.inner.borrow();
+        let mut stats = inner.wheel.stats();
+        stats.cancelled = inner.wheel.len().saturating_sub(inner.live_entries);
+        stats
     }
 
     /// Caps the total number of events a subsequent [`Sim::run`] may fire.
@@ -261,13 +382,13 @@ impl Sim {
     /// overhead never completes; we stop and report
     /// [`StopReason::EventLimit`]).
     pub fn set_event_limit(&self, limit: Option<u64>) {
-        self.event_limit.set(limit);
+        self.shared.event_limit.set(limit);
     }
 
     /// Caps virtual time: [`Sim::run`] stops before firing any event later
     /// than `limit`.
     pub fn set_time_limit(&self, limit: Option<SimTime>) {
-        self.time_limit.set(limit);
+        self.shared.time_limit.set(limit);
     }
 
     /// Requests an orderly stop: the run loop finishes polling every task
@@ -278,12 +399,12 @@ impl Sim {
     /// detector giving up on a dead peer), so the instant it fires at is
     /// itself deterministic.
     pub fn halt(&self) {
-        self.halted.set(true);
+        self.shared.halted.set(true);
     }
 
     /// True if [`Sim::halt`] has been requested.
     pub fn is_halted(&self) -> bool {
-        self.halted.get()
+        self.shared.halted.get()
     }
 
     /// Starts counting fired events per fixed window of virtual time
@@ -294,12 +415,12 @@ impl Sim {
     /// the schedule, the event count, or any simulation result.
     pub fn enable_event_sampling(&self, window: SimDelta) {
         let w = window.as_nanos().max(1);
-        *self.samples.borrow_mut() = SampleState {
+        *self.shared.samples.borrow_mut() = SampleState {
             window: w,
             last_events: 0,
             counts: Vec::new(),
         };
-        self.sample_boundary.set(SimTime::from_nanos(w));
+        self.shared.sample_boundary.set(SimTime::from_nanos(w));
     }
 
     /// Takes the per-window event counts collected since
@@ -307,15 +428,15 @@ impl Sim {
     /// *completed* windows appear; the caller apportions the residual
     /// (total events minus the returned sum) to the final partial window.
     pub fn take_event_samples(&self) -> Vec<u64> {
-        self.sample_boundary.set(SimTime::MAX);
-        std::mem::take(&mut self.samples.borrow_mut().counts)
+        self.shared.sample_boundary.set(SimTime::MAX);
+        std::mem::take(&mut self.shared.samples.borrow_mut().counts)
     }
 
     /// Cold path of the event-density sampler: closes every window older
     /// than `now` (zero-filling skipped ones) and advances the boundary.
     #[cold]
     fn flush_event_samples(&self, now: SimTime, events_so_far: u64) {
-        let mut st = self.samples.borrow_mut();
+        let mut st = self.shared.samples.borrow_mut();
         if st.window == 0 {
             return;
         }
@@ -324,13 +445,15 @@ impl Sim {
         let delta = events_so_far.saturating_sub(st.last_events);
         st.counts.push(delta);
         st.last_events = events_so_far;
-        let mut boundary = self.sample_boundary.get().as_nanos();
+        let mut boundary = self.shared.sample_boundary.get().as_nanos();
         boundary = boundary.saturating_add(st.window);
         while now.as_nanos() >= boundary {
             st.counts.push(0);
             boundary = boundary.saturating_add(st.window);
         }
-        self.sample_boundary.set(SimTime::from_nanos(boundary));
+        self.shared
+            .sample_boundary
+            .set(SimTime::from_nanos(boundary));
     }
 
     /// Event-order race detections accumulated across all [`Sim::run`]
@@ -339,13 +462,13 @@ impl Sim {
     /// A violation is two events at the identical virtual instant whose
     /// firing order was *not* resolved by the strictly increasing
     /// registration sequence — i.e. the deterministic tiebreaker failed.
-    /// With the current `(time, seq)` heap ordering this is impossible by
-    /// construction; the audit exists to catch regressions (a reset `seq`
-    /// counter, an alternative queue) the moment they produce a
+    /// With the wheel's `(time, seq)` batch ordering this is impossible
+    /// by construction; the audit exists to catch regressions (a reset
+    /// `seq` counter, an alternative queue) the moment they produce a
     /// nondeterministic schedule. Always `0` unless the audit is active
     /// (debug builds, or the `order-audit` feature).
     pub fn order_violations(&self) -> u64 {
-        self.inner.borrow().order_violations
+        self.shared.inner.borrow().order_violations
     }
 
     /// Spawns an async task; it will first be polled by [`Sim::run`].
@@ -370,24 +493,21 @@ impl Sim {
                 w.wake();
             }
         };
-        let id = {
-            let mut inner = self.inner.borrow_mut();
+        let shim = {
+            let mut inner = self.shared.inner.borrow_mut();
             let id = inner.tasks.len();
-            let waker = Waker::from(Arc::new(TaskWaker {
-                id,
-                ready: Arc::clone(&self.ready),
-            }));
+            let shim = TaskWaker::new(id, Arc::clone(&self.shared.ready));
+            let waker = Waker::from(Arc::clone(&shim));
             inner.tasks.push(Some(TaskSlot {
                 fut: Box::pin(wrapped),
                 waker,
+                shim: Arc::clone(&shim),
             }));
             inner.live_tasks += 1;
-            id
+            shim
         };
-        self.ready
-            .lock()
-            .expect("sim ready queue poisoned")
-            .push_back(id);
+        // Initial wake: sets the ready bit and appends to the wake log.
+        shim.enqueue();
         JoinHandle { state }
     }
 
@@ -401,18 +521,99 @@ impl Sim {
         self.push_timer(at, TimerAction::Call(Box::new(f)));
     }
 
+    /// Schedules `f` like [`Sim::schedule`] but returns a [`TimerHandle`]
+    /// that can revoke it via [`Sim::cancel_timer`] before it fires.
+    pub fn schedule_cancellable<F>(&self, at: SimTime, f: F) -> TimerHandle
+    where
+        F: FnOnce(&Sim) + 'static,
+    {
+        let at = at.max(self.now());
+        self.push_timer(at, TimerAction::Call(Box::new(f)))
+    }
+
+    /// Registers a hook dispatcher and returns its [`HookId`].
+    ///
+    /// A hook is the allocation-free alternative to [`Sim::schedule`] for
+    /// high-rate callers: register the dispatcher once, then
+    /// [`Sim::schedule_hook`] events that carry only a `u64` token — the
+    /// per-event `Box<dyn FnOnce>` disappears from the hot path. The
+    /// dispatcher is retained for the life of the simulation.
+    pub fn register_hook<F>(&self, f: F) -> HookId
+    where
+        F: Fn(&Sim, u64) + 'static,
+    {
+        let mut hooks = self.shared.hooks.borrow_mut();
+        let id = u32::try_from(hooks.len()).expect("hook table overflow");
+        hooks.push(Rc::new(f));
+        HookId(id)
+    }
+
+    /// Schedules the dispatcher registered under `hook` to run at `at`
+    /// (clamped to now) with `token`. Event ordering is identical to an
+    /// equivalent [`Sim::schedule`] call made at the same point.
+    pub fn schedule_hook(&self, at: SimTime, hook: HookId, token: u64) {
+        let at = at.max(self.now());
+        self.push_timer(
+            at,
+            TimerAction::Hook {
+                hook: hook.0,
+                token,
+            },
+        );
+    }
+
+    /// [`Sim::schedule_hook`] returning a [`TimerHandle`] for
+    /// [`Sim::cancel_timer`].
+    pub fn schedule_hook_cancellable(&self, at: SimTime, hook: HookId, token: u64) -> TimerHandle {
+        let at = at.max(self.now());
+        self.push_timer(
+            at,
+            TimerAction::Hook {
+                hook: hook.0,
+                token,
+            },
+        )
+    }
+
+    /// Cancels a pending timer. Returns `true` if the timer was still
+    /// pending (it will now never fire, and [`Sim::pending_timers`] drops
+    /// immediately); `false` if it already fired, was already cancelled,
+    /// or the handle is stale.
+    ///
+    /// Cancellation is lazy: the wheel entry remains as a ghost until the
+    /// run loop reaches its instant and discards it. Ghosts never fire,
+    /// never advance the clock, and are excluded from
+    /// [`Sim::pending_timers`] — but the cached next-event deadline may
+    /// conservatively point at one, in which case a time-limited run can
+    /// stop with [`StopReason::TimeLimit`] one extraction earlier than
+    /// strictly necessary; a subsequent [`Sim::run`] discards the ghost
+    /// and proceeds normally.
+    pub fn cancel_timer(&self, handle: TimerHandle) -> bool {
+        let mut inner = self.shared.inner.borrow_mut();
+        let idx = handle.slot as usize;
+        match inner.slab.get(idx) {
+            Some(slot) if slot.seq == handle.seq && slot.action.is_some() => {}
+            _ => return false,
+        }
+        inner.slab[idx].action = None;
+        inner.free_slots.push(handle.slot);
+        inner.live_entries -= 1;
+        true
+    }
+
     /// Registers a timer action at `time`, maintaining the cached earliest
     /// deadline.
-    fn push_timer(&self, time: SimTime, action: TimerAction) {
-        let mut inner = self.inner.borrow_mut();
+    fn push_timer(&self, time: SimTime, action: TimerAction) -> TimerHandle {
+        let mut inner = self.shared.inner.borrow_mut();
         let seq = inner.seq;
         inner.seq += 1;
-        let slot = inner.alloc_slot(action);
-        inner.timers.push(Reverse(TimerKey { time, seq, slot }));
-        match self.next_deadline.get() {
+        let slot = inner.alloc_slot(action, seq);
+        inner.wheel.push(TimerEntry { time, seq, slot });
+        match self.shared.next_deadline.get() {
             Some(d) if d <= time => {}
-            _ => self.next_deadline.set(Some(time)),
+            _ => self.shared.next_deadline.set(Some(time)),
         }
+        TimerHandle { slot, seq }
     }
 
     /// Schedules `f` to run `after` from now.
@@ -444,29 +645,52 @@ impl Sim {
 
     fn poll_task(&self, id: TaskId) -> u64 {
         let slot = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.shared.inner.borrow_mut();
             match inner.tasks.get_mut(id) {
                 Some(slot) => slot.take(),
                 None => None,
             }
         };
         let Some(mut slot) = slot else { return 0 };
+        // Clear the ready bit before polling: a wake arriving *during*
+        // the poll must re-enqueue the task for another round.
+        slot.shim.clear_queued();
         let mut cx = Context::from_waker(&slot.waker);
         match slot.fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
-                self.inner.borrow_mut().live_tasks -= 1;
+                self.shared.inner.borrow_mut().live_tasks -= 1;
             }
             Poll::Pending => {
-                self.inner.borrow_mut().tasks[id] = Some(slot);
+                self.shared.inner.borrow_mut().tasks[id] = Some(slot);
             }
         }
         1
     }
 
+    /// Drains the wake log until no task is ready, polling in strict FIFO
+    /// order. Returns polls performed.
+    fn drain_ready(&self, buf: &mut Vec<TaskId>) -> u64 {
+        let mut polls = 0;
+        loop {
+            self.shared.ready.drain_into(buf);
+            if buf.is_empty() {
+                return polls;
+            }
+            for id in buf.drain(..) {
+                polls += self.poll_task(id);
+            }
+        }
+    }
+
     /// Runs the simulation until no work remains or a limit is hit.
     ///
     /// Determinism: ready tasks are polled FIFO; simultaneous timers fire in
-    /// registration order.
+    /// registration order. Timers at one instant are *extracted* as a batch
+    /// (one `Inner` borrow) but *fired* with the same interleaving as ever:
+    /// after each event the ready list is drained and the halt/event-limit
+    /// conditions re-checked, so an early stop mid-batch reinserts the
+    /// unfired remainder and leaves the schedule byte-identical to the
+    /// one-event-at-a-time kernel.
     pub fn run(&self) -> RunReport {
         let mut events: u64 = 0;
         let mut polls: u64 = 0;
@@ -474,86 +698,149 @@ impl Sim {
         // Event-order race detector: remembers the (time, seq) of the last
         // fired event so ties at the same virtual instant can be audited.
         let mut last_fired: Option<(SimTime, u64)> = None;
-        let stop_reason = loop {
-            // Drain all ready tasks at the current instant.
-            loop {
-                let next = self
-                    .ready
-                    .lock()
-                    .expect("sim ready queue poisoned")
-                    .pop_front();
-                match next {
-                    Some(id) => polls += self.poll_task(id),
-                    None => break,
-                }
-            }
-            if self.halted.get() {
+        let mut ready_buf: Vec<TaskId> = Vec::new();
+        let mut batch: Vec<TimerEntry> = Vec::new();
+        let stop_reason = 'run: loop {
+            // Poll every ready task at the current instant.
+            polls += self.drain_ready(&mut ready_buf);
+            if self.shared.halted.get() {
                 break StopReason::Halted;
             }
-            // Advance virtual time to the next event. The earliest
-            // deadline is cached in a `Cell`, so the empty/over-horizon
-            // checks cost no heap peek and no `RefCell` borrow.
-            if let Some(limit) = self.event_limit.get() {
+            if let Some(limit) = self.shared.event_limit.get() {
                 if events >= limit {
                     break StopReason::EventLimit;
                 }
             }
-            let Some(next) = self.next_deadline.get() else {
+            // Advance virtual time to the next event. The earliest
+            // deadline is cached in a `Cell`, so the empty/over-horizon
+            // checks cost no wheel scan and no `RefCell` borrow.
+            let Some(next) = self.shared.next_deadline.get() else {
                 break StopReason::Idle;
             };
-            if let Some(tl) = self.time_limit.get() {
+            if let Some(tl) = self.shared.time_limit.get() {
                 if next > tl {
                     break StopReason::TimeLimit;
                 }
             }
-            let (key, action) = {
-                let mut inner = self.inner.borrow_mut();
-                let Reverse(key) = inner
-                    .timers
-                    .pop()
-                    .expect("cached deadline with empty timer heap");
-                let action = inner.actions[key.slot as usize]
-                    .take()
-                    .expect("timer slab slot already taken");
-                inner.free_slots.push(key.slot);
-                self.next_deadline
-                    .set(inner.timers.peek().map(|Reverse(k)| k.time));
-                (key, action)
+            // Batched same-instant extraction: one `Inner` borrow pulls
+            // every live timer at the earliest instant, instead of a
+            // borrow→pop→release round trip per event.
+            let t = {
+                let mut inner = self.shared.inner.borrow_mut();
+                let Some(t) = inner.take_batch(&mut batch) else {
+                    // Only cancelled ghosts remained; the wheel is empty.
+                    self.shared.next_deadline.set(None);
+                    break StopReason::Idle;
+                };
+                // The cached deadline only needs to be a *lower bound*:
+                // pushes min-update it, the `t > next` ghost path below
+                // re-validates against the time limit, and an exact scan
+                // after every batch would cost more than the heap peek
+                // this campaign is replacing. `t` itself is the tightest
+                // bound available without touching the wheel again.
+                self.shared.next_deadline.set(if inner.wheel.is_empty() {
+                    None
+                } else {
+                    Some(t)
+                });
+                t
             };
-            debug_assert!(key.time >= self.now.get(), "event queue went backwards");
-            debug_assert_eq!(key.time, next, "cached deadline out of sync");
-            if order_audit_enabled() {
-                if let Some((t, s)) = last_fired {
-                    if key.time == t {
-                        simultaneous += 1;
-                        if key.seq <= s {
-                            self.inner.borrow_mut().order_violations += 1;
-                            debug_assert!(
-                                false,
-                                "event-order race: two events at {:?} without a \
-                                 deterministic tiebreaker (seq {} fired after {})",
-                                key.time, key.seq, s
-                            );
+            debug_assert!(t >= self.shared.now.get(), "event queue went backwards");
+            debug_assert!(t >= next, "cached deadline out of sync");
+            if t > next {
+                // The cached deadline was a stale lower bound (a push
+                // since overwritten, or a cancelled ghost); the first
+                // live batch may now lie beyond the time horizon.
+                if let Some(tl) = self.shared.time_limit.get() {
+                    if t > tl {
+                        let mut inner = self.shared.inner.borrow_mut();
+                        for e in batch.drain(..) {
+                            inner.reinsert(e);
+                        }
+                        self.shared.next_deadline.set(inner.wheel.peek_next());
+                        break StopReason::TimeLimit;
+                    }
+                }
+            }
+            self.shared.now.set(t);
+            if t >= self.shared.sample_boundary.get() {
+                self.flush_event_samples(t, events);
+            }
+            // Fire the batch. Extraction was batched; *firing* keeps the
+            // historical interleaving: between any two same-instant events
+            // the ready list is drained and the stop conditions re-checked,
+            // and each entry's action is claimed from the slab only at its
+            // own fire point — so earlier events (or tasks they wake) can
+            // still cancel later same-instant timers.
+            let mut fired = 0;
+            let early_stop = loop {
+                if fired == batch.len() {
+                    break None;
+                }
+                if fired > 0 {
+                    polls += self.drain_ready(&mut ready_buf);
+                    if self.shared.halted.get() {
+                        break Some(StopReason::Halted);
+                    }
+                    if let Some(limit) = self.shared.event_limit.get() {
+                        if events >= limit {
+                            break Some(StopReason::EventLimit);
                         }
                     }
                 }
-                last_fired = Some((key.time, key.seq));
+                let e = batch[fired];
+                fired += 1;
+                let Some(action) = self.shared.inner.borrow_mut().claim(e) else {
+                    // Cancelled while in flight: fires nothing and does
+                    // not count as an event.
+                    continue;
+                };
+                if order_audit_enabled() {
+                    if let Some((lt, ls)) = last_fired {
+                        if t == lt {
+                            simultaneous += 1;
+                            if e.seq <= ls {
+                                self.shared.inner.borrow_mut().order_violations += 1;
+                                debug_assert!(
+                                    false,
+                                    "event-order race: two events at {t:?} without a \
+                                     deterministic tiebreaker (seq {} fired after {ls})",
+                                    e.seq
+                                );
+                            }
+                        }
+                    }
+                    last_fired = Some((t, e.seq));
+                }
+                events += 1;
+                match action {
+                    TimerAction::Wake(w) => w.wake(),
+                    TimerAction::Call(f) => f(self),
+                    TimerAction::Hook { hook, token } => {
+                        let f = Rc::clone(&self.shared.hooks.borrow()[hook as usize]);
+                        f(self, token);
+                    }
+                }
+            };
+            if let Some(reason) = early_stop {
+                // Unfired same-instant events go back to the wheel with
+                // their original sequence numbers; a resumed run fires
+                // them exactly where the uninterrupted run would have.
+                let mut inner = self.shared.inner.borrow_mut();
+                for e in batch.drain(fired..) {
+                    inner.reinsert(e);
+                }
+                batch.clear();
+                self.shared.next_deadline.set(inner.wheel.peek_next());
+                break 'run reason;
             }
-            self.now.set(key.time);
-            if key.time >= self.sample_boundary.get() {
-                self.flush_event_samples(key.time, events);
-            }
-            events += 1;
-            match action {
-                TimerAction::Wake(w) => w.wake(),
-                TimerAction::Call(f) => f(self),
-            }
+            batch.clear();
         };
         RunReport {
             final_time: self.now(),
             events_fired: events,
             polls,
-            unfinished_tasks: self.inner.borrow().live_tasks,
+            unfinished_tasks: self.shared.inner.borrow().live_tasks,
             stop_reason,
             simultaneous_events: simultaneous,
         }
@@ -821,6 +1108,30 @@ mod tests {
     }
 
     #[test]
+    fn event_limit_splits_a_same_instant_batch() {
+        // Five timers at one instant with a budget of three: the run must
+        // stop mid-batch and a resumed run must fire the remainder in the
+        // original registration order.
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5u32 {
+            let log = Rc::clone(&log);
+            sim.schedule(SimTime::from_nanos(100), move |_| log.borrow_mut().push(i));
+        }
+        sim.set_event_limit(Some(3));
+        let report = sim.run();
+        assert_eq!(report.stop_reason, StopReason::EventLimit);
+        assert_eq!(report.events_fired, 3);
+        assert_eq!(*log.borrow(), vec![0, 1, 2]);
+        assert_eq!(sim.pending_timers(), 2);
+        sim.set_event_limit(None);
+        let report = sim.run();
+        assert_eq!(report.stop_reason, StopReason::Idle);
+        assert_eq!(report.events_fired, 2);
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
     fn time_limit_stops_before_horizon() {
         let sim = Sim::new();
         sim.set_time_limit(Some(SimTime::from_nanos(50)));
@@ -987,5 +1298,65 @@ mod tests {
         });
         sim.run();
         assert_eq!(sim.pending_timers(), 0);
+    }
+
+    #[test]
+    fn pending_timers_excludes_cancelled_entries() {
+        let sim = Sim::new();
+        let h1 =
+            sim.schedule_cancellable(SimTime::from_nanos(10), |_| panic!("cancelled timer fired"));
+        sim.schedule(SimTime::from_nanos(20), |_| {});
+        let h3 =
+            sim.schedule_cancellable(SimTime::from_nanos(30), |_| panic!("cancelled timer fired"));
+        assert_eq!(sim.pending_timers(), 3);
+        assert!(sim.cancel_timer(h1));
+        assert_eq!(sim.pending_timers(), 2, "cancelled entry excluded at once");
+        assert!(sim.cancel_timer(h3));
+        assert!(!sim.cancel_timer(h3), "double-cancel is a no-op");
+        assert_eq!(sim.pending_timers(), 1);
+        let report = sim.run();
+        assert_eq!(report.events_fired, 1, "ghosts never fire");
+        assert_eq!(
+            report.final_time,
+            SimTime::from_nanos(20),
+            "the clock never advances to a cancelled instant"
+        );
+        assert_eq!(sim.pending_timers(), 0);
+    }
+
+    #[test]
+    fn stale_cancel_handles_do_not_hit_reused_slots() {
+        let sim = Sim::new();
+        let h = sim.schedule_cancellable(SimTime::from_nanos(10), |_| panic!("fired"));
+        assert!(sim.cancel_timer(h));
+        let fired = Rc::new(Cell::new(false));
+        let f = Rc::clone(&fired);
+        // Reuses the freed slab slot.
+        sim.schedule(SimTime::from_nanos(15), move |_| f.set(true));
+        assert!(
+            !sim.cancel_timer(h),
+            "stale handle must not cancel the new timer"
+        );
+        sim.run();
+        assert!(fired.get());
+    }
+
+    #[test]
+    fn hooks_dispatch_tokens_in_schedule_order() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let l = Rc::clone(&log);
+        let hook = sim.register_hook(move |_, token| l.borrow_mut().push(token));
+        // Interleave hook events with boxed callbacks at one instant: the
+        // shared seq counter keeps the combined order.
+        sim.schedule_hook(SimTime::from_nanos(5), hook, 10);
+        let l2 = Rc::clone(&log);
+        sim.schedule(SimTime::from_nanos(5), move |_| l2.borrow_mut().push(11));
+        sim.schedule_hook(SimTime::from_nanos(5), hook, 12);
+        let h = sim.schedule_hook_cancellable(SimTime::from_nanos(6), hook, 99);
+        assert!(sim.cancel_timer(h));
+        let report = sim.run();
+        assert_eq!(*log.borrow(), vec![10, 11, 12]);
+        assert_eq!(report.events_fired, 3);
     }
 }

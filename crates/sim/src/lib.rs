@@ -59,12 +59,16 @@
 
 mod executor;
 mod float;
+mod ready;
 mod sync;
 mod time;
+mod wheel;
 
 pub use executor::{
-    race, yield_now, Either, JoinHandle, RunReport, Sim, Sleep, StopReason, YieldNow,
+    race, yield_now, Either, HookId, JoinHandle, RunReport, Sim, Sleep, StopReason, TimerHandle,
+    YieldNow,
 };
 pub use float::{ordered_sum, ordered_sum_by};
 pub use sync::{Notified, Notify, Semaphore};
 pub use time::{SimDelta, SimTime};
+pub use wheel::SchedulerStats;

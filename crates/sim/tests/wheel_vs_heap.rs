@@ -1,0 +1,318 @@
+//! Differential property test: the timer-wheel kernel against the
+//! ordering rules of the binary-heap kernel it replaced.
+//!
+//! The old kernel's contract was simple: events fire in strictly
+//! ascending `(time, seq)` lexicographic order, where `seq` is the
+//! global registration sequence, and a cancelled timer never fires. The
+//! wheel must preserve that contract bit-for-bit. This test replays
+//! seeded random workloads — same-instant ties, in-run rescheduling,
+//! pre-run and in-run cancellations (including same-instant ones),
+//! far-future overflow timers, mid-run `halt()`, and event-limit
+//! chunking that splits same-instant batches — against a reference
+//! `BinaryHeap` model that implements the rules directly, and asserts
+//! the firing sequences are identical.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::rc::Rc;
+
+use nowlab_sim::{Sim, SimDelta, SimTime, StopReason, TimerHandle};
+
+/// Deterministic xorshift64 — no host randomness may reach a workload.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// One pre-scheduled timer plus everything its callback will do.
+#[derive(Clone, Copy)]
+struct Op {
+    id: u32,
+    time: u64,
+    cancellable: bool,
+    /// Cancelled before `run()` starts.
+    cancel_before: bool,
+    /// When fired, cancels the op at this index (which may share its
+    /// instant — the case batched extraction is most likely to break).
+    cancels: Option<u32>,
+    /// When fired, schedules a child callback at `now + delta`.
+    child: Option<(u64, u32)>,
+    /// When fired, requests an orderly halt.
+    halts: bool,
+}
+
+/// Child ids live in a disjoint range from initial ids.
+const CHILD_BASE: u32 = 1 << 20;
+
+fn build_ops(seed: u64, n: u32, with_halt: bool) -> Vec<Op> {
+    let mut rng = XorShift(seed);
+    let mut ops: Vec<Op> = Vec::with_capacity(n as usize);
+    for id in 0..n {
+        let time = match rng.next() % 10 {
+            // Dense cluster: ties and shared buckets.
+            0..=4 => 1 + rng.next() % 4_096,
+            // Exact tie with an earlier op.
+            5..=6 if id > 0 => ops[(rng.next() % u64::from(id)) as usize].time,
+            // Bucket-boundary values.
+            7 => (1 + rng.next() % 512) << 8,
+            // Far future: beyond the ring horizon, lands in overflow.
+            _ => 300_000 + rng.next() % 2_000_000,
+        };
+        let cancellable = rng.next().is_multiple_of(3);
+        ops.push(Op {
+            id,
+            time,
+            cancellable,
+            cancel_before: cancellable && rng.next().is_multiple_of(4),
+            cancels: if rng.next().is_multiple_of(5) {
+                Some((rng.next() % u64::from(n)) as u32)
+            } else {
+                None
+            },
+            child: if id % 7 == 0 {
+                Some((1 + rng.next() % 100_000, CHILD_BASE + id))
+            } else {
+                None
+            },
+            halts: false,
+        });
+    }
+    if with_halt {
+        // The halter must actually fire: make it uncancellable and not a
+        // cancellation target.
+        let h = (rng.next() % u64::from(n)) as usize;
+        ops[h].halts = true;
+        ops[h].cancellable = false;
+        ops[h].cancel_before = false;
+        for op in &mut ops {
+            if op.cancels == Some(h as u32) {
+                op.cancels = None;
+            }
+        }
+    }
+    ops
+}
+
+/// The old kernel's rules, implemented directly on a `(time, seq)`
+/// min-heap with a lazy cancellation set. Ignores `halts` — it returns
+/// the complete uninterrupted order.
+fn reference_order(ops: &[Op]) -> Vec<u32> {
+    let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+    let mut cancelled: HashSet<u64> = HashSet::new();
+    for (i, op) in ops.iter().enumerate() {
+        heap.push(Reverse((op.time, i as u64, op.id)));
+        if op.cancellable && op.cancel_before {
+            cancelled.insert(i as u64);
+        }
+    }
+    let mut seq = ops.len() as u64;
+    let mut fired = Vec::new();
+    while let Some(Reverse((t, s, id))) = heap.pop() {
+        if cancelled.contains(&s) {
+            continue;
+        }
+        fired.push(id);
+        if id < CHILD_BASE {
+            let op = ops[id as usize];
+            if let Some(tgt) = op.cancels {
+                if ops[tgt as usize].cancellable {
+                    // A no-op if the target already fired: its heap entry
+                    // is gone, so the set insertion is never consulted —
+                    // exactly `cancel_timer` returning false.
+                    cancelled.insert(u64::from(tgt));
+                }
+            }
+            if let Some((delta, cid)) = op.child {
+                heap.push(Reverse((t + delta, seq, cid)));
+                seq += 1;
+            }
+        }
+    }
+    fired
+}
+
+struct SimRun {
+    fired: Vec<u32>,
+    stops: Vec<StopReason>,
+}
+
+/// Runs `ops` on the real kernel. `event_limit` chunks the run: the sim
+/// is re-run until idle, splitting same-instant batches at arbitrary
+/// points and forcing the reinsertion path. Stops early (without
+/// resuming) on halt.
+fn sim_order(ops: &[Op], event_limit: Option<u64>) -> SimRun {
+    let sim = Sim::with_capacity(ops.len() / 4);
+    let ring_before = sim.scheduler_stats().ring_buckets;
+    let fired: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+    let handles: Rc<RefCell<Vec<Option<TimerHandle>>>> =
+        Rc::new(RefCell::new(vec![None; ops.len()]));
+
+    for op in ops.iter().copied() {
+        let fired = Rc::clone(&fired);
+        let cb_handles = Rc::clone(&handles);
+        let cb = move |sim: &Sim| {
+            fired.borrow_mut().push(op.id);
+            if let Some(tgt) = op.cancels {
+                if let Some(h) = cb_handles.borrow()[tgt as usize] {
+                    sim.cancel_timer(h);
+                }
+            }
+            if let Some((delta, cid)) = op.child {
+                let fired = Rc::clone(&fired);
+                sim.schedule(sim.now() + SimDelta::from_nanos(delta), move |_| {
+                    fired.borrow_mut().push(cid);
+                });
+            }
+            if op.halts {
+                sim.halt();
+            }
+        };
+        let at = SimTime::from_nanos(op.time);
+        if op.cancellable {
+            let h = sim.schedule_cancellable(at, cb);
+            handles.borrow_mut()[op.id as usize] = Some(h);
+        } else {
+            sim.schedule(at, cb);
+        }
+    }
+    for (i, op) in ops.iter().enumerate() {
+        if op.cancellable && op.cancel_before {
+            let h = handles.borrow()[i].expect("cancellable op has a handle");
+            assert!(sim.cancel_timer(h), "pre-run cancel of a pending timer");
+        }
+    }
+
+    sim.set_event_limit(event_limit);
+    let mut stops = Vec::new();
+    loop {
+        let report = sim.run();
+        stops.push(report.stop_reason);
+        match report.stop_reason {
+            StopReason::EventLimit => continue,
+            _ => break,
+        }
+    }
+    assert_eq!(
+        sim.scheduler_stats().ring_buckets,
+        ring_before,
+        "the ring bucket array must never grow"
+    );
+    let fired = fired.borrow().clone();
+    SimRun { fired, stops }
+}
+
+#[test]
+fn wheel_matches_heap_order_on_random_workloads() {
+    for seed in [0x9E3779B97F4A7C15u64, 42, 0xDEADBEEF, 7_777_777] {
+        let ops = build_ops(seed, 500, false);
+        let expect = reference_order(&ops);
+        let run = sim_order(&ops, None);
+        assert_eq!(run.stops, vec![StopReason::Idle], "seed {seed:#x}");
+        assert_eq!(run.fired, expect, "seed {seed:#x}");
+    }
+}
+
+#[test]
+fn event_limit_chunking_preserves_the_exact_order() {
+    // Tiny limits force stops *inside* same-instant batches; the unfired
+    // remainder is reinserted and must come back in the same order.
+    for (seed, limit) in [(1u64, 1u64), (2, 3), (3, 7), (0xABCDEF, 13)] {
+        let ops = build_ops(seed, 300, false);
+        let expect = reference_order(&ops);
+        let run = sim_order(&ops, Some(limit));
+        assert_eq!(run.stops.last(), Some(&StopReason::Idle), "seed {seed:#x}");
+        assert!(run.stops.len() > 1, "limit {limit} must actually chunk");
+        assert_eq!(run.fired, expect, "seed {seed:#x} limit {limit}");
+    }
+}
+
+#[test]
+fn halt_stops_on_a_prefix_of_the_reference_order() {
+    for seed in [11u64, 0xFEED_F00D, 31_337] {
+        let ops = build_ops(seed, 400, true);
+        let expect = reference_order(&ops);
+        let run = sim_order(&ops, None);
+        assert_eq!(run.stops, vec![StopReason::Halted], "seed {seed:#x}");
+        assert!(
+            run.fired.len() <= expect.len(),
+            "halt cannot fire extra events"
+        );
+        assert_eq!(
+            run.fired,
+            expect[..run.fired.len()],
+            "seed {seed:#x}: a halted run is a prefix of the full order"
+        );
+        // The halting op fired last: halt takes effect before the next
+        // event, even one at the same instant.
+        let halter = ops.iter().find(|o| o.halts).expect("one op halts");
+        assert_eq!(*run.fired.last().expect("halter fired"), halter.id);
+    }
+}
+
+#[test]
+fn cancellations_remove_exactly_the_cancelled_ops() {
+    // Directed, not random: A cancels B at the same instant, C at a
+    // later instant, and D pre-run; E (already fired) is cancelled
+    // without effect.
+    let sim = Sim::new();
+    let log: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+    let l = Rc::clone(&log);
+    sim.schedule(SimTime::from_nanos(10), move |_| l.borrow_mut().push("E"));
+    let l = Rc::clone(&log);
+    let b = sim.schedule_cancellable(SimTime::from_nanos(20), move |_| l.borrow_mut().push("B"));
+    let l = Rc::clone(&log);
+    let c = sim.schedule_cancellable(SimTime::from_nanos(30), move |_| l.borrow_mut().push("C"));
+    let l = Rc::clone(&log);
+    let d = sim.schedule_cancellable(SimTime::from_nanos(40), move |_| l.borrow_mut().push("D"));
+    let l = Rc::clone(&log);
+    sim.schedule(SimTime::from_nanos(20), move |sim| {
+        // Fires after B was *extracted* into the same batch — the lazy
+        // claim must still honour this.
+        l.borrow_mut().push("A");
+        assert!(!sim.cancel_timer(b), "B already fired (earlier seq)");
+        assert!(sim.cancel_timer(c));
+    });
+    assert!(sim.cancel_timer(d));
+    assert_eq!(sim.pending_timers(), 4, "E, B, A, C pending; D cancelled");
+    let report = sim.run();
+    assert_eq!(report.stop_reason, StopReason::Idle);
+    assert_eq!(*log.borrow(), vec!["E", "B", "A"]);
+    assert_eq!(sim.pending_timers(), 0);
+}
+
+#[test]
+fn same_instant_cancellation_by_an_earlier_seq_suppresses_the_later_one() {
+    // The canceller's seq precedes the target's, both at one instant:
+    // under batched extraction the target is already out of the wheel,
+    // so only fire-time claiming can suppress it (the heap kernel did,
+    // via its slab check at pop time).
+    let sim = Sim::new();
+    let fired: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+    let handle: Rc<RefCell<Option<TimerHandle>>> = Rc::new(RefCell::new(None));
+    let f = Rc::clone(&fired);
+    let h = Rc::clone(&handle);
+    sim.schedule(SimTime::from_nanos(100), move |sim| {
+        f.borrow_mut().push(0);
+        let target = h.borrow().expect("scheduled below");
+        assert!(sim.cancel_timer(target), "same-instant cancel must win");
+    });
+    let f = Rc::clone(&fired);
+    *handle.borrow_mut() = Some(
+        sim.schedule_cancellable(SimTime::from_nanos(100), move |_| {
+            f.borrow_mut().push(1);
+        }),
+    );
+    let report = sim.run();
+    assert_eq!(*fired.borrow(), vec![0]);
+    assert_eq!(report.events_fired, 1, "a suppressed timer is not an event");
+    assert_eq!(sim.pending_timers(), 0);
+}

@@ -168,8 +168,11 @@ impl SplitC {
     /// and a fresh [`Memory`] on every processor.
     pub fn new(cfg: &SpmdConfig) -> Self {
         // One SPMD task per processor; pre-sizing the kernel's task table,
-        // ready queue, and timer slab avoids incremental growth during the
-        // cluster's first communication phase.
+        // wake log, timer wheel, and action slab (the kernel budgets ≈4
+        // in-flight timers per task — delays, retransmit timers, NIC gap
+        // pacing) avoids incremental growth during the cluster's first
+        // communication phase. wheel_vs_heap.rs asserts the wheel's bucket
+        // array never grows past construction.
         let sim = Sim::with_capacity(cfg.procs);
         let cluster = AmCluster::new(sim.clone(), cfg.net, cfg.procs);
         for p in 0..cfg.procs {
