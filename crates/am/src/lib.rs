@@ -86,4 +86,4 @@ pub use params::{
     GAM_FRAG_BYTES, GAM_WINDOW,
 };
 pub use port::AmPort;
-pub use stats::{render_balance_matrix, CommStats, ProcCounters};
+pub use stats::{render_balance_matrix, CollKind, CommStats, ProcCounters};

@@ -167,6 +167,19 @@ impl AmPort {
         self.inner.procs[self.proc].counters.borrow_mut().barriers += 1;
     }
 
+    /// Records one completed collective operation of the given kind
+    /// (instrumentation for the metrics report's per-collective counters;
+    /// mirrors [`AmPort::note_barrier`]).
+    pub fn note_coll(&self, kind: crate::CollKind) {
+        let mut c = self.inner.procs[self.proc].counters.borrow_mut();
+        match kind {
+            crate::CollKind::Broadcast => c.coll_bcasts += 1,
+            crate::CollKind::Reduce => c.coll_reduces += 1,
+            crate::CollKind::Allgather => c.coll_allgathers += 1,
+            crate::CollKind::AllToAll => c.coll_alltoalls += 1,
+        }
+    }
+
     /// Drains every message currently visible at this processor, charging
     /// receive overhead and running handlers (replies charged as sends).
     pub async fn poll(&self) {

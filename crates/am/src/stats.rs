@@ -8,6 +8,21 @@
 
 use nowlab_sim::{ordered_sum_by, SimDelta};
 
+/// The collective-operation families the upper layers count through
+/// [`crate::AmPort::note_coll`] (mirroring the `barriers` counter): one
+/// tick per completed collective call per participating processor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CollKind {
+    /// One-to-all data distribution.
+    Broadcast,
+    /// All-to-one (or all-to-all) combining of one value per processor.
+    Reduce,
+    /// All-to-all concatenation of per-processor blocks.
+    Allgather,
+    /// Personalized all-to-all exchange.
+    AllToAll,
+}
+
 /// Per-processor communication counters, updated by the transport.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ProcCounters {
@@ -29,6 +44,14 @@ pub struct ProcCounters {
     pub per_dst: Vec<u64>,
     /// Barriers this processor completed.
     pub barriers: u64,
+    /// Collective broadcasts this processor participated in.
+    pub coll_bcasts: u64,
+    /// Collective reductions this processor participated in.
+    pub coll_reduces: u64,
+    /// Collective allgathers this processor participated in.
+    pub coll_allgathers: u64,
+    /// Collective all-to-all exchanges this processor participated in.
+    pub coll_alltoalls: u64,
     /// Processor time spent in send/receive overhead.
     pub o_time: SimDelta,
     /// Processor time spent in explicit computation.
@@ -303,6 +326,34 @@ impl CommStats {
             .unwrap_or(SimDelta::ZERO)
     }
 
+    /// Total collective broadcasts (summed over participants).
+    pub fn total_coll_bcasts(&self) -> u64 {
+        self.per_proc.iter().map(|c| c.coll_bcasts).sum()
+    }
+
+    /// Total collective reductions (summed over participants).
+    pub fn total_coll_reduces(&self) -> u64 {
+        self.per_proc.iter().map(|c| c.coll_reduces).sum()
+    }
+
+    /// Total collective allgathers (summed over participants).
+    pub fn total_coll_allgathers(&self) -> u64 {
+        self.per_proc.iter().map(|c| c.coll_allgathers).sum()
+    }
+
+    /// Total collective all-to-all exchanges (summed over participants).
+    pub fn total_coll_alltoalls(&self) -> u64 {
+        self.per_proc.iter().map(|c| c.coll_alltoalls).sum()
+    }
+
+    /// Total collective operations of any kind (summed over participants).
+    pub fn total_coll_ops(&self) -> u64 {
+        self.total_coll_bcasts()
+            + self.total_coll_reduces()
+            + self.total_coll_allgathers()
+            + self.total_coll_alltoalls()
+    }
+
     /// The sender→receiver message-count matrix (Figure 4): entry `[i][j]`
     /// is the number of messages processor `i` sent to processor `j`.
     pub fn balance_matrix(&self) -> Vec<Vec<u64>> {
@@ -407,6 +458,26 @@ mod tests {
         assert_eq!(s.total_retransmits(), 4);
         assert_eq!(s.total_timeouts(), 4);
         assert_eq!(s.max_retry_backoff(), SimDelta::from_micros(400.0));
+    }
+
+    #[test]
+    fn coll_aggregates_sum_across_procs() {
+        let mut a = ProcCounters::new(2);
+        a.coll_bcasts = 3;
+        a.coll_reduces = 2;
+        let mut b = ProcCounters::new(2);
+        b.coll_bcasts = 3;
+        b.coll_allgathers = 1;
+        b.coll_alltoalls = 4;
+        let s = CommStats {
+            per_proc: vec![a, b],
+            elapsed: SimDelta::from_millis(1.0),
+        };
+        assert_eq!(s.total_coll_bcasts(), 6);
+        assert_eq!(s.total_coll_reduces(), 2);
+        assert_eq!(s.total_coll_allgathers(), 1);
+        assert_eq!(s.total_coll_alltoalls(), 4);
+        assert_eq!(s.total_coll_ops(), 13);
     }
 
     #[test]

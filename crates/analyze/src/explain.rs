@@ -139,11 +139,11 @@ pub const LINTS: &[LintInfo] = &[
     LintInfo {
         code: "LAY003",
         severity: Severity::Error,
-        summary: "apps reach below splitc (sim/am internals)",
+        summary: "apps reach below splitc (sim/am/coll internals)",
         rationale: "The ported Split-C applications must speak only the splitc runtime \
                     surface, exactly like the originals on the NOW cluster. An app \
-                    that imports nowlab_sim or nowlab_am directly couples it to kernel \
-                    internals the paper's apparatus never exposed; use the re-exports \
+                    that imports nowlab_sim, nowlab_am, or nowlab_coll directly couples \
+                    it to internals the paper's apparatus never exposed; use the re-exports \
                     on nowlab_splitc (SimDelta, SimTime, Payload, ...) instead.",
     },
     LintInfo {

@@ -2,8 +2,8 @@
 //! over the [`FileModel`](crate::itemtree::FileModel) item tree rather than
 //! the raw token stream.
 //!
-//! **`LAY…` — crate layering.** The nine-crate stack (rng → sim → am →
-//! splitc → apps, trace/metrics observe-only) encodes where the paper's
+//! **`LAY…` — crate layering.** The ten-crate stack (rng → sim → am →
+//! coll → splitc → apps, trace/metrics observe-only) encodes where the paper's
 //! o/g/L/G costs are attributed. `LAY001`/`LAY003` check every source-level
 //! `nowlab_x` path reference against the [`Layer`] table; the manifest side
 //! (`LAY002`/`MET001`) lives in [`graph`](crate::graph).
@@ -91,14 +91,16 @@ fn lint_layering(path: &str, model: &FileModel, scope: &Scope, diags: &mut Vec<D
         if dep == scope.layer || allowed.contains(&dep) {
             continue;
         }
-        let apps_below_splitc = scope.layer == Layer::Apps && matches!(dep, Layer::Sim | Layer::Am);
+        let apps_below_splitc =
+            scope.layer == Layer::Apps && matches!(dep, Layer::Sim | Layer::Am | Layer::Coll);
         let (code, message) = if apps_below_splitc {
             (
                 "LAY003",
                 format!(
                     "app code references `{name}` — apps speak only the splitc runtime \
                      surface, like the originals on the NOW cluster; use the \
-                     `nowlab_splitc` re-exports (SimDelta, SimTime, Payload, …) instead"
+                     `nowlab_splitc` re-exports (SimDelta, SimTime, Payload, CollConfig, \
+                     …) instead"
                 ),
             )
         } else {
@@ -434,9 +436,12 @@ mod tests {
         // Metrics may see only sim and trace.
         let src = "use nowlab_am::Port;\nfn f() { let p = nowlab_apps::radix::run; }";
         assert_eq!(codes(src, &scope(Layer::Metrics)), vec!["LAY001", "LAY001"]);
-        // Apps reaching below splitc get the specific code.
+        // Apps reaching below splitc get the specific code; the collectives
+        // crate counts as "below" even though its vocabulary is re-exported.
         let src = "use nowlab_sim::SimDelta;\nfn f() { nowlab_am::Payload::words(1); }";
         assert_eq!(codes(src, &scope(Layer::Apps)), vec!["LAY003", "LAY003"]);
+        let src = "use nowlab_coll::Selector;";
+        assert_eq!(codes(src, &scope(Layer::Apps)), vec!["LAY003"]);
         // Declared lower layers and self-references are clean.
         let ok = "use nowlab_splitc::Ctx;\nuse nowlab_core::RunSpec;\nuse nowlab_apps::x;";
         assert!(codes(ok, &scope(Layer::Apps)).is_empty());

@@ -1,9 +1,9 @@
 //! Workspace dependency graph, parsed from the crates' `Cargo.toml`
 //! manifests.
 //!
-//! The nine-crate stack encodes the paper's o/g/L/G attribution as a strict
-//! layering: `rng → sim → am → splitc → apps`, with `trace`/`metrics` as
-//! observe-only sinks off to the side and `core` as the experiment driver
+//! The ten-crate stack encodes the paper's o/g/L/G attribution as a strict
+//! layering: `rng → sim → am → coll → splitc → apps`, with `trace`/`metrics`
+//! as observe-only sinks off to the side and `core` as the experiment driver
 //! above `splitc`. [`WorkspaceGraph`] makes that layering machine-checkable:
 //! it knows, for every crate, which other workspace crates its manifest
 //! declares (`[dependencies]` vs `[dev-dependencies]`, with line numbers for
@@ -41,6 +41,9 @@ pub enum Layer {
     Metrics,
     /// `crates/am` — GAM active-message layer over the kernel.
     Am,
+    /// `crates/coll` — model-driven collective operations over AM;
+    /// deterministic by construction, so no `rng` edge.
+    Coll,
     /// `crates/splitc` — Split-C language runtime over AM.
     Splitc,
     /// `crates/core` — experiment driver: sweeps, models, calibration.
@@ -68,6 +71,7 @@ impl Layer {
             "trace" => Layer::Trace,
             "metrics" => Layer::Metrics,
             "am" => Layer::Am,
+            "coll" => Layer::Coll,
             "splitc" => Layer::Splitc,
             "core" => Layer::Core,
             "apps" => Layer::Apps,
@@ -100,13 +104,21 @@ impl Layer {
             Layer::Trace => Some(&[Layer::Sim]),
             Layer::Metrics => Some(&[Layer::Sim, Layer::Trace]),
             Layer::Am => Some(&[Layer::Rng, Layer::Sim, Layer::Trace, Layer::Metrics]),
-            Layer::Splitc => Some(&[Layer::Sim, Layer::Trace, Layer::Metrics, Layer::Am]),
+            Layer::Coll => Some(&[Layer::Sim, Layer::Trace, Layer::Metrics, Layer::Am]),
+            Layer::Splitc => Some(&[
+                Layer::Sim,
+                Layer::Trace,
+                Layer::Metrics,
+                Layer::Am,
+                Layer::Coll,
+            ]),
             Layer::Core => Some(&[
                 Layer::Rng,
                 Layer::Sim,
                 Layer::Trace,
                 Layer::Metrics,
                 Layer::Am,
+                Layer::Coll,
                 Layer::Splitc,
             ]),
             Layer::Apps => Some(&[
@@ -134,6 +146,7 @@ impl Layer {
             Layer::Trace => "trace",
             Layer::Metrics => "metrics",
             Layer::Am => "am",
+            Layer::Coll => "coll",
             Layer::Splitc => "splitc",
             Layer::Core => "core",
             Layer::Apps => "apps",
@@ -371,11 +384,21 @@ mod tests {
             .allowed_deps()
             .unwrap()
             .contains(&Layer::Trace));
-        // Apps must not reach the kernel or AM directly.
+        // Apps must not reach the kernel, AM, or the collectives crate
+        // directly — everything below splitc arrives via its re-exports.
         let apps = Layer::Apps.allowed_deps().unwrap();
         assert!(!apps.contains(&Layer::Sim));
         assert!(!apps.contains(&Layer::Am));
+        assert!(!apps.contains(&Layer::Coll));
         assert!(apps.contains(&Layer::Splitc));
+        // The collectives layer sits between am and splitc: splitc may use
+        // it, and it is deterministic by construction (no rng edge).
+        assert_eq!(Layer::of_crate("coll"), Layer::Coll);
+        assert!(Layer::Splitc.allowed_deps().unwrap().contains(&Layer::Coll));
+        let coll = Layer::Coll.allowed_deps().unwrap();
+        assert!(coll.contains(&Layer::Am));
+        assert!(!coll.contains(&Layer::Rng));
+        assert!(!coll.contains(&Layer::Splitc));
         // Host-side layers are unconstrained.
         assert!(Layer::Bench.allowed_deps().is_none());
         assert!(Layer::Root.allowed_deps().is_none());
@@ -462,10 +485,10 @@ mod tests {
     fn real_workspace_graph_is_clean() {
         let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let g = WorkspaceGraph::load(&root).unwrap();
-        // All nine crates plus the root package are present.
+        // All ten crates plus the root package are present.
         for dir in [
-            ".", "am", "analyze", "apps", "bench", "core", "metrics", "rng", "sim", "splitc",
-            "trace",
+            ".", "am", "analyze", "apps", "bench", "coll", "core", "metrics", "rng", "sim",
+            "splitc", "trace",
         ] {
             assert!(g.get(dir).is_some(), "missing crate node {dir}");
         }

@@ -45,7 +45,7 @@
 //! | `MET001` | error | metrics crate depends beyond `{sim, trace}` |
 //! | `LAY001` | error | source reference outside the crate's declared lower layers |
 //! | `LAY002` | error | manifest dependency outside the declared lower layers |
-//! | `LAY003` | error | apps reach below splitc (`sim`/`am` internals) |
+//! | `LAY003` | error | apps reach below splitc (`sim`/`am`/`coll` internals) |
 //! | `FLT001` | error | unordered `f64` reduction (`.sum()`, `fold(+)`) in sim-visible code |
 //! | `FLT002` | error | `partial_cmp` on floats in sim-visible code |
 //! | `FLT003` | error | float accumulation inside an event handler closure |
@@ -140,7 +140,7 @@ pub struct Scope {
 /// absent: it is the host-side wall-clock harness and may read
 /// `Instant`/env freely.
 const SIM_CRATES: &[&str] = &[
-    "sim", "trace", "metrics", "am", "splitc", "core", "apps", "rng",
+    "sim", "trace", "metrics", "am", "coll", "splitc", "core", "apps", "rng",
 ];
 
 /// Determines the lint scope for a workspace-relative `.rs` path, or

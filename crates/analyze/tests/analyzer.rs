@@ -82,9 +82,11 @@ fn each_family_fixture_pins_two_true_positives() {
         codes("lay001.rs", &layered(Layer::Metrics)),
         vec!["LAY001", "LAY001"]
     );
+    // lay003 pins three: sim, am, and the coll-bypass import (apps must
+    // take the collectives vocabulary through the splitc re-exports).
     assert_eq!(
         codes("lay003.rs", &layered(Layer::Apps)),
-        vec!["LAY003", "LAY003"]
+        vec!["LAY003", "LAY003", "LAY003"]
     );
     assert_eq!(codes("flt001.rs", &scope), vec!["FLT001", "FLT001"]);
     assert_eq!(codes("flt002.rs", &scope), vec!["FLT002", "FLT002"]);

@@ -7,6 +7,12 @@ pub fn payload_len() -> usize {
     nowlab_am::Payload::words(4).len() // LAY003: inline path below splitc
 }
 
+pub fn pick_bcast(p: usize) -> String {
+    // LAY003: bypassing the splitc re-export of the collectives vocabulary.
+    let sel = nowlab_coll::Selector::new(Default::default(), p, Default::default());
+    format!("{:?}", sel.broadcast(1024))
+}
+
 pub fn wait(d: SimDelta) -> SimDelta {
     d
 }

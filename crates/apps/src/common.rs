@@ -33,7 +33,8 @@ where
 {
     let mut cfg = SpmdConfig::new(spec.procs)
         .with_net(spec.net)
-        .with_degrade(policy);
+        .with_degrade(policy)
+        .with_coll(spec.coll);
     if let Some(e) = spec.event_limit {
         cfg = cfg.with_event_limit(e);
     }
@@ -74,6 +75,15 @@ where
             false_suspicions: outcome.stats.total_false_suspicions(),
             peer_deaths: outcome.stats.total_peer_deaths(),
             max_detect_latency_ns: outcome.stats.max_detect_latency().as_nanos(),
+        };
+        // Same story for collectives: the recorder sees only the
+        // constituent messages, so the per-op counts come from the
+        // cluster statistics.
+        report.summary.coll = nowlab_metrics::CollSummary {
+            bcasts: outcome.stats.total_coll_bcasts(),
+            reduces: outcome.stats.total_coll_reduces(),
+            allgathers: outcome.stats.total_coll_allgathers(),
+            alltoalls: outcome.stats.total_coll_alltoalls(),
         };
         // The executor hands back only *completed* windows; events in the
         // final partial window are the residual against the run total.

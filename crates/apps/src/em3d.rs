@@ -16,6 +16,14 @@
 //! Node values are 64-bit words updated with wrapping-integer mixing, so
 //! the final checksum is exactly reproducible (and verified against a
 //! sequential reference in the tests).
+//!
+//! Each full step ends with a convergence reduce over the collectives
+//! layer ([`nowlab_coll`] via `Ctx::coll_allreduce_sum`): the processors
+//! sum how many node values changed and stop early if the field has
+//! globally fixed. The wrapping update never literally fixes at these
+//! sizes, so the step count (and the sequential reference) is unchanged —
+//! the reduce contributes the per-step global synchronization cost the
+//! paper's bulk-synchronous loop pays.
 
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -387,8 +395,8 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
     for _step in 0..params.steps {
         // ---- Half-step 1: update E from H.
         ctx.phase("e-step");
-        if read_based {
-            em3d_update_read(&ctx, &res_e_read, e_vals).await;
+        let changed_e = if read_based {
+            em3d_update_read(&ctx, &res_e_read, e_vals).await
         } else {
             // Producers push current H values into consumers' ghost slots.
             for &(c, local, slot) in &push_h {
@@ -397,14 +405,14 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
             }
             ctx.sync().await;
             ctx.barrier().await;
-            em3d_update_write(&ctx, &res_e_write, e_vals).await;
-        }
+            em3d_update_write(&ctx, &res_e_write, e_vals).await
+        };
         ctx.barrier().await;
 
         // ---- Half-step 2: update H from E.
         ctx.phase("h-step");
-        if read_based {
-            em3d_update_read(&ctx, &res_h_read, h_vals).await;
+        let changed_h = if read_based {
+            em3d_update_read(&ctx, &res_h_read, h_vals).await
         } else {
             for &(c, local, slot) in &push_e {
                 let v = ctx.load_local(e_vals, local);
@@ -412,9 +420,20 @@ async fn em3d_body(ctx: Ctx, params: Em3dParams, seed: u64, read_based: bool) ->
             }
             ctx.sync().await;
             ctx.barrier().await;
-            em3d_update_write(&ctx, &res_h_write, h_vals).await;
-        }
+            em3d_update_write(&ctx, &res_h_write, h_vals).await
+        };
         ctx.barrier().await;
+
+        // ---- Convergence reduce (collectives layer): stop once no node
+        // anywhere changed this step. Deterministic — the count is a pure
+        // function of the field values, never of message timing.
+        if ctx
+            .coll_allreduce_sum(changed_e.wrapping_add(changed_h))
+            .await
+            == 0
+        {
+            break;
+        }
     }
 
     end_measured_region(&ctx).await;
@@ -444,8 +463,9 @@ enum ReadSrc {
 /// Read-based half-step: pull every remote neighbor value with a blocking
 /// read, then update. Edge endpoints were resolved to concrete addresses
 /// once at setup — the step loop issues exactly the same reads in the
-/// same order, without per-edge owner arithmetic.
-async fn em3d_update_read(ctx: &Ctx, resolved: &[Vec<ReadSrc>], dst_region: usize) {
+/// same order, without per-edge owner arithmetic. Returns how many node
+/// values changed (the convergence reduce's local contribution).
+async fn em3d_update_read(ctx: &Ctx, resolved: &[Vec<ReadSrc>], dst_region: usize) -> u64 {
     let mut new_vals = Vec::with_capacity(resolved.len());
     for (i, node_edges) in resolved.iter().enumerate() {
         let mut sum = 0u64;
@@ -460,18 +480,21 @@ async fn em3d_update_read(ctx: &Ctx, resolved: &[Vec<ReadSrc>], dst_region: usiz
         new_vals.push(update_value(ctx.load_local(dst_region, i), sum));
     }
     ctx.with_mem(|m| {
+        let mut changed = 0u64;
         for (i, v) in new_vals.into_iter().enumerate() {
+            changed += u64::from(m.load(dst_region, i) != v);
             m.store(dst_region, i, v);
         }
-    });
+        changed
+    })
 }
 
 /// Write-based half-step: all remote values are already in the ghost
 /// region; purely local update. Each edge was resolved at setup to the
 /// `(region, offset)` it loads from (own block or ghost slot), replacing
 /// the per-edge ghost-map lookup that dominated the app body under the
-/// profiler.
-async fn em3d_update_write(ctx: &Ctx, resolved: &[Vec<(usize, usize)>], dst_region: usize) {
+/// profiler. Returns how many node values changed.
+async fn em3d_update_write(ctx: &Ctx, resolved: &[Vec<(usize, usize)>], dst_region: usize) -> u64 {
     let mut new_vals = Vec::with_capacity(resolved.len());
     for (i, node_edges) in resolved.iter().enumerate() {
         let sum = ctx.with_mem(|m| {
@@ -483,10 +506,13 @@ async fn em3d_update_write(ctx: &Ctx, resolved: &[Vec<(usize, usize)>], dst_regi
         new_vals.push(update_value(ctx.load_local(dst_region, i), sum));
     }
     ctx.with_mem(|m| {
+        let mut changed = 0u64;
         for (i, v) in new_vals.into_iter().enumerate() {
+            changed += u64::from(m.load(dst_region, i) != v);
             m.store(dst_region, i, v);
         }
-    });
+        changed
+    })
 }
 
 /// EM3D, write-based variant.

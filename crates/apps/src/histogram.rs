@@ -1,17 +1,22 @@
-//! The pipelined cyclic-shift global histogram shared by Radix and Radb.
+//! The global histogram shared by Radix and Radb.
 //!
-//! The paper's radix sorts accumulate per-bucket key counts across
-//! processors "in a kind of pipelined cyclic shift" (the dark off-diagonal
-//! line of Figure 4a), with a serial dependence chain proportional to
-//! `radix × P` — the cause of Radix's super-linear overhead sensitivity
-//! (§5.1's *serialization effect*).
+//! Two implementations coexist:
 //!
-//! Chain 1 (rank accumulation) runs `0 → 1 → … → P−1`: processor `i`
-//! receives the running per-bucket sums of processors `< i` (its *prefix*),
-//! adds its own counts, and forwards. Chain 2 (offset broadcast) runs
-//! `P−1 → 0 → 1 → … → P−2`, carrying the exclusive prefix sums over
-//! buckets (each bucket's global start position). Counts travel two
-//! buckets per short message.
+//! * [`global_histogram`] — the paper's hand-rolled *pipelined cyclic
+//!   shift* (the dark off-diagonal line of Figure 4a), with a serial
+//!   dependence chain proportional to `radix × P` — the cause of Radix's
+//!   super-linear overhead sensitivity (§5.1's *serialization effect*).
+//!   Chain 1 (rank accumulation) runs `0 → 1 → … → P−1`: processor `i`
+//!   receives the running per-bucket sums of processors `< i` (its
+//!   *prefix*), adds its own counts, and forwards. Chain 2 (offset
+//!   broadcast) runs `P−1 → 0 → 1 → … → P−2`, carrying the exclusive
+//!   prefix sums over buckets. Counts travel two buckets per short
+//!   message.
+//! * [`global_histogram_coll`] — the same phase over the model-driven
+//!   collectives layer ([`nowlab_coll`] via [`Ctx::coll_allgather`]):
+//!   every processor gathers everyone's counts and derives its prefix
+//!   and the bucket offsets locally. This is what the sorts run; the
+//!   chain stays as the differential-test baseline.
 
 use nowlab_splitc::SimDelta;
 use nowlab_splitc::{Ctx, MailboxId, Payload};
@@ -101,6 +106,40 @@ pub async fn global_histogram(
     }
 
     // Single processor: offsets are the exclusive prefix sums.
+    let mut offsets = vec![0u64; buckets];
+    let mut acc = 0u64;
+    for b in 0..buckets {
+        offsets[b] = acc;
+        acc += totals[b];
+    }
+    GlobalHistogram { my_prefix, offsets }
+}
+
+/// The global histogram over the collectives layer: an allgather of every
+/// processor's local counts, then a purely local scan for this processor's
+/// per-bucket prefix and the global bucket offsets.
+///
+/// Computes exactly what [`global_histogram`] computes (the differential
+/// test pins this), but the communication is one model-selected allgather
+/// instead of two serial chains. Under `DegradePolicy::Continue` a
+/// confirmed-dead member's block arrives empty and contributes zero counts
+/// — the survivors' histogram is the chain's degraded result too.
+pub async fn global_histogram_coll(ctx: &Ctx, counts: &[u64]) -> GlobalHistogram {
+    let me = ctx.me();
+    let buckets = counts.len();
+    let all = ctx.coll_allgather(counts).await;
+    ctx.compute(C_SCAN * buckets as u64).await;
+    let mut my_prefix = vec![0u64; buckets];
+    let mut totals = vec![0u64; buckets];
+    for (j, their) in all.iter().enumerate() {
+        for b in 0..buckets {
+            let v = their.get(b).copied().unwrap_or(0);
+            if j < me {
+                my_prefix[b] += v;
+            }
+            totals[b] += v;
+        }
+    }
     let mut offsets = vec![0u64; buckets];
     let mut acc = 0u64;
     for b in 0..buckets {
@@ -229,6 +268,41 @@ mod tests {
             })
             .expect_outputs();
             assert_eq!(outs, expect, "bulk={bulk}");
+        }
+    }
+
+    #[test]
+    fn coll_histogram_matches_the_hand_rolled_chain() {
+        // The collectives-layer port computes the exact prefix/offset
+        // vectors of the pipelined chain, on even and odd processor
+        // counts (different allgather block shapes).
+        for procs in [1usize, 4, 7] {
+            let run_coll = run_spmd(&SpmdConfig::new(procs), move |ctx| async move {
+                ctx.barrier().await;
+                let counts: Vec<u64> = (0..16).map(|b| (ctx.me() * 5 + b * 3) as u64).collect();
+                let h = global_histogram_coll(&ctx, &counts).await;
+                ctx.barrier().await;
+                h.offsets
+                    .iter()
+                    .chain(h.my_prefix.iter())
+                    .fold(0u64, |a, &v| a.wrapping_add(v))
+            });
+            let run_chain = run_spmd(&SpmdConfig::new(procs), move |ctx| async move {
+                let mb = ctx.alloc_mailbox();
+                ctx.barrier().await;
+                let counts: Vec<u64> = (0..16).map(|b| (ctx.me() * 5 + b * 3) as u64).collect();
+                let h = global_histogram(&ctx, mb, &counts, false).await;
+                ctx.barrier().await;
+                h.offsets
+                    .iter()
+                    .chain(h.my_prefix.iter())
+                    .fold(0u64, |a, &v| a.wrapping_add(v))
+            });
+            assert_eq!(
+                run_coll.expect_outputs(),
+                run_chain.expect_outputs(),
+                "procs={procs}"
+            );
         }
     }
 

@@ -9,7 +9,7 @@
 //!
 //! | module | program | paper's communication character |
 //! |---|---|---|
-//! | [`radix`] | Radix sort | frequent short writes, serial histogram chain |
+//! | [`radix`] | Radix sort | frequent short writes, collective histogram |
 //! | [`em3d`] | EM3D (write & read) | per-edge pushes vs blocking reads, bulk-synchronous |
 //! | [`sample`] | Sample sort | all-to-all short writes, receiver imbalance |
 //! | [`barnes`] | Barnes-Hut | lock-based tree build (livelocks at high `o`), cached reads |

@@ -111,9 +111,13 @@ impl SweepableApp for Sample {
                 } else {
                     Vec::new()
                 };
-                // Binomial-tree broadcast of the splitters (the paper:
-                // "broadcasting them to all processors").
-                let splits = ctx.broadcast_words(0, chosen).await;
+                // Broadcast of the splitters (the paper: "broadcasting
+                // them to all processors") over the collectives layer;
+                // the LogGP selector picks the variant from the P−1-word
+                // payload. Every processor names the same size, so the
+                // choice is symmetric even though only the root holds
+                // the data.
+                let splits = ctx.coll_broadcast(0, chosen, p - 1).await;
                 ctx.barrier().await;
                 let splits = &splits[..];
 

@@ -1,0 +1,228 @@
+//! Collective configuration: the per-run algorithm override and the
+//! concrete per-collective variant enums.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Per-run collective-algorithm policy (the `--coll-algo` flag).
+///
+/// `Auto` lets the [`crate::Selector`] pick the model-cheapest variant per
+/// call site; a concrete name forces that variant wherever it applies and
+/// falls back to `Auto` for collectives it does not name (forcing `chain`
+/// constrains broadcasts but leaves reduce selection free).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CollAlgo {
+    /// Model-driven selection (the default).
+    #[default]
+    Auto,
+    /// Binomial-tree broadcast.
+    Binomial,
+    /// Pipelined-chain broadcast.
+    Chain,
+    /// Scatter-then-ring-allgather broadcast.
+    ScatterAllgather,
+    /// Flat (root-incast) reduce.
+    Flat,
+    /// Binomial-tree reduce.
+    Tree,
+    /// Ring allgather.
+    Ring,
+    /// Direct-exchange allgather or all-to-all.
+    Direct,
+    /// Pairwise synchronized all-to-all.
+    Pairwise,
+}
+
+impl FromStr for CollAlgo {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(CollAlgo::Auto),
+            "binomial" => Ok(CollAlgo::Binomial),
+            "chain" => Ok(CollAlgo::Chain),
+            "scatter-allgather" | "sag" => Ok(CollAlgo::ScatterAllgather),
+            "flat" => Ok(CollAlgo::Flat),
+            "tree" => Ok(CollAlgo::Tree),
+            "ring" => Ok(CollAlgo::Ring),
+            "direct" => Ok(CollAlgo::Direct),
+            "pairwise" => Ok(CollAlgo::Pairwise),
+            other => Err(format!(
+                "unknown collective algorithm '{other}' (expected auto, binomial, chain, \
+                 scatter-allgather, flat, tree, ring, direct, or pairwise)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for CollAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CollAlgo::Auto => "auto",
+            CollAlgo::Binomial => "binomial",
+            CollAlgo::Chain => "chain",
+            CollAlgo::ScatterAllgather => "scatter-allgather",
+            CollAlgo::Flat => "flat",
+            CollAlgo::Tree => "tree",
+            CollAlgo::Ring => "ring",
+            CollAlgo::Direct => "direct",
+            CollAlgo::Pairwise => "pairwise",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Collective-layer configuration carried by a run specification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CollConfig {
+    /// The algorithm policy (see [`CollAlgo`]).
+    pub algo: CollAlgo,
+}
+
+impl CollConfig {
+    /// A configuration forcing `algo` wherever it applies.
+    pub fn forced(algo: CollAlgo) -> Self {
+        CollConfig { algo }
+    }
+}
+
+/// Broadcast algorithm variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BcastAlgo {
+    /// Binomial tree: `⌈log₂ P⌉` rounds of whole-payload forwards — the
+    /// fewest messages on any critical path, best when overhead dominates.
+    Binomial,
+    /// Pipelined chain: the payload streams through `P−1` hops in
+    /// fragment-sized segments — best for large payloads when bandwidth
+    /// (not overhead) is the constraint.
+    Chain,
+    /// Scatter + ring allgather: `1/P`-sized blocks scattered then cycled —
+    /// van de Geijn's bandwidth-optimal large-message broadcast.
+    ScatterAllgather,
+}
+
+impl BcastAlgo {
+    /// Every variant, in deterministic tie-break order.
+    pub const ALL: [BcastAlgo; 3] = [
+        BcastAlgo::Binomial,
+        BcastAlgo::Chain,
+        BcastAlgo::ScatterAllgather,
+    ];
+}
+
+/// Reduce (allreduce-sum) algorithm variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReduceAlgo {
+    /// Flat: every processor posts its value to processor 0, which fans the
+    /// total back out — `O(P)` incast, but only two hops of latency.
+    Flat,
+    /// Binomial tree: `⌈log₂ P⌉` combine rounds up, the same tree down.
+    Tree,
+}
+
+impl ReduceAlgo {
+    /// Every variant, in deterministic tie-break order.
+    pub const ALL: [ReduceAlgo; 2] = [ReduceAlgo::Flat, ReduceAlgo::Tree];
+}
+
+/// Allgather algorithm variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GatherAlgo {
+    /// Ring: `P−1` neighbour forwards; each processor sends each block
+    /// once, so bandwidth use is balanced across all links.
+    Ring,
+    /// Direct: every processor posts its block to every other — shortest
+    /// critical path, but an incast at every receiver.
+    Direct,
+}
+
+impl GatherAlgo {
+    /// Every variant, in deterministic tie-break order.
+    pub const ALL: [GatherAlgo; 2] = [GatherAlgo::Ring, GatherAlgo::Direct];
+}
+
+/// All-to-all algorithm variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum A2aAlgo {
+    /// Direct: post all `P−1` personalized blocks in staggered order, then
+    /// collect — maximal pipelining, window-limited.
+    Direct,
+    /// Pairwise: `P−1` synchronized exchange steps with partner
+    /// `(me ± s) mod P` — bounded buffering, incast-free.
+    Pairwise,
+}
+
+impl A2aAlgo {
+    /// Every variant, in deterministic tie-break order.
+    pub const ALL: [A2aAlgo; 2] = [A2aAlgo::Direct, A2aAlgo::Pairwise];
+}
+
+impl fmt::Display for BcastAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            BcastAlgo::Binomial => "binomial",
+            BcastAlgo::Chain => "chain",
+            BcastAlgo::ScatterAllgather => "scatter-allgather",
+        };
+        f.write_str(name)
+    }
+}
+
+impl fmt::Display for ReduceAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ReduceAlgo::Flat => "flat",
+            ReduceAlgo::Tree => "tree",
+        };
+        f.write_str(name)
+    }
+}
+
+impl fmt::Display for GatherAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            GatherAlgo::Ring => "ring",
+            GatherAlgo::Direct => "direct",
+        };
+        f.write_str(name)
+    }
+}
+
+impl fmt::Display for A2aAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            A2aAlgo::Direct => "direct",
+            A2aAlgo::Pairwise => "pairwise",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_round_trips_through_strings() {
+        for algo in [
+            CollAlgo::Auto,
+            CollAlgo::Binomial,
+            CollAlgo::Chain,
+            CollAlgo::ScatterAllgather,
+            CollAlgo::Flat,
+            CollAlgo::Tree,
+            CollAlgo::Ring,
+            CollAlgo::Direct,
+            CollAlgo::Pairwise,
+        ] {
+            assert_eq!(algo.to_string().parse::<CollAlgo>(), Ok(algo));
+        }
+        assert_eq!("sag".parse::<CollAlgo>(), Ok(CollAlgo::ScatterAllgather));
+        assert!("bogus".parse::<CollAlgo>().is_err());
+    }
+
+    #[test]
+    fn default_is_auto() {
+        assert_eq!(CollConfig::default().algo, CollAlgo::Auto);
+    }
+}

@@ -1,0 +1,200 @@
+//! Per-processor collective state and its Active Message handlers.
+//!
+//! Collectives coordinate without a rendezvous: each call site increments a
+//! per-family *epoch* counter on entry, and every message of that call
+//! carries the epoch, so data arriving *before* the local task reaches the
+//! matching call parks in an epoch-keyed map instead of being mis-matched
+//! (SPMD programs issue collectives in the same order on every processor,
+//! so counters align without negotiation). All maps are `BTreeMap`s —
+//! iteration order is part of the determinism contract.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use nowlab_am::{AmCluster, HandlerId, ReplyData};
+
+/// Index of the broadcast epoch family in [`CollState::epochs`].
+pub(crate) const FAM_BCAST: usize = 0;
+/// Index of the reduce epoch family.
+pub(crate) const FAM_REDUCE: usize = 1;
+/// Index of the allgather epoch family.
+pub(crate) const FAM_GATHER: usize = 2;
+/// Index of the all-to-all epoch family.
+pub(crate) const FAM_A2A: usize = 3;
+
+/// Broadcast segment index used to poison a pipelined chain downstream of
+/// a confirmed-dead processor (the successor of the gap completes degraded
+/// and forwards the poison instead of hanging).
+pub(crate) const POISON_SEG: u64 = u64::MAX;
+
+/// The collectives layer's per-processor state.
+///
+/// Embed one of these in the processor's user state and hand
+/// [`CollHandlers::register`] a projection to it. The maps buffer
+/// in-flight collective data keyed by epoch; entries are consumed by the
+/// matching call and never outlive it on the healthy path.
+#[derive(Debug, Default)]
+pub struct CollState {
+    /// Next epoch per operation family (caller side).
+    pub(crate) epochs: [u64; 4],
+    /// Broadcast payload segments: `(epoch, segment) → words`.
+    pub(crate) bcast: BTreeMap<(u64, u64), Vec<u64>>,
+    /// Segment count per broadcast epoch, learned from the first arrival.
+    pub(crate) bcast_meta: BTreeMap<u64, u64>,
+    /// Tree-reduce partial sums: `(epoch, sender) → partial`.
+    pub(crate) contrib: BTreeMap<(u64, u64), u64>,
+    /// Flat-reduce accumulator at the root: `epoch → (sum, count)`.
+    pub(crate) flat: BTreeMap<u64, (u64, u64)>,
+    /// Reduce results on their way down: `epoch → total`.
+    pub(crate) result: BTreeMap<u64, u64>,
+    /// Allgather blocks: `(epoch, origin) → words`.
+    pub(crate) blocks: BTreeMap<(u64, u64), Vec<u64>>,
+    /// All-to-all blocks: `(epoch, source) → words`.
+    pub(crate) exch: BTreeMap<(u64, u64), Vec<u64>>,
+}
+
+impl CollState {
+    /// Claims the next epoch of family `fam` (call-site entry).
+    pub(crate) fn next_epoch(&mut self, fam: usize) -> u64 {
+        let e = self.epochs[fam];
+        self.epochs[fam] += 1;
+        e
+    }
+
+    /// Drops any residue a degraded (fault-path) collective left behind
+    /// for `epoch` in an origin-keyed map.
+    pub(crate) fn sweep(map: &mut BTreeMap<(u64, u64), Vec<u64>>, epoch: u64) {
+        let stale: Vec<(u64, u64)> = map
+            .range((epoch, 0)..=(epoch, u64::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in stale {
+            map.remove(&k);
+        }
+    }
+}
+
+/// The handler ids of the collectives layer, registered once per cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct CollHandlers {
+    /// Broadcast segment delivery (`args = [epoch, segment, nseg, _]`).
+    pub(crate) bcast: HandlerId,
+    /// Tree-reduce partial delivery (`args = [epoch, sender, partial, _]`).
+    pub(crate) contrib: HandlerId,
+    /// Flat-reduce contribution at the root (`args = [epoch, value, _, _]`).
+    pub(crate) flat: HandlerId,
+    /// Reduce result delivery (`args = [epoch, total, _, _]`).
+    pub(crate) result: HandlerId,
+    /// Allgather block delivery (`args = [epoch, origin, _, _]`).
+    pub(crate) block: HandlerId,
+    /// All-to-all block delivery (`args = [epoch, source, _, _]`).
+    pub(crate) exch: HandlerId,
+}
+
+impl CollHandlers {
+    /// Registers the collective handlers on `cluster`.
+    ///
+    /// `extract` projects the [`CollState`] out of whatever user state the
+    /// host installed (handlers receive `&mut dyn Any`); it is cloned into
+    /// each handler. Call this exactly once per cluster, before any
+    /// collective runs.
+    pub fn register<F>(cluster: &AmCluster, extract: F) -> Self
+    where
+        F: Fn(&mut dyn Any) -> &mut CollState + Clone + 'static,
+    {
+        let ex = extract.clone();
+        let bcast = cluster.register_handler(move |ctx| {
+            let st = ex(ctx.state);
+            let words = ctx
+                .msg
+                .payload
+                .as_words()
+                .map(<[u64]>::to_vec)
+                .unwrap_or_default();
+            let (epoch, seg, nseg) = (ctx.msg.args[0], ctx.msg.args[1], ctx.msg.args[2]);
+            st.bcast_meta.entry(epoch).or_insert(nseg);
+            st.bcast.insert((epoch, seg), words);
+            ReplyData::ack()
+        });
+        let ex = extract.clone();
+        let contrib = cluster.register_handler(move |ctx| {
+            let st = ex(ctx.state);
+            st.contrib
+                .insert((ctx.msg.args[0], ctx.msg.args[1]), ctx.msg.args[2]);
+            ReplyData::ack()
+        });
+        let ex = extract.clone();
+        let flat = cluster.register_handler(move |ctx| {
+            let st = ex(ctx.state);
+            let acc = st.flat.entry(ctx.msg.args[0]).or_insert((0, 0));
+            acc.0 = acc.0.wrapping_add(ctx.msg.args[1]);
+            acc.1 += 1;
+            ReplyData::ack()
+        });
+        let ex = extract.clone();
+        let result = cluster.register_handler(move |ctx| {
+            let st = ex(ctx.state);
+            st.result.insert(ctx.msg.args[0], ctx.msg.args[1]);
+            ReplyData::ack()
+        });
+        let ex = extract.clone();
+        let block = cluster.register_handler(move |ctx| {
+            let st = ex(ctx.state);
+            let words = ctx
+                .msg
+                .payload
+                .as_words()
+                .map(<[u64]>::to_vec)
+                .unwrap_or_default();
+            st.blocks.insert((ctx.msg.args[0], ctx.msg.args[1]), words);
+            ReplyData::ack()
+        });
+        let ex = extract;
+        let exch = cluster.register_handler(move |ctx| {
+            let st = ex(ctx.state);
+            let words = ctx
+                .msg
+                .payload
+                .as_words()
+                .map(<[u64]>::to_vec)
+                .unwrap_or_default();
+            st.exch.insert((ctx.msg.args[0], ctx.msg.args[1]), words);
+            ReplyData::ack()
+        });
+        CollHandlers {
+            bcast,
+            contrib,
+            flat,
+            result,
+            block,
+            exch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_are_per_family_and_monotonic() {
+        let mut s = CollState::default();
+        assert_eq!(s.next_epoch(FAM_BCAST), 0);
+        assert_eq!(s.next_epoch(FAM_BCAST), 1);
+        assert_eq!(s.next_epoch(FAM_REDUCE), 0);
+        assert_eq!(s.next_epoch(FAM_GATHER), 0);
+        assert_eq!(s.next_epoch(FAM_A2A), 0);
+        assert_eq!(s.next_epoch(FAM_BCAST), 2);
+    }
+
+    #[test]
+    fn sweep_removes_only_the_given_epoch() {
+        let mut map = BTreeMap::new();
+        map.insert((3, 0), vec![1]);
+        map.insert((3, POISON_SEG), vec![]);
+        map.insert((4, 1), vec![2]);
+        CollState::sweep(&mut map, 3);
+        assert_eq!(map.len(), 1);
+        assert!(map.contains_key(&(4, 1)));
+    }
+}

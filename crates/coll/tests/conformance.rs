@@ -1,0 +1,242 @@
+//! Predicted-vs-simulated conformance suite (the collectives analogue of
+//! `tests/models_vs_measured.rs`).
+//!
+//! Every algorithm variant of every collective runs at three payload
+//! sizes crossed with three LogGP points — the Berkeley NOW baseline, a
+//! high-overhead machine (o = 13 µs, the paper's mid sweep point), and a
+//! bandwidth-starved machine (5 MB/s) — and the analytic model of
+//! `nowlab_coll::model` must predict the simulated completion time within
+//! a pinned relative-error bound. A second contract checks the *selector*:
+//! at every (size, point) the model-chosen variant must also be the
+//! measured-cheapest one (within a small tie tolerance near crossovers).
+//!
+//! The golden table printed on failure (`cargo test -- --nocapture`) shows
+//! predicted, measured, and relative error per cell, so a drift in either
+//! the algorithms or the model is attributable at a glance.
+
+use nowlab_am::{Knobs, NetConfig};
+use nowlab_coll::harness::{measure, OpSpec};
+use nowlab_coll::model::{allgather_us, alltoall_us, bcast_us, reduce_us};
+use nowlab_coll::{A2aAlgo, BcastAlgo, CollConfig, GatherAlgo, ReduceAlgo, Selector};
+use nowlab_sim::SimDelta;
+
+const PROCS: usize = 8;
+
+/// Payload sizes in words: one AM packet, a KiB, and a bulk payload.
+const SIZES: [usize; 3] = [8, 128, 2048];
+
+/// The three calibration points of the conformance contract.
+fn points() -> Vec<(&'static str, NetConfig)> {
+    let base = NetConfig::berkeley_now();
+    let high_o = base.with_knobs(Knobs::with_overhead(SimDelta::from_micros(13.0 - 2.9)));
+    let low_bw = base.with_knobs(
+        Knobs::with_bulk_bandwidth(&base.machine, 5.0).expect("5 MB/s is below the baseline"),
+    );
+    vec![("baseline", base), ("high-o", high_o), ("low-bw", low_bw)]
+}
+
+/// |pred − meas| / meas.
+fn rel_error(pred_us: f64, meas: SimDelta) -> f64 {
+    let meas_us = meas.as_micros_f64();
+    (pred_us - meas_us).abs() / meas_us
+}
+
+/// Measures `op` at `net` and returns (variant-name, predicted µs,
+/// measured µs, relative error), printing one golden-table row.
+fn cell(label: &str, op: OpSpec, net: NetConfig) -> f64 {
+    let (name, pred) = match op {
+        OpSpec::Broadcast(a, n) => (a.to_string(), bcast_us(&net, a, PROCS, n as u64 * 8)),
+        OpSpec::Reduce(a) => (a.to_string(), reduce_us(&net, a, PROCS)),
+        OpSpec::Allgather(a, n) => (a.to_string(), allgather_us(&net, a, PROCS, n as u64 * 8)),
+        OpSpec::AllToAll(a, n) => (a.to_string(), alltoall_us(&net, a, PROCS, n as u64 * 8)),
+    };
+    let m = measure(op, PROCS, net);
+    let err = rel_error(pred, m.elapsed);
+    println!(
+        "{label:<9} {name:<17} pred={pred:>9.1}us meas={:>9.1}us err={err:.3}",
+        m.elapsed.as_micros_f64()
+    );
+    err
+}
+
+// Golden bounds: observed worst-case relative errors at the time of
+// writing were broadcast 0.157 (the chain's trailing-ack drift at the
+// baseline), reduce 0.209 (tree at the baseline, where idle leaves drain
+// acks inside the window), allgather 0.084 and all-to-all 0.084 (the
+// direct incast in the host-bound regime). Pinned at ~1.4× the
+// observation: the simulation is deterministic, so these only move if
+// the algorithms or the model genuinely change.
+
+#[test]
+fn broadcast_model_tracks_simulation_at_every_point() {
+    let mut worst = 0.0f64;
+    for (label, net) in points() {
+        for n in SIZES {
+            for algo in BcastAlgo::ALL {
+                worst = worst.max(cell(label, OpSpec::Broadcast(algo, n), net));
+            }
+        }
+    }
+    assert!(worst < 0.22, "broadcast model err {worst:.3}");
+}
+
+#[test]
+fn reduce_model_tracks_simulation_at_every_point() {
+    let mut worst = 0.0f64;
+    for (label, net) in points() {
+        for algo in ReduceAlgo::ALL {
+            worst = worst.max(cell(label, OpSpec::Reduce(algo), net));
+        }
+    }
+    assert!(worst < 0.29, "reduce model err {worst:.3}");
+}
+
+#[test]
+fn allgather_model_tracks_simulation_at_every_point() {
+    let mut worst = 0.0f64;
+    for (label, net) in points() {
+        for n in SIZES {
+            for algo in GatherAlgo::ALL {
+                worst = worst.max(cell(label, OpSpec::Allgather(algo, n), net));
+            }
+        }
+    }
+    assert!(worst < 0.12, "allgather model err {worst:.3}");
+}
+
+#[test]
+fn alltoall_model_tracks_simulation_at_every_point() {
+    let mut worst = 0.0f64;
+    for (label, net) in points() {
+        for n in SIZES {
+            for algo in A2aAlgo::ALL {
+                worst = worst.max(cell(label, OpSpec::AllToAll(algo, n), net));
+            }
+        }
+    }
+    assert!(worst < 0.12, "all-to-all model err {worst:.3}");
+}
+
+/// The selector contract: at every (size, LogGP point) the model-chosen
+/// variant must be measured-cheapest, within a tie tolerance near
+/// crossovers (where two variants are genuinely within a few percent of
+/// each other, either choice is correct).
+const TIE_TOLERANCE: f64 = 1.05;
+
+fn assert_selected_is_measured_best(
+    label: &str,
+    family: &str,
+    chosen: String,
+    timed: &[(String, SimDelta)],
+) {
+    let (best_name, best) = timed
+        .iter()
+        .min_by_key(|(_, t)| *t)
+        .expect("at least one variant")
+        .clone();
+    let (_, chosen_t) = timed
+        .iter()
+        .find(|(n, _)| *n == chosen)
+        .expect("selector picked a known variant")
+        .clone();
+    assert!(
+        chosen_t.as_micros_f64() <= best.as_micros_f64() * TIE_TOLERANCE,
+        "{label} {family}: selector picked {chosen} ({:.1}us) but {best_name} measured {:.1}us",
+        chosen_t.as_micros_f64(),
+        best.as_micros_f64(),
+    );
+}
+
+#[test]
+fn selector_picks_the_measured_cheapest_variant_everywhere() {
+    for (label, net) in points() {
+        let sel = Selector::new(net, PROCS, CollConfig::default());
+        for n in SIZES {
+            let bytes = n as u64 * 8;
+            let timed: Vec<(String, SimDelta)> = BcastAlgo::ALL
+                .iter()
+                .map(|&a| {
+                    (
+                        a.to_string(),
+                        measure(OpSpec::Broadcast(a, n), PROCS, net).elapsed,
+                    )
+                })
+                .collect();
+            assert_selected_is_measured_best(
+                label,
+                "broadcast",
+                sel.broadcast(bytes).to_string(),
+                &timed,
+            );
+
+            let timed: Vec<(String, SimDelta)> = GatherAlgo::ALL
+                .iter()
+                .map(|&a| {
+                    (
+                        a.to_string(),
+                        measure(OpSpec::Allgather(a, n), PROCS, net).elapsed,
+                    )
+                })
+                .collect();
+            assert_selected_is_measured_best(
+                label,
+                "allgather",
+                sel.allgather(bytes).to_string(),
+                &timed,
+            );
+
+            let timed: Vec<(String, SimDelta)> = A2aAlgo::ALL
+                .iter()
+                .map(|&a| {
+                    (
+                        a.to_string(),
+                        measure(OpSpec::AllToAll(a, n), PROCS, net).elapsed,
+                    )
+                })
+                .collect();
+            assert_selected_is_measured_best(
+                label,
+                "all-to-all",
+                sel.alltoall(bytes).to_string(),
+                &timed,
+            );
+        }
+        let timed: Vec<(String, SimDelta)> = ReduceAlgo::ALL
+            .iter()
+            .map(|&a| {
+                (
+                    a.to_string(),
+                    measure(OpSpec::Reduce(a), PROCS, net).elapsed,
+                )
+            })
+            .collect();
+        assert_selected_is_measured_best(label, "reduce", sel.reduce().to_string(), &timed);
+    }
+}
+
+/// The crossover the sweep axis demonstrates, pinned in *measured* time:
+/// at the baseline a bulk broadcast is cheapest pipelined (chain or
+/// scatter-allgather) and the direct allgather loses to the ring, while at
+/// high overhead the message-frugal binomial tree and the direct exchange
+/// win — and the selector follows both flips.
+#[test]
+fn measured_crossover_matches_selected_crossover() {
+    let base = NetConfig::berkeley_now();
+    let high_o = base.with_knobs(Knobs::with_overhead(SimDelta::from_micros(103.0 - 2.9)));
+    let n = 2048; // 16 KiB
+
+    let meas = |algo, net| measure(OpSpec::Broadcast(algo, n), PROCS, net).elapsed;
+    // Baseline: pipelining beats the binomial tree on a bulk payload.
+    assert!(meas(BcastAlgo::ScatterAllgather, base) < meas(BcastAlgo::Binomial, base));
+    assert_ne!(
+        Selector::new(base, PROCS, CollConfig::default()).broadcast(n as u64 * 8),
+        BcastAlgo::Binomial
+    );
+    // High overhead: the per-message budget dominates; the binomial tree's
+    // O(log P) critical path wins and the selector flips with it.
+    assert!(meas(BcastAlgo::Binomial, high_o) < meas(BcastAlgo::ScatterAllgather, high_o));
+    assert_eq!(
+        Selector::new(high_o, PROCS, CollConfig::default()).broadcast(n as u64 * 8),
+        BcastAlgo::Binomial
+    );
+}

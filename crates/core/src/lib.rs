@@ -50,6 +50,10 @@ pub use nowlab_metrics::{
     MetricsSummary, ProcState, RunMeta, SweepPointMeta, DEFAULT_WINDOW,
 };
 pub use nowlab_sim::{SimDelta, SimTime};
+pub use nowlab_splitc::{
+    allgather_us, alltoall_us, bcast_us, reduce_us, A2aAlgo, BcastAlgo, CollAlgo, CollConfig,
+    GatherAlgo, ReduceAlgo, Selector,
+};
 pub use nowlab_trace::{TraceMode, TraceReport, TraceSummary};
 pub use sweep::par::{default_jobs, parallel_map};
 pub use sweep::{

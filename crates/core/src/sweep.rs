@@ -15,6 +15,7 @@ use std::fmt;
 use nowlab_am::{CommStats, Knobs, LoggpParams, NetConfig, RunAbort};
 use nowlab_metrics::{MetricsMode, MetricsReport, MetricsSummary};
 use nowlab_sim::SimDelta;
+use nowlab_splitc::CollConfig;
 use nowlab_trace::{TraceMode, TraceReport, TraceSummary};
 
 use crate::models::{fit_linear, LinFit};
@@ -42,6 +43,9 @@ pub struct RunSpec {
     /// Simulated-time metrics mode (off by default; like tracing, metrics
     /// observe the run without altering it).
     pub metrics: MetricsMode,
+    /// Collective-algorithm policy (model-driven selection by default; a
+    /// forced variant overrides the LogGP selector on every call site).
+    pub coll: CollConfig,
 }
 
 impl RunSpec {
@@ -55,6 +59,7 @@ impl RunSpec {
             seed: 1,
             trace: TraceMode::Off,
             metrics: MetricsMode::Off,
+            coll: CollConfig::default(),
         }
     }
 
@@ -93,6 +98,12 @@ impl RunSpec {
     /// Sets the metrics mode.
     pub fn with_metrics(mut self, metrics: MetricsMode) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Sets the collective-algorithm policy.
+    pub fn with_coll(mut self, coll: CollConfig) -> Self {
+        self.coll = coll;
         self
     }
 }
@@ -151,6 +162,13 @@ pub enum Axis {
     Latency,
     /// Bulk bandwidth `1/G` (MB/s) — swept *downward*.
     BulkBandwidth,
+    /// Per-message overhead `o` (µs), swept to expose the collective
+    /// selector's crossover points: as `o` grows, message-count-minimizing
+    /// variants (binomial, tree) overtake pipeline-friendly ones (chain,
+    /// ring). Knob-wise identical to [`Axis::Overhead`]; it exists as a
+    /// separate axis so collective-focused sweeps are labeled as such and
+    /// can report per-point selector decisions.
+    Coll,
 }
 
 impl Axis {
@@ -161,6 +179,7 @@ impl Axis {
             Axis::Gap => "gap (us)",
             Axis::Latency => "latency (us)",
             Axis::BulkBandwidth => "bulk bandwidth (MB/s)",
+            Axis::Coll => "coll overhead (us)",
         }
     }
 
@@ -168,7 +187,7 @@ impl Axis {
     /// (desired *absolute* parameter values, baseline first).
     pub fn paper_values(self) -> Vec<f64> {
         match self {
-            Axis::Overhead => vec![2.9, 3.9, 4.9, 6.9, 7.9, 13.0, 23.0, 53.0, 103.0],
+            Axis::Overhead | Axis::Coll => vec![2.9, 3.9, 4.9, 6.9, 7.9, 13.0, 23.0, 53.0, 103.0],
             Axis::Gap => vec![5.8, 8.0, 10.0, 15.0, 30.0, 55.0, 80.0, 105.0],
             Axis::Latency => vec![5.0, 7.5, 10.0, 15.0, 30.0, 55.0, 80.0, 105.0],
             Axis::BulkBandwidth => vec![38.0, 30.0, 25.0, 20.0, 15.0, 10.0, 5.5, 5.0, 2.0, 1.0],
@@ -190,7 +209,7 @@ impl Axis {
             }
         };
         match self {
-            Axis::Overhead => Some(Knobs::with_overhead(delta_us(
+            Axis::Overhead | Axis::Coll => Some(Knobs::with_overhead(delta_us(
                 base.o_mean().as_micros_f64(),
             )?)),
             Axis::Gap => Some(Knobs::with_gap(delta_us(base.gap.as_micros_f64())?)),
@@ -561,6 +580,7 @@ mod tests {
             Axis::Gap,
             Axis::Latency,
             Axis::BulkBandwidth,
+            Axis::Coll,
         ] {
             let first = axis.paper_values()[0];
             let knobs = axis.knobs_for(&base, first).unwrap();

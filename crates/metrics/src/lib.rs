@@ -33,8 +33,8 @@ mod report;
 
 pub use render::render_report;
 pub use report::{
-    write_sweep_json, DetectorSummary, MetricsReport, MetricsSummary, PhaseSlice, ProcSeries,
-    RunMeta, SweepPointMeta, WireBusy,
+    write_sweep_json, CollSummary, DetectorSummary, MetricsReport, MetricsSummary, PhaseSlice,
+    ProcSeries, RunMeta, SweepPointMeta, WireBusy,
 };
 
 /// Whether the metrics registry records anything for a run.
@@ -340,9 +340,11 @@ impl MetricsRecorder {
                 st.depth_sum as f64 / st.depth_n as f64
             },
             // The recorder never sees detector traffic (heartbeats are
-            // out-of-band); the harness stamps these from the run's
-            // cluster statistics after `finish`.
+            // out-of-band) and cannot tell a collective apart from its
+            // constituent messages; the harness stamps both from the
+            // run's cluster statistics after `finish`.
             detector: DetectorSummary::default(),
+            coll: CollSummary::default(),
         };
         MetricsReport {
             window_ns: window,

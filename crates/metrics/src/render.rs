@@ -112,6 +112,22 @@ fn detector_line(summary: &Value) -> Result<Option<String>, String> {
     )))
 }
 
+/// The collective-counters line (schema v3). Absent in v1/v2 files,
+/// which predate the collectives layer — render nothing rather than
+/// erroring.
+fn coll_line(summary: &Value) -> Result<Option<String>, String> {
+    let Some(c) = summary.get("coll") else {
+        return Ok(None);
+    };
+    Ok(Some(format!(
+        "collectives: {} broadcasts, {} reductions, {} all-gathers, {} all-to-alls",
+        req(c, "bcasts")?.as_u64().ok_or("bcasts")?,
+        req(c, "reduces")?.as_u64().ok_or("reduces")?,
+        req(c, "allgathers")?.as_u64().ok_or("allgathers")?,
+        req(c, "alltoalls")?.as_u64().ok_or("alltoalls")?,
+    )))
+}
+
 fn render_run(v: &Value) -> Result<String, String> {
     let mut out = String::new();
     let app = req(v, "app")?.as_str().ok_or("app")?;
@@ -199,6 +215,9 @@ fn render_run(v: &Value) -> Result<String, String> {
     out.push('\n');
     let _ = writeln!(out, "{}", am_line(summary)?);
     if let Some(line) = detector_line(summary)? {
+        let _ = writeln!(out, "{line}");
+    }
+    if let Some(line) = coll_line(summary)? {
         let _ = writeln!(out, "{line}");
     }
     let events = req(v, "events_per_window")?
@@ -343,6 +362,7 @@ mod tests {
             rendered.contains("failure detector: 0 heartbeats"),
             "{rendered}"
         );
+        assert!(rendered.contains("collectives: 0 broadcasts"), "{rendered}");
         assert!(rendered.contains("events per window"), "{rendered}");
     }
 

@@ -15,7 +15,7 @@ pub const SCHEMA_NAME: &str = "nowlab-metrics-report";
 /// Version of the schema emitted in every report file. Bump on any
 /// field removal or meaning change; additions are backward compatible
 /// (see DESIGN.md §10).
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Per-state nanosecond totals for one application phase, summed over
 /// all processors.
@@ -63,6 +63,9 @@ pub struct MetricsSummary {
     pub depth_mean: f64,
     /// Failure-detector counters (schema v2; all zero on a healthy run).
     pub detector: DetectorSummary,
+    /// Collective-operation counters (schema v3; all zero when the run
+    /// uses no collectives).
+    pub coll: CollSummary,
 }
 
 /// Failure-detector counters for the run, summed over all observers
@@ -81,6 +84,23 @@ pub struct DetectorSummary {
     pub peer_deaths: u64,
     /// Worst crash-to-confirmation latency observed, nanoseconds.
     pub max_detect_latency_ns: u64,
+}
+
+/// Collective-operation counters for the run, summed over all
+/// processors (schema v3). Every processor participating in one
+/// collective counts once, so a broadcast on `p` processors adds `p`
+/// to `bcasts`. All zero when the program never calls the collective
+/// layer — the report is byte-identical modulo the constant zeros.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CollSummary {
+    /// Broadcast participations.
+    pub bcasts: u64,
+    /// Reduction participations.
+    pub reduces: u64,
+    /// All-gather participations.
+    pub allgathers: u64,
+    /// All-to-all participations.
+    pub alltoalls: u64,
 }
 
 impl MetricsSummary {
@@ -200,8 +220,14 @@ fn write_summary<W: Write>(w: &mut W, s: &MetricsSummary) -> io::Result<()> {
     let d = &s.detector;
     write!(
         w,
-        r#""detector":{{"heartbeats":{},"suspicions":{},"false_suspicions":{},"peer_deaths":{},"max_detect_latency_ns":{}}}}}"#,
+        r#""detector":{{"heartbeats":{},"suspicions":{},"false_suspicions":{},"peer_deaths":{},"max_detect_latency_ns":{}}},"#,
         d.heartbeats, d.suspicions, d.false_suspicions, d.peer_deaths, d.max_detect_latency_ns
+    )?;
+    let c = &s.coll;
+    write!(
+        w,
+        r#""coll":{{"bcasts":{},"reduces":{},"allgathers":{},"alltoalls":{}}}}}"#,
+        c.bcasts, c.reduces, c.allgathers, c.alltoalls
     )
 }
 

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use nowlab_am::{AmCluster, AmPort, HandlerId, Mark, NetConfig, Payload};
+use nowlab_coll::{ops as coll_ops, CollAccess, CollConfig, CollHandlers, CollState, Selector};
 use nowlab_sim::{SimDelta, SimTime};
 
 use crate::layer::Prims;
@@ -17,6 +18,8 @@ pub struct Ctx {
     cluster: AmCluster,
     port: AmPort,
     prims: Prims,
+    coll: CollHandlers,
+    coll_cfg: CollConfig,
 }
 
 impl fmt::Debug for Ctx {
@@ -26,11 +29,19 @@ impl fmt::Debug for Ctx {
 }
 
 impl Ctx {
-    pub(crate) fn new(cluster: AmCluster, port: AmPort, prims: Prims) -> Self {
+    pub(crate) fn new(
+        cluster: AmCluster,
+        port: AmPort,
+        prims: Prims,
+        coll: CollHandlers,
+        coll_cfg: CollConfig,
+    ) -> Self {
         Ctx {
             cluster,
             port,
             prims,
+            coll,
+            coll_cfg,
         }
     }
 
@@ -515,6 +526,51 @@ impl Ctx {
     }
 
     // ------------------------------------------------------------------
+    // Model-driven collectives (nowlab-coll)
+    // ------------------------------------------------------------------
+
+    /// The variant selector for this run: the analytic LogGP model over
+    /// this cluster's configuration, constrained by the run's
+    /// [`CollConfig`] (`--coll-algo`).
+    pub fn coll_selector(&self) -> Selector {
+        Selector::new(self.net_config(), self.procs(), self.coll_cfg)
+    }
+
+    /// Model-selected broadcast of `words` from `root` (see
+    /// [`nowlab_coll::ops::broadcast`]). `nwords` is the payload length in
+    /// words, which every processor must know (non-roots pass an empty
+    /// `words` but the selector needs the size to rank variants
+    /// identically everywhere).
+    pub async fn coll_broadcast(&self, root: usize, words: Vec<u64>, nwords: usize) -> Vec<u64> {
+        let algo = self.coll_selector().broadcast(nwords as u64 * 8);
+        coll_ops::broadcast(self, algo, root, &words).await
+    }
+
+    /// Model-selected global wrapping sum (see
+    /// [`nowlab_coll::ops::allreduce_sum`]).
+    pub async fn coll_allreduce_sum(&self, value: u64) -> u64 {
+        let algo = self.coll_selector().reduce();
+        coll_ops::allreduce_sum(self, algo, value).await
+    }
+
+    /// Model-selected allgather of this processor's `words` (see
+    /// [`nowlab_coll::ops::allgather`]). Block sizes must be symmetric
+    /// across processors, or the selectors disagree on the variant.
+    pub async fn coll_allgather(&self, words: &[u64]) -> Vec<Vec<u64>> {
+        let algo = self.coll_selector().allgather(words.len() as u64 * 8);
+        coll_ops::allgather(self, algo, words).await
+    }
+
+    /// Model-selected personalized all-to-all (see
+    /// [`nowlab_coll::ops::alltoall`]). `nominal_words` is the
+    /// per-destination block size the selector ranks by; it must be the
+    /// same value on every processor (actual block sizes may vary).
+    pub async fn coll_alltoall(&self, blocks: &[Vec<u64>], nominal_words: usize) -> Vec<Vec<u64>> {
+        let algo = self.coll_selector().alltoall(nominal_words as u64 * 8);
+        coll_ops::alltoall(self, algo, blocks).await
+    }
+
+    // ------------------------------------------------------------------
     // Locks (Barnes-style blocking locks with retry)
     // ------------------------------------------------------------------
 
@@ -628,5 +684,19 @@ impl Ctx {
         self.port
             .post(dst, handler, args, payload, Mark::User)
             .await;
+    }
+}
+
+impl CollAccess for Ctx {
+    fn port(&self) -> &AmPort {
+        &self.port
+    }
+
+    fn handlers(&self) -> CollHandlers {
+        self.coll
+    }
+
+    fn with_coll<R>(&self, f: impl FnOnce(&mut CollState) -> R) -> R {
+        self.port.with_state(|m: &mut Memory| f(&mut m.coll))
     }
 }

@@ -9,6 +9,7 @@
 use std::future::Future;
 
 use nowlab_am::{AmCluster, CommStats, HandlerId, Msg, NetConfig, Payload, ReplyData, RunAbort};
+use nowlab_coll::{CollConfig, CollHandlers};
 use nowlab_sim::{RunReport, Sim, SimDelta, SimTime, StopReason};
 
 use crate::ctx::Ctx;
@@ -60,6 +61,8 @@ pub struct SpmdConfig {
     pub time_limit: Option<SimDelta>,
     /// Reaction to a confirmed peer death (node-failure runs only).
     pub degrade: DegradePolicy,
+    /// Collective-algorithm policy (see [`CollConfig`]).
+    pub coll: CollConfig,
 }
 
 impl SpmdConfig {
@@ -71,6 +74,7 @@ impl SpmdConfig {
             event_limit: None,
             time_limit: None,
             degrade: DegradePolicy::Abort,
+            coll: CollConfig::default(),
         }
     }
 
@@ -95,6 +99,12 @@ impl SpmdConfig {
     /// Sets the reaction to a confirmed peer death.
     pub fn with_degrade(mut self, degrade: DegradePolicy) -> Self {
         self.degrade = degrade;
+        self
+    }
+
+    /// Sets the collective-algorithm policy.
+    pub fn with_coll(mut self, coll: CollConfig) -> Self {
+        self.coll = coll;
         self
     }
 }
@@ -160,6 +170,7 @@ pub struct SplitC {
     sim: Sim,
     cluster: AmCluster,
     prims: Prims,
+    coll: CollHandlers,
     cfg: SpmdConfig,
 }
 
@@ -179,10 +190,17 @@ impl SplitC {
             cluster.set_state(p, Box::new(Memory::new(cfg.procs)));
         }
         let prims = register_prims(&cluster);
+        let coll = CollHandlers::register(&cluster, |any| {
+            &mut any
+                .downcast_mut::<Memory>()
+                .expect("Split-C processor state missing")
+                .coll
+        });
         SplitC {
             sim,
             cluster,
             prims,
+            coll,
             cfg: *cfg,
         }
     }
@@ -259,7 +277,13 @@ impl SplitC {
         let done = std::rc::Rc::new(std::cell::Cell::new(0usize));
         let handles: Vec<_> = (0..p)
             .map(|i| {
-                let ctx = Ctx::new(self.cluster.clone(), self.cluster.port(i), self.prims);
+                let ctx = Ctx::new(
+                    self.cluster.clone(),
+                    self.cluster.port(i),
+                    self.prims,
+                    self.coll,
+                    self.cfg.coll,
+                );
                 let fut = body(ctx);
                 let done = std::rc::Rc::clone(&done);
                 let cluster = self.cluster.clone();

@@ -55,6 +55,13 @@ pub use memory::{barrier_rounds, GlobalPtr, MailMsg, MailboxId, Memory, RegionId
 // structured abort the node-failure model surfaces.
 pub use nowlab_am::{Payload, RunAbort};
 
+// Re-export the collective-layer configuration vocabulary so applications
+// and the run plumbing can name algorithm policies without importing the
+// coll crate directly (apps reach collectives through [`Ctx`] only; see
+// lint LAY003).
+pub use nowlab_coll::model::{allgather_us, alltoall_us, bcast_us, reduce_us};
+pub use nowlab_coll::{A2aAlgo, BcastAlgo, CollAlgo, CollConfig, GatherAlgo, ReduceAlgo, Selector};
+
 // Re-export the time vocabulary so applications can talk about durations
 // without reaching below the Split-C layer (see lint LAY003).
 pub use nowlab_sim::{SimDelta, SimTime};

@@ -98,6 +98,9 @@ pub struct Memory {
     /// the broadcast's arrival) — a snapshot of `bcast_gen` taken on entry
     /// would then wait for a generation that never comes.
     pub(crate) bcast_taken: u64,
+    /// The collectives layer's per-processor state (epoch counters and
+    /// in-flight data; see [`nowlab_coll::CollState`]).
+    pub(crate) coll: nowlab_coll::CollState,
     /// Application extension state, accessible to custom handlers.
     pub ext: Option<Box<dyn Any>>,
 }
@@ -128,6 +131,7 @@ impl Memory {
             bcast_data: Vec::new(),
             bcast_gen: 0,
             bcast_taken: 0,
+            coll: nowlab_coll::CollState::default(),
             ext: None,
         }
     }

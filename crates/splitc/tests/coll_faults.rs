@@ -1,0 +1,228 @@
+//! Fault-path contracts for the collectives: a confirmed-dead peer must
+//! never hang a collective. Under [`DegradePolicy::Continue`] survivors
+//! complete with the victim's data missing (empty blocks, partial sums);
+//! under the default [`DegradePolicy::Abort`] the run halts with a
+//! structured [`RunAbort`] naming the victim. Crash-recovery outages
+//! shorter than the confirmation window must leave results *exact* (the
+//! fail-pause node resumes and its traffic replays), with the detector's
+//! false-suspicion counter recording the scare.
+
+use nowlab_am::{NetConfig, NodeFault, NodeFaultPlan};
+use nowlab_sim::{SimDelta, SimTime};
+use nowlab_splitc::{run_spmd, CollAlgo, CollConfig, DegradePolicy, SpmdConfig, SpmdOutcome};
+
+const PROCS: usize = 6;
+const VICTIM: usize = 5;
+
+/// Config with `VICTIM` crash-stopped at t=0 and a generous virtual-time
+/// backstop: if an escape path regresses into a hang, the limit converts
+/// it into a visible `completed == false` for the *survivors* too.
+fn crash_stop(policy: CollAlgo, degrade: DegradePolicy) -> SpmdConfig {
+    let plan = NodeFaultPlan::none().with_fault(NodeFault::crash(VICTIM, SimTime::ZERO));
+    SpmdConfig::new(PROCS)
+        .with_net(NetConfig::berkeley_now().with_node_faults(plan))
+        .with_degrade(degrade)
+        .with_coll(CollConfig::forced(policy))
+        .with_time_limit(SimDelta::from_secs(1.0))
+}
+
+/// Unwraps the survivors' outputs of a degraded-continue run: the victim
+/// never runs (its slot is `None`), every survivor must have finished.
+fn survivor_outputs<T>(outcome: SpmdOutcome<T>) -> Vec<T> {
+    assert!(
+        outcome.abort.is_none(),
+        "Continue run aborted: {:?}",
+        outcome.abort
+    );
+    assert!(!outcome.completed, "the victim cannot have completed");
+    let mut outs = Vec::new();
+    for (i, o) in outcome.outputs.into_iter().enumerate() {
+        if i == VICTIM {
+            assert!(o.is_none(), "victim p{i} produced output");
+        } else {
+            outs.push(o.unwrap_or_else(|| panic!("survivor p{i} hung")));
+        }
+    }
+    outs
+}
+
+#[test]
+fn broadcast_with_crashed_leaf_delivers_full_payload_to_survivors() {
+    // Proc 5 is a leaf of the binomial tree rooted at 0 and the tail of
+    // the chain, so its death costs the survivors nothing but the wait
+    // for confirmation.
+    for policy in [CollAlgo::Binomial, CollAlgo::Chain] {
+        let cfg = crash_stop(policy, DegradePolicy::Continue);
+        let outcome = run_spmd(&cfg, |ctx| async move {
+            let data = if ctx.me() == 0 {
+                vec![7u64; 96]
+            } else {
+                Vec::new()
+            };
+            ctx.coll_broadcast(0, data, 96).await
+        });
+        let stats = outcome.stats.clone();
+        for (i, words) in survivor_outputs(outcome).into_iter().enumerate() {
+            assert_eq!(words, vec![7u64; 96], "{policy}: survivor #{i} degraded");
+        }
+        // Every survivor's detector independently confirms the one death.
+        assert_eq!(stats.total_peer_deaths(), (PROCS - 1) as u64, "{policy}");
+        assert_eq!(stats.total_false_suspicions(), 0, "{policy}");
+        assert!(stats.total_heartbeats() > 0, "{policy}");
+    }
+}
+
+#[test]
+fn reduce_with_crashed_peer_yields_the_survivors_partial_sum() {
+    let cfg = crash_stop(CollAlgo::Flat, DegradePolicy::Continue);
+    let outcome = run_spmd(&cfg, |ctx| async move {
+        ctx.coll_allreduce_sum(ctx.me() as u64 + 1).await
+    });
+    let partial: u64 = (0..PROCS as u64 + 1).sum::<u64>() - (VICTIM as u64 + 1);
+    for (i, sum) in survivor_outputs(outcome).into_iter().enumerate() {
+        assert_eq!(sum, partial, "survivor #{i}: wrong partial sum");
+    }
+}
+
+#[test]
+fn gathers_with_crashed_peer_leave_the_victims_block_empty() {
+    // The direct exchange is point-to-point, so exactly one block — the
+    // victim's — is missing from every survivor's result.
+    let cfg = crash_stop(CollAlgo::Direct, DegradePolicy::Continue);
+    let outcome = run_spmd(&cfg, |ctx| async move {
+        let me = ctx.me();
+        let mine = vec![me as u64; 16];
+        let ag = ctx.coll_allgather(&mine).await;
+        let blocks: Vec<Vec<u64>> = (0..ctx.procs())
+            .map(|q| vec![(me * 10 + q) as u64; 8])
+            .collect();
+        let a2a = ctx.coll_alltoall(&blocks, 8).await;
+        (ag, a2a)
+    });
+    for (i, (ag, a2a)) in survivor_outputs(outcome).into_iter().enumerate() {
+        assert_eq!(ag.len(), PROCS);
+        assert_eq!(a2a.len(), PROCS);
+        for q in 0..PROCS {
+            if q == VICTIM {
+                assert!(ag[q].is_empty(), "survivor #{i}: ghost allgather block");
+                assert!(a2a[q].is_empty(), "survivor #{i}: ghost all-to-all block");
+            } else {
+                assert_eq!(ag[q], vec![q as u64; 16], "survivor #{i}: allgather[{q}]");
+                assert_eq!(
+                    a2a[q],
+                    vec![(q * 10 + i) as u64; 8],
+                    "survivor #{i}: a2a[{q}]"
+                );
+            }
+        }
+    }
+}
+
+/// Under the default Abort policy every collective family surfaces the
+/// death as a structured [`nowlab_splitc::RunAbort`] instead of a hang or
+/// a panic, regardless of which variant the selector picked.
+#[test]
+fn abort_policy_surfaces_a_structured_run_abort_for_every_collective() {
+    for kind in 0..4usize {
+        let cfg = crash_stop(CollAlgo::Auto, DegradePolicy::Abort);
+        let outcome = run_spmd(&cfg, move |ctx| async move {
+            match kind {
+                0 => {
+                    let d = if ctx.me() == 0 {
+                        vec![1u64; 64]
+                    } else {
+                        Vec::new()
+                    };
+                    ctx.coll_broadcast(0, d, 64).await.len() as u64
+                }
+                1 => ctx.coll_allreduce_sum(1).await,
+                2 => ctx.coll_allgather(&[2u64; 16]).await.len() as u64,
+                _ => {
+                    let blocks = vec![vec![3u64; 8]; ctx.procs()];
+                    ctx.coll_alltoall(&blocks, 8).await.len() as u64
+                }
+            }
+        });
+        let abort = outcome
+            .abort
+            .unwrap_or_else(|| panic!("collective #{kind}: no RunAbort"));
+        assert_eq!(abort.peer, VICTIM, "collective #{kind}");
+        assert_ne!(abort.observer, VICTIM, "collective #{kind}");
+        assert!(abort.at > SimTime::ZERO, "collective #{kind}");
+        assert!(!outcome.completed, "collective #{kind}");
+    }
+}
+
+#[test]
+fn crash_recovery_inside_the_suspect_window_keeps_results_exact() {
+    // A 600 µs outage: long enough that the detector (suspect after
+    // 250 µs) raises suspicions, short enough that the node thaws before
+    // the 2 ms confirmation — the fail-pause peer resumes, its traffic
+    // replays, and forty allreduce epochs come out exact.
+    let plan = NodeFaultPlan::none()
+        .with_detector(
+            SimDelta::from_micros(100.0),
+            SimDelta::from_micros(250.0),
+            SimDelta::from_micros(2000.0),
+        )
+        .with_fault(NodeFault::crash_recovery(
+            VICTIM,
+            SimTime::ZERO + SimDelta::from_micros(500.0),
+            SimDelta::from_micros(600.0),
+        ));
+    let cfg = SpmdConfig::new(PROCS)
+        .with_net(NetConfig::berkeley_now().with_node_faults(plan))
+        .with_degrade(DegradePolicy::Continue)
+        .with_time_limit(SimDelta::from_secs(1.0));
+    let outcome = run_spmd(&cfg, |ctx| async move {
+        let mut acc = 0u64;
+        for round in 0..40u64 {
+            acc = acc.wrapping_add(ctx.coll_allreduce_sum(ctx.me() as u64 + round).await);
+        }
+        acc
+    });
+    let stats = outcome.stats.clone();
+    let per_round = |round: u64| (0..PROCS as u64).map(|m| m + round).sum::<u64>();
+    let expect = (0..40).fold(0u64, |a, r| a.wrapping_add(per_round(r)));
+    for (i, acc) in outcome.expect_outputs().into_iter().enumerate() {
+        assert_eq!(acc, expect, "p{i}: outage corrupted a reduction");
+    }
+    assert_eq!(stats.total_peer_deaths(), 0, "no death may be confirmed");
+    assert!(
+        stats.total_false_suspicions() >= 1,
+        "the outage must at least scare the detector (suspicions={}, false={})",
+        stats.total_suspicions(),
+        stats.total_false_suspicions(),
+    );
+}
+
+#[test]
+fn crash_recovery_past_the_confirmation_window_still_aborts() {
+    // A 5 ms outage against the same detector: confirmation (2 ms) wins
+    // the race against the thaw, so under Abort the recovery arrives too
+    // late — the run is already halted with the death note.
+    let plan = NodeFaultPlan::none()
+        .with_detector(
+            SimDelta::from_micros(100.0),
+            SimDelta::from_micros(250.0),
+            SimDelta::from_micros(2000.0),
+        )
+        .with_fault(NodeFault::crash_recovery(
+            VICTIM,
+            SimTime::ZERO + SimDelta::from_micros(200.0),
+            SimDelta::from_micros(5000.0),
+        ));
+    let cfg = SpmdConfig::new(PROCS)
+        .with_net(NetConfig::berkeley_now().with_node_faults(plan))
+        .with_time_limit(SimDelta::from_secs(1.0));
+    let outcome = run_spmd(&cfg, |ctx| async move {
+        let mut acc = 0u64;
+        for round in 0..40u64 {
+            acc = acc.wrapping_add(ctx.coll_allreduce_sum(ctx.me() as u64 + round).await);
+        }
+        acc
+    });
+    let abort = outcome.abort.expect("confirmation must abort the run");
+    assert_eq!(abort.peer, VICTIM);
+    assert!(!outcome.completed);
+}

@@ -26,9 +26,10 @@ use nowlab::apps::{suite_scaled, SuiteScale};
 use nowlab::core::calib::{calibrate, calibrate_bulk};
 use nowlab::core::report::{fmt_f, fmt_time, Table};
 use nowlab::core::{
-    default_jobs, parallel_map, render_report, sweep_jobs, write_sweep_json, Axis, FaultPlan,
-    Knobs, MetricsMode, NetConfig, NodeFault, NodeFaultPlan, ProcState, RunMeta, RunOutcome,
-    RunSpec, SimDelta, SimTime, SweepPointMeta, SweepableApp, TraceMode,
+    allgather_us, alltoall_us, bcast_us, default_jobs, parallel_map, reduce_us, render_report,
+    sweep_jobs, write_sweep_json, Axis, CollAlgo, CollConfig, FaultPlan, Knobs, MetricsMode,
+    NetConfig, NodeFault, NodeFaultPlan, ProcState, RunMeta, RunOutcome, RunSpec, Selector,
+    SimDelta, SimTime, SweepPointMeta, SweepableApp, TraceMode,
 };
 use nowlab::trace::chrome::write_chrome_trace;
 
@@ -37,12 +38,12 @@ const USAGE: &str = "usage:
   nowlab calibrate [--o US] [--g US] [--l US] [--mbps MB] [--window N]
   nowlab run   --app NAME [--procs N] [--seed S] [--scale test|benchmark]
                [--o US] [--g US] [--l US] [--mbps MB] [--verify-determinism]
-               [--trace FILE.json] [--trace-summary]
+               [--coll-algo NAME] [--trace FILE.json] [--trace-summary]
                [--metrics FILE.json] [--metrics-summary]
-  nowlab sweep --app NAME --axis overhead|gap|latency|bulk|chaos [--procs N]
-               [--scale test|benchmark] [--trace-summary]
-               [--metrics FILE.json] [--metrics-summary]
-  nowlab suite [--procs N] [--scale test|benchmark]
+  nowlab sweep --app NAME --axis overhead|gap|latency|bulk|coll|chaos
+               [--procs N] [--scale test|benchmark] [--coll-algo NAME]
+               [--trace-summary] [--metrics FILE.json] [--metrics-summary]
+  nowlab suite [--procs N] [--scale test|benchmark] [--coll-algo NAME]
   nowlab report FILE.json
 parallelism (run/sweep/suite):
   [--jobs N]   worker threads for independent runs (default: all cores;
@@ -59,6 +60,13 @@ node faults (run/sweep/suite):
 chaos sweep:
   --axis chaos  crash one processor at increasing fractions of the
                 healthy runtime and report detection/abort behavior
+collectives (run/sweep/suite):
+  [--coll-algo NAME]  force a collective-algorithm variant everywhere it
+                      applies instead of LogGP model-driven selection
+                      (auto, binomial, chain, scatter-allgather, flat,
+                      tree, ring, direct, pairwise)
+  --axis coll   sweep overhead while printing the selector's predicted
+                per-variant decisions at each point (crossover table)
 tracing (run/sweep):
   [--trace FILE.json]  per-message LogGP cost trace (Chrome trace format,
                        open in chrome://tracing or ui.perfetto.dev)
@@ -285,7 +293,7 @@ fn net_of(flags: &HashMap<String, String>) -> Result<NetConfig, String> {
                     "--{flag} {v}: below the Berkeley NOW baseline (the apparatus only slows down)"
                 ))?;
             match axis {
-                Axis::Overhead => knobs.d_o = k.d_o,
+                Axis::Overhead | Axis::Coll => knobs.d_o = k.d_o,
                 Axis::Gap => knobs.d_g = k.d_g,
                 Axis::Latency => knobs.d_lat = k.d_lat,
                 Axis::BulkBandwidth => knobs.d_gap_per_byte = k.d_gap_per_byte,
@@ -314,6 +322,18 @@ fn net_of(flags: &HashMap<String, String>) -> Result<NetConfig, String> {
         );
     }
     Ok(cfg.with_knobs(knobs))
+}
+
+/// Collective-algorithm policy from `--coll-algo` (absent means
+/// model-driven selection).
+fn coll_of(flags: &HashMap<String, String>) -> Result<CollConfig, String> {
+    match flags.get("coll-algo") {
+        None => Ok(CollConfig::default()),
+        Some(name) => {
+            let algo: CollAlgo = name.parse().map_err(|e| format!("--coll-algo: {e}"))?;
+            Ok(CollConfig::forced(algo))
+        }
+    }
 }
 
 /// Virtual-time deadline for runs on a faulty wire: 120 simulated seconds,
@@ -357,7 +377,7 @@ fn cmd_list() -> Result<(), String> {
     for app in suite_scaled(SuiteScale::Benchmark) {
         println!("  {}", app.name());
     }
-    println!("\naxes: overhead, gap, latency, bulk");
+    println!("\naxes: overhead, gap, latency, bulk, coll, chaos");
     Ok(())
 }
 
@@ -419,6 +439,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         RunSpec::new(parse_or(flags, "procs", 32usize)?)
             .with_net(net_of(flags)?)
             .with_seed(parse_or(flags, "seed", 1u64)?)
+            .with_coll(coll_of(flags)?)
             .with_trace(trace_mode_of(flags))
             .with_metrics(metrics_mode_of(flags)),
     );
@@ -577,6 +598,7 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         "gap" | "g" => Axis::Gap,
         "latency" | "l" => Axis::Latency,
         "bulk" | "bandwidth" | "mbps" => Axis::BulkBandwidth,
+        "coll" | "collectives" => Axis::Coll,
         other => return Err(format!("--axis: `{other}`")),
     };
     let tracing = flags.contains_key("trace-summary");
@@ -584,6 +606,7 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let spec = guard(
         RunSpec::new(parse_or(flags, "procs", 32usize)?)
             .with_net(net_of(flags)?)
+            .with_coll(coll_of(flags)?)
             .with_trace(if tracing {
                 TraceMode::Summary
             } else {
@@ -685,6 +708,9 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         t.push_row(row);
     }
     println!("{t}");
+    if axis == Axis::Coll {
+        print_coll_decisions(&spec, axis, &values)?;
+    }
     if let Some(path) = flags.get("metrics") {
         let metas: Vec<SweepPointMeta<'_>> = result
             .points
@@ -711,6 +737,66 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         );
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Payload used for the `--axis coll` selector-decision table: 16 KiB sits
+/// where the sweep itself moves a winner — the broadcast flips from the
+/// bandwidth-optimal scatter-allgather to the message-frugal binomial tree
+/// between o = 13 and o = 23 µs (see EXPERIMENTS.md §collective
+/// crossovers), while the gathers stay with the direct exchange whose
+/// overlapped incast the conformance suite shows is measured-cheapest
+/// across the whole axis at this cluster size.
+const COLL_TABLE_BYTES: u64 = 16 * 1024;
+
+/// Prints the LogGP selector's predicted choice (and predicted completion
+/// time) for each collective family at every swept overhead point, so the
+/// crossover from bandwidth-friendly to message-frugal variants is visible
+/// next to the measured slowdown table.
+fn print_coll_decisions(spec: &RunSpec, axis: Axis, values: &[f64]) -> Result<(), String> {
+    let procs = spec.procs;
+    let bytes = COLL_TABLE_BYTES;
+    let mut t = Table::new(
+        format!(
+            "model-selected variants vs overhead ({procs} procs, {bytes}-byte payloads, \
+             policy {})",
+            spec.coll.algo
+        ),
+        &[
+            "o (us)",
+            "bcast",
+            "us",
+            "reduce",
+            "us",
+            "allgather",
+            "us",
+            "all-to-all",
+            "us",
+        ],
+    );
+    for &v in values {
+        let Some(knobs) = axis.knobs_for(&spec.net.machine, v) else {
+            continue;
+        };
+        let net = spec.net.with_knobs(knobs);
+        let sel = Selector::new(net, procs, spec.coll);
+        let b = sel.broadcast(bytes);
+        let r = sel.reduce();
+        let g = sel.allgather(bytes);
+        let a = sel.alltoall(bytes);
+        t.push_row([
+            fmt_f(v, 1),
+            b.to_string(),
+            fmt_f(bcast_us(&net, b, procs, bytes), 1),
+            r.to_string(),
+            fmt_f(reduce_us(&net, r, procs), 1),
+            g.to_string(),
+            fmt_f(allgather_us(&net, g, procs, bytes), 1),
+            a.to_string(),
+            fmt_f(alltoall_us(&net, a, procs, bytes), 1),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
 }
 
 /// Crash times swept by `--axis chaos`, as fractions of the healthy
@@ -840,7 +926,11 @@ fn cmd_suite(flags: &HashMap<String, String>) -> Result<(), String> {
             "% reads",
         ],
     );
-    let spec = guard(RunSpec::new(procs).with_net(net_of(flags)?));
+    let spec = guard(
+        RunSpec::new(procs)
+            .with_net(net_of(flags)?)
+            .with_coll(coll_of(flags)?),
+    );
     let apps = suite_scaled(scale);
     // Whole apps are independent runs; fan them out and print in suite
     // order (results are collected by index, so the table is identical to
