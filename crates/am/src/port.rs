@@ -123,6 +123,13 @@ impl AmPort {
         if let Some(m) = self.inner.metrics.get() {
             m.busy(self.proc, ProcState::Compute, start, start + d);
         }
+        if let Some(sink) = self.inner.trace.get() {
+            sink.record(&TraceEvent::Compute {
+                proc: self.proc,
+                start,
+                dur: d,
+            });
+        }
     }
 
     /// Marks the crossing into application phase `name` (metrics
@@ -130,6 +137,26 @@ impl AmPort {
     pub fn phase_marker(&self, name: &str) {
         if let Some(m) = self.inner.metrics.get() {
             m.phase(self.proc, name, self.inner.sim.now());
+        }
+        if let Some(sink) = self.inner.trace.get() {
+            sink.record(&TraceEvent::Phase {
+                proc: self.proc,
+                label: nowlab_trace::PhaseLabel::new(name),
+                at: self.inner.sim.now(),
+            });
+        }
+    }
+
+    /// Marks a measured-region boundary (observation only; emitted by the
+    /// Split-C layer when measurement starts/stops so the trace DAG knows
+    /// which span the reported runtime covers).
+    pub fn region_marker(&self, begin: bool) {
+        if let Some(sink) = self.inner.trace.get() {
+            sink.record(&TraceEvent::Region {
+                proc: self.proc,
+                begin,
+                at: self.inner.sim.now(),
+            });
         }
     }
 
@@ -165,18 +192,37 @@ impl AmPort {
     /// Records one completed barrier (instrumentation for Table 4).
     pub fn note_barrier(&self) {
         self.inner.procs[self.proc].counters.borrow_mut().barriers += 1;
+        self.note_wave(nowlab_trace::WaveKind::Barrier);
     }
 
     /// Records one completed collective operation of the given kind
     /// (instrumentation for the metrics report's per-collective counters;
     /// mirrors [`AmPort::note_barrier`]).
     pub fn note_coll(&self, kind: crate::CollKind) {
-        let mut c = self.inner.procs[self.proc].counters.borrow_mut();
-        match kind {
-            crate::CollKind::Broadcast => c.coll_bcasts += 1,
-            crate::CollKind::Reduce => c.coll_reduces += 1,
-            crate::CollKind::Allgather => c.coll_allgathers += 1,
-            crate::CollKind::AllToAll => c.coll_alltoalls += 1,
+        {
+            let mut c = self.inner.procs[self.proc].counters.borrow_mut();
+            match kind {
+                crate::CollKind::Broadcast => c.coll_bcasts += 1,
+                crate::CollKind::Reduce => c.coll_reduces += 1,
+                crate::CollKind::Allgather => c.coll_allgathers += 1,
+                crate::CollKind::AllToAll => c.coll_alltoalls += 1,
+            }
+        }
+        self.note_wave(match kind {
+            crate::CollKind::Broadcast => nowlab_trace::WaveKind::Broadcast,
+            crate::CollKind::Reduce => nowlab_trace::WaveKind::Reduce,
+            crate::CollKind::Allgather => nowlab_trace::WaveKind::Allgather,
+            crate::CollKind::AllToAll => nowlab_trace::WaveKind::AllToAll,
+        });
+    }
+
+    fn note_wave(&self, kind: nowlab_trace::WaveKind) {
+        if let Some(sink) = self.inner.trace.get() {
+            sink.record(&TraceEvent::Wave {
+                proc: self.proc,
+                kind,
+                at: self.inner.sim.now(),
+            });
         }
     }
 
@@ -413,6 +459,17 @@ impl AmPort {
         } else {
             0
         };
+        // Hoist the id draw so the request→reply pairing edge can name the
+        // reply before injection; the draw order (and so the id sequence)
+        // is identical whether or not tracing is installed.
+        let trace = self.inner.next_trace();
+        if let Some(sink) = self.inner.trace.get() {
+            sink.record(&TraceEvent::Pair {
+                request: req.trace,
+                reply: trace,
+                at: self.inner.sim.now(),
+            });
+        }
         self.inner.inject(Msg {
             src: self.proc,
             dst: req.src,
@@ -424,7 +481,7 @@ impl AmPort {
             args,
             payload,
             mark,
-            trace: self.inner.next_trace(),
+            trace,
         });
     }
 
@@ -511,6 +568,14 @@ impl AmPort {
             if let Some(m) = self.inner.metrics.get() {
                 m.wait_exit(self.proc, self.inner.sim.now());
             }
+        }
+        if let Some(sink) = self.inner.trace.get() {
+            sink.record(&TraceEvent::Idle {
+                proc: self.proc,
+                enter: t_enter,
+                deadline,
+                exit: self.inner.sim.now(),
+            });
         }
     }
 

@@ -46,6 +46,10 @@ pub enum Layer {
     Coll,
     /// `crates/splitc` — Split-C language runtime over AM.
     Splitc,
+    /// `crates/predict` — happens-before DAG analytics over traces; reads
+    /// the trace and prices edges with AM's LogGP config, but must never
+    /// reach the runtime layers (`splitc`, `coll`) it reasons about.
+    Predict,
     /// `crates/core` — experiment driver: sweeps, models, calibration.
     Core,
     /// `crates/apps` — the ported Split-C applications; splitc and above
@@ -73,6 +77,7 @@ impl Layer {
             "am" => Layer::Am,
             "coll" => Layer::Coll,
             "splitc" => Layer::Splitc,
+            "predict" => Layer::Predict,
             "core" => Layer::Core,
             "apps" => Layer::Apps,
             "bench" => Layer::Bench,
@@ -112,6 +117,7 @@ impl Layer {
                 Layer::Am,
                 Layer::Coll,
             ]),
+            Layer::Predict => Some(&[Layer::Sim, Layer::Trace, Layer::Am]),
             Layer::Core => Some(&[
                 Layer::Rng,
                 Layer::Sim,
@@ -120,6 +126,7 @@ impl Layer {
                 Layer::Am,
                 Layer::Coll,
                 Layer::Splitc,
+                Layer::Predict,
             ]),
             Layer::Apps => Some(&[
                 Layer::Rng,
@@ -148,6 +155,7 @@ impl Layer {
             Layer::Am => "am",
             Layer::Coll => "coll",
             Layer::Splitc => "splitc",
+            Layer::Predict => "predict",
             Layer::Core => "core",
             Layer::Apps => "apps",
             Layer::Bench => "bench",
@@ -399,6 +407,18 @@ mod tests {
         assert!(coll.contains(&Layer::Am));
         assert!(!coll.contains(&Layer::Rng));
         assert!(!coll.contains(&Layer::Splitc));
+        // The predictor reads traces and prices with AM's LogGP config
+        // but must not touch the runtime layers it reasons about.
+        assert_eq!(Layer::of_crate("predict"), Layer::Predict);
+        let predict = Layer::Predict.allowed_deps().unwrap();
+        assert!(predict.contains(&Layer::Trace));
+        assert!(predict.contains(&Layer::Am));
+        assert!(!predict.contains(&Layer::Splitc));
+        assert!(!predict.contains(&Layer::Coll));
+        assert!(Layer::Core
+            .allowed_deps()
+            .unwrap()
+            .contains(&Layer::Predict));
         // Host-side layers are unconstrained.
         assert!(Layer::Bench.allowed_deps().is_none());
         assert!(Layer::Root.allowed_deps().is_none());
@@ -485,10 +505,10 @@ mod tests {
     fn real_workspace_graph_is_clean() {
         let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let g = WorkspaceGraph::load(&root).unwrap();
-        // All ten crates plus the root package are present.
+        // All member crates plus the root package are present.
         for dir in [
-            ".", "am", "analyze", "apps", "bench", "coll", "core", "metrics", "rng", "sim",
-            "splitc", "trace",
+            ".", "am", "analyze", "apps", "bench", "coll", "core", "metrics", "predict", "rng",
+            "sim", "splitc", "trace",
         ] {
             assert!(g.get(dir).is_some(), "missing crate node {dir}");
         }

@@ -140,7 +140,7 @@ pub struct Scope {
 /// absent: it is the host-side wall-clock harness and may read
 /// `Instant`/env freely.
 const SIM_CRATES: &[&str] = &[
-    "sim", "trace", "metrics", "am", "coll", "splitc", "core", "apps", "rng",
+    "sim", "trace", "metrics", "am", "coll", "splitc", "predict", "core", "apps", "rng",
 ];
 
 /// Determines the lint scope for a workspace-relative `.rs` path, or

@@ -9,7 +9,9 @@ use std::path::{Path, PathBuf};
 use nowlab_analyze::allowlist::Allowlist;
 use nowlab_analyze::cache::Cache;
 use nowlab_analyze::graph::Layer;
-use nowlab_analyze::{sarif, scan_source, scan_workspace, scan_workspace_cached, Scope, Severity};
+use nowlab_analyze::{
+    sarif, scan_source, scan_workspace, scan_workspace_cached, Diagnostic, Scope, Severity,
+};
 
 fn fixture_path(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -157,6 +159,7 @@ fn ws_layering_fixture_surfaces_manifest_and_source_violations() {
             ("crates/apps/src/lib.rs".to_string(), "LAY003"),
             ("crates/metrics/Cargo.toml".to_string(), "MET001"),
             ("crates/metrics/Cargo.toml".to_string(), "MET001"),
+            ("crates/predict/Cargo.toml".to_string(), "LAY002"),
         ],
         "unexpected diagnostics: {diags:?}"
     );
@@ -164,6 +167,15 @@ fn ws_layering_fixture_surfaces_manifest_and_source_violations() {
     let messages: String = diags.iter().map(|d| d.message.as_str()).collect();
     assert!(messages.contains("serde"));
     assert!(!messages.contains("serde_json"));
+    // The predictor's one live violation is the splitc edge; its trace
+    // and am edges are sanctioned, and its dev-dep stays exempt.
+    let predict: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.path == "crates/predict/Cargo.toml")
+        .collect();
+    assert_eq!(predict.len(), 1);
+    assert!(predict[0].message.contains("nowlab-splitc"));
+    assert!(predict[0].message.contains("layer predict"));
 }
 
 /// A second scan through the same cache reuses every file's recorded

@@ -37,6 +37,7 @@
 
 pub mod calib;
 pub mod models;
+pub mod predict;
 pub mod report;
 pub mod sweep;
 
@@ -45,6 +46,7 @@ pub use nowlab_am::{
     mb_per_s_from_per_byte, per_byte_from_mb_per_s, CommStats, FaultPlan, Knobs, LoggpParams,
     NetConfig, NodeFault, NodeFaultPlan, Outage, Reliability, RunAbort,
 };
+pub use nowlab_metrics::json;
 pub use nowlab_metrics::{
     render_report, write_sweep_json, MetricsMode, MetricsRecorder, MetricsReport, MetricsSink,
     MetricsSummary, ProcState, RunMeta, SweepPointMeta, DEFAULT_WINDOW,
@@ -55,6 +57,10 @@ pub use nowlab_splitc::{
     GatherAlgo, ReduceAlgo, Selector,
 };
 pub use nowlab_trace::{TraceMode, TraceReport, TraceSummary};
+pub use predict::{
+    predict_app, render_predict_report, render_report_auto, AxisPrediction, PredictPoint,
+    Prediction,
+};
 pub use sweep::par::{default_jobs, parallel_map};
 pub use sweep::{
     sweep, sweep_jobs, sweep_many, Axis, AxisSweep, RunOutcome, RunSpec, SweepError, SweepPoint,

@@ -1,0 +1,578 @@
+//! The `nowlab predict` engine: latency-tolerance analytics from **one**
+//! traced run.
+//!
+//! [`predict_app`] runs the application once with full tracing, builds the
+//! happens-before message DAG ([`nowlab_predict::analyze`]), then re-prices
+//! the DAG symbolically at every grid point of the requested axes — no
+//! re-simulation. The result carries predicted slowdown curves, a
+//! λ-style tolerance threshold per axis (the parameter value where
+//! slowdown first exceeds [`TOLERANCE`]), and the baseline critical-path
+//! breakdown by LogGP cost bucket and application phase.
+//!
+//! The JSON schema follows the metrics-report conventions (hand-rolled
+//! writer, `schema`/`version` preamble, byte-identical across runs and
+//! `--jobs` settings); [`render_report_auto`] sniffs the `schema` field so
+//! `nowlab report` renders either kind of file.
+
+use std::io::{self, Write};
+
+use nowlab_metrics::json;
+use nowlab_predict::{analyze, tolerance_threshold, Bucket, PathBreakdown, BUCKETS};
+use nowlab_sim::SimDelta;
+use nowlab_trace::{TraceMode, TraceReport};
+
+use crate::report::{fmt_f, fmt_time, sparkline, Table};
+use crate::sweep::par::parallel_map;
+use crate::sweep::{Axis, RunSpec, SweepableApp};
+
+/// Name of the schema emitted in every predict-report file.
+pub const SCHEMA_NAME: &str = "nowlab-predict-report";
+/// Version of the schema. Bump on any field removal or meaning change;
+/// additions are backward compatible (see DESIGN.md §10).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Slowdown budget defining the tolerance threshold: the reported
+/// threshold is the axis value where predicted slowdown first crosses
+/// `1 + TOLERANCE`.
+pub const TOLERANCE: f64 = 0.05;
+
+/// One predicted sweep point.
+#[derive(Clone, Copy, Debug)]
+pub struct PredictPoint {
+    /// Desired absolute parameter value (µs, or MB/s for bulk bandwidth).
+    pub desired: f64,
+    /// Predicted runtime at this point.
+    pub runtime: SimDelta,
+    /// Predicted runtime ÷ measured baseline runtime.
+    pub slowdown: f64,
+}
+
+/// A predicted sensitivity curve along one axis.
+#[derive(Clone, Debug)]
+pub struct AxisPrediction {
+    /// The swept axis.
+    pub axis: Axis,
+    /// Predicted points at the axis's paper grid values.
+    pub points: Vec<PredictPoint>,
+    /// First axis value whose predicted slowdown exceeds
+    /// `1 +`[`TOLERANCE`] (linear interpolation between grid points);
+    /// `None` when the whole sweep stays within budget.
+    pub threshold: Option<f64>,
+}
+
+/// Everything `nowlab predict` learned from one traced run.
+pub struct Prediction {
+    /// Application name.
+    pub app: String,
+    /// Processor count of the analyzed run.
+    pub procs: usize,
+    /// RNG seed of the analyzed run.
+    pub seed: u64,
+    /// Measured baseline runtime (equals the DAG's baseline critical
+    /// path exactly — `analyze` verifies this).
+    pub baseline: SimDelta,
+    /// Happens-before DAG size: instants.
+    pub nodes: usize,
+    /// Happens-before DAG size: precedence edges.
+    pub edges: usize,
+    /// Non-fatal analysis notes (missing pairings, fallbacks).
+    pub warnings: Vec<String>,
+    /// One predicted curve per requested axis.
+    pub axes: Vec<AxisPrediction>,
+    /// Baseline critical-path attribution (buckets, phases, messages).
+    pub breakdown: PathBreakdown,
+    /// The baseline run's full trace — kept so callers can export a
+    /// Chrome trace with [`Prediction::breakdown`]'s critical messages
+    /// highlighted without re-running.
+    pub trace: TraceReport,
+}
+
+/// The CLI spelling of an axis (`--axis` vocabulary, also the JSON
+/// `"axis"` field).
+fn axis_slug(axis: Axis) -> &'static str {
+    match axis {
+        Axis::Overhead => "overhead",
+        Axis::Gap => "gap",
+        Axis::Latency => "latency",
+        Axis::BulkBandwidth => "bulk",
+        Axis::Coll => "coll",
+    }
+}
+
+/// Runs `app` once under `spec` with full tracing and predicts its
+/// sensitivity curves along `axes` by symbolic re-pricing.
+///
+/// `jobs` parallelizes the per-grid-point evaluations; results are
+/// collected by index, so output is byte-identical across job counts.
+///
+/// # Errors
+///
+/// Propagates [`nowlab_predict::PredictError`] (summary-only trace,
+/// faulty run, cyclic graph, baseline mismatch) as a rendered string,
+/// and refuses baselines that hit their event/time limit.
+pub fn predict_app(
+    app: &dyn SweepableApp,
+    spec: &RunSpec,
+    axes: &[Axis],
+    jobs: usize,
+) -> Result<Prediction, String> {
+    let traced = app.run(&(*spec).with_trace(TraceMode::Full));
+    if !traced.completed {
+        return Err(format!(
+            "{}: baseline run hit its limit; prediction needs a completed baseline",
+            app.name()
+        ));
+    }
+    let baseline = traced.runtime;
+    let report = traced.trace.ok_or("trace requested but not produced")?;
+    let analysis = analyze(&report, &spec.net, spec.procs, baseline)
+        .map_err(|e| format!("{}: {e}", app.name()))?;
+    let mut warnings: Vec<String> = analysis.warnings().to_vec();
+
+    // Flatten every axis's grid into one work list so a single
+    // parallel_map covers all points regardless of how axes divide.
+    let mut grid: Vec<(usize, f64, nowlab_am::NetConfig)> = Vec::new();
+    for (i, &axis) in axes.iter().enumerate() {
+        for desired in axis.paper_values() {
+            match axis.knobs_for(&spec.net.machine, desired) {
+                Some(knobs) => {
+                    let mut cfg = spec.net;
+                    cfg.knobs = knobs;
+                    grid.push((i, desired, cfg));
+                }
+                None => warnings.push(format!(
+                    "{}: {desired} is faster than the baseline; skipped",
+                    axis.label()
+                )),
+            }
+        }
+    }
+    let runtimes = parallel_map(jobs, &grid, |_, (_, _, cfg)| analysis.predict_runtime(cfg));
+
+    let base_ns = baseline.as_nanos() as f64;
+    let mut curves: Vec<AxisPrediction> = axes
+        .iter()
+        .map(|&axis| AxisPrediction {
+            axis,
+            points: Vec::new(),
+            threshold: None,
+        })
+        .collect();
+    for (&(i, desired, _), &runtime) in grid.iter().zip(&runtimes) {
+        curves[i].points.push(PredictPoint {
+            desired,
+            runtime,
+            slowdown: runtime.as_nanos() as f64 / base_ns,
+        });
+    }
+    for curve in &mut curves {
+        let pts: Vec<(f64, f64)> = curve
+            .points
+            .iter()
+            .map(|p| (p.desired, p.slowdown))
+            .collect();
+        curve.threshold = tolerance_threshold(&pts, TOLERANCE);
+    }
+
+    let breakdown = analysis.breakdown(&spec.net);
+    Ok(Prediction {
+        app: app.name().to_string(),
+        procs: spec.procs,
+        seed: spec.seed,
+        baseline,
+        nodes: analysis.node_count(),
+        edges: analysis.edge_count(),
+        warnings,
+        axes: curves,
+        breakdown,
+        trace: report,
+    })
+}
+
+impl Prediction {
+    /// Writes the versioned `"kind":"predict"` report.
+    ///
+    /// Same conventions as the metrics schema: hand-rolled JSON, every
+    /// value an integer, fixed-precision float, or ASCII label; a given
+    /// run writes byte-identical files at any `--jobs` setting.
+    pub fn write_json<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write!(
+            w,
+            r#"{{"schema":"{SCHEMA_NAME}","version":{SCHEMA_VERSION},"kind":"predict","app":"{}","procs":{},"seed":{},"baseline_ns":{},"tolerance":{TOLERANCE},"#,
+            self.app,
+            self.procs,
+            self.seed,
+            self.baseline.as_nanos()
+        )?;
+        write!(
+            w,
+            r#""dag":{{"nodes":{},"edges":{}}},"warnings":["#,
+            self.nodes, self.edges
+        )?;
+        for (i, warn) in self.warnings.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            // Warnings are generated in-crate from ASCII templates; strip
+            // the two JSON-special characters defensively anyway.
+            let clean: String = warn.chars().filter(|&c| c != '"' && c != '\\').collect();
+            write!(w, r#""{clean}""#)?;
+        }
+        write!(w, r#"],"axes":["#)?;
+        for (i, curve) in self.axes.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            write!(
+                w,
+                "\n  {{\"axis\":\"{}\",\"label\":\"{}\",\"threshold\":",
+                axis_slug(curve.axis),
+                curve.axis.label()
+            )?;
+            match curve.threshold {
+                Some(t) => write!(w, "{t:.3}")?,
+                None => write!(w, "null")?,
+            }
+            write!(w, r#","points":["#)?;
+            for (j, p) in curve.points.iter().enumerate() {
+                if j > 0 {
+                    write!(w, ",")?;
+                }
+                write!(
+                    w,
+                    r#"{{"x":{:.3},"runtime_ns":{},"slowdown":{:.4}}}"#,
+                    p.desired,
+                    p.runtime.as_nanos(),
+                    p.slowdown
+                )?;
+            }
+            write!(w, "]}}")?;
+        }
+        let b = &self.breakdown;
+        write!(
+            w,
+            "],\n\"critical_path\":{{\"total_ns\":{},\"edges\":{},\"buckets\":[",
+            b.total.as_nanos(),
+            b.edges_on_path
+        )?;
+        for (i, bucket) in Bucket::all().iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            write!(
+                w,
+                r#"{{"name":"{}","ns":{}}}"#,
+                bucket.as_str(),
+                b.buckets[bucket.index()].as_nanos()
+            )?;
+        }
+        write!(w, r#"],"phases":["#)?;
+        for (i, row) in b.phases.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            write!(
+                w,
+                "\n  {{\"phase\":\"{}\",\"total_ns\":{},\"buckets\":[",
+                row.label,
+                row.total.as_nanos()
+            )?;
+            for (j, d) in row.buckets.iter().enumerate() {
+                if j > 0 {
+                    write!(w, ",")?;
+                }
+                write!(w, "{}", d.as_nanos())?;
+            }
+            write!(w, "]}}")?;
+        }
+        write!(w, r#"],"critical_msgs":["#)?;
+        for (i, id) in b.critical_msgs.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            write!(w, "{id}")?;
+        }
+        writeln!(w, "]}}}}")
+    }
+
+    /// Renders the prediction for the terminal — by round-tripping
+    /// through the JSON writer and [`render_predict_report`], so the live
+    /// `nowlab predict` output and a later `nowlab report FILE.json` are
+    /// character-identical.
+    pub fn render(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_json(&mut buf)
+            .expect("in-memory write cannot fail");
+        let text = String::from_utf8(buf).expect("writer emits ASCII");
+        render_predict_report(&text).expect("writer and renderer share a schema")
+    }
+}
+
+fn req<'v>(v: &'v json::Value, key: &str) -> Result<&'v json::Value, String> {
+    v.get(key).ok_or_else(|| format!("missing `{key}`"))
+}
+
+/// Renders a saved predict-report JSON file as the `nowlab predict`
+/// terminal output (sweep tables, tolerance-threshold lines, and the
+/// critical-path breakdown).
+pub fn render_predict_report(text: &str) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let v = json::parse(text)?;
+    let schema = req(&v, "schema")?.as_str().unwrap_or("?");
+    if schema != SCHEMA_NAME {
+        return Err(format!("not a predict report (schema `{schema}`)"));
+    }
+    let version = req(&v, "version")?.as_u64().unwrap_or(0);
+    if version > SCHEMA_VERSION {
+        return Err(format!(
+            "predict report version {version} is newer than this binary ({SCHEMA_VERSION})"
+        ));
+    }
+    let app = req(&v, "app")?.as_str().unwrap_or("?").to_string();
+    let procs = req(&v, "procs")?.as_u64().unwrap_or(0);
+    let seed = req(&v, "seed")?.as_u64().unwrap_or(0);
+    let baseline_ns = req(&v, "baseline_ns")?.as_u64().unwrap_or(0);
+    let tolerance = req(&v, "tolerance")?.as_f64().unwrap_or(TOLERANCE);
+    let dag = req(&v, "dag")?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "predicted from one traced run: {app} on {procs} processors (seed {seed})"
+    );
+    let _ = writeln!(
+        out,
+        "baseline runtime {} == DAG critical path ({} nodes, {} edges); no re-simulation",
+        fmt_time(SimDelta::from_nanos(baseline_ns)),
+        dag.get("nodes").and_then(|n| n.as_u64()).unwrap_or(0),
+        dag.get("edges").and_then(|n| n.as_u64()).unwrap_or(0),
+    );
+    if let Some(warnings) = v.get("warnings").and_then(|w| w.as_arr()) {
+        for warn in warnings {
+            let _ = writeln!(out, "warning: {}", warn.as_str().unwrap_or("?"));
+        }
+    }
+    let _ = writeln!(out);
+
+    for curve in req(&v, "axes")?.as_arr().ok_or("`axes` not an array")? {
+        let label = req(curve, "label")?.as_str().unwrap_or("?").to_string();
+        let points = req(curve, "points")?
+            .as_arr()
+            .ok_or("`points` not an array")?;
+        let mut t = Table::new(
+            format!("{app}: predicted slowdown vs {label}"),
+            &[label.as_str(), "runtime", "slowdown", ""],
+        );
+        let slowdowns: Vec<f64> = points
+            .iter()
+            .filter_map(|p| p.get("slowdown").and_then(|s| s.as_f64()))
+            .collect();
+        let spark = sparkline(&slowdowns);
+        let glyphs: Vec<char> = spark.chars().collect();
+        for (i, p) in points.iter().enumerate() {
+            let x = req(p, "x")?.as_f64().unwrap_or(f64::NAN);
+            let ns = req(p, "runtime_ns")?.as_u64().unwrap_or(0);
+            let slow = req(p, "slowdown")?.as_f64().unwrap_or(f64::NAN);
+            t.push_row([
+                fmt_f(x, 1),
+                fmt_time(SimDelta::from_nanos(ns)),
+                fmt_f(slow, 2),
+                glyphs.get(i).copied().unwrap_or(' ').to_string(),
+            ]);
+        }
+        let _ = write!(out, "{t}");
+        let axis = req(curve, "axis")?.as_str().unwrap_or("?");
+        match req(curve, "threshold")?.as_f64() {
+            Some(thr) => {
+                let _ = writeln!(
+                    out,
+                    "tolerance threshold [{axis}]: {} — first {:.0}% predicted slowdown",
+                    fmt_f(thr, 1),
+                    tolerance * 100.0
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "tolerance threshold [{axis}]: beyond the sweep — \
+                     predicted slowdown stays within {:.0}%",
+                    tolerance * 100.0
+                );
+            }
+        }
+        let _ = writeln!(out);
+    }
+
+    let cp = req(&v, "critical_path")?;
+    let total_ns = req(cp, "total_ns")?.as_u64().unwrap_or(0);
+    let mut t = Table::new(
+        format!(
+            "baseline critical path: {} over {} edges",
+            fmt_time(SimDelta::from_nanos(total_ns)),
+            cp.get("edges").and_then(|n| n.as_u64()).unwrap_or(0)
+        ),
+        &["bucket", "time", "share"],
+    );
+    for bucket in req(cp, "buckets")?
+        .as_arr()
+        .ok_or("`buckets` not an array")?
+    {
+        let name = req(bucket, "name")?.as_str().unwrap_or("?").to_string();
+        let ns = req(bucket, "ns")?.as_u64().unwrap_or(0);
+        if ns == 0 {
+            continue; // unused buckets add noise, not information
+        }
+        let share = if total_ns == 0 {
+            0.0
+        } else {
+            100.0 * ns as f64 / total_ns as f64
+        };
+        t.push_row([
+            name,
+            fmt_time(SimDelta::from_nanos(ns)),
+            format!("{}%", fmt_f(share, 1)),
+        ]);
+    }
+    let _ = write!(out, "{t}");
+
+    let phases = req(cp, "phases")?.as_arr().ok_or("`phases` not an array")?;
+    if !phases.is_empty() {
+        let names: Vec<&str> = Bucket::all().iter().map(|b| b.as_str()).collect();
+        let mut headers: Vec<&str> = vec!["phase", "total"];
+        headers.extend(names);
+        let _ = writeln!(out);
+        let mut t = Table::new("critical path by phase", &headers);
+        for row in phases {
+            let label = req(row, "phase")?.as_str().unwrap_or("?").to_string();
+            let ns = req(row, "total_ns")?.as_u64().unwrap_or(0);
+            let buckets = req(row, "buckets")?
+                .as_u64s()
+                .ok_or("`buckets` not an integer array")?;
+            if buckets.len() != BUCKETS {
+                return Err(format!("phase row has {} buckets", buckets.len()));
+            }
+            let mut cells = vec![label, fmt_time(SimDelta::from_nanos(ns))];
+            cells.extend(buckets.iter().map(|&b| {
+                if b == 0 {
+                    "-".to_string()
+                } else {
+                    fmt_time(SimDelta::from_nanos(b))
+                }
+            }));
+            t.push_row(cells);
+        }
+        let _ = write!(out, "{t}");
+    }
+    if let Some(ids) = cp.get("critical_msgs").and_then(|m| m.as_arr()) {
+        let _ = writeln!(out, "\nmessages on the critical path: {}", ids.len());
+    }
+    Ok(out.trim_end().to_string())
+}
+
+/// Renders a saved report of either schema: predict reports go through
+/// [`render_predict_report`], everything else through the metrics
+/// renderer. This is what `nowlab report FILE.json` calls.
+pub fn render_report_auto(text: &str) -> Result<String, String> {
+    let schema = json::parse(text)
+        .ok()
+        .and_then(|v| v.get("schema").and_then(|s| s.as_str().map(String::from)));
+    match schema.as_deref() {
+        Some(SCHEMA_NAME) => render_predict_report(text),
+        _ => nowlab_metrics::render_report(text),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nowlab_predict::PhaseRow;
+
+    fn sample() -> Prediction {
+        let d = SimDelta::from_nanos;
+        let mut buckets = [SimDelta::ZERO; BUCKETS];
+        buckets[Bucket::Compute.index()] = d(700);
+        buckets[Bucket::Wire.index()] = d(300);
+        Prediction {
+            app: "Toy".into(),
+            procs: 4,
+            seed: 1,
+            baseline: d(1_000),
+            nodes: 12,
+            edges: 20,
+            warnings: vec!["no request/reply pairs".into()],
+            axes: vec![AxisPrediction {
+                axis: Axis::Latency,
+                points: vec![
+                    PredictPoint {
+                        desired: 5.0,
+                        runtime: d(1_000),
+                        slowdown: 1.0,
+                    },
+                    PredictPoint {
+                        desired: 15.0,
+                        runtime: d(1_200),
+                        slowdown: 1.2,
+                    },
+                ],
+                threshold: Some(7.5),
+            }],
+            breakdown: PathBreakdown {
+                total: d(1_000),
+                buckets,
+                phases: vec![PhaseRow {
+                    label: "(startup)".into(),
+                    buckets,
+                    total: d(1_000),
+                }],
+                critical_msgs: vec![3, 9],
+                edges_on_path: 7,
+            },
+            trace: TraceReport::default(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_renderer() {
+        let p = sample();
+        let text = p.render();
+        assert!(text.contains("predicted from one traced run: Toy"));
+        assert!(text.contains("tolerance threshold [latency]: 7.5"));
+        assert!(text.contains("warning: no request/reply pairs"));
+        assert!(text.contains("messages on the critical path: 2"));
+        assert!(text.contains("compute"));
+        // Unused buckets are suppressed in the share table (only the
+        // 70% compute / 30% wire rows survive).
+        assert!(text.contains("70.0%"));
+        assert!(text.contains("30.0%"));
+        assert!(!text.contains("0.0us"));
+    }
+
+    #[test]
+    fn report_dispatch_sniffs_the_schema() {
+        let p = sample();
+        let mut buf = Vec::new();
+        p.write_json(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(render_report_auto(&text).unwrap(), p.render());
+        assert!(render_report_auto("{\"schema\":\"bogus\"}").is_err());
+        assert!(render_report_auto("not json").is_err());
+    }
+
+    #[test]
+    fn writer_is_deterministic_and_versioned() {
+        let p = sample();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        p.write_json(&mut a).unwrap();
+        p.write_json(&mut b).unwrap();
+        assert_eq!(a, b);
+        let v = json::parse(std::str::from_utf8(&a).unwrap()).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(SCHEMA_NAME));
+        assert_eq!(v.get("version").unwrap().as_u64(), Some(SCHEMA_VERSION));
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("predict"));
+        let axes = v.get("axes").unwrap().as_arr().unwrap();
+        assert_eq!(axes[0].get("axis").unwrap().as_str(), Some("latency"));
+        let cp = v.get("critical_path").unwrap();
+        assert_eq!(cp.get("total_ns").unwrap().as_u64(), Some(1_000));
+        assert_eq!(cp.get("critical_msgs").unwrap().as_u64s(), Some(vec![3, 9]));
+    }
+}

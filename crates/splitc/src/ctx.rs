@@ -120,6 +120,7 @@ impl Ctx {
     /// the stats clock. Call from **one** processor, between barriers.
     pub fn reset_measurement(&self) {
         self.cluster.reset_stats();
+        self.port.region_marker(true);
     }
 
     /// Ends the measured region: freezes runtime and message statistics so
@@ -127,6 +128,7 @@ impl Ctx {
     /// **one** processor, after a barrier.
     pub fn freeze_measurement(&self) {
         self.cluster.freeze_stats();
+        self.port.region_marker(false);
     }
 
     // ------------------------------------------------------------------

@@ -35,6 +35,8 @@ fn dur(d: SimDelta) -> f64 {
 struct Emitter<'a, W: Write> {
     w: &'a mut W,
     first: bool,
+    /// Whether the record currently being drawn is on the critical path.
+    crit: bool,
 }
 
 impl<W: Write> Emitter<'_, W> {
@@ -74,9 +76,13 @@ impl<W: Write> Emitter<'_, W> {
             return Ok(()); // keep files small: empty spans draw nothing
         }
         self.sep()?;
+        // Categories are comma-separated in the trace format; critical-path
+        // messages get an extra `critical` category so the viewer can
+        // filter or color them.
+        let extra = if self.crit { ",critical" } else { "" };
         write!(
             self.w,
-            r#"{{"ph":"X","pid":{pid},"tid":{tid},"ts":{:.3},"dur":{:.3},"name":"{name}","cat":"{}","args":{{"id":{},"bytes":{}}}}}"#,
+            r#"{{"ph":"X","pid":{pid},"tid":{tid},"ts":{:.3},"dur":{:.3},"name":"{name}","cat":"{}{extra}","args":{{"id":{},"bytes":{}}}}}"#,
             ts(start),
             dur(span),
             rec.kind.as_str(),
@@ -86,10 +92,11 @@ impl<W: Write> Emitter<'_, W> {
     }
 
     fn flow(&mut self, rec: &MsgRecord) -> io::Result<()> {
+        let cat = if self.crit { "flow,critical" } else { "flow" };
         self.sep()?;
         write!(
             self.w,
-            r#"{{"ph":"s","pid":{},"tid":{LANE_CPU},"ts":{:.3},"id":{},"name":"msg","cat":"flow"}}"#,
+            r#"{{"ph":"s","pid":{},"tid":{LANE_CPU},"ts":{:.3},"id":{},"name":"msg","cat":"{cat}"}}"#,
             rec.src,
             ts(rec.send_begin),
             rec.id,
@@ -97,7 +104,7 @@ impl<W: Write> Emitter<'_, W> {
         self.sep()?;
         write!(
             self.w,
-            r#"{{"ph":"f","bp":"e","pid":{},"tid":{LANE_CPU},"ts":{:.3},"id":{},"name":"msg","cat":"flow"}}"#,
+            r#"{{"ph":"f","bp":"e","pid":{},"tid":{LANE_CPU},"ts":{:.3},"id":{},"name":"msg","cat":"{cat}"}}"#,
             rec.dst,
             ts(rec.done),
             rec.id,
@@ -108,8 +115,25 @@ impl<W: Write> Emitter<'_, W> {
 /// Writes the records as a Chrome-trace JSON object (`{"traceEvents":
 /// [...]}`). Only completed records are drawn; returns how many were.
 pub fn write_chrome_trace<W: Write>(records: &[MsgRecord], w: &mut W) -> io::Result<usize> {
+    write_chrome_trace_highlighted(records, &[], w)
+}
+
+/// Like [`write_chrome_trace`], with the messages whose trace ids appear
+/// in `critical` (sorted ascending) tagged with an extra `critical`
+/// category on every slice and flow arrow — the viewer's category filter
+/// then isolates the predicted critical path.
+pub fn write_chrome_trace_highlighted<W: Write>(
+    records: &[MsgRecord],
+    critical: &[u64],
+    w: &mut W,
+) -> io::Result<usize> {
+    debug_assert!(critical.windows(2).all(|w| w[0] < w[1]), "sorted ids");
     write!(w, r#"{{"displayTimeUnit":"ms","traceEvents":["#)?;
-    let mut em = Emitter { w, first: true };
+    let mut em = Emitter {
+        w,
+        first: true,
+        crit: false,
+    };
     let procs = records
         .iter()
         .map(|r| r.src.max(r.dst) + 1)
@@ -125,6 +149,7 @@ pub fn write_chrome_trace<W: Write>(records: &[MsgRecord], w: &mut W) -> io::Res
     let mut drawn = 0;
     for rec in records.iter().filter(|r| r.completed) {
         drawn += 1;
+        em.crit = critical.binary_search(&rec.id).is_ok();
         em.slice(rec, rec.src, LANE_CPU, "o_send", rec.send_begin, rec.o_send)?;
         em.slice(
             rec,
@@ -234,6 +259,24 @@ mod tests {
         // Slices carry the virtual-microsecond timestamps.
         assert!(text.contains(r#""ts":0.000,"dur":1.800,"name":"o_send""#));
         assert!(text.contains(r#""ts":2.000,"dur":5.000,"name":"wire""#));
+    }
+
+    #[test]
+    fn critical_ids_gain_the_extra_category() {
+        let records = sample_records();
+        let mut plain = Vec::new();
+        let mut hl = Vec::new();
+        write_chrome_trace_highlighted(&records, &[], &mut plain).unwrap();
+        write_chrome_trace_highlighted(&records, &[1], &mut hl).unwrap();
+        let plain = String::from_utf8(plain).unwrap();
+        let hl = String::from_utf8(hl).unwrap();
+        assert!(!plain.contains("critical"));
+        assert!(hl.contains(r#""cat":"read,critical""#));
+        assert!(hl.contains(r#""cat":"flow,critical""#));
+        // The no-highlight path is byte-identical to the original export.
+        let mut old = Vec::new();
+        write_chrome_trace(&records, &mut old).unwrap();
+        assert_eq!(plain, String::from_utf8(old).unwrap());
     }
 
     #[test]

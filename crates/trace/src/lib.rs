@@ -174,6 +174,81 @@ pub struct RecvEvent {
     pub done: SimTime,
 }
 
+/// Which synchronization construct a [`TraceEvent::Wave`] belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WaveKind {
+    /// Dissemination barrier completion.
+    Barrier,
+    /// Broadcast participation.
+    Broadcast,
+    /// Reduction participation.
+    Reduce,
+    /// All-gather participation.
+    Allgather,
+    /// All-to-all participation.
+    AllToAll,
+}
+
+impl WaveKind {
+    /// Short lowercase label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WaveKind::Barrier => "barrier",
+            WaveKind::Broadcast => "bcast",
+            WaveKind::Reduce => "reduce",
+            WaveKind::Allgather => "allgather",
+            WaveKind::AllToAll => "alltoall",
+        }
+    }
+
+    /// Dense discriminant, for per-kind indexing.
+    pub fn index(self) -> usize {
+        match self {
+            WaveKind::Barrier => 0,
+            WaveKind::Broadcast => 1,
+            WaveKind::Reduce => 2,
+            WaveKind::Allgather => 3,
+            WaveKind::AllToAll => 4,
+        }
+    }
+}
+
+/// A fixed-capacity ASCII phase label. Sixteen bytes inline (longer names
+/// truncate, non-ASCII bytes drop) so [`TraceEvent`] stays `Copy` and event
+/// construction allocates nothing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PhaseLabel([u8; 16]);
+
+impl PhaseLabel {
+    /// Builds a label from a phase name.
+    pub fn new(name: &str) -> Self {
+        let mut bytes = [0u8; 16];
+        let mut n = 0;
+        for &b in name.as_bytes() {
+            if n == bytes.len() {
+                break;
+            }
+            if b.is_ascii() && b != 0 {
+                bytes[n] = b;
+                n += 1;
+            }
+        }
+        PhaseLabel(bytes)
+    }
+
+    /// The label text (without padding).
+    pub fn as_str(&self) -> &str {
+        let len = self.0.iter().position(|&b| b == 0).unwrap_or(self.0.len());
+        std::str::from_utf8(&self.0[..len]).unwrap_or("")
+    }
+}
+
+impl std::fmt::Debug for PhaseLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PhaseLabel({:?})", self.as_str())
+    }
+}
+
 /// One observation from the message lifecycle. Producers construct events
 /// only when a sink is installed; sinks must not mutate simulation state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -216,19 +291,89 @@ pub enum TraceEvent {
         /// Instant the timer fired.
         at: SimTime,
     },
+    /// A request→reply happens-before edge: the reply message was issued
+    /// by the handler that served the request.
+    Pair {
+        /// Trace correlation id of the request message.
+        request: u64,
+        /// Trace correlation id of the reply message.
+        reply: u64,
+        /// Instant the reply was injected.
+        at: SimTime,
+    },
+    /// A host compute segment the application charged between messages —
+    /// the processor was busy with local work, not communication.
+    Compute {
+        /// Processor that computed.
+        proc: usize,
+        /// Instant the segment started.
+        start: SimTime,
+        /// Segment length.
+        dur: SimDelta,
+    },
+    /// A deadline-bounded idle wait: the processor slept until `deadline`
+    /// (servicing incoming messages along the way) and resumed at `exit`.
+    Idle {
+        /// Processor that waited.
+        proc: usize,
+        /// Instant the wait began.
+        enter: SimTime,
+        /// Virtual-time deadline of the wait.
+        deadline: SimTime,
+        /// Instant the wait ended (`≥ deadline`).
+        exit: SimTime,
+    },
+    /// Participation in a synchronization wave: this processor completed a
+    /// barrier or a collective operation. Same-index waves of the same
+    /// kind on different processors belong to the same logical wave.
+    Wave {
+        /// Participating processor.
+        proc: usize,
+        /// Which construct.
+        kind: WaveKind,
+        /// Instant the wave completed on this processor.
+        at: SimTime,
+    },
+    /// A measured-region boundary: the statistics epoch was reset (`begin`)
+    /// or frozen (`!begin`) on this processor.
+    Region {
+        /// Processor that issued the mark (the measuring root).
+        proc: usize,
+        /// True for region start (reset), false for region end (freeze).
+        begin: bool,
+        /// Instant of the mark.
+        at: SimTime,
+    },
+    /// An application phase marker.
+    Phase {
+        /// Processor that entered the phase.
+        proc: usize,
+        /// Phase name (truncated to 16 ASCII bytes).
+        label: PhaseLabel,
+        /// Instant the phase began on this processor.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
-    /// The trace correlation id this event refers to.
-    pub fn id(&self) -> u64 {
+    /// The trace correlation id this event refers to, for message-lifecycle
+    /// events. Edge and segment events ([`TraceEvent::Pair`] onward) carry
+    /// their own identifiers and return `None`.
+    pub fn id(&self) -> Option<u64> {
         match *self {
-            TraceEvent::Send(SendEvent { id, .. }) => id,
-            TraceEvent::Visible(VisibleEvent { id, .. }) => id,
-            TraceEvent::Recv(RecvEvent { id, .. }) => id,
+            TraceEvent::Send(SendEvent { id, .. }) => Some(id),
+            TraceEvent::Visible(VisibleEvent { id, .. }) => Some(id),
+            TraceEvent::Recv(RecvEvent { id, .. }) => Some(id),
             TraceEvent::Handler { id, .. }
             | TraceEvent::Drop { id, .. }
             | TraceEvent::DupDelivery { id, .. }
-            | TraceEvent::Retransmit { id, .. } => id,
+            | TraceEvent::Retransmit { id, .. } => Some(id),
+            TraceEvent::Pair { .. }
+            | TraceEvent::Compute { .. }
+            | TraceEvent::Idle { .. }
+            | TraceEvent::Wave { .. }
+            | TraceEvent::Region { .. }
+            | TraceEvent::Phase { .. } => None,
         }
     }
 }
@@ -297,6 +442,10 @@ pub struct MsgRecord {
     pub done: SimTime,
     /// Instant the request handler ran, if it did.
     pub handler_at: Option<SimTime>,
+    /// The other half of this message's request→reply pair, when one was
+    /// observed: for a request, the id of the reply its handler issued;
+    /// for a reply, the id of the request it answers.
+    pub pair: Option<u64>,
     /// True once `o_recv` completed at the destination.
     pub completed: bool,
     /// True if fault-path races (a duplicate outrunning a retransmitted
@@ -459,6 +608,68 @@ impl Histogram {
     }
 }
 
+/// A host compute segment ([`TraceEvent::Compute`]), as recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ComputeSeg {
+    /// Processor that computed.
+    pub proc: usize,
+    /// Instant the segment started.
+    pub start: SimTime,
+    /// Segment length.
+    pub dur: SimDelta,
+}
+
+/// A deadline-bounded idle wait ([`TraceEvent::Idle`]), as recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdleSeg {
+    /// Processor that waited.
+    pub proc: usize,
+    /// Instant the wait began.
+    pub enter: SimTime,
+    /// Virtual-time deadline of the wait.
+    pub deadline: SimTime,
+    /// Instant the wait ended.
+    pub exit: SimTime,
+}
+
+/// A synchronization-wave participation ([`TraceEvent::Wave`]) with its
+/// per-(processor, kind) sequence index: the `index`-th wave of `kind` on
+/// `proc`. Equal indices of the same kind across processors identify the
+/// same logical wave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaveMark {
+    /// Participating processor.
+    pub proc: usize,
+    /// Which construct.
+    pub kind: WaveKind,
+    /// Per-(processor, kind) sequence number, from zero.
+    pub index: u64,
+    /// Instant the wave completed on this processor.
+    pub at: SimTime,
+}
+
+/// A measured-region boundary ([`TraceEvent::Region`]), as recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionMark {
+    /// Processor that issued the mark.
+    pub proc: usize,
+    /// True for region start (reset), false for region end (freeze).
+    pub begin: bool,
+    /// Instant of the mark.
+    pub at: SimTime,
+}
+
+/// An application phase marker ([`TraceEvent::Phase`]), as recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseMark {
+    /// Processor that entered the phase.
+    pub proc: usize,
+    /// Phase name.
+    pub label: PhaseLabel,
+    /// Instant the phase began on this processor.
+    pub at: SimTime,
+}
+
 /// Aggregate run metrics: plain data (`Clone + PartialEq + Send`), safe to
 /// carry across the parallel-sweep boundary and compare bit-for-bit.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -480,6 +691,30 @@ pub struct TraceSummary {
     pub orphan_events: u64,
     /// Records whose attribution was clamped (see [`MsgRecord::tangled`]).
     pub tangled: u64,
+    /// Request→reply pairing edges observed ([`TraceEvent::Pair`]).
+    /// Accumulated identically in Summary and Full mode, so a consumer can
+    /// tell a run recorded without per-record edges (`pairs > 0`, records
+    /// empty) from a run that genuinely had none.
+    pub pairs: u64,
+    /// Send events for an already-completed lifecycle (stale
+    /// retransmissions doing redundant work). Full mode also bumps the
+    /// finished record's attempt count; Summary mode used to drop these on
+    /// the evicted-record path — this counter keeps both modes honest.
+    pub late_attempts: u64,
+    /// Host compute segments observed ([`TraceEvent::Compute`]).
+    pub compute_segs: u64,
+    /// Total compute time across those segments.
+    pub compute_total: SimDelta,
+    /// Deadline-bounded idle waits observed ([`TraceEvent::Idle`]).
+    pub idle_segs: u64,
+    /// Total enter→exit idle time across those waits.
+    pub idle_total: SimDelta,
+    /// Synchronization-wave participations observed ([`TraceEvent::Wave`]).
+    pub waves: u64,
+    /// Application phase markers observed ([`TraceEvent::Phase`]).
+    pub phase_marks: u64,
+    /// Measured-region boundary marks observed ([`TraceEvent::Region`]).
+    pub region_marks: u64,
     /// Component totals over completed messages.
     pub totals: ComponentTotals,
     /// Total end-to-end time over completed messages.
@@ -543,6 +778,11 @@ impl TraceSummary {
             "trace summary: {} msgs, {} completed, {} drops, {} retransmits, {} dup deliveries",
             self.msgs, self.completed, self.drops, self.retransmits, self.dup_deliveries
         );
+        let _ = writeln!(
+            out,
+            "  edges: {} req-reply pairs, {} compute segs, {} idle waits, {} waves",
+            self.pairs, self.compute_segs, self.idle_segs, self.waves
+        );
         let per_msg = |d: SimDelta| {
             if self.completed == 0 {
                 0.0
@@ -597,13 +837,35 @@ impl TraceSummary {
 }
 
 /// A finished trace: the aggregate summary plus (in [`TraceMode::Full`])
-/// every per-message record in injection order.
+/// every per-message record in injection order, and the happens-before
+/// side channels (compute/idle segments, waves, region and phase marks)
+/// the DAG builder in `nowlab-predict` consumes.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TraceReport {
     /// Aggregate metrics.
     pub summary: TraceSummary,
     /// Per-message lifecycle records (empty in [`TraceMode::Summary`]).
     pub records: Vec<MsgRecord>,
+    /// Host compute segments, in emission order (Full mode only).
+    pub computes: Vec<ComputeSeg>,
+    /// Deadline-bounded idle waits, in emission order (Full mode only).
+    pub idles: Vec<IdleSeg>,
+    /// Synchronization waves, in emission order (Full mode only).
+    pub waves: Vec<WaveMark>,
+    /// Measured-region boundaries, in emission order (Full mode only).
+    pub regions: Vec<RegionMark>,
+    /// Application phase markers, in emission order (Full mode only).
+    pub phases: Vec<PhaseMark>,
+}
+
+impl TraceReport {
+    /// True when the run recorded the happens-before edges the message DAG
+    /// needs: full per-message records, with reply pairing attached where
+    /// the summary says pairing occurred.
+    pub fn has_edges(&self) -> bool {
+        !self.records.is_empty()
+            && (self.summary.pairs == 0 || self.records.iter().any(|r| r.pair.is_some()))
+    }
 }
 
 /// In-flight state for a message whose lifecycle is still open.
@@ -623,6 +885,7 @@ struct Pending {
     arrival: SimTime,
     visible: Option<SimTime>,
     handler_at: Option<SimTime>,
+    pair: Option<u64>,
 }
 
 #[derive(Default)]
@@ -631,6 +894,12 @@ struct RecorderState {
     finished: BTreeMap<u64, MsgRecord>,
     done_ids: BTreeSet<u64>,
     last_send: BTreeMap<usize, SimTime>,
+    wave_seq: BTreeMap<(usize, usize), u64>,
+    computes: Vec<ComputeSeg>,
+    idles: Vec<IdleSeg>,
+    waves: Vec<WaveMark>,
+    regions: Vec<RegionMark>,
+    phases: Vec<PhaseMark>,
     summary: TraceSummary,
 }
 
@@ -670,6 +939,11 @@ impl TraceRecorder {
         TraceReport {
             summary: st.summary.clone(),
             records,
+            computes: st.computes.clone(),
+            idles: st.idles.clone(),
+            waves: st.waves.clone(),
+            regions: st.regions.clone(),
+            phases: st.phases.clone(),
         }
     }
 }
@@ -693,6 +967,7 @@ fn incomplete_record(id: u64, p: &Pending) -> MsgRecord {
         pop: p.arrival,
         done: p.arrival,
         handler_at: p.handler_at,
+        pair: p.pair,
         completed: false,
         tangled: false,
         o_send: p.o_send,
@@ -755,6 +1030,7 @@ fn finalize(id: u64, p: &Pending, ev: &RecvEvent) -> MsgRecord {
         pop,
         done: ev.done,
         handler_at: p.handler_at,
+        pair: p.pair,
         completed: true,
         tangled,
         o_send: p.o_send,
@@ -792,7 +1068,13 @@ impl TraceSink for TraceRecorder {
                     p.visible = None;
                 } else if let Some(r) = st.finished.get_mut(&e.id) {
                     r.attempts += 1; // stale retransmission after completion
-                } else if !st.done_ids.contains(&e.id) {
+                    st.summary.late_attempts += 1;
+                } else if st.done_ids.contains(&e.id) {
+                    // Summary mode already evicted the completed record;
+                    // without this counter the stale attempt would vanish
+                    // and Summary would disagree with Full.
+                    st.summary.late_attempts += 1;
+                } else {
                     st.summary.msgs += 1;
                     let m = &mut st.summary.matrix;
                     let dim = e.src.max(e.dst) + 1;
@@ -822,6 +1104,7 @@ impl TraceSink for TraceRecorder {
                             arrival: e.arrival,
                             visible: None,
                             handler_at: None,
+                            pair: None,
                         },
                     );
                 }
@@ -885,6 +1168,92 @@ impl TraceSink for TraceRecorder {
             TraceEvent::Retransmit { o_send, .. } => {
                 st.summary.retransmits += 1;
                 st.summary.retransmit_o_total += *o_send;
+            }
+            TraceEvent::Pair { request, reply, .. } => {
+                st.summary.pairs += 1;
+                // The request has usually completed (its o_recv preceded
+                // the handler that sent the reply); the reply was just
+                // injected and is pending. Cover both sides anyway.
+                if let Some(r) = st.finished.get_mut(request) {
+                    if r.pair.is_none() {
+                        r.pair = Some(*reply);
+                    }
+                } else if let Some(p) = st.pending.get_mut(request) {
+                    if p.pair.is_none() {
+                        p.pair = Some(*reply);
+                    }
+                }
+                if let Some(p) = st.pending.get_mut(reply) {
+                    if p.pair.is_none() {
+                        p.pair = Some(*request);
+                    }
+                } else if let Some(r) = st.finished.get_mut(reply) {
+                    if r.pair.is_none() {
+                        r.pair = Some(*request);
+                    }
+                }
+            }
+            TraceEvent::Compute { proc, start, dur } => {
+                st.summary.compute_segs += 1;
+                st.summary.compute_total += *dur;
+                if self.keep_records {
+                    st.computes.push(ComputeSeg {
+                        proc: *proc,
+                        start: *start,
+                        dur: *dur,
+                    });
+                }
+            }
+            TraceEvent::Idle {
+                proc,
+                enter,
+                deadline,
+                exit,
+            } => {
+                st.summary.idle_segs += 1;
+                st.summary.idle_total += exit.saturating_since(*enter);
+                if self.keep_records {
+                    st.idles.push(IdleSeg {
+                        proc: *proc,
+                        enter: *enter,
+                        deadline: *deadline,
+                        exit: *exit,
+                    });
+                }
+            }
+            TraceEvent::Wave { proc, kind, at } => {
+                st.summary.waves += 1;
+                if self.keep_records {
+                    let seq = st.wave_seq.entry((*proc, kind.index())).or_insert(0);
+                    let index = *seq;
+                    *seq += 1;
+                    st.waves.push(WaveMark {
+                        proc: *proc,
+                        kind: *kind,
+                        index,
+                        at: *at,
+                    });
+                }
+            }
+            TraceEvent::Region { proc, begin, at } => {
+                st.summary.region_marks += 1;
+                if self.keep_records {
+                    st.regions.push(RegionMark {
+                        proc: *proc,
+                        begin: *begin,
+                        at: *at,
+                    });
+                }
+            }
+            TraceEvent::Phase { proc, label, at } => {
+                st.summary.phase_marks += 1;
+                if self.keep_records {
+                    st.phases.push(PhaseMark {
+                        proc: *proc,
+                        label: *label,
+                        at: *at,
+                    });
+                }
             }
         }
     }

@@ -34,6 +34,18 @@ pub enum EventTag {
     Dup,
     /// Retransmission timer fired (`aux` = attempt number).
     Retransmit,
+    /// Request→reply pairing (`id` = request, `aux` = reply id).
+    Pair,
+    /// Compute segment ended (`id` = proc, `aux` = duration nanoseconds).
+    Compute,
+    /// Idle wait ended (`id` = proc, `aux` = wait nanoseconds).
+    Idle,
+    /// Barrier/collective wave crossed (`id` = proc, `aux` = kind code).
+    Wave,
+    /// Measured-region boundary (`id` = proc, `aux` = 1 begin / 0 end).
+    Region,
+    /// Phase mark (`id` = proc, `aux` = first 8 label bytes, LE).
+    Phase,
 }
 
 impl EventTag {
@@ -46,6 +58,12 @@ impl EventTag {
             EventTag::Drop => 4,
             EventTag::Dup => 5,
             EventTag::Retransmit => 6,
+            EventTag::Pair => 7,
+            EventTag::Compute => 8,
+            EventTag::Idle => 9,
+            EventTag::Wave => 10,
+            EventTag::Region => 11,
+            EventTag::Phase => 12,
         }
     }
 
@@ -58,6 +76,12 @@ impl EventTag {
             4 => EventTag::Drop,
             5 => EventTag::Dup,
             6 => EventTag::Retransmit,
+            7 => EventTag::Pair,
+            8 => EventTag::Compute,
+            9 => EventTag::Idle,
+            10 => EventTag::Wave,
+            11 => EventTag::Region,
+            12 => EventTag::Phase,
             _ => return None,
         })
     }
@@ -77,22 +101,48 @@ pub struct RingEntry {
 }
 
 fn encode(ev: &TraceEvent) -> [u64; ENTRY_WORDS] {
-    let (tag, at, aux) = match *ev {
+    let (tag, id, at, aux) = match *ev {
         TraceEvent::Send(ref e) => (
             EventTag::Send,
+            e.id,
             e.inject,
             ((e.src as u64) << 48) | ((e.dst as u64) << 32) | u64::from(e.bytes),
         ),
-        TraceEvent::Visible(ref e) => (EventTag::Visible, e.at, u64::from(e.rx_depth)),
-        TraceEvent::Recv(ref e) => (EventTag::Recv, e.done, e.o_recv.as_nanos()),
-        TraceEvent::Handler { at, .. } => (EventTag::Handler, at, 0),
-        TraceEvent::Drop { at, .. } => (EventTag::Drop, at, 0),
-        TraceEvent::DupDelivery { arrival, .. } => (EventTag::Dup, arrival, 0),
-        TraceEvent::Retransmit { attempt, at, .. } => {
-            (EventTag::Retransmit, at, u64::from(attempt))
+        TraceEvent::Visible(ref e) => (EventTag::Visible, e.id, e.at, u64::from(e.rx_depth)),
+        TraceEvent::Recv(ref e) => (EventTag::Recv, e.id, e.done, e.o_recv.as_nanos()),
+        TraceEvent::Handler { id, at } => (EventTag::Handler, id, at, 0),
+        TraceEvent::Drop { id, at } => (EventTag::Drop, id, at, 0),
+        TraceEvent::DupDelivery { id, arrival } => (EventTag::Dup, id, arrival, 0),
+        TraceEvent::Retransmit {
+            id, attempt, at, ..
+        } => (EventTag::Retransmit, id, at, u64::from(attempt)),
+        TraceEvent::Pair { request, reply, at } => (EventTag::Pair, request, at, reply),
+        TraceEvent::Compute { proc, start, dur } => {
+            (EventTag::Compute, proc as u64, start, dur.as_nanos())
+        }
+        TraceEvent::Idle {
+            proc, enter, exit, ..
+        } => (
+            EventTag::Idle,
+            proc as u64,
+            enter,
+            exit.saturating_since(enter).as_nanos(),
+        ),
+        TraceEvent::Wave { proc, kind, at } => {
+            (EventTag::Wave, proc as u64, at, kind.index() as u64)
+        }
+        TraceEvent::Region { proc, begin, at } => {
+            (EventTag::Region, proc as u64, at, u64::from(begin))
+        }
+        TraceEvent::Phase { proc, label, at } => {
+            let mut word = [0u8; 8];
+            let bytes = label.as_str().as_bytes();
+            let n = bytes.len().min(8);
+            word[..n].copy_from_slice(&bytes[..n]);
+            (EventTag::Phase, proc as u64, at, u64::from_le_bytes(word))
         }
     };
-    [tag.code(), ev.id(), at.as_nanos(), aux]
+    [tag.code(), id, at.as_nanos(), aux]
 }
 
 struct RingState {

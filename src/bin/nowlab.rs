@@ -26,12 +26,12 @@ use nowlab::apps::{suite_scaled, SuiteScale};
 use nowlab::core::calib::{calibrate, calibrate_bulk};
 use nowlab::core::report::{fmt_f, fmt_time, Table};
 use nowlab::core::{
-    allgather_us, alltoall_us, bcast_us, default_jobs, parallel_map, reduce_us, render_report,
-    sweep_jobs, write_sweep_json, Axis, CollAlgo, CollConfig, FaultPlan, Knobs, MetricsMode,
-    NetConfig, NodeFault, NodeFaultPlan, ProcState, RunMeta, RunOutcome, RunSpec, Selector,
-    SimDelta, SimTime, SweepPointMeta, SweepableApp, TraceMode,
+    allgather_us, alltoall_us, bcast_us, default_jobs, parallel_map, predict_app, reduce_us,
+    render_report, render_report_auto, sweep_jobs, write_sweep_json, Axis, CollAlgo, CollConfig,
+    FaultPlan, Knobs, MetricsMode, NetConfig, NodeFault, NodeFaultPlan, ProcState, RunMeta,
+    RunOutcome, RunSpec, Selector, SimDelta, SimTime, SweepPointMeta, SweepableApp, TraceMode,
 };
-use nowlab::trace::chrome::write_chrome_trace;
+use nowlab::trace::chrome::{write_chrome_trace, write_chrome_trace_highlighted};
 
 const USAGE: &str = "usage:
   nowlab list
@@ -44,8 +44,11 @@ const USAGE: &str = "usage:
                [--procs N] [--scale test|benchmark] [--coll-algo NAME]
                [--trace-summary] [--metrics FILE.json] [--metrics-summary]
   nowlab suite [--procs N] [--scale test|benchmark] [--coll-algo NAME]
+  nowlab predict --app NAME [--procs N] [--seed S] [--scale test|benchmark]
+               [--axis overhead|gap|latency|bulk] [--jobs N]
+               [--out FILE.json] [--trace FILE.json]
   nowlab report FILE.json
-parallelism (run/sweep/suite):
+parallelism (run/sweep/suite/predict):
   [--jobs N]   worker threads for independent runs (default: all cores;
                results are byte-identical to --jobs 1)
 fault injection (calibrate/run/sweep/suite):
@@ -74,7 +77,15 @@ tracing (run/sweep):
 metrics (run/sweep):
   [--metrics FILE.json]  simulated-time utilization report (versioned
                          schema; render later with `nowlab report`)
-  [--metrics-summary]    per-phase utilization table on stdout";
+  [--metrics-summary]    per-phase utilization table on stdout
+prediction (predict):
+  one fully traced baseline run builds the happens-before message DAG;
+  slowdown curves and 5% tolerance thresholds are then re-priced
+  symbolically at the paper's grid values without re-simulating
+  [--out FILE.json]    versioned predict report (`nowlab report` renders
+                       either schema)
+  [--trace FILE.json]  Chrome trace of the baseline with critical-path
+                       messages tagged with a `critical` category";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -108,6 +119,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&flags),
         "sweep" => cmd_sweep(&flags),
         "suite" => cmd_suite(&flags).map(|()| ExitCode::SUCCESS),
+        "predict" => cmd_predict(&flags).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -908,7 +920,61 @@ fn cmd_report(rest: &[String]) -> Result<(), String> {
     };
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("report {path}: cannot read: {e}"))?;
-    println!("{}", render_report(&text)?);
+    println!("{}", render_report_auto(&text)?);
+    Ok(())
+}
+
+/// The `predict` driver: one fully traced baseline run, then symbolic
+/// re-pricing of its happens-before DAG at every paper grid value — no
+/// re-simulation (DESIGN.md §13).
+fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = flags.get("app").ok_or("predict needs --app")?;
+    let app = find_app(scale_of(flags)?, name)?;
+    let axes: Vec<Axis> = match flags.get("axis").map(String::as_str) {
+        None => vec![
+            Axis::Overhead,
+            Axis::Gap,
+            Axis::Latency,
+            Axis::BulkBandwidth,
+        ],
+        Some("overhead" | "o") => vec![Axis::Overhead],
+        Some("gap" | "g") => vec![Axis::Gap],
+        Some("latency" | "l") => vec![Axis::Latency],
+        Some("bulk" | "bandwidth" | "mbps") => vec![Axis::BulkBandwidth],
+        Some(other) => {
+            return Err(format!(
+                "--axis: `{other}` (want overhead|gap|latency|bulk)"
+            ));
+        }
+    };
+    let spec = guard(
+        RunSpec::new(parse_or(flags, "procs", 32usize)?)
+            .with_net(net_of(flags)?)
+            .with_seed(parse_or(flags, "seed", 1u64)?)
+            .with_coll(coll_of(flags)?),
+    );
+    let p = predict_app(app.as_ref(), &spec, &axes, jobs_of(flags)?)?;
+    println!("{}", p.render());
+    if let Some(path) = flags.get("out") {
+        let mut buf = Vec::new();
+        p.write_json(&mut buf)
+            .map_err(|e| format!("predict serialization failed: {e}"))?;
+        std::fs::write(path, &buf).map_err(|e| format!("--out {path}: cannot write: {e}"))?;
+        println!("\npredict: report written to {path} (render with `nowlab report {path}`)");
+    }
+    if let Some(path) = flags.get("trace") {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("--trace {path}: cannot create: {e}"))?;
+        let mut w = std::io::BufWriter::new(file);
+        let drawn =
+            write_chrome_trace_highlighted(&p.trace.records, &p.breakdown.critical_msgs, &mut w)
+                .map_err(|e| format!("--trace {path}: write failed: {e}"))?;
+        println!(
+            "\ntrace: {drawn} message lifetimes written to {path} \
+             ({} on the critical path tagged `critical`)",
+            p.breakdown.critical_msgs.len()
+        );
+    }
     Ok(())
 }
 

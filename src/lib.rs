@@ -119,6 +119,12 @@ pub mod metrics {
     pub use nowlab_metrics::*;
 }
 
+/// Happens-before DAG analytics and LogGP re-pricing (re-export of
+/// `nowlab-predict`).
+pub mod predict {
+    pub use nowlab_predict::*;
+}
+
 /// The Split-C-style PGAS layer (re-export of `nowlab-splitc`).
 pub mod splitc {
     pub use nowlab_splitc::*;
